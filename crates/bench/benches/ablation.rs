@@ -1,0 +1,117 @@
+//! Criterion benchmark: the design-choice ablations listed in DESIGN.md
+//! §7 — exact lattice counting vs determinant estimates, spread vs
+//! cumulative spread, and parallelepiped search breadth.
+
+use alp::footprint::size::single_footprint_lattice_corrected;
+use alp::prelude::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_counting_methods(c: &mut Criterion) {
+    let mut group = c.benchmark_group("footprint_counting");
+    let g = IMat::from_rows(&[&[1, 1], &[1, -1]]);
+    for side in [8i128, 16, 32] {
+        let tile = Tile::rect(&[side, side]);
+        group.bench_with_input(BenchmarkId::new("det_estimate", side), &tile, |b, t| {
+            b.iter(|| single_footprint_estimate(black_box(t), black_box(&g)))
+        });
+        group.bench_with_input(BenchmarkId::new("lattice_corrected", side), &tile, |b, t| {
+            b.iter(|| single_footprint_lattice_corrected(black_box(t), black_box(&g)))
+        });
+        group.bench_with_input(BenchmarkId::new("exact_enumeration", side), &tile, |b, t| {
+            b.iter(|| single_footprint_exact(black_box(t), black_box(&g)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_cumulative_methods(c: &mut Criterion) {
+    // Three ways to size a class's cumulative footprint: Theorem 4
+    // (closed form), the coefficient-lattice inclusion-exclusion (exact,
+    // analysis-speed), and data-point enumeration (exact, slow).
+    let mut group = c.benchmark_group("cumulative_counting");
+    let nest = parse(
+        "doall (i, 1, 64) { doall (j, 1, 64) { doall (k, 1, 64) {
+           A[i,j,k] = B[i-1,j,k+1] + B[i,j+1,k] + B[i+1,j-2,k-3];
+         } } }",
+    )
+    .unwrap();
+    let class = classify(&nest).into_iter().find(|cl| cl.array == "B").unwrap();
+    for side in [7i128, 15] {
+        let lam = [side, side, side];
+        group.bench_with_input(BenchmarkId::new("theorem4", side), &lam, |b, lam| {
+            b.iter(|| cumulative_footprint_rect(black_box(lam), black_box(&class)))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("exact_lattice_inclusion_exclusion", side),
+            &lam,
+            |b, lam| {
+                b.iter(|| {
+                    alp::footprint::cumulative_footprint_rect_exact_lattice(
+                        black_box(lam),
+                        black_box(&class),
+                    )
+                })
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("exact_enumeration", side), &lam, |b, lam| {
+            b.iter(|| {
+                cumulative_footprint_exact(&Tile::rect(black_box(lam)), black_box(&class))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_spread_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spread");
+    let offsets: Vec<IVec> = (0..16)
+        .map(|k| IVec::new(&[k % 5 - 2, (k * 3) % 7 - 3, k % 2]))
+        .collect();
+    group.bench_function("max_min_spread", |b| {
+        b.iter(|| alp::footprint::spread(black_box(&offsets)))
+    });
+    group.bench_function("cumulative_spread", |b| {
+        b.iter(|| alp::footprint::cumulative_spread(black_box(&offsets)))
+    });
+    group.finish();
+}
+
+fn bench_para_search_breadth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("para_search_breadth");
+    group.sample_size(10);
+    let nest = parse(
+        "doall (i, 1, 128) { doall (j, 1, 128) { A[i,j] = B[i,j] + B[i+1,j+3]; } }",
+    )
+    .unwrap();
+    for max_entry in [1i128, 2, 3] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(max_entry),
+            &max_entry,
+            |b, &me| {
+                b.iter(|| {
+                    optimize_parallelepiped(
+                        black_box(&nest),
+                        16,
+                        &ParaSearchConfig { max_entry: me, threads: 1 },
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .sample_size(20);
+    targets = bench_counting_methods,
+    bench_cumulative_methods,
+    bench_spread_variants,
+    bench_para_search_breadth
+}
+
+criterion_main!(benches);

@@ -1,0 +1,105 @@
+//! Criterion benchmark: cost of the compile-time analysis itself.
+//!
+//! The paper claims the method is "computationally efficient as well"
+//! because it deals only with index expressions; these benches measure
+//! classification, footprint evaluation and partitioning as functions of
+//! loop depth, reference count and processor count.
+
+use alp::prelude::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn stencil_source(refs: usize) -> String {
+    let mut rhs: Vec<String> = Vec::new();
+    for r in 0..refs {
+        rhs.push(format!("B[i+{}, j+{}]", r % 3, r % 5));
+    }
+    format!(
+        "doall (i, 1, 1024) {{ doall (j, 1, 1024) {{ A[i,j] = {}; }} }}",
+        rhs.join(" + ")
+    )
+}
+
+fn bench_classification(c: &mut Criterion) {
+    let mut group = c.benchmark_group("classify");
+    for refs in [2usize, 4, 8, 16] {
+        let nest = parse(&stencil_source(refs)).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(refs), &nest, |b, nest| {
+            b.iter(|| classify(black_box(nest)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_cost_model(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cost_model_eval");
+    let nest = parse(
+        "doall (i, 1, 1024) { doall (j, 1, 1024) { doall (k, 1, 1024) {
+           A[i,j,k] = B[i-1,j,k+1] + B[i,j+1,k] + B[i+1,j-2,k-3];
+         } } }",
+    )
+    .unwrap();
+    let model = CostModel::from_nest(&nest);
+    group.bench_function("theorem4_rect_3d", |b| {
+        b.iter(|| model.cost_rect(black_box(&[15, 31, 63])))
+    });
+    let l = IMat::from_rows(&[&[16, 0, 0], &[4, 32, 0], &[0, 8, 64]]);
+    group.bench_function("theorem2_general_3d", |b| {
+        b.iter(|| model.cost_general(black_box(&l)))
+    });
+    group.finish();
+}
+
+fn bench_partitioners(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partition");
+    let nest = parse(
+        "doall (i, 1, 1024) { doall (j, 1, 1024) { doall (k, 1, 1024) {
+           A[i,j,k] = B[i-1,j,k+1] + B[i,j+1,k] + B[i+1,j-2,k-3];
+         } } }",
+    )
+    .unwrap();
+    for p in [16i128, 64, 256] {
+        group.bench_with_input(BenchmarkId::new("rect", p), &p, |b, &p| {
+            b.iter(|| partition_rect(black_box(&nest), p))
+        });
+    }
+    let nest2 = parse(
+        "doall (i, 1, 256) { doall (j, 1, 256) { A[i,j] = B[i,j] + B[i+1,j+3]; } }",
+    )
+    .unwrap();
+    group.bench_function("parallelepiped_2d", |b| {
+        b.iter(|| {
+            optimize_parallelepiped(
+                black_box(&nest2),
+                16,
+                &ParaSearchConfig { max_entry: 2, threads: 1 },
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_linalg(c: &mut Criterion) {
+    let mut group = c.benchmark_group("linalg");
+    let m = IMat::from_rows(&[&[3, 1, -2, 4], &[0, 5, 1, -1], &[2, 2, 7, 0], &[1, -3, 0, 6]]);
+    group.bench_function("det_4x4", |b| b.iter(|| black_box(&m).det().unwrap()));
+    group.bench_function("hnf_4x4", |b| b.iter(|| alp::linalg::row_hnf(black_box(&m))));
+    group.bench_function("snf_4x4", |b| {
+        b.iter(|| alp::linalg::smith_normal_form(black_box(&m)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .sample_size(20);
+    targets = bench_classification,
+    bench_cost_model,
+    bench_partitioners,
+    bench_linalg
+}
+
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Criterion benchmark: machine-simulator throughput (accesses/s) and
+//! the cost of end-to-end partition evaluation by simulation — the
+//! expensive alternative the analytical model replaces.
+
+use alp::prelude::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_simulator_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    for n in [16i128, 32] {
+        let nest = parse(&format!(
+            "doall (i, 1, {n}) {{ doall (j, 1, {n}) {{
+               A[i,j] = A[i-1,j] + A[i+1,j] + A[i,j-1] + A[i,j+1];
+             }} }}"
+        ))
+        .unwrap();
+        let assignment = assign_rect(&nest, &[4, 4]);
+        let accesses = (n * n * 5) as u64;
+        group.throughput(Throughput::Elements(accesses));
+        group.bench_with_input(BenchmarkId::new("stencil_16p", n), &nest, |b, nest| {
+            b.iter(|| {
+                run_nest(
+                    black_box(nest),
+                    black_box(&assignment),
+                    MachineConfig::uniform(16),
+                    &UniformHome,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_model_vs_simulation(c: &mut Criterion) {
+    // The headline efficiency claim: evaluating a candidate tile with
+    // Theorem 4 vs simulating it.
+    let mut group = c.benchmark_group("evaluate_partition");
+    let nest = parse(
+        "doall (i, 1, 32) { doall (j, 1, 32) {
+           A[i,j] = B[i,j] + B[i+2,j+1] + B[i-1,j+3];
+         } }",
+    )
+    .unwrap();
+    let model = CostModel::from_nest(&nest);
+    group.bench_function("model_theorem4", |b| {
+        b.iter(|| model.cost_rect(black_box(&[7, 7])))
+    });
+    let assignment = assign_rect(&nest, &[4, 4]);
+    group.bench_function("simulation", |b| {
+        b.iter(|| {
+            run_nest(
+                black_box(&nest),
+                black_box(&assignment),
+                MachineConfig::uniform(16),
+                &UniformHome,
+            )
+        })
+    });
+    group.bench_function("exact_enumeration", |b| {
+        let classes = classify(&nest);
+        b.iter(|| {
+            let tile = Tile::rect(black_box(&[7, 7]));
+            classes
+                .iter()
+                .map(|cl| cumulative_footprint_exact(&tile, cl))
+                .sum::<usize>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .sample_size(20);
+    targets = bench_simulator_throughput, bench_model_vs_simulation
+}
+
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! E3: Example 3 — parallelogram tiles beat every rectangle for
+//! `A[i,j] = B[i,j] + B[i+1,j+3]`.
+
+use alp::prelude::*;
+use alp_bench::{header, Table};
+
+fn main() {
+    header("E3", "Example 3: parallelogram vs all rectangles, P = 16");
+    let src = "doall (i, 1, 64) { doall (j, 1, 64) {
+                 A[i,j] = B[i,j] + B[i+1,j+3];
+               } }";
+    let nest = parse(src).unwrap();
+    let p = 16i128;
+    let model = CostModel::from_nest(&nest);
+
+    // Every rectangular grid.
+    let t = Table::new(&[("tile", 24), ("modeled cost", 12), ("sim misses", 10)]);
+    let mut best_rect = u64::MAX;
+    for grid in [vec![1i128, 16], vec![2, 8], vec![4, 4], vec![8, 2], vec![16, 1]] {
+        let extents: Vec<i128> = grid.iter().map(|&g| 64 / g - 1).collect();
+        let cost = model.cost_rect(&extents);
+        let report = run_nest(
+            &nest,
+            &assign_rect(&nest, &grid),
+            MachineConfig::uniform(p as usize),
+            &UniformHome,
+        );
+        best_rect = best_rect.min(report.total_cold_misses());
+        t.row(&[
+            &format!("rect {}x{}", extents[0] + 1, extents[1] + 1),
+            &cost,
+            &report.total_cold_misses(),
+        ]);
+    }
+
+    // The parallelepiped search.
+    let para = optimize_parallelepiped(&nest, p, &ParaSearchConfig { max_entry: 3, threads: 4 });
+    println!(
+        "\nparallelepiped search winner: basis rows {:?}, modeled cost {}",
+        (0..2).map(|r| para.basis.row(r).0.clone()).collect::<Vec<_>>(),
+        para.cost
+    );
+
+    // Simulate the skewed partition via slabs along the comm-free normal
+    // (the same internalization the parallelogram achieves, with exact
+    // load balance).
+    let normals = communication_free_normals(&nest);
+    let slab_report = run_nest(
+        &nest,
+        &assign_slabs(&nest, &normals[0], p),
+        MachineConfig::uniform(p as usize),
+        &UniformHome,
+    );
+    // Boundary misses = misses beyond the compulsory A+B volume
+    // (64*64 for A, 64*66... exactly: distinct elements of each array).
+    let compulsory = 64 * 64 + 65 * 67; // |A| + |B extent box touched|
+    println!(
+        "simulated: best rectangle {} vs parallelogram slabs {} (boundary misses {} vs {})",
+        best_rect,
+        slab_report.total_cold_misses(),
+        best_rect as i64 - compulsory,
+        slab_report.total_cold_misses() as i64 - compulsory,
+    );
+    assert!(slab_report.total_cold_misses() < best_rect);
+    println!("\npaper: \"parallelogram tiles result in a lower cost of memory access\ncompared to any rectangular partition\" — confirmed.");
+}

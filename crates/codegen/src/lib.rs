@@ -1,0 +1,24 @@
+//! Code generation for partitioned loops.
+//!
+//! The analysis side of `alp` decides tile *shapes*; this crate turns a
+//! shape into executable structure:
+//!
+//! * [`assign`] — exact iteration-to-processor assignment for
+//!   rectangular grids, hyperplane slabs, and general parallelepiped
+//!   tilings (every iteration lands on exactly one processor — the
+//!   property the simulator needs, and a property test here);
+//! * [`emit`] — human-readable per-processor loop nests.  Rectangular
+//!   tiles emit directly (the reason §3.7 calls them "easy code
+//!   generation"); parallelepiped tiles go through the small
+//!   Fourier–Motzkin eliminator in [`fm`] to derive scanning bounds.
+
+pub mod assign;
+pub mod emit;
+pub mod fm;
+
+pub use assign::{
+    assign_para, assign_rect, assign_slabs, assignment_stats, block_assignment, block_iterations,
+    Assignment, AssignmentStats,
+};
+pub use emit::{emit_para_code, emit_rect_code};
+pub use fm::{eliminate, Constraint, System};

@@ -1,0 +1,26 @@
+//! Integer lattices and lattice point counting.
+//!
+//! This crate implements the lattice theory of §3.7 of Agarwal, Kranz &
+//! Natarajan: bounded lattices (Def. 9), the translated-lattice
+//! intersection test (Theorem 3), the union-size formula (Lemma 3), and
+//! exact integer-point counting inside the parallelepipeds `S(Q)`
+//! (Def. 7) that describe footprints.
+//!
+//! The paper mostly *approximates* footprint sizes by `|det LG|` (its
+//! Eq. 2); the exact counts provided here serve two purposes:
+//!
+//! 1. validation — every approximation theorem in `alp-footprint` is
+//!    property-tested against the exact enumeration in this crate;
+//! 2. the "exact footprint lattice" extension — for small tiles the exact
+//!    counts are cheap and measurably more accurate (see the
+//!    `model_accuracy` experiment).
+
+pub mod bounded;
+pub mod count;
+pub mod lattice;
+pub mod parallelepiped;
+
+pub use bounded::BoundedLattice;
+pub use count::{count_distinct_affine_values, count_rect_footprint_exact};
+pub use lattice::Lattice;
+pub use parallelepiped::Parallelepiped;

@@ -1,0 +1,242 @@
+//! Hermite Normal Form with unimodular transform tracking.
+//!
+//! The row-style HNF underlies integer-lattice membership (is a vector an
+//! integer combination of the rows of `G`?), which the paper uses both for
+//! the *intersecting references* test (Def. 4) and, via Lemma 2 / the
+//! Hermite normal form theorem, for deciding when the reference map is
+//! onto.
+
+use crate::mat::IMat;
+use crate::num::xgcd;
+
+/// Result of a Hermite normal form computation: `u * a == h` with `u`
+/// unimodular, `h` in row echelon form with positive pivots and entries
+/// above each pivot reduced into `[0, pivot)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hnf {
+    /// The Hermite normal form.
+    pub h: IMat,
+    /// Unimodular transform, `u * a == h`.
+    pub u: IMat,
+    /// 0-based pivot columns, one per nonzero row of `h`, strictly increasing.
+    pub pivots: Vec<usize>,
+}
+
+impl Hnf {
+    /// Rank of the original matrix (number of nonzero rows of `h`).
+    pub fn rank(&self) -> usize {
+        self.pivots.len()
+    }
+}
+
+/// Row-style Hermite normal form of `a`.
+///
+/// Row operations only (unimodular on the left), so the row lattice — the
+/// set of integer combinations of rows, i.e. the image of `i ↦ i·a` — is
+/// preserved exactly.
+pub fn row_hnf(a: &IMat) -> Hnf {
+    let (m, n) = (a.rows(), a.cols());
+    let mut h = a.clone();
+    let mut u = IMat::identity(m);
+    let mut pivots = Vec::new();
+    let mut r = 0usize;
+    for c in 0..n {
+        if r >= m {
+            break;
+        }
+        // Bring a nonzero into (r, c) and zero everything below it, using
+        // extended-gcd row combinations (each is unimodular).
+        if h[(r, c)] == 0 {
+            if let Some(p) = (r + 1..m).find(|&i| h[(i, c)] != 0) {
+                swap_rows(&mut h, r, p);
+                swap_rows(&mut u, r, p);
+            } else {
+                continue;
+            }
+        }
+        for i in r + 1..m {
+            if h[(i, c)] == 0 {
+                continue;
+            }
+            let (g, x, y) = xgcd(h[(r, c)], h[(i, c)]);
+            let (p, q) = (h[(r, c)] / g, h[(i, c)] / g);
+            // [x y; -q p] is unimodular: det = x*p + y*q = (x*h_rc + y*h_ic)/g = 1.
+            combine_rows(&mut h, r, i, x, y, -q, p);
+            combine_rows(&mut u, r, i, x, y, -q, p);
+            debug_assert_eq!(h[(i, c)], 0);
+        }
+        if h[(r, c)] < 0 {
+            negate_row(&mut h, r);
+            negate_row(&mut u, r);
+        }
+        // Reduce the entries above the pivot into [0, pivot).
+        let pivot = h[(r, c)];
+        for i in 0..r {
+            let q = h[(i, c)].div_euclid(pivot);
+            if q != 0 {
+                sub_scaled_row(&mut h, i, r, q);
+                sub_scaled_row(&mut u, i, r, q);
+            }
+        }
+        pivots.push(c);
+        r += 1;
+    }
+    Hnf { h, u, pivots }
+}
+
+/// Column-style Hermite normal form: `a * v == h` with `v` unimodular.
+///
+/// Obtained by transposing the row-style computation.  Preserves the
+/// column lattice of `a`.
+pub fn column_hnf(a: &IMat) -> Hnf {
+    let t = row_hnf(&a.transpose());
+    Hnf { h: t.h.transpose(), u: t.u.transpose(), pivots: t.pivots }
+}
+
+fn swap_rows(m: &mut IMat, i: usize, j: usize) {
+    for c in 0..m.cols() {
+        let t = m[(i, c)];
+        m[(i, c)] = m[(j, c)];
+        m[(j, c)] = t;
+    }
+}
+
+/// Replace rows i, j with (x*row_i + y*row_j, z*row_i + w*row_j).
+fn combine_rows(m: &mut IMat, i: usize, j: usize, x: i128, y: i128, z: i128, w: i128) {
+    for c in 0..m.cols() {
+        let (a, b) = (m[(i, c)], m[(j, c)]);
+        m[(i, c)] = x * a + y * b;
+        m[(j, c)] = z * a + w * b;
+    }
+}
+
+fn negate_row(m: &mut IMat, i: usize) {
+    for c in 0..m.cols() {
+        m[(i, c)] = -m[(i, c)];
+    }
+}
+
+fn sub_scaled_row(m: &mut IMat, i: usize, j: usize, q: i128) {
+    for c in 0..m.cols() {
+        m[(i, c)] -= q * m[(j, c)];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn check_hnf_invariants(a: &IMat) {
+        let Hnf { h, u, pivots } = row_hnf(a);
+        // u * a == h
+        assert_eq!(u.mul(a).unwrap(), h, "transform identity");
+        // u unimodular
+        assert!(u.is_unimodular(), "u not unimodular");
+        // pivots strictly increasing, entries positive, zeros below
+        let mut prev = None;
+        for (r, &c) in pivots.iter().enumerate() {
+            if let Some(p) = prev {
+                assert!(c > p);
+            }
+            prev = Some(c);
+            assert!(h[(r, c)] > 0, "pivot must be positive");
+            for i in r + 1..h.rows() {
+                assert_eq!(h[(i, c)], 0, "nonzero below pivot");
+            }
+            for i in 0..r {
+                assert!(0 <= h[(i, c)] && h[(i, c)] < h[(r, c)], "entry above pivot not reduced");
+            }
+            // Everything left of the pivot in this row is zero.
+            for cc in 0..c {
+                assert_eq!(h[(r, cc)], 0, "nonzero left of pivot");
+            }
+        }
+        // Rows past the pivots are zero.
+        for r in pivots.len()..h.rows() {
+            assert!(h.row(r).is_zero(), "nonzero row past rank");
+        }
+    }
+
+    #[test]
+    fn hnf_simple() {
+        let a = IMat::from_rows(&[&[2, 4], &[6, 8]]);
+        check_hnf_invariants(&a);
+        let hnf = row_hnf(&a);
+        assert_eq!(hnf.rank(), 2);
+    }
+
+    #[test]
+    fn hnf_rank_deficient() {
+        let a = IMat::from_rows(&[&[1, 2, 3], &[2, 4, 6], &[1, 1, 1]]);
+        check_hnf_invariants(&a);
+        assert_eq!(row_hnf(&a).rank(), 2);
+    }
+
+    #[test]
+    fn hnf_zero_matrix() {
+        let a = IMat::zeros(2, 3);
+        check_hnf_invariants(&a);
+        assert_eq!(row_hnf(&a).rank(), 0);
+    }
+
+    #[test]
+    fn hnf_identity_fixed_point() {
+        let a = IMat::identity(3);
+        let hnf = row_hnf(&a);
+        assert_eq!(hnf.h, a);
+        assert_eq!(hnf.u, IMat::identity(3));
+    }
+
+    #[test]
+    fn hnf_known_form() {
+        // Classic example: rows generate the lattice 2Z x Z scaled.
+        let a = IMat::from_rows(&[&[4, 0], &[0, 2], &[2, 1]]);
+        let hnf = row_hnf(&a);
+        // The row lattice is generated by (2,1) and (0,2) -> HNF [[2,1],[0,2]]
+        // reduced: entry above pivot 2 in col 1 is 1 < 2. Det of lattice = 4.
+        assert_eq!(hnf.rank(), 2);
+        assert_eq!(hnf.h[(0, 0)], 2);
+        assert_eq!(hnf.h[(1, 1)] * hnf.h[(0, 0)], 4);
+    }
+
+    #[test]
+    fn column_hnf_transform() {
+        let a = IMat::from_rows(&[&[2, 4, 4], &[-6, 6, 12]]);
+        let Hnf { h, u: v, .. } = column_hnf(&a);
+        assert_eq!(a.mul(&v).unwrap(), h, "a * v == h");
+        assert!(v.is_unimodular());
+    }
+
+    fn arb_mat(r: usize, c: usize) -> impl Strategy<Value = IMat> {
+        proptest::collection::vec(-8i128..=8, r * c).prop_map(move |v| IMat::from_vec(r, c, v))
+    }
+
+    proptest! {
+        #[test]
+        fn hnf_invariants_random_3x3(a in arb_mat(3, 3)) {
+            check_hnf_invariants(&a);
+        }
+
+        #[test]
+        fn hnf_invariants_random_rect(a in arb_mat(2, 4)) {
+            check_hnf_invariants(&a);
+        }
+
+        #[test]
+        fn hnf_invariants_random_tall(a in arb_mat(4, 2)) {
+            check_hnf_invariants(&a);
+        }
+
+        #[test]
+        fn hnf_rank_matches_rank(a in arb_mat(3, 3)) {
+            prop_assert_eq!(row_hnf(&a).rank(), a.rank());
+        }
+
+        #[test]
+        fn hnf_det_preserved_up_to_sign(a in arb_mat(3, 3)) {
+            let h = row_hnf(&a).h;
+            prop_assert_eq!(h.det().unwrap().abs(), a.det().unwrap().abs());
+        }
+    }
+}

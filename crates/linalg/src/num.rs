@@ -1,0 +1,124 @@
+//! Scalar integer number theory: gcd, lcm, extended gcd.
+
+/// Greatest common divisor of two integers; always non-negative.
+///
+/// `gcd(0, 0) == 0` by convention.
+pub fn gcd(a: i128, b: i128) -> i128 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// Greatest common divisor of a slice; 0 for an empty slice.
+pub fn gcd_many(xs: &[i128]) -> i128 {
+    xs.iter().fold(0, |g, &x| gcd(g, x))
+}
+
+/// Least common multiple; `lcm(0, x) == 0`.
+///
+/// # Panics
+/// Panics on overflow of `i128` (not reachable for the small operands used
+/// by the partitioning analysis).
+pub fn lcm(a: i128, b: i128) -> i128 {
+    if a == 0 || b == 0 {
+        return 0;
+    }
+    (a / gcd(a, b)).checked_mul(b).expect("lcm overflow").abs()
+}
+
+/// Extended Euclid: returns `(g, x, y)` with `a*x + b*y == g == gcd(a, b)`
+/// and `g >= 0`.
+pub fn xgcd(a: i128, b: i128) -> (i128, i128, i128) {
+    // Invariants: old_r = a*old_s + b*old_t, r = a*s + b*t.
+    let (mut old_r, mut r) = (a, b);
+    let (mut old_s, mut s) = (1i128, 0i128);
+    let (mut old_t, mut t) = (0i128, 1i128);
+    while r != 0 {
+        let q = old_r / r;
+        (old_r, r) = (r, old_r - q * r);
+        (old_s, s) = (s, old_s - q * s);
+        (old_t, t) = (t, old_t - q * t);
+    }
+    if old_r < 0 {
+        (-old_r, -old_s, -old_t)
+    } else {
+        (old_r, old_s, old_t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn gcd_basics() {
+        assert_eq!(gcd(0, 0), 0);
+        assert_eq!(gcd(0, 7), 7);
+        assert_eq!(gcd(7, 0), 7);
+        assert_eq!(gcd(12, 18), 6);
+        assert_eq!(gcd(-12, 18), 6);
+        assert_eq!(gcd(12, -18), 6);
+        assert_eq!(gcd(-12, -18), 6);
+        assert_eq!(gcd(1, 999), 1);
+    }
+
+    #[test]
+    fn gcd_many_basics() {
+        assert_eq!(gcd_many(&[]), 0);
+        assert_eq!(gcd_many(&[4]), 4);
+        assert_eq!(gcd_many(&[4, 6, 8]), 2);
+        assert_eq!(gcd_many(&[3, 5]), 1);
+        assert_eq!(gcd_many(&[0, 0, 5]), 5);
+    }
+
+    #[test]
+    fn lcm_basics() {
+        assert_eq!(lcm(0, 5), 0);
+        assert_eq!(lcm(4, 6), 12);
+        assert_eq!(lcm(-4, 6), 12);
+        assert_eq!(lcm(7, 7), 7);
+    }
+
+    #[test]
+    fn xgcd_basics() {
+        let (g, x, y) = xgcd(240, 46);
+        assert_eq!(g, 2);
+        assert_eq!(240 * x + 46 * y, g);
+        let (g, x, y) = xgcd(-240, 46);
+        assert_eq!(g, 2);
+        assert_eq!(-240 * x + 46 * y, g);
+        let (g, _, _) = xgcd(0, 0);
+        assert_eq!(g, 0);
+    }
+
+    proptest! {
+        #[test]
+        fn gcd_divides_both(a in -10_000i128..10_000, b in -10_000i128..10_000) {
+            let g = gcd(a, b);
+            if g != 0 {
+                prop_assert_eq!(a % g, 0);
+                prop_assert_eq!(b % g, 0);
+            } else {
+                prop_assert_eq!(a, 0);
+                prop_assert_eq!(b, 0);
+            }
+        }
+
+        #[test]
+        fn xgcd_bezout(a in -10_000i128..10_000, b in -10_000i128..10_000) {
+            let (g, x, y) = xgcd(a, b);
+            prop_assert_eq!(g, gcd(a, b));
+            prop_assert_eq!(a * x + b * y, g);
+        }
+
+        #[test]
+        fn lcm_gcd_product(a in 1i128..10_000, b in 1i128..10_000) {
+            prop_assert_eq!(lcm(a, b) * gcd(a, b), a * b);
+        }
+    }
+}

@@ -1,0 +1,310 @@
+//! Smith Normal Form with transform tracking.
+//!
+//! `u * a * v == s` with `u`, `v` unimodular and `s` diagonal with a
+//! divisibility chain `s₁ | s₂ | …`.  The product of the nonzero diagonal
+//! entries is the index of the image lattice of `a` in the sub-space it
+//! spans — exactly the "density" correction needed to count footprint
+//! points exactly when `G` is nonsingular but not unimodular (the paper's
+//! Theorem 4 sidesteps this via lattices; we expose it directly for the
+//! exact-counting ablation).
+
+use crate::mat::IMat;
+use crate::num::xgcd;
+
+/// Result of a Smith normal form computation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snf {
+    /// Diagonal form (same shape as the input).
+    pub s: IMat,
+    /// Left unimodular transform.
+    pub u: IMat,
+    /// Right unimodular transform.
+    pub v: IMat,
+    /// The nonzero diagonal entries `s₁ | s₂ | …`, all positive.
+    pub invariants: Vec<i128>,
+}
+
+/// Compute the Smith normal form of `a`.
+pub fn smith_normal_form(a: &IMat) -> Snf {
+    let (m, n) = (a.rows(), a.cols());
+    let mut s = a.clone();
+    let mut u = IMat::identity(m);
+    let mut v = IMat::identity(n);
+
+    let k = m.min(n);
+    for t in 0..k {
+        if !bring_pivot(&mut s, &mut u, &mut v, t) {
+            break; // the rest of the matrix is zero
+        }
+        // Eliminate row and column t; each elimination can reintroduce
+        // entries in the other, so iterate to a fixed point.  When the
+        // pivot already divides the entry we must subtract a multiple
+        // (keeping the pivot) rather than apply a Bézout combination —
+        // an xgcd pair like (0, ±1) would swap the rows and cycle
+        // forever.  The xgcd path strictly shrinks |pivot|, so the loop
+        // terminates.
+        eliminate_cross(&mut s, &mut u, &mut v, t);
+        if s[(t, t)] < 0 {
+            negate_row(&mut s, t);
+            negate_row(&mut u, t);
+        }
+        // Enforce the divisibility chain: if s[t][t] does not divide some
+        // later entry, fold that entry's row in and redo this pivot.
+        'divis: loop {
+            for i in t + 1..m {
+                for j in t + 1..n {
+                    if s[(i, j)] % s[(t, t)] != 0 {
+                        add_row(&mut s, t, i);
+                        add_row(&mut u, t, i);
+                        // Re-eliminate; |pivot| strictly decreases on the
+                        // xgcd path, so this terminates.
+                        eliminate_cross(&mut s, &mut u, &mut v, t);
+                        if s[(t, t)] < 0 {
+                            negate_row(&mut s, t);
+                            negate_row(&mut u, t);
+                        }
+                        continue 'divis;
+                    }
+                }
+            }
+            break;
+        }
+    }
+
+    let invariants: Vec<i128> =
+        (0..k).map(|t| s[(t, t)]).take_while(|&d| d != 0).collect();
+    Snf { s, u, v, invariants }
+}
+
+/// Clear row `t` and column `t` (beyond the pivot) to a fixed point.
+fn eliminate_cross(s: &mut IMat, u: &mut IMat, v: &mut IMat, t: usize) {
+    let (m, n) = (s.rows(), s.cols());
+    loop {
+        let mut dirty = false;
+        for i in t + 1..m {
+            if s[(i, t)] == 0 {
+                continue;
+            }
+            if s[(i, t)] % s[(t, t)] == 0 {
+                let q = s[(i, t)] / s[(t, t)];
+                sub_scaled_row(s, i, t, q);
+                sub_scaled_row(u, i, t, q);
+            } else {
+                let (g, x, y) = xgcd(s[(t, t)], s[(i, t)]);
+                let (p, q) = (s[(t, t)] / g, s[(i, t)] / g);
+                row_combine(s, t, i, x, y, -q, p);
+                row_combine(u, t, i, x, y, -q, p);
+            }
+            dirty = true;
+        }
+        for j in t + 1..n {
+            if s[(t, j)] == 0 {
+                continue;
+            }
+            if s[(t, j)] % s[(t, t)] == 0 {
+                let q = s[(t, j)] / s[(t, t)];
+                sub_scaled_col(s, j, t, q);
+                sub_scaled_col(v, j, t, q);
+            } else {
+                let (g, x, y) = xgcd(s[(t, t)], s[(t, j)]);
+                let (p, q) = (s[(t, t)] / g, s[(t, j)] / g);
+                col_combine(s, t, j, x, y, -q, p);
+                col_combine(v, t, j, x, y, -q, p);
+            }
+            dirty = true;
+        }
+        if !dirty {
+            break;
+        }
+    }
+}
+
+/// `row_i -= q · row_j`.
+fn sub_scaled_row(m: &mut IMat, i: usize, j: usize, q: i128) {
+    for c in 0..m.cols() {
+        m[(i, c)] -= q * m[(j, c)];
+    }
+}
+
+/// `col_i -= q · col_j`.
+fn sub_scaled_col(m: &mut IMat, i: usize, j: usize, q: i128) {
+    for r in 0..m.rows() {
+        m[(r, i)] -= q * m[(r, j)];
+    }
+}
+
+/// Move a nonzero entry (if any remains) to position (t, t).
+fn bring_pivot(s: &mut IMat, u: &mut IMat, v: &mut IMat, t: usize) -> bool {
+    let (m, n) = (s.rows(), s.cols());
+    for i in t..m {
+        for j in t..n {
+            if s[(i, j)] != 0 {
+                if i != t {
+                    swap_rows(s, t, i);
+                    swap_rows(u, t, i);
+                }
+                if j != t {
+                    swap_cols(s, t, j);
+                    swap_cols(v, t, j);
+                }
+                return true;
+            }
+        }
+    }
+    false
+}
+
+fn swap_rows(m: &mut IMat, i: usize, j: usize) {
+    for c in 0..m.cols() {
+        let t = m[(i, c)];
+        m[(i, c)] = m[(j, c)];
+        m[(j, c)] = t;
+    }
+}
+
+fn swap_cols(m: &mut IMat, i: usize, j: usize) {
+    for r in 0..m.rows() {
+        let t = m[(r, i)];
+        m[(r, i)] = m[(r, j)];
+        m[(r, j)] = t;
+    }
+}
+
+fn row_combine(m: &mut IMat, i: usize, j: usize, x: i128, y: i128, z: i128, w: i128) {
+    for c in 0..m.cols() {
+        let (a, b) = (m[(i, c)], m[(j, c)]);
+        m[(i, c)] = x * a + y * b;
+        m[(j, c)] = z * a + w * b;
+    }
+}
+
+/// Column version: columns i, j <- (x*col_i + y*col_j, z*col_i + w*col_j).
+fn col_combine(m: &mut IMat, i: usize, j: usize, x: i128, y: i128, z: i128, w: i128) {
+    for r in 0..m.rows() {
+        let (a, b) = (m[(r, i)], m[(r, j)]);
+        m[(r, i)] = x * a + y * b;
+        m[(r, j)] = z * a + w * b;
+    }
+}
+
+fn add_row(m: &mut IMat, dst: usize, src: usize) {
+    for c in 0..m.cols() {
+        m[(dst, c)] += m[(src, c)];
+    }
+}
+
+fn negate_row(m: &mut IMat, i: usize) {
+    for c in 0..m.cols() {
+        m[(i, c)] = -m[(i, c)];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn check_snf(a: &IMat) {
+        let Snf { s, u, v, invariants } = smith_normal_form(a);
+        // u * a * v == s
+        assert_eq!(u.mul(a).unwrap().mul(&v).unwrap(), s, "transform identity");
+        assert!(u.is_unimodular(), "u not unimodular");
+        assert!(v.is_unimodular(), "v not unimodular");
+        // s diagonal
+        for i in 0..s.rows() {
+            for j in 0..s.cols() {
+                if i != j {
+                    assert_eq!(s[(i, j)], 0, "off-diagonal nonzero");
+                }
+            }
+        }
+        // divisibility chain, positivity
+        for w in invariants.windows(2) {
+            assert!(w[0] > 0 && w[1] % w[0] == 0, "divisibility chain broken: {w:?}");
+        }
+        if let Some(&last) = invariants.last() {
+            assert!(last > 0);
+        }
+        assert_eq!(invariants.len(), a.rank(), "number of invariants = rank");
+    }
+
+    #[test]
+    fn snf_diag_example() {
+        let a = IMat::from_rows(&[&[2, 4, 4], &[-6, 6, 12], &[10, 4, 16]]);
+        let snf = smith_normal_form(&a);
+        check_snf(&a);
+        // Known SNF of this classic example: diag(2, 2, 156).
+        assert_eq!(snf.invariants, vec![2, 2, 156]);
+    }
+
+    #[test]
+    fn snf_identity() {
+        check_snf(&IMat::identity(3));
+        assert_eq!(smith_normal_form(&IMat::identity(3)).invariants, vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn snf_zero() {
+        check_snf(&IMat::zeros(2, 3));
+        assert!(smith_normal_form(&IMat::zeros(2, 3)).invariants.is_empty());
+    }
+
+    #[test]
+    fn snf_of_g_from_example10() {
+        // G = [[1,1],[1,-1]], det -2: image lattice has index 2 in Z^2.
+        let g = IMat::from_rows(&[&[1, 1], &[1, -1]]);
+        let snf = smith_normal_form(&g);
+        check_snf(&g);
+        assert_eq!(snf.invariants, vec![1, 2]);
+        assert_eq!(snf.invariants.iter().product::<i128>(), 2);
+    }
+
+    #[test]
+    fn snf_divisible_offdiagonal_terminates() {
+        // Regression: [[1,-1],[0,1]] once cycled forever because the
+        // Bézout pair (0, -1) swapped the pivot row instead of reducing.
+        let g = IMat::from_rows(&[&[1, -1], &[0, 1]]);
+        let snf = smith_normal_form(&g);
+        check_snf(&g);
+        assert_eq!(snf.invariants, vec![1, 1]);
+        // A few more shapes from the same family.
+        for rows in [[[2i128, -2], [0, 2]], [[1, 1], [0, -1]], [[3, -6], [0, 3]]] {
+            let m = IMat::from_rows(&[&rows[0], &rows[1]]);
+            check_snf(&m);
+        }
+    }
+
+    #[test]
+    fn snf_rank_deficient() {
+        let a = IMat::from_rows(&[&[1, 2, 1], &[0, 0, 1]]); // Example 7's G
+        check_snf(&a);
+        assert_eq!(smith_normal_form(&a).invariants, vec![1, 1]);
+    }
+
+    fn arb_mat(r: usize, c: usize) -> impl Strategy<Value = IMat> {
+        proptest::collection::vec(-6i128..=6, r * c).prop_map(move |v| IMat::from_vec(r, c, v))
+    }
+
+    proptest! {
+        #[test]
+        fn snf_invariants_square(a in arb_mat(3, 3)) {
+            check_snf(&a);
+        }
+
+        #[test]
+        fn snf_invariants_rect(a in arb_mat(2, 4)) {
+            check_snf(&a);
+        }
+
+        #[test]
+        fn snf_product_is_abs_det(a in arb_mat(3, 3)) {
+            let d = a.det().unwrap();
+            let snf = smith_normal_form(&a);
+            if d != 0 {
+                prop_assert_eq!(snf.invariants.iter().product::<i128>(), d.abs());
+            } else {
+                prop_assert!(snf.invariants.len() < 3);
+            }
+        }
+    }
+}

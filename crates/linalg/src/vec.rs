@@ -1,0 +1,164 @@
+//! Integer row vectors.
+
+use crate::num::gcd_many;
+use crate::{LinalgError, Result};
+
+/// A dense integer (row) vector.
+///
+/// Following the paper's convention, iteration points `ī`, data points
+/// `ḡ(ī)`, and offset vectors `ā` are all row vectors.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct IVec(pub Vec<i128>);
+
+impl IVec {
+    /// A vector from a slice.
+    pub fn new(entries: &[i128]) -> Self {
+        IVec(entries.to_vec())
+    }
+
+    /// The zero vector of length `n`.
+    pub fn zeros(n: usize) -> Self {
+        IVec(vec![0; n])
+    }
+
+    /// Number of components.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when the vector has no components.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// True when all components are zero.
+    pub fn is_zero(&self) -> bool {
+        self.0.iter().all(|&x| x == 0)
+    }
+
+    /// Component access.
+    pub fn get(&self, i: usize) -> i128 {
+        self.0[i]
+    }
+
+    /// Component-wise sum.
+    pub fn add(&self, other: &IVec) -> Result<IVec> {
+        self.zip(other, |a, b| a + b)
+    }
+
+    /// Component-wise difference (`self - other`).
+    pub fn sub(&self, other: &IVec) -> Result<IVec> {
+        self.zip(other, |a, b| a - b)
+    }
+
+    /// Scalar multiple.
+    pub fn scale(&self, k: i128) -> IVec {
+        IVec(self.0.iter().map(|&x| x * k).collect())
+    }
+
+    /// Dot product.
+    pub fn dot(&self, other: &IVec) -> Result<i128> {
+        if self.len() != other.len() {
+            return Err(LinalgError::ShapeMismatch {
+                left: (1, self.len()),
+                right: (1, other.len()),
+            });
+        }
+        Ok(self.0.iter().zip(&other.0).map(|(&a, &b)| a * b).sum())
+    }
+
+    /// Gcd of the components (0 for the zero vector).
+    pub fn content(&self) -> i128 {
+        gcd_many(&self.0)
+    }
+
+    /// Divide every component by the content, making the vector primitive.
+    /// The zero vector is returned unchanged.
+    pub fn primitive(&self) -> IVec {
+        let c = self.content();
+        if c == 0 {
+            self.clone()
+        } else {
+            IVec(self.0.iter().map(|&x| x / c).collect())
+        }
+    }
+
+    fn zip(&self, other: &IVec, f: impl Fn(i128, i128) -> i128) -> Result<IVec> {
+        if self.len() != other.len() {
+            return Err(LinalgError::ShapeMismatch {
+                left: (1, self.len()),
+                right: (1, other.len()),
+            });
+        }
+        Ok(IVec(self.0.iter().zip(&other.0).map(|(&a, &b)| f(a, b)).collect()))
+    }
+}
+
+impl std::fmt::Display for IVec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "(")?;
+        for (k, x) in self.0.iter().enumerate() {
+            if k > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{x}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl From<Vec<i128>> for IVec {
+    fn from(v: Vec<i128>) -> Self {
+        IVec(v)
+    }
+}
+
+impl std::ops::Index<usize> for IVec {
+    type Output = i128;
+    fn index(&self, i: usize) -> &i128 {
+        &self.0[i]
+    }
+}
+
+impl std::ops::IndexMut<usize> for IVec {
+    fn index_mut(&mut self, i: usize) -> &mut i128 {
+        &mut self.0[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = IVec::new(&[1, 2, 3]);
+        let b = IVec::new(&[4, -5, 6]);
+        assert_eq!(a.add(&b).unwrap(), IVec::new(&[5, -3, 9]));
+        assert_eq!(a.sub(&b).unwrap(), IVec::new(&[-3, 7, -3]));
+        assert_eq!(a.scale(-2), IVec::new(&[-2, -4, -6]));
+        assert_eq!(a.dot(&b).unwrap(), 4 - 10 + 18);
+    }
+
+    #[test]
+    fn mismatched_lengths_error() {
+        let a = IVec::new(&[1, 2]);
+        let b = IVec::new(&[1, 2, 3]);
+        assert!(a.add(&b).is_err());
+        assert!(a.dot(&b).is_err());
+    }
+
+    #[test]
+    fn content_and_primitive() {
+        assert_eq!(IVec::new(&[4, 6, 8]).content(), 2);
+        assert_eq!(IVec::new(&[4, 6, 8]).primitive(), IVec::new(&[2, 3, 4]));
+        assert_eq!(IVec::zeros(3).primitive(), IVec::zeros(3));
+        assert!(IVec::zeros(2).is_zero());
+        assert!(!IVec::new(&[0, 1]).is_zero());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(IVec::new(&[1, -2]).to_string(), "(1, -2)");
+    }
+}

@@ -1,0 +1,157 @@
+//! Affine subscript expressions.
+
+use alp_linalg::IVec;
+
+/// One affine subscript: `c₁·i₁ + c₂·i₂ + … + c_l·i_l + constant`.
+///
+/// A subscript is one column of the paper's reference matrix `G` together
+/// with one component of the offset vector `ā` (Eq. 1).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct AffineExpr {
+    /// Coefficient of each loop index, outermost first; length = nest depth.
+    pub coeffs: Vec<i128>,
+    /// The constant term.
+    pub constant: i128,
+}
+
+impl AffineExpr {
+    /// The constant expression `c`.
+    pub fn constant(depth: usize, c: i128) -> Self {
+        AffineExpr { coeffs: vec![0; depth], constant: c }
+    }
+
+    /// The single index `i_k` (0-based) in a nest of the given depth, with
+    /// unit coefficient and no offset.
+    ///
+    /// # Panics
+    /// Panics if `k >= depth`.
+    pub fn index(depth: usize, k: usize) -> Self {
+        assert!(k < depth, "index out of nest");
+        let mut coeffs = vec![0; depth];
+        coeffs[k] = 1;
+        AffineExpr { coeffs, constant: 0 }
+    }
+
+    /// Build from explicit coefficients and constant.
+    pub fn new(coeffs: Vec<i128>, constant: i128) -> Self {
+        AffineExpr { coeffs, constant }
+    }
+
+    /// Nest depth this expression is written against.
+    pub fn depth(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// Add another expression (matching depth).
+    ///
+    /// # Panics
+    /// Panics on depth mismatch.
+    pub fn add(&self, other: &AffineExpr) -> AffineExpr {
+        assert_eq!(self.depth(), other.depth(), "depth mismatch");
+        AffineExpr {
+            coeffs: self.coeffs.iter().zip(&other.coeffs).map(|(a, b)| a + b).collect(),
+            constant: self.constant + other.constant,
+        }
+    }
+
+    /// Scale by an integer.
+    pub fn scale(&self, k: i128) -> AffineExpr {
+        AffineExpr {
+            coeffs: self.coeffs.iter().map(|c| c * k).collect(),
+            constant: self.constant * k,
+        }
+    }
+
+    /// Add a constant.
+    pub fn offset(&self, c: i128) -> AffineExpr {
+        AffineExpr { coeffs: self.coeffs.clone(), constant: self.constant + c }
+    }
+
+    /// Evaluate at an iteration point.
+    ///
+    /// # Panics
+    /// Panics on depth mismatch.
+    pub fn eval(&self, i: &IVec) -> i128 {
+        assert_eq!(i.len(), self.depth(), "depth mismatch");
+        self.constant + self.coeffs.iter().zip(&i.0).map(|(c, x)| c * x).sum::<i128>()
+    }
+
+    /// True when no loop index appears (a pure constant subscript —
+    /// Example 1's droppable dimensions).
+    pub fn is_constant(&self) -> bool {
+        self.coeffs.iter().all(|&c| c == 0)
+    }
+
+    /// Render using the given index names.
+    pub fn display(&self, names: &[String]) -> String {
+        let mut s = String::new();
+        for (c, n) in self.coeffs.iter().zip(names) {
+            match *c {
+                0 => {}
+                1 => {
+                    if !s.is_empty() {
+                        s.push('+');
+                    }
+                    s.push_str(n);
+                }
+                -1 => {
+                    s.push('-');
+                    s.push_str(n);
+                }
+                c if c > 0 => {
+                    if !s.is_empty() {
+                        s.push('+');
+                    }
+                    s.push_str(&format!("{c}*{n}"));
+                }
+                c => s.push_str(&format!("{c}*{n}")),
+            }
+        }
+        if self.constant != 0 || s.is_empty() {
+            if self.constant >= 0 && !s.is_empty() {
+                s.push('+');
+            }
+            s.push_str(&self.constant.to_string());
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders() {
+        let i = AffineExpr::index(3, 0);
+        let j = AffineExpr::index(3, 1);
+        let e = i.add(&j.scale(2)).offset(-1); // i + 2j - 1
+        assert_eq!(e.coeffs, vec![1, 2, 0]);
+        assert_eq!(e.constant, -1);
+        assert!(!e.is_constant());
+        assert!(AffineExpr::constant(3, 5).is_constant());
+    }
+
+    #[test]
+    fn evaluation() {
+        let e = AffineExpr::new(vec![1, 2], -1); // i + 2j - 1
+        assert_eq!(e.eval(&IVec::new(&[3, 4])), 3 + 8 - 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "depth mismatch")]
+    fn eval_depth_checked() {
+        AffineExpr::new(vec![1, 2], 0).eval(&IVec::new(&[1]));
+    }
+
+    #[test]
+    fn rendering() {
+        let names = vec!["i".to_string(), "j".to_string()];
+        assert_eq!(AffineExpr::new(vec![1, 1], 0).display(&names), "i+j");
+        assert_eq!(AffineExpr::new(vec![1, -1], -1).display(&names), "i-j-1");
+        assert_eq!(AffineExpr::new(vec![2, 0], 3).display(&names), "2*i+3");
+        assert_eq!(AffineExpr::new(vec![0, 0], 5).display(&names), "5");
+        assert_eq!(AffineExpr::new(vec![0, 0], 0).display(&names), "0");
+        assert_eq!(AffineExpr::new(vec![-2, 0], 0).display(&names), "-2*i");
+    }
+}

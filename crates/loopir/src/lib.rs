@@ -1,0 +1,72 @@
+//! Loop-nest intermediate representation for the `alp` partitioning
+//! analysis.
+//!
+//! The paper analyses perfectly nested `Doall` loops (Fig. 1) whose array
+//! subscripts are affine in the loop indices, `ḡ(ī) = ī·G + ā` (Eq. 1).
+//! This crate provides:
+//!
+//! * [`AffineExpr`] — one affine subscript (a row of `G` plus a component
+//!   of `ā` in the making);
+//! * [`ArrayRef`] — a full reference `A[ḡ(ī)]` with its access kind
+//!   (read / write / fine-grain-synchronized accumulate, cf. Appendix A);
+//! * [`LoopNest`] — the nest itself, with optional outer sequential loops
+//!   (Fig. 9's `Doseq`), bounds, and a statement list;
+//! * a small text DSL ([`parse`]) so the paper's examples can be written
+//!   verbatim in tests, examples and benches.
+//!
+//! This is the `alp` equivalent of the Alewife compiler's WAIF front end
+//! (§4): everything downstream consumes only the `(G, ā)` pairs and the
+//! iteration-space geometry captured here.
+
+pub mod expr;
+pub mod nest;
+pub mod parser;
+pub mod refs;
+
+pub use expr::AffineExpr;
+pub use nest::{LoopIndex, LoopNest, Statement};
+pub use parser::{parse, parse_program, parse_program_with_params, parse_with_params, ParseError};
+pub use refs::{AccessKind, ArrayRef};
+
+/// Errors raised while constructing or validating IR.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IrError {
+    /// An array is used with inconsistent dimensionality.
+    DimensionMismatch {
+        /// Array name.
+        array: String,
+        /// Previously seen dimensionality.
+        expected: usize,
+        /// Conflicting dimensionality.
+        found: usize,
+    },
+    /// A subscript references more loop indices than the nest has.
+    DepthMismatch {
+        /// Loop-nest depth.
+        depth: usize,
+        /// Coefficients supplied.
+        found: usize,
+    },
+    /// A loop has `lower > upper`.
+    EmptyLoop {
+        /// Index name.
+        index: String,
+    },
+}
+
+impl std::fmt::Display for IrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IrError::DimensionMismatch { array, expected, found } => write!(
+                f,
+                "array `{array}` used with {found} subscripts, previously {expected}"
+            ),
+            IrError::DepthMismatch { depth, found } => {
+                write!(f, "subscript has {found} coefficients in a depth-{depth} nest")
+            }
+            IrError::EmptyLoop { index } => write!(f, "loop `{index}` has lower > upper"),
+        }
+    }
+}
+
+impl std::error::Error for IrError {}

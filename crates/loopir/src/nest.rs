@@ -1,0 +1,349 @@
+//! Loop nests: the unit of partitioning.
+
+use crate::refs::{AccessKind, ArrayRef};
+use crate::IrError;
+use alp_linalg::IVec;
+use std::collections::HashMap;
+
+/// One loop level: `Doall (name, lower, upper)` with unit stride (§2.1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoopIndex {
+    /// Index variable name.
+    pub name: String,
+    /// Inclusive lower bound.
+    pub lower: i128,
+    /// Inclusive upper bound.
+    pub upper: i128,
+}
+
+impl LoopIndex {
+    /// Construct a loop level.
+    pub fn new(name: impl Into<String>, lower: i128, upper: i128) -> Self {
+        LoopIndex { name: name.into(), lower, upper }
+    }
+
+    /// Number of iterations.
+    pub fn trip_count(&self) -> i128 {
+        (self.upper - self.lower + 1).max(0)
+    }
+}
+
+/// An assignment statement `lhs = f(rhs…)` (only the reference structure
+/// matters to the analysis; arithmetic operators are irrelevant to
+/// traffic).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Statement {
+    /// The written (or accumulated) reference.
+    pub lhs: ArrayRef,
+    /// All references read on the right-hand side.
+    pub rhs: Vec<ArrayRef>,
+}
+
+/// A perfectly nested loop (Fig. 1), optionally wrapped in outer
+/// sequential loops (Fig. 9's `Doseq`), whose body is a list of
+/// assignment statements over affine references.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoopNest {
+    /// Outer sequential loops (executed serially; they repeat the doall
+    /// body and turn cold misses into coherence traffic, §3.6/Fig. 9).
+    pub seq_loops: Vec<LoopIndex>,
+    /// The parallel `Doall` indices, outermost first.
+    pub loops: Vec<LoopIndex>,
+    /// Statements of the loop body.
+    pub body: Vec<Statement>,
+}
+
+impl LoopNest {
+    /// Create and validate a nest.
+    pub fn new(loops: Vec<LoopIndex>, body: Vec<Statement>) -> Result<Self, IrError> {
+        Self::with_seq(Vec::new(), loops, body)
+    }
+
+    /// Create a nest with outer sequential loops.
+    pub fn with_seq(
+        seq_loops: Vec<LoopIndex>,
+        loops: Vec<LoopIndex>,
+        body: Vec<Statement>,
+    ) -> Result<Self, IrError> {
+        let nest = LoopNest { seq_loops, loops, body };
+        nest.validate()?;
+        Ok(nest)
+    }
+
+    /// Parallel nest depth `l`.
+    pub fn depth(&self) -> usize {
+        self.loops.len()
+    }
+
+    /// Names of the parallel indices, outermost first.
+    pub fn index_names(&self) -> Vec<String> {
+        self.loops.iter().map(|l| l.name.clone()).collect()
+    }
+
+    /// Total number of parallel iterations (the iteration-space volume).
+    pub fn iteration_count(&self) -> i128 {
+        self.loops.iter().map(LoopIndex::trip_count).product()
+    }
+
+    /// Number of repetitions contributed by the outer sequential loops.
+    pub fn seq_repetitions(&self) -> i128 {
+        self.seq_loops.iter().map(LoopIndex::trip_count).product()
+    }
+
+    /// Every reference in the body, writes and reads.
+    pub fn all_refs(&self) -> Vec<&ArrayRef> {
+        self.body
+            .iter()
+            .flat_map(|s| std::iter::once(&s.lhs).chain(s.rhs.iter()))
+            .collect()
+    }
+
+    /// Distinct array names, in first-appearance order.
+    pub fn arrays(&self) -> Vec<String> {
+        let mut seen = Vec::new();
+        for r in self.all_refs() {
+            if !seen.contains(&r.array) {
+                seen.push(r.array.clone());
+            }
+        }
+        seen
+    }
+
+    /// For each array, the extent of each dimension implied by the loop
+    /// bounds (the smallest box covering every touched element) — used by
+    /// the simulator to lay arrays out in memory.
+    pub fn array_extents(&self) -> HashMap<String, Vec<(i128, i128)>> {
+        let mut out: HashMap<String, Vec<(i128, i128)>> = HashMap::new();
+        for r in self.all_refs() {
+            let lo_hi: Vec<(i128, i128)> = r
+                .subscripts
+                .iter()
+                .map(|s| {
+                    let mut lo = s.constant;
+                    let mut hi = s.constant;
+                    for (k, &c) in s.coeffs.iter().enumerate() {
+                        let (a, b) = (c * self.loops[k].lower, c * self.loops[k].upper);
+                        lo += a.min(b);
+                        hi += a.max(b);
+                    }
+                    (lo, hi)
+                })
+                .collect();
+            out.entry(r.array.clone())
+                .and_modify(|ext| {
+                    for (e, n) in ext.iter_mut().zip(&lo_hi) {
+                        e.0 = e.0.min(n.0);
+                        e.1 = e.1.max(n.1);
+                    }
+                })
+                .or_insert(lo_hi);
+        }
+        out
+    }
+
+    /// Iterate over every point of the iteration space (outermost index
+    /// slowest).  Intended for exhaustive validation on small nests.
+    pub fn iteration_points(&self) -> Vec<IVec> {
+        let l = self.depth();
+        let mut out = Vec::new();
+        if l == 0 {
+            return out;
+        }
+        let mut i: Vec<i128> = self.loops.iter().map(|lp| lp.lower).collect();
+        if self.loops.iter().any(|lp| lp.trip_count() == 0) {
+            return out;
+        }
+        loop {
+            out.push(IVec(i.clone()));
+            let mut k = l;
+            loop {
+                if k == 0 {
+                    return out;
+                }
+                k -= 1;
+                i[k] += 1;
+                if i[k] <= self.loops[k].upper {
+                    break;
+                }
+                i[k] = self.loops[k].lower;
+                if k == 0 {
+                    return out;
+                }
+            }
+        }
+    }
+
+    /// Pretty-print in the DSL syntax.
+    pub fn display(&self) -> String {
+        let names = self.index_names();
+        let mut s = String::new();
+        let mut indent = 0usize;
+        for l in &self.seq_loops {
+            s.push_str(&format!(
+                "{}doseq ({}, {}, {}) {{\n",
+                "  ".repeat(indent),
+                l.name,
+                l.lower,
+                l.upper
+            ));
+            indent += 1;
+        }
+        for l in &self.loops {
+            s.push_str(&format!(
+                "{}doall ({}, {}, {}) {{\n",
+                "  ".repeat(indent),
+                l.name,
+                l.lower,
+                l.upper
+            ));
+            indent += 1;
+        }
+        for st in &self.body {
+            let rhs: Vec<String> = st.rhs.iter().map(|r| r.display(&names)).collect();
+            let op = if st.lhs.kind == AccessKind::Accumulate { "+=" } else { "=" };
+            s.push_str(&format!(
+                "{}{} {} {};\n",
+                "  ".repeat(indent),
+                st.lhs.display(&names),
+                op,
+                if rhs.is_empty() { "0".to_string() } else { rhs.join(" + ") }
+            ));
+        }
+        while indent > 0 {
+            indent -= 1;
+            s.push_str(&format!("{}}}\n", "  ".repeat(indent)));
+        }
+        s
+    }
+
+    fn validate(&self) -> Result<(), IrError> {
+        for l in self.seq_loops.iter().chain(&self.loops) {
+            if l.lower > l.upper {
+                return Err(IrError::EmptyLoop { index: l.name.clone() });
+            }
+        }
+        let depth = self.depth();
+        let mut dims: HashMap<&str, usize> = HashMap::new();
+        for r in self.all_refs() {
+            for sub in &r.subscripts {
+                if sub.depth() != depth {
+                    return Err(IrError::DepthMismatch { depth, found: sub.depth() });
+                }
+            }
+            match dims.get(r.array.as_str()) {
+                Some(&d) if d != r.dim() => {
+                    return Err(IrError::DimensionMismatch {
+                        array: r.array.clone(),
+                        expected: d,
+                        found: r.dim(),
+                    });
+                }
+                _ => {
+                    dims.insert(&r.array, r.dim());
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::AffineExpr;
+
+    fn idx(depth: usize, k: usize) -> AffineExpr {
+        AffineExpr::index(depth, k)
+    }
+
+    fn example2() -> LoopNest {
+        // Example 2 of the paper.
+        let i = idx(2, 0);
+        let j = idx(2, 1);
+        let a = ArrayRef::new("A", vec![i.clone(), j.clone()], AccessKind::Write);
+        let b1 = ArrayRef::new(
+            "B",
+            vec![i.add(&j), i.add(&j.scale(-1)).offset(-1)],
+            AccessKind::Read,
+        );
+        let b2 = ArrayRef::new(
+            "B",
+            vec![i.add(&j).offset(4), i.add(&j.scale(-1)).offset(3)],
+            AccessKind::Read,
+        );
+        LoopNest::new(
+            vec![LoopIndex::new("i", 101, 200), LoopIndex::new("j", 1, 100)],
+            vec![Statement { lhs: a, rhs: vec![b1, b2] }],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn basic_shape() {
+        let n = example2();
+        assert_eq!(n.depth(), 2);
+        assert_eq!(n.iteration_count(), 10_000);
+        assert_eq!(n.arrays(), vec!["A".to_string(), "B".to_string()]);
+        assert_eq!(n.all_refs().len(), 3);
+        assert_eq!(n.seq_repetitions(), 1);
+    }
+
+    #[test]
+    fn extents() {
+        let n = example2();
+        let ext = n.array_extents();
+        assert_eq!(ext["A"], vec![(101, 200), (1, 100)]);
+        // B subscripts: i+j in [102, 300]; i-j-1 in [0, 198];
+        // i+j+4 in [106, 304]; i-j+3 in [4, 202] -> union.
+        assert_eq!(ext["B"], vec![(102, 304), (0, 202)]);
+    }
+
+    #[test]
+    fn iteration_points_order_and_count() {
+        let n = LoopNest::new(
+            vec![LoopIndex::new("i", 0, 1), LoopIndex::new("j", 5, 7)],
+            vec![],
+        )
+        .unwrap();
+        let pts = n.iteration_points();
+        assert_eq!(pts.len(), 6);
+        assert_eq!(pts[0], IVec::new(&[0, 5]));
+        assert_eq!(pts[1], IVec::new(&[0, 6]));
+        assert_eq!(pts[5], IVec::new(&[1, 7]));
+    }
+
+    #[test]
+    fn validation_rejects_empty_loop() {
+        let r = LoopNest::new(vec![LoopIndex::new("i", 5, 4)], vec![]);
+        assert!(matches!(r, Err(IrError::EmptyLoop { .. })));
+    }
+
+    #[test]
+    fn validation_rejects_dim_mismatch() {
+        let a1 = ArrayRef::new("A", vec![idx(1, 0)], AccessKind::Write);
+        let a2 = ArrayRef::new("A", vec![idx(1, 0), idx(1, 0)], AccessKind::Read);
+        let r = LoopNest::new(
+            vec![LoopIndex::new("i", 0, 9)],
+            vec![Statement { lhs: a1, rhs: vec![a2] }],
+        );
+        assert!(matches!(r, Err(IrError::DimensionMismatch { .. })));
+    }
+
+    #[test]
+    fn validation_rejects_depth_mismatch() {
+        let bad = ArrayRef::new("A", vec![idx(3, 0)], AccessKind::Write);
+        let r = LoopNest::new(
+            vec![LoopIndex::new("i", 0, 9)],
+            vec![Statement { lhs: bad, rhs: vec![] }],
+        );
+        assert!(matches!(r, Err(IrError::DepthMismatch { .. })));
+    }
+
+    #[test]
+    fn display_round_trips_through_parser() {
+        let n = example2();
+        let text = n.display();
+        let reparsed = crate::parse(&text).unwrap();
+        assert_eq!(n, reparsed);
+    }
+}

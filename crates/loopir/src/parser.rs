@@ -1,0 +1,627 @@
+//! A small text DSL for writing the paper's loop nests verbatim.
+//!
+//! ```text
+//! doall (i, 101, 200) {
+//!   doall (j, 1, 100) {
+//!     A[i, j] = B[i+j, i-j-1] + B[i+j+4, i-j+3];
+//!   }
+//! }
+//! ```
+//!
+//! * `doseq` loops may wrap the outermost `doall` (Fig. 9).
+//! * `lhs += rhs;` or an `l$` prefix marks a fine-grain-synchronized
+//!   accumulate (Fig. 11 / Appendix A).
+//! * Loop bounds are integer literals or named parameters supplied to
+//!   [`parse_with_params`].
+
+use crate::expr::AffineExpr;
+use crate::nest::{LoopIndex, LoopNest, Statement};
+use crate::refs::{AccessKind, ArrayRef};
+use crate::IrError;
+use std::collections::HashMap;
+
+/// Parse failure, with a human-oriented message and byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset into the source.
+    pub offset: usize,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<IrError> for ParseError {
+    fn from(e: IrError) -> Self {
+        ParseError { message: e.to_string(), offset: 0 }
+    }
+}
+
+/// Parse a loop nest with no named parameters.
+pub fn parse(src: &str) -> Result<LoopNest, ParseError> {
+    parse_with_params(src, &HashMap::new())
+}
+
+/// Parse a loop nest, resolving named loop bounds (e.g. `N`) through
+/// `params`.
+pub fn parse_with_params(
+    src: &str,
+    params: &HashMap<String, i128>,
+) -> Result<LoopNest, ParseError> {
+    let tokens = tokenize(src)?;
+    let mut p = Parser { tokens, pos: 0, params };
+    let nest = p.parse_nest()?;
+    p.expect_eof()?;
+    Ok(nest)
+}
+
+/// Parse a **program**: a sequence of loop nests executed one after the
+/// other (the multi-phase setting of §4 — e.g. an ADI row sweep followed
+/// by a column sweep over the same array).
+pub fn parse_program(src: &str) -> Result<Vec<LoopNest>, ParseError> {
+    parse_program_with_params(src, &HashMap::new())
+}
+
+/// [`parse_program`] with named loop-bound parameters.
+pub fn parse_program_with_params(
+    src: &str,
+    params: &HashMap<String, i128>,
+) -> Result<Vec<LoopNest>, ParseError> {
+    let tokens = tokenize(src)?;
+    let mut p = Parser { tokens, pos: 0, params };
+    let mut nests = Vec::new();
+    loop {
+        nests.push(p.parse_nest()?);
+        if p.pos == p.tokens.len() {
+            break;
+        }
+    }
+    // Cross-nest validation: arrays keep one dimensionality everywhere.
+    let mut dims: HashMap<String, usize> = HashMap::new();
+    for nest in &nests {
+        for r in nest.all_refs() {
+            match dims.get(&r.array) {
+                Some(&d) if d != r.dim() => {
+                    return Err(ParseError {
+                        message: format!(
+                            "array `{}` used with {} subscripts here, {} elsewhere",
+                            r.array,
+                            r.dim(),
+                            d
+                        ),
+                        offset: 0,
+                    });
+                }
+                _ => {
+                    dims.insert(r.array.clone(), r.dim());
+                }
+            }
+        }
+    }
+    Ok(nests)
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Int(i128),
+    Sym(char),
+    PlusEq,
+    AccSigil, // `l$`
+}
+
+#[derive(Debug, Clone)]
+struct Spanned {
+    tok: Tok,
+    offset: usize,
+}
+
+fn tokenize(src: &str) -> Result<Vec<Spanned>, ParseError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let n: i128 = src[start..i].parse().map_err(|_| ParseError {
+                    message: "integer literal out of range".into(),
+                    offset: start,
+                })?;
+                out.push(Spanned { tok: Tok::Int(n), offset: start });
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = &src[start..i];
+                // `l$` accumulate sigil.
+                if word == "l" && bytes.get(i) == Some(&b'$') {
+                    i += 1;
+                    out.push(Spanned { tok: Tok::AccSigil, offset: start });
+                } else {
+                    out.push(Spanned { tok: Tok::Ident(word.to_string()), offset: start });
+                }
+            }
+            '+' if bytes.get(i + 1) == Some(&b'=') => {
+                out.push(Spanned { tok: Tok::PlusEq, offset: i });
+                i += 2;
+            }
+            '(' | ')' | '{' | '}' | '[' | ']' | ',' | ';' | '=' | '+' | '-' | '*' => {
+                out.push(Spanned { tok: Tok::Sym(c), offset: i });
+                i += 1;
+            }
+            other => {
+                return Err(ParseError {
+                    message: format!("unexpected character `{other}`"),
+                    offset: i,
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+struct Parser<'a> {
+    tokens: Vec<Spanned>,
+    pos: usize,
+    params: &'a HashMap<String, i128>,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos).map(|s| &s.tok)
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens.get(self.pos).map_or(usize::MAX, |s| s.offset)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.tokens.get(self.pos).map(|s| s.tok.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError { message: msg.into(), offset: self.offset() })
+    }
+
+    fn expect_sym(&mut self, c: char) -> Result<(), ParseError> {
+        match self.bump() {
+            Some(Tok::Sym(s)) if s == c => Ok(()),
+            other => {
+                self.pos -= 1;
+                self.err(format!("expected `{c}`, found {other:?}"))
+            }
+        }
+    }
+
+    fn expect_eof(&self) -> Result<(), ParseError> {
+        if self.pos == self.tokens.len() {
+            Ok(())
+        } else {
+            self.err("trailing input after loop nest")
+        }
+    }
+
+    fn parse_nest(&mut self) -> Result<LoopNest, ParseError> {
+        let mut seq_loops = Vec::new();
+        let mut loops = Vec::new();
+        let mut opened = 0usize;
+        // Headers: doseq* doall+
+        loop {
+            match self.peek() {
+                Some(Tok::Ident(w)) if w == "doseq" => {
+                    if !loops.is_empty() {
+                        return self.err("doseq must enclose all doall loops");
+                    }
+                    self.bump();
+                    seq_loops.push(self.parse_header()?);
+                    opened += 1;
+                }
+                Some(Tok::Ident(w)) if w == "doall" => {
+                    self.bump();
+                    loops.push(self.parse_header()?);
+                    opened += 1;
+                }
+                _ => break,
+            }
+        }
+        if loops.is_empty() {
+            return self.err("expected at least one doall loop");
+        }
+        // Body statements.
+        let index_names: Vec<String> = loops.iter().map(|l| l.name.clone()).collect();
+        let mut body = Vec::new();
+        while !matches!(self.peek(), Some(Tok::Sym('}')) | None) {
+            body.push(self.parse_statement(&index_names)?);
+        }
+        for _ in 0..opened {
+            self.expect_sym('}')?;
+        }
+        Ok(LoopNest::with_seq(seq_loops, loops, body)?)
+    }
+
+    /// `(name, lo, hi) {`
+    fn parse_header(&mut self) -> Result<LoopIndex, ParseError> {
+        self.expect_sym('(')?;
+        let name = match self.bump() {
+            Some(Tok::Ident(n)) => n,
+            _ => {
+                self.pos -= 1;
+                return self.err("expected loop index name");
+            }
+        };
+        self.expect_sym(',')?;
+        let lower = self.parse_bound()?;
+        self.expect_sym(',')?;
+        let upper = self.parse_bound()?;
+        self.expect_sym(')')?;
+        self.expect_sym('{')?;
+        Ok(LoopIndex::new(name, lower, upper))
+    }
+
+    /// Integer literal, optionally negated, or a named parameter.
+    fn parse_bound(&mut self) -> Result<i128, ParseError> {
+        match self.bump() {
+            Some(Tok::Int(n)) => Ok(n),
+            Some(Tok::Sym('-')) => match self.bump() {
+                Some(Tok::Int(n)) => Ok(-n),
+                _ => {
+                    self.pos -= 1;
+                    self.err("expected integer after `-`")
+                }
+            },
+            Some(Tok::Ident(name)) => match self.params.get(&name) {
+                Some(&v) => Ok(v),
+                None => {
+                    self.pos -= 1;
+                    self.err(format!("unbound loop-bound parameter `{name}`"))
+                }
+            },
+            _ => {
+                self.pos -= 1;
+                self.err("expected loop bound")
+            }
+        }
+    }
+
+    fn parse_statement(&mut self, names: &[String]) -> Result<Statement, ParseError> {
+        let (mut lhs, _) = self.parse_ref(names, AccessKind::Write)?;
+        let acc = match self.bump() {
+            Some(Tok::Sym('=')) => false,
+            Some(Tok::PlusEq) => true,
+            _ => {
+                self.pos -= 1;
+                return self.err("expected `=` or `+=`");
+            }
+        };
+        if acc || lhs.kind == AccessKind::Accumulate {
+            lhs.kind = AccessKind::Accumulate;
+        }
+        let mut rhs = Vec::new();
+        loop {
+            // term: optional sign, then int [ '*' ref ] | ref
+            let mut negated = false;
+            while let Some(Tok::Sym(s)) = self.peek() {
+                match s {
+                    '+' => {
+                        self.bump();
+                    }
+                    '-' => {
+                        negated = !negated;
+                        self.bump();
+                    }
+                    _ => break,
+                }
+            }
+            let _ = negated; // sign is irrelevant to reference structure
+            match self.peek() {
+                Some(Tok::Int(_)) => {
+                    self.bump();
+                    if matches!(self.peek(), Some(Tok::Sym('*'))) {
+                        self.bump();
+                        let (r, _) = self.parse_ref(names, AccessKind::Read)?;
+                        rhs.push(r);
+                    }
+                    // else: pure constant term, no reference
+                }
+                Some(Tok::Ident(_)) | Some(Tok::AccSigil) => {
+                    let (r, _) = self.parse_ref(names, AccessKind::Read)?;
+                    rhs.push(r);
+                }
+                _ => return self.err("expected term on right-hand side"),
+            }
+            match self.peek() {
+                Some(Tok::Sym('+')) | Some(Tok::Sym('-')) => continue,
+                Some(Tok::Sym(';')) => {
+                    self.bump();
+                    break;
+                }
+                Some(Tok::Sym('*')) => return self.err("unexpected `*`"),
+                _ => return self.err("expected `+`, `-` or `;`"),
+            }
+        }
+        Ok(Statement { lhs, rhs })
+    }
+
+    /// `[l$]Name[affine, affine, …]`
+    fn parse_ref(
+        &mut self,
+        names: &[String],
+        default_kind: AccessKind,
+    ) -> Result<(ArrayRef, usize), ParseError> {
+        let kind = if matches!(self.peek(), Some(Tok::AccSigil)) {
+            self.bump();
+            AccessKind::Accumulate
+        } else {
+            default_kind
+        };
+        let array = match self.bump() {
+            Some(Tok::Ident(n)) => n,
+            _ => {
+                self.pos -= 1;
+                return self.err("expected array name");
+            }
+        };
+        self.expect_sym('[')?;
+        let mut subs = Vec::new();
+        loop {
+            subs.push(self.parse_affine(names)?);
+            match self.bump() {
+                Some(Tok::Sym(',')) => continue,
+                Some(Tok::Sym(']')) => break,
+                _ => {
+                    self.pos -= 1;
+                    return self.err("expected `,` or `]` in subscripts");
+                }
+            }
+        }
+        let d = subs.len();
+        Ok((ArrayRef::new(array, subs, kind), d))
+    }
+
+    /// Sum of `[int *] index` and integer terms with `+`/`-` signs.
+    fn parse_affine(&mut self, names: &[String]) -> Result<AffineExpr, ParseError> {
+        let depth = names.len();
+        let mut expr = AffineExpr::constant(depth, 0);
+        loop {
+            let mut sign = 1i128;
+            loop {
+                match self.peek() {
+                    Some(Tok::Sym('+')) => {
+                        self.bump();
+                    }
+                    Some(Tok::Sym('-')) => {
+                        sign = -sign;
+                        self.bump();
+                    }
+                    _ => break,
+                }
+            }
+            match self.bump() {
+                Some(Tok::Int(n)) => {
+                    if matches!(self.peek(), Some(Tok::Sym('*'))) {
+                        self.bump();
+                        match self.bump() {
+                            Some(Tok::Ident(id)) => {
+                                let k = self.index_of(&id, names)?;
+                                expr.coeffs[k] += sign * n;
+                            }
+                            _ => {
+                                self.pos -= 1;
+                                return self.err("expected index after `*`");
+                            }
+                        }
+                    } else {
+                        expr.constant += sign * n;
+                    }
+                }
+                Some(Tok::Ident(id)) => {
+                    let k = self.index_of(&id, names)?;
+                    expr.coeffs[k] += sign;
+                }
+                _ => {
+                    self.pos -= 1;
+                    return self.err("expected subscript term");
+                }
+            }
+            match self.peek() {
+                Some(Tok::Sym('+')) | Some(Tok::Sym('-')) => continue,
+                _ => break,
+            }
+        }
+        Ok(expr)
+    }
+
+    fn index_of(&self, id: &str, names: &[String]) -> Result<usize, ParseError> {
+        match names.iter().position(|n| n == id) {
+            Some(k) => Ok(k),
+            None => match self.params.get(id) {
+                // A parameter in a subscript acts as a constant — not
+                // supported (would make the offset symbolic).
+                Some(_) => self.err(format!("parameter `{id}` cannot appear in a subscript")),
+                None => self.err(format!("unknown index `{id}`")),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alp_linalg::{IMat, IVec};
+
+    #[test]
+    fn parses_example2() {
+        let n = parse(
+            "doall (i, 101, 200) {
+               doall (j, 1, 100) {
+                 A[i,j] = B[i+j, i-j-1] + B[i+j+4, i-j+3];
+               }
+             }",
+        )
+        .unwrap();
+        assert_eq!(n.depth(), 2);
+        assert_eq!(n.iteration_count(), 10_000);
+        let refs = n.all_refs();
+        assert_eq!(refs.len(), 3);
+        let b1 = refs[1];
+        assert_eq!(b1.g_matrix(), IMat::from_rows(&[&[1, 1], &[1, -1]]));
+        assert_eq!(b1.offset(), IVec::new(&[0, -1]));
+        let b2 = refs[2];
+        assert_eq!(b2.offset(), IVec::new(&[4, 3]));
+    }
+
+    #[test]
+    fn parses_example8_with_params() {
+        let mut params = HashMap::new();
+        params.insert("N".to_string(), 32i128);
+        let n = parse_with_params(
+            "doall (i, 1, N) { doall (j, 1, N) { doall (k, 1, N) {
+               A[i,j,k] = B[i-1,j,k+1] + B[i,j+1,k] + B[i+1,j-2,k-3];
+             } } }",
+            &params,
+        )
+        .unwrap();
+        assert_eq!(n.depth(), 3);
+        assert_eq!(n.iteration_count(), 32 * 32 * 32);
+        let b = &n.body[0].rhs[0];
+        assert_eq!(b.g_matrix(), IMat::identity(3));
+        assert_eq!(b.offset(), IVec::new(&[-1, 0, 1]));
+    }
+
+    #[test]
+    fn parses_doseq_wrapper() {
+        let n = parse(
+            "doseq (t, 1, 10) { doall (i, 1, 4) {
+               A[i] = A[i] + B[i];
+             } }",
+        )
+        .unwrap();
+        assert_eq!(n.seq_loops.len(), 1);
+        assert_eq!(n.seq_repetitions(), 10);
+        assert_eq!(n.depth(), 1);
+    }
+
+    #[test]
+    fn parses_accumulate_matmul() {
+        // Fig. 11: l$C[i,j] = l$C[i,j] + A[i,k] + B[k,j]
+        let n = parse(
+            "doall (i, 1, 8) { doall (j, 1, 8) { doall (k, 1, 8) {
+               l$C[i,j] = l$C[i,j] + A[i,k] * B[k,j];
+             } } }",
+        );
+        // `*` between refs is not part of the sum grammar; use `+` form.
+        assert!(n.is_err());
+        let n = parse(
+            "doall (i, 1, 8) { doall (j, 1, 8) { doall (k, 1, 8) {
+               l$C[i,j] = l$C[i,j] + A[i,k] + B[k,j];
+             } } }",
+        )
+        .unwrap();
+        assert_eq!(n.body[0].lhs.kind, AccessKind::Accumulate);
+        assert_eq!(n.body[0].rhs[0].kind, AccessKind::Accumulate);
+        assert_eq!(n.body[0].rhs.len(), 3);
+    }
+
+    #[test]
+    fn plus_eq_marks_accumulate() {
+        let n = parse("doall (i, 0, 3) { C[i] += A[i]; }").unwrap();
+        assert_eq!(n.body[0].lhs.kind, AccessKind::Accumulate);
+    }
+
+    #[test]
+    fn scaled_subscripts() {
+        let n = parse("doall (i, 0, 3) { doall (j, 0, 3) { A[2*i, i+2*j-1] = A[2*i, i+2*j-1]; } }")
+            .unwrap();
+        let a = &n.body[0].lhs;
+        assert_eq!(a.g_matrix(), IMat::from_rows(&[&[2, 1], &[0, 2]]));
+        assert_eq!(a.offset(), IVec::new(&[0, -1]));
+    }
+
+    #[test]
+    fn negative_bounds_and_comments() {
+        let n = parse(
+            "// negative lower bound
+             doall (i, -5, 5) { A[i] = A[i]; }",
+        )
+        .unwrap();
+        assert_eq!(n.loops[0].lower, -5);
+        assert_eq!(n.iteration_count(), 11);
+    }
+
+    #[test]
+    fn constant_rhs_terms_ignored() {
+        let n = parse("doall (i, 0, 3) { A[i] = B[i] + 7; }").unwrap();
+        assert_eq!(n.body[0].rhs.len(), 1);
+    }
+
+    #[test]
+    fn coefficient_times_ref_keeps_ref() {
+        let n = parse("doall (i, 0, 3) { A[i] = 2*B[i] - C[i]; }").unwrap();
+        assert_eq!(n.body[0].rhs.len(), 2);
+    }
+
+    #[test]
+    fn error_on_unknown_index() {
+        let e = parse("doall (i, 0, 3) { A[q] = A[i]; }").unwrap_err();
+        assert!(e.message.contains("unknown index"), "{e}");
+    }
+
+    #[test]
+    fn error_on_unbound_param() {
+        let e = parse("doall (i, 0, N) { A[i] = A[i]; }").unwrap_err();
+        assert!(e.message.contains("unbound"), "{e}");
+    }
+
+    #[test]
+    fn error_on_doseq_inside_doall() {
+        let e = parse("doall (i, 0, 3) { doseq (t, 0, 3) { A[i] = A[i]; } }").unwrap_err();
+        assert!(e.message.contains("doseq"), "{e}");
+    }
+
+    #[test]
+    fn error_on_trailing_garbage() {
+        let e = parse("doall (i, 0, 3) { A[i] = A[i]; } garbage").unwrap_err();
+        assert!(e.message.contains("trailing"), "{e}");
+    }
+
+    #[test]
+    fn error_on_empty_nest() {
+        assert!(parse("").is_err());
+        assert!(parse("doseq (t, 0, 3) { }").is_err());
+    }
+
+    #[test]
+    fn multiple_statements() {
+        let n = parse(
+            "doall (i, 0, 3) {
+               A[i] = B[i];
+               C[i] = B[i+1];
+             }",
+        )
+        .unwrap();
+        assert_eq!(n.body.len(), 2);
+    }
+}

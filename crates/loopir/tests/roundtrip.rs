@@ -1,0 +1,90 @@
+//! Property tests: the pretty-printer and the parser are inverses, and
+//! the `(G, ā)` extraction is faithful to evaluation.
+
+use alp_linalg::IVec;
+use alp_loopir::{parse, AccessKind, AffineExpr, ArrayRef, LoopIndex, LoopNest, Statement};
+use proptest::prelude::*;
+
+/// Generate a random affine expression over `depth` indices.
+fn arb_expr(depth: usize) -> impl Strategy<Value = AffineExpr> {
+    (
+        proptest::collection::vec(-4i128..=4, depth),
+        -9i128..=9,
+    )
+        .prop_map(|(coeffs, c)| AffineExpr::new(coeffs, c))
+}
+
+/// Generate a random reference to one of a few arrays.
+fn arb_ref(depth: usize, kind: AccessKind) -> impl Strategy<Value = ArrayRef> {
+    (
+        prop_oneof![Just("A"), Just("B"), Just("C")],
+        proptest::collection::vec(arb_expr(depth), 1..=3),
+    )
+        .prop_map(move |(name, subs)| ArrayRef::new(name, subs, kind))
+}
+
+/// Generate a random valid nest (consistent array dimensionality).
+fn arb_nest() -> impl Strategy<Value = LoopNest> {
+    (1usize..=3).prop_flat_map(|depth| {
+        let loops: Vec<LoopIndex> = (0..depth)
+            .map(|k| LoopIndex::new(format!("i{k}"), 0, 7))
+            .collect();
+        proptest::collection::vec(
+            (arb_ref(depth, AccessKind::Write), proptest::collection::vec(arb_ref(depth, AccessKind::Read), 0..=3)),
+            1..=3,
+        )
+        .prop_filter_map("consistent array dims", move |stmts| {
+            let body: Vec<Statement> = stmts
+                .into_iter()
+                .map(|(lhs, rhs)| Statement { lhs, rhs })
+                .collect();
+            LoopNest::new(loops.clone(), body).ok()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn display_parse_roundtrip(nest in arb_nest()) {
+        let text = nest.display();
+        let reparsed = parse(&text).unwrap_or_else(|e| panic!("{text}\n{e}"));
+        prop_assert_eq!(nest, reparsed);
+    }
+
+    #[test]
+    fn g_matrix_matches_eval(nest in arb_nest(), point in proptest::collection::vec(0i128..=7, 3)) {
+        let depth = nest.depth();
+        let i = IVec(point[..depth].to_vec());
+        for r in nest.all_refs() {
+            let direct = r.eval(&i);
+            let via_matrix = r
+                .g_matrix()
+                .apply_row(&i)
+                .unwrap()
+                .add(&r.offset())
+                .unwrap();
+            prop_assert_eq!(direct, via_matrix);
+        }
+    }
+
+    #[test]
+    fn iteration_count_matches_enumeration(nest in arb_nest()) {
+        prop_assert_eq!(nest.iteration_points().len() as i128, nest.iteration_count());
+    }
+
+    #[test]
+    fn array_extents_cover_all_accesses(nest in arb_nest()) {
+        let ext = nest.array_extents();
+        for i in nest.iteration_points().iter().take(64) {
+            for r in nest.all_refs() {
+                let d = r.eval(i);
+                let e = &ext[&r.array];
+                for (x, &(lo, hi)) in d.0.iter().zip(e) {
+                    prop_assert!(lo <= *x && *x <= hi, "{}[{}] outside {:?}", r.array, d, e);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,257 @@
+//! Per-processor caches: infinite (the paper's analytical assumption,
+//! §2.2) or finite set-associative LRU (for the capacity-effects
+//! ablation).
+
+use std::collections::{HashMap, HashSet};
+
+/// Cache geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheConfig {
+    /// Unbounded cache — every line once fetched stays until invalidated.
+    /// This matches the paper's assumption that "caches are large enough
+    /// to hold all the data required by a loop partition".
+    Infinite,
+    /// `sets × ways` lines, LRU within a set, direct line-id indexing.
+    Finite {
+        /// Number of sets (power of two recommended).
+        sets: usize,
+        /// Associativity.
+        ways: usize,
+    },
+}
+
+/// Local coherence state of a cached line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LineState {
+    /// Clean, possibly shared with other caches.
+    Shared,
+    /// Writable/dirty; no other cache holds it.
+    Modified,
+}
+
+/// One processor's cache.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    /// Infinite mode: line -> state.
+    map: HashMap<u64, LineState>,
+    /// Finite mode: per-set LRU queues (front = LRU victim).
+    sets: Vec<Vec<(u64, LineState)>>,
+    /// Lines this cache has ever held (for cold/coherence miss
+    /// classification).
+    ever_held: HashSet<u64>,
+    /// Lines lost to remote invalidation since last held (distinguishes
+    /// coherence misses from capacity misses).
+    invalidated: HashSet<u64>,
+    /// Monotone tick for LRU ordering.
+    tick: u64,
+}
+
+/// Why a lookup missed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LocalMiss {
+    /// Never held before.
+    Cold,
+    /// Previously invalidated by another processor's write.
+    Coherence,
+    /// Previously evicted for capacity/conflict reasons.
+    Capacity,
+}
+
+impl Cache {
+    /// An empty cache.
+    pub fn new(config: CacheConfig) -> Self {
+        let sets = match config {
+            CacheConfig::Infinite => Vec::new(),
+            CacheConfig::Finite { sets, .. } => vec![Vec::new(); sets],
+        };
+        Cache {
+            config,
+            map: HashMap::new(),
+            sets,
+            ever_held: HashSet::new(),
+            invalidated: HashSet::new(),
+            tick: 0,
+        }
+    }
+
+    /// Current state of a line, touching LRU.
+    pub fn probe(&mut self, line: u64) -> Option<LineState> {
+        self.tick += 1;
+        match self.config {
+            CacheConfig::Infinite => self.map.get(&line).copied(),
+            CacheConfig::Finite { sets, .. } => {
+                let set = &mut self.sets[(line as usize) % sets];
+                if let Some(pos) = set.iter().position(|&(l, _)| l == line) {
+                    let entry = set.remove(pos);
+                    set.push(entry); // move to MRU
+                    Some(entry.1)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Classify a miss on `line` (call when `probe` returned `None`).
+    pub fn miss_kind(&self, line: u64) -> LocalMiss {
+        if !self.ever_held.contains(&line) {
+            LocalMiss::Cold
+        } else if self.invalidated.contains(&line) {
+            LocalMiss::Coherence
+        } else {
+            LocalMiss::Capacity
+        }
+    }
+
+    /// Insert (or upgrade) a line.  Returns the victim line evicted for
+    /// capacity, if any.
+    pub fn fill(&mut self, line: u64, state: LineState) -> Option<u64> {
+        self.ever_held.insert(line);
+        self.invalidated.remove(&line);
+        match self.config {
+            CacheConfig::Infinite => {
+                self.map.insert(line, state);
+                None
+            }
+            CacheConfig::Finite { sets, ways } => {
+                let set = &mut self.sets[(line as usize) % sets];
+                if let Some(pos) = set.iter().position(|&(l, _)| l == line) {
+                    set.remove(pos);
+                }
+                let victim = if set.len() >= ways {
+                    Some(set.remove(0).0) // LRU front
+                } else {
+                    None
+                };
+                set.push((line, state));
+                victim
+            }
+        }
+    }
+
+    /// Remote invalidation (another processor wrote the line).
+    /// Returns true if the line was present.
+    pub fn invalidate(&mut self, line: u64) -> bool {
+        let present = match self.config {
+            CacheConfig::Infinite => self.map.remove(&line).is_some(),
+            CacheConfig::Finite { sets, .. } => {
+                let set = &mut self.sets[(line as usize) % sets];
+                match set.iter().position(|&(l, _)| l == line) {
+                    Some(pos) => {
+                        set.remove(pos);
+                        true
+                    }
+                    None => false,
+                }
+            }
+        };
+        if present {
+            self.invalidated.insert(line);
+        }
+        present
+    }
+
+    /// Downgrade a Modified line to Shared (another processor read it).
+    /// Returns true if the line was present and modified.
+    pub fn downgrade(&mut self, line: u64) -> bool {
+        match self.config {
+            CacheConfig::Infinite => match self.map.get_mut(&line) {
+                Some(s @ LineState::Modified) => {
+                    *s = LineState::Shared;
+                    true
+                }
+                _ => false,
+            },
+            CacheConfig::Finite { sets, .. } => {
+                let set = &mut self.sets[(line as usize) % sets];
+                match set.iter_mut().find(|(l, _)| *l == line) {
+                    Some((_, s @ LineState::Modified)) => {
+                        *s = LineState::Shared;
+                        true
+                    }
+                    _ => false,
+                }
+            }
+        }
+    }
+
+    /// Number of lines currently resident.
+    pub fn resident(&self) -> usize {
+        match self.config {
+            CacheConfig::Infinite => self.map.len(),
+            CacheConfig::Finite { .. } => self.sets.iter().map(Vec::len).sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn infinite_cache_never_evicts() {
+        let mut c = Cache::new(CacheConfig::Infinite);
+        for l in 0..10_000u64 {
+            assert_eq!(c.probe(l), None);
+            assert_eq!(c.miss_kind(l), LocalMiss::Cold);
+            assert_eq!(c.fill(l, LineState::Shared), None);
+        }
+        assert_eq!(c.resident(), 10_000);
+        assert_eq!(c.probe(0), Some(LineState::Shared));
+    }
+
+    #[test]
+    fn finite_cache_lru_eviction() {
+        let mut c = Cache::new(CacheConfig::Finite { sets: 1, ways: 2 });
+        c.fill(1, LineState::Shared);
+        c.fill(2, LineState::Shared);
+        // Touch 1 so 2 becomes LRU.
+        assert!(c.probe(1).is_some());
+        let victim = c.fill(3, LineState::Shared);
+        assert_eq!(victim, Some(2));
+        assert_eq!(c.probe(2), None);
+        assert_eq!(c.miss_kind(2), LocalMiss::Capacity);
+    }
+
+    #[test]
+    fn coherence_vs_capacity_classification() {
+        let mut c = Cache::new(CacheConfig::Infinite);
+        c.fill(7, LineState::Shared);
+        assert!(c.invalidate(7));
+        assert_eq!(c.probe(7), None);
+        assert_eq!(c.miss_kind(7), LocalMiss::Coherence);
+        // Refill clears the invalidated mark.
+        c.fill(7, LineState::Shared);
+        assert_eq!(c.probe(7), Some(LineState::Shared));
+    }
+
+    #[test]
+    fn invalidate_absent_line() {
+        let mut c = Cache::new(CacheConfig::Infinite);
+        assert!(!c.invalidate(1));
+        let mut f = Cache::new(CacheConfig::Finite { sets: 2, ways: 1 });
+        assert!(!f.invalidate(1));
+    }
+
+    #[test]
+    fn downgrade_modified() {
+        let mut c = Cache::new(CacheConfig::Infinite);
+        c.fill(5, LineState::Modified);
+        assert!(c.downgrade(5));
+        assert_eq!(c.probe(5), Some(LineState::Shared));
+        assert!(!c.downgrade(5), "already shared");
+        assert!(!c.downgrade(6), "absent");
+    }
+
+    #[test]
+    fn set_indexing_separates_lines() {
+        let mut c = Cache::new(CacheConfig::Finite { sets: 2, ways: 1 });
+        c.fill(0, LineState::Shared); // set 0
+        c.fill(1, LineState::Shared); // set 1
+        assert_eq!(c.resident(), 2);
+        c.fill(2, LineState::Shared); // set 0, evicts 0
+        assert_eq!(c.probe(0), None);
+        assert!(c.probe(1).is_some());
+    }
+}

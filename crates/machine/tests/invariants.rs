@@ -1,0 +1,135 @@
+//! Property tests: conservation laws of the coherence protocol on random
+//! partitioned nests.
+
+use alp_linalg::IVec;
+use alp_loopir::{parse, LoopNest};
+use alp_machine::{run_nest, DirectoryKind, MachineConfig, UniformHome};
+use proptest::prelude::*;
+
+/// A random small stencil nest (with a doseq wrapper half the time).
+fn arb_nest() -> impl Strategy<Value = LoopNest> {
+    (
+        0i128..=2,          // doseq repetitions - 1 (0 = no wrapper)
+        -2i128..=2,         // offset o1
+        -2i128..=2,         // o2
+        any::<bool>(),      // second rhs ref?
+    )
+        .prop_map(|(reps, o1, o2, second)| {
+            let body = format!(
+                "A[i,j] = A[i{}{o1}, j{}{o2}]{};",
+                if o1 >= 0 { "+" } else { "" },
+                if o2 >= 0 { "+" } else { "" },
+                if second { " + B[i,j]" } else { "" },
+            );
+            let inner = format!("doall (i, 2, 13) {{ doall (j, 2, 13) {{ {body} }} }}");
+            let src = if reps > 0 {
+                format!("doseq (t, 1, {}) {{ {inner} }}", reps + 1)
+            } else {
+                inner
+            };
+            parse(&src).expect("generated source parses")
+        })
+}
+
+/// Split iterations across `p` processors round-robin (an adversarial,
+/// locality-free assignment — good for stressing the protocol).
+fn round_robin(nest: &LoopNest, p: usize) -> Vec<Vec<IVec>> {
+    let mut out = vec![Vec::new(); p];
+    for (k, i) in nest.iteration_points().into_iter().enumerate() {
+        out[k % p].push(i);
+    }
+    out
+}
+
+/// Contiguous split.
+fn contiguous(nest: &LoopNest, p: usize) -> Vec<Vec<IVec>> {
+    let pts = nest.iteration_points();
+    let chunk = pts.len().div_ceil(p);
+    let mut out: Vec<Vec<IVec>> = pts.chunks(chunk).map(<[IVec]>::to_vec).collect();
+    out.resize(p, Vec::new());
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn conservation_and_bounds(nest in arb_nest(), p in 1usize..=6, rr in any::<bool>()) {
+        let assignment = if rr { round_robin(&nest, p) } else { contiguous(&nest, p) };
+        for dir in [
+            DirectoryKind::FullMap,
+            DirectoryKind::LimitedNoBroadcast { pointers: 2 },
+            DirectoryKind::LimitedBroadcast { pointers: 2 },
+        ] {
+            let r = run_nest(
+                &nest,
+                &assignment,
+                MachineConfig::uniform(p).with_directory(dir),
+                &UniformHome,
+            );
+            // hits + misses == accesses, per processor.
+            prop_assert!(r.check_conservation(), "{dir:?}");
+            // Every access is either a hit or one of the three miss kinds.
+            let accesses = nest.iteration_count()
+                * nest.seq_repetitions()
+                * nest.body.iter().map(|s| 1 + s.rhs.len()).sum::<usize>() as i128;
+            prop_assert_eq!(r.total_accesses() as i128, accesses);
+            // Invalidations sent == invalidations received.
+            let sent: u64 = r.per_processor.iter().map(|c| c.invalidations_sent).sum();
+            let recv: u64 = r.per_processor.iter().map(|c| c.invalidations_received).sum();
+            prop_assert_eq!(sent, recv, "{:?}", dir);
+            // With infinite caches, capacity misses are impossible.
+            prop_assert_eq!(r.total_capacity_misses(), 0);
+            // Full-map never overflows.
+            if dir == DirectoryKind::FullMap {
+                prop_assert_eq!(r.total_directory_overflows(), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn cold_misses_bounded_by_footprint_times_p(nest in arb_nest(), p in 1usize..=6) {
+        let assignment = contiguous(&nest, p);
+        let r = run_nest(&nest, &assignment, MachineConfig::uniform(p), &UniformHome);
+        // Each processor cold-misses each distinct element at most once.
+        let total_elems: i128 = nest
+            .array_extents()
+            .values()
+            .map(|e| e.iter().map(|&(lo, hi)| hi - lo + 1).product::<i128>())
+            .sum();
+        prop_assert!(r.total_cold_misses() as i128 <= total_elems * p as i128);
+        // And at least the union of data touched (every element touched
+        // once somewhere).
+        prop_assert!(r.total_cold_misses() as i128 >= 1);
+    }
+
+    #[test]
+    fn single_processor_never_invalidates(nest in arb_nest()) {
+        let assignment = vec![nest.iteration_points()];
+        let r = run_nest(&nest, &assignment, MachineConfig::uniform(1), &UniformHome);
+        prop_assert_eq!(r.total_invalidations(), 0);
+        prop_assert_eq!(r.total_coherence_misses(), 0);
+        // Second and later repetitions hit entirely.
+        let unique: u64 = r.total_cold_misses();
+        prop_assert_eq!(r.total_misses(), unique);
+    }
+
+    #[test]
+    fn line_size_monotonicity_single_proc(nest in arb_nest()) {
+        // For one processor, larger lines can only reduce (or keep) cold
+        // misses: every line fetch covers at least as many elements.
+        let assignment = vec![nest.iteration_points()];
+        let mut prev = u64::MAX;
+        for ls in [1u64, 2, 4, 8] {
+            let r = run_nest(
+                &nest,
+                &assignment,
+                MachineConfig::uniform(1).with_line_size(ls),
+                &UniformHome,
+            );
+            prop_assert!(r.total_cold_misses() <= prev,
+                "line {ls}: {} > previous {prev}", r.total_cold_misses());
+            prev = r.total_cold_misses();
+        }
+    }
+}

@@ -1,0 +1,265 @@
+//! `alp-cli` — analyze and partition a `doall` program from the command
+//! line.
+//!
+//! ```sh
+//! alp-cli [OPTIONS] <FILE|->          # '-' reads the DSL from stdin
+//!
+//! OPTIONS:
+//!   -p, --processors <N>    processors to partition for   [default: 16]
+//!   -m, --mesh <WxH>        2-D mesh for placement/hops   [default: none]
+//!       --param <NAME=VAL>  bind a loop-bound parameter (repeatable)
+//!       --simulate          run the machine simulator and report traffic
+//!       --para              also search parallelepiped tiles (2-D nests)
+//!       --line-size <N>     cache line size in elements   [default: 1]
+//!       --code              print the generated SPMD code
+//! ```
+//!
+//! Example:
+//!
+//! ```sh
+//! echo 'doall (i, 1, N) { doall (j, 1, N) {
+//!         A[i,j] = B[i,j] + B[i+1,j+3]; } }' \
+//!   | alp-cli --param N=64 -p 16 --simulate --para -
+//! ```
+
+use alp::prelude::*;
+use std::collections::HashMap;
+use std::io::Read;
+use std::process::ExitCode;
+
+struct Options {
+    processors: i128,
+    mesh: Option<(usize, usize)>,
+    params: HashMap<String, i128>,
+    simulate: bool,
+    para: bool,
+    line_size: u64,
+    show_code: bool,
+    input: String,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: alp-cli [-p N] [-m WxH] [--param NAME=VAL]... [--simulate] [--para] \
+         [--line-size N] [--code] <FILE|->"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        processors: 16,
+        mesh: None,
+        params: HashMap::new(),
+        simulate: false,
+        para: false,
+        line_size: 1,
+        show_code: false,
+        input: String::new(),
+    };
+    let mut args = std::env::args().skip(1);
+    let mut input: Option<String> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "-p" | "--processors" => {
+                opts.processors = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "-m" | "--mesh" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                let (w, h) = v.split_once('x').unwrap_or_else(|| usage());
+                opts.mesh = Some((
+                    w.parse().unwrap_or_else(|_| usage()),
+                    h.parse().unwrap_or_else(|_| usage()),
+                ));
+            }
+            "--param" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                let (name, val) = v.split_once('=').unwrap_or_else(|| usage());
+                opts.params
+                    .insert(name.to_string(), val.parse().unwrap_or_else(|_| usage()));
+            }
+            "--simulate" => opts.simulate = true,
+            "--para" => opts.para = true,
+            "--line-size" => {
+                opts.line_size = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--code" => opts.show_code = true,
+            "-h" | "--help" => usage(),
+            other if input.is_none() => input = Some(other.to_string()),
+            _ => usage(),
+        }
+    }
+    opts.input = input.unwrap_or_else(|| usage());
+    opts
+}
+
+fn main() -> ExitCode {
+    let opts = parse_args();
+    let src = if opts.input == "-" {
+        let mut buf = String::new();
+        if std::io::stdin().read_to_string(&mut buf).is_err() {
+            eprintln!("alp-cli: failed to read stdin");
+            return ExitCode::FAILURE;
+        }
+        buf
+    } else {
+        match std::fs::read_to_string(&opts.input) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("alp-cli: {}: {e}", opts.input);
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+
+    let nests = match alp::loopir::parse_program_with_params(&src, &opts.params) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("alp-cli: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if nests.len() > 1 {
+        println!("program with {} phases", nests.len());
+        let prog = partition_program(&nests, opts.processors);
+        println!(
+            "strategy: {:?} (total cost {}, alternative {}, redistribution {})",
+            prog.strategy, prog.total_cost, prog.alternative_cost, prog.redistribution
+        );
+        for (k, phase) in prog.phases.iter().enumerate() {
+            println!(
+                "  phase {}: grid {:?}, tile λ {:?}, cost {}",
+                k + 1,
+                phase.proc_grid,
+                phase.tile_extents,
+                phase.cost
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let nest = nests.into_iter().next().expect("nonempty");
+    println!("== analysis ==");
+    let classes = classify(&nest);
+    for c in &classes {
+        println!(
+            "  class {:<3} refs {}  rank {}/{}  â = {}  a+ = {}",
+            c.array,
+            c.len(),
+            c.g.rank(),
+            c.g.rows(),
+            c.spread(),
+            c.cumulative_spread()
+        );
+    }
+    let model = CostModel::from_nest(&nest);
+    if let Some(ratio) = optimal_aspect_ratio(&model) {
+        println!(
+            "  cache aspect ratio : {}",
+            ratio.iter().map(ToString::to_string).collect::<Vec<_>>().join(" : ")
+        );
+    }
+    if let Some(ratio) = aspect_ratio_with_spread(&model, SpreadKind::Cumulative) {
+        println!(
+            "  data  aspect ratio : {}",
+            ratio.iter().map(ToString::to_string).collect::<Vec<_>>().join(" : ")
+        );
+    }
+    let normals = communication_free_normals(&nest);
+    if normals.is_empty() {
+        println!("  communication-free : no");
+    } else {
+        println!(
+            "  communication-free : yes, normals {:?}",
+            normals.iter().map(ToString::to_string).collect::<Vec<_>>()
+        );
+    }
+
+    println!("\n== partition (P = {}) ==", opts.processors);
+    let mut compiler = Compiler::new(opts.processors);
+    if let Some((w, h)) = opts.mesh {
+        compiler = compiler.with_mesh(w, h);
+    }
+    let result = match compiler.compile(nest) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("alp-cli: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("  grid {:?}, tile λ {:?}, modeled cost {}", result.partition.proc_grid, result.partition.tile_extents, result.partition.cost);
+    for ap in &result.data_partitions {
+        println!(
+            "  data {:<3} tile {:?} over dims {:?}, offset {}",
+            ap.array, ap.tile_extents, ap.dims, ap.offset
+        );
+    }
+    if let Some(pl) = &result.placement {
+        println!(
+            "  mesh {:?}: avg neighbour hops {:.2}",
+            pl.mesh,
+            pl.weighted_neighbor_hops(&vec![1.0; result.partition.proc_grid.len()])
+        );
+    }
+
+    if opts.para && result.nest.depth() >= 2 {
+        let para = optimize_parallelepiped(&result.nest, opts.processors, &ParaSearchConfig::default());
+        println!(
+            "  parallelepiped: basis rows {:?}, modeled cost {} (rect: {})",
+            (0..para.basis.rows()).map(|r| para.basis.row(r).0.clone()).collect::<Vec<_>>(),
+            para.cost,
+            result.partition.cost
+        );
+    }
+
+    if opts.show_code {
+        println!("\n== code ==\n{}", result.code);
+    }
+
+    if opts.simulate {
+        println!("\n== simulation ==");
+        let assignment = assign_rect(&result.nest, &result.partition.proc_grid);
+        let cfg = MachineConfig {
+            processors: assignment.len(),
+            cache: CacheConfig::Infinite,
+            mesh: opts.mesh,
+            line_size: opts.line_size,
+            directory: DirectoryKind::FullMap,
+        };
+        let report = run_nest(&result.nest, &assignment, cfg, &UniformHome);
+        println!("  accesses        : {}", report.total_accesses());
+        println!("  misses          : {} (rate {:.4})", report.total_misses(), report.miss_rate());
+        println!("    cold          : {}", report.total_cold_misses());
+        println!("    coherence     : {}", report.total_coherence_misses());
+        println!("  invalidations   : {}", report.total_invalidations());
+        if opts.mesh.is_some() {
+            let aligned = alp::aligned_home(&result.nest, &result.partition);
+            let r2 = run_nest(
+                &result.nest,
+                &assignment,
+                MachineConfig {
+                    processors: assignment.len(),
+                    cache: CacheConfig::Infinite,
+                    mesh: opts.mesh,
+                    line_size: opts.line_size,
+                    directory: DirectoryKind::FullMap,
+                },
+                &aligned,
+            );
+            println!(
+                "  aligned memory  : {} remote misses / {} total, {} hops",
+                r2.total_remote_misses(),
+                r2.total_misses(),
+                r2.total_hop_traffic()
+            );
+        }
+    }
+    ExitCode::SUCCESS
+}

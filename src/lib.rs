@@ -1,0 +1,317 @@
+//! # `alp` — Automatic Loop Partitioning for Cache-Coherent Multiprocessors
+//!
+//! A Rust implementation of the loop- and data-partitioning framework of
+//! Agarwal, Kranz & Natarajan, *Automatic Partitioning of Parallel Loops
+//! for Cache-Coherent Multiprocessors* (ICPP 1993 / MIT-LCS-TM-481).
+//!
+//! Given a `doall` loop nest whose array subscripts are affine in the
+//! loop indices, the framework chooses the iteration-space tile shape
+//! that minimizes the data each processor touches — and therefore the
+//! cache-miss and coherence traffic on a cache-coherent shared-memory
+//! machine.
+//!
+//! ```
+//! use alp::prelude::*;
+//!
+//! // Example 8 of the paper: a 3-D stencil.
+//! let nest = alp::loopir::parse(
+//!     "doall (i, 1, 64) { doall (j, 1, 64) { doall (k, 1, 64) {
+//!        A[i,j,k] = B[i-1,j,k+1] + B[i,j+1,k] + B[i+1,j-2,k-3];
+//!      } } }",
+//! ).unwrap();
+//!
+//! // The paper's headline result: tiles in proportion 2 : 3 : 4.
+//! let model = CostModel::from_nest(&nest);
+//! let ratio = optimal_aspect_ratio(&model).unwrap();
+//! assert_eq!(ratio, vec![Rat::int(2), Rat::int(3), Rat::int(4)]);
+//!
+//! // End-to-end: partition for 64 processors and simulate the machine.
+//! let result = Compiler::new(64).compile(nest).unwrap();
+//! assert_eq!(result.partition.tiles(), 64);
+//! ```
+//!
+//! The workspace crates, re-exported here:
+//!
+//! * [`linalg`] — exact integer/rational matrices, HNF/SNF, nullspaces;
+//! * [`lattice`] — bounded lattices (Thm. 3, Lemma 3), parallelepiped
+//!   point counting;
+//! * [`loopir`] — the loop-nest IR and `doall` DSL;
+//! * [`footprint`] — uniformly intersecting classes, footprint sizes,
+//!   cumulative footprints (Thms. 2 & 4), the cost model;
+//! * [`partition`] — rectangular/parallelepiped optimizers,
+//!   communication-free partitions, Abraham–Hudak baseline, data
+//!   alignment, mesh placement;
+//! * [`machine`] — a deterministic cache-coherent multiprocessor
+//!   simulator (full-map MSI directory);
+//! * [`codegen`] — iteration assignment and per-processor code emission.
+
+pub use alp_codegen as codegen;
+pub use alp_footprint as footprint;
+pub use alp_lattice as lattice;
+pub use alp_linalg as linalg;
+pub use alp_loopir as loopir;
+pub use alp_machine as machine;
+pub use alp_partition as partition;
+
+use alp_codegen::assign_rect;
+use alp_footprint::CostModel;
+use alp_loopir::{IrError, LoopNest, ParseError};
+use alp_machine::{run_nest, ArrayLayout, BlockRowMajorHome, MachineConfig, TrafficReport, UniformHome};
+use alp_partition::{
+    align_arrays, communication_free_normals, mesh_placement, partition_rect, ArrayPartition,
+    MeshPlacement, RectPartition,
+};
+
+/// Things that can go wrong in the pipeline.
+#[derive(Debug)]
+pub enum AlpError {
+    /// DSL parse failure.
+    Parse(ParseError),
+    /// IR validation failure.
+    Ir(IrError),
+    /// The nest cannot be partitioned as requested.
+    Infeasible(String),
+}
+
+impl std::fmt::Display for AlpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AlpError::Parse(e) => write!(f, "{e}"),
+            AlpError::Ir(e) => write!(f, "{e}"),
+            AlpError::Infeasible(m) => write!(f, "infeasible: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for AlpError {}
+
+impl From<ParseError> for AlpError {
+    fn from(e: ParseError) -> Self {
+        AlpError::Parse(e)
+    }
+}
+
+impl From<IrError> for AlpError {
+    fn from(e: IrError) -> Self {
+        AlpError::Ir(e)
+    }
+}
+
+/// The compiler pipeline of §4 (Fig. 10): loop partitioning, data
+/// partitioning & alignment, placement, code generation.
+#[derive(Debug, Clone)]
+pub struct Compiler {
+    /// Number of processors to partition for.
+    pub processors: i128,
+    /// Optional 2-D mesh for the placement phase and simulator hop
+    /// accounting.
+    pub mesh: Option<(usize, usize)>,
+}
+
+/// Everything the pipeline produces for one loop nest.
+#[derive(Debug, Clone)]
+pub struct CompileResult {
+    /// The analyzed nest.
+    pub nest: LoopNest,
+    /// Number of uniformly intersecting classes found.
+    pub class_count: usize,
+    /// The chosen rectangular partition.
+    pub partition: RectPartition,
+    /// Communication-free hyperplane normals, if any exist.
+    pub comm_free_normals: Vec<alp_linalg::IVec>,
+    /// Aligned data partitions, one per array.
+    pub data_partitions: Vec<ArrayPartition>,
+    /// Mesh placement of the processor grid (when a mesh is configured).
+    pub placement: Option<MeshPlacement>,
+    /// SPMD pseudo-code for the chosen partition.
+    pub code: String,
+}
+
+impl Compiler {
+    /// A compiler for `processors` processors, no mesh.
+    pub fn new(processors: i128) -> Self {
+        Compiler { processors, mesh: None }
+    }
+
+    /// Configure an Alewife-style 2-D mesh.
+    pub fn with_mesh(mut self, w: usize, h: usize) -> Self {
+        self.mesh = Some((w, h));
+        self
+    }
+
+    /// Parse and compile DSL source.
+    pub fn compile_src(&self, src: &str) -> Result<CompileResult, AlpError> {
+        let nest = alp_loopir::parse(src)?;
+        self.compile(nest)
+    }
+
+    /// Run the full pipeline on a nest.
+    pub fn compile(&self, nest: LoopNest) -> Result<CompileResult, AlpError> {
+        if nest.depth() == 0 {
+            return Err(AlpError::Infeasible("nest has no parallel loops".into()));
+        }
+        if self.processors < 1 {
+            return Err(AlpError::Infeasible("need at least one processor".into()));
+        }
+        let model = CostModel::from_nest(&nest);
+        let partition = partition_rect(&nest, self.processors);
+        let comm_free_normals = communication_free_normals(&nest);
+        let data_partitions = align_arrays(&nest, &partition.tile_extents);
+        let placement = self.mesh.map(|mesh| mesh_placement(&partition.proc_grid, mesh));
+        let code = alp_codegen::emit_rect_code(&nest, &partition.proc_grid);
+        Ok(CompileResult {
+            class_count: model.classes().len(),
+            nest,
+            partition,
+            comm_free_normals,
+            data_partitions,
+            placement,
+            code,
+        })
+    }
+
+    /// Simulate the compiled partition on the machine model with uniform
+    /// (monolithic) memory — the §2.2 configuration.
+    pub fn simulate_uniform(&self, result: &CompileResult) -> TrafficReport {
+        let assignment = assign_rect(&result.nest, &result.partition.proc_grid);
+        let p = assignment.len();
+        run_nest(
+            &result.nest,
+            &assignment,
+            MachineConfig {
+                processors: p,
+                cache: alp_machine::CacheConfig::Infinite,
+                mesh: self.mesh,
+                line_size: 1,
+                directory: alp_machine::DirectoryKind::FullMap,
+            },
+            &UniformHome,
+        )
+    }
+
+    /// Simulate with block-distributed memory (no alignment) — the
+    /// baseline the alignment experiments improve on.
+    pub fn simulate_distributed(&self, result: &CompileResult) -> TrafficReport {
+        let assignment = assign_rect(&result.nest, &result.partition.proc_grid);
+        let p = assignment.len();
+        let layout = ArrayLayout::from_nest(&result.nest);
+        let home = BlockRowMajorHome::new(p, layout.total_lines());
+        run_nest(
+            &result.nest,
+            &assignment,
+            MachineConfig {
+                processors: p,
+                cache: alp_machine::CacheConfig::Infinite,
+                mesh: self.mesh,
+                line_size: 1,
+                directory: alp_machine::DirectoryKind::FullMap,
+            },
+            &home,
+        )
+    }
+
+    /// Simulate with memory **aligned to the loop partition** (§4's data
+    /// partitioning + alignment): array tile `(c₀, c₁, …)` is stored on
+    /// the processor executing loop tile `(c₀, c₁, …)`.
+    pub fn simulate_aligned(&self, result: &CompileResult) -> TrafficReport {
+        let assignment = assign_rect(&result.nest, &result.partition.proc_grid);
+        let p = assignment.len();
+        let home = aligned_home(&result.nest, &result.partition);
+        run_nest(
+            &result.nest,
+            &assignment,
+            MachineConfig {
+                processors: p,
+                cache: alp_machine::CacheConfig::Infinite,
+                mesh: self.mesh,
+                line_size: 1,
+                directory: alp_machine::DirectoryKind::FullMap,
+            },
+            &home,
+        )
+    }
+}
+
+/// Build the aligned data distribution for a rectangular loop partition:
+/// each array's tiles get the aspect ratio of the loop tiles *mapped
+/// through its reference matrix* and land on the processor that owns the
+/// matching loop tile.
+///
+/// Data dimensions whose subscript mixes several loop indices (skewed
+/// columns) are not distributed (grid factor 1) — the analysis cannot
+/// align them with a rectangular grid; `alp-partition`'s parallelepiped
+/// machinery covers those shapes analytically instead.
+pub fn aligned_home(
+    nest: &LoopNest,
+    partition: &RectPartition,
+) -> alp_machine::TiledHome {
+    use alp_footprint::classify;
+    use alp_machine::TiledArrayHome;
+
+    let layout = ArrayLayout::from_nest(nest);
+    let p: i128 = partition.proc_grid.iter().product();
+    let mut arrays = Vec::new();
+    let mut described = std::collections::HashSet::new();
+    for class in classify(nest) {
+        if !described.insert(class.array.clone()) {
+            continue;
+        }
+        let Some(id) = layout.array_id(&class.array) else { continue };
+        let extents = layout.extents(id).to_vec();
+        let size: u64 = extents.iter().map(|&(lo, hi)| (hi - lo + 1).max(1) as u64).product();
+        let base = {
+            // First line of this array: evaluate the lowest corner.
+            let corner = alp_linalg::IVec(extents.iter().map(|&(lo, _)| lo).collect());
+            layout.line(id, &corner)
+        };
+        let d = class.g.cols();
+        let mut chunks = vec![0i128; d];
+        let mut owner_dim = vec![None; d];
+        let mut used_rows = std::collections::HashSet::new();
+        for k in 0..d {
+            let col = class.g.col(k);
+            let nz: Vec<usize> = (0..col.len()).filter(|&r| col[r] != 0).collect();
+            let full = extents[k].1 - extents[k].0 + 1;
+            match nz.as_slice() {
+                [r] if used_rows.insert(*r) => {
+                    let lam = partition.tile_extents[*r];
+                    chunks[k] = ((lam + 1) * col[*r].abs()).max(1);
+                    owner_dim[k] = Some(*r);
+                }
+                _ => {
+                    chunks[k] = full.max(1);
+                }
+            }
+        }
+        arrays.push(TiledArrayHome { base, size, extents, chunks, owner_dim });
+    }
+    let _ = p;
+    alp_machine::TiledHome::new(partition.proc_grid.clone(), arrays)
+}
+
+/// Convenient glob import for downstream users.
+pub mod prelude {
+    pub use crate::{AlpError, CompileResult, Compiler};
+    pub use alp_codegen::{assign_para, assign_rect, assign_slabs, emit_para_code, emit_rect_code};
+    pub use alp_footprint::{
+        classify, cumulative_footprint_exact, cumulative_footprint_general,
+        cumulative_footprint_rect, single_footprint_estimate, single_footprint_exact, CostModel,
+        RefClass, Tile,
+    };
+    pub use alp_lattice::{BoundedLattice, Lattice, Parallelepiped};
+    pub use alp_linalg::{IMat, IVec, Rat};
+    pub use alp_loopir::{
+        parse, parse_program, parse_program_with_params, parse_with_params, AccessKind, ArrayRef,
+        LoopNest,
+    };
+    pub use alp_machine::{
+        run_nest, ArrayLayout, BlockRowMajorHome, CacheConfig, DirectoryKind, MachineConfig,
+        TrafficReport, UniformHome,
+    };
+    pub use alp_partition::{
+        abraham_hudak_rect, align_arrays, aspect_ratio_with_spread, communication_free_normals,
+        is_communication_free, mesh_placement, naive_partition, optimal_aspect_ratio,
+        optimize_parallelepiped, partition_program, partition_rect, NaiveShape, ParaSearchConfig,
+        ProgramPartition, ProgramStrategy, RectPartition, SpreadKind,
+    };
+}

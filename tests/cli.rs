@@ -1,0 +1,81 @@
+//! Smoke tests for the `alp-cli` binary.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+fn run_cli(args: &[&str], stdin: Option<&str>) -> (String, String, bool) {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_alp-cli"));
+    cmd.args(args).stdout(Stdio::piped()).stderr(Stdio::piped());
+    if stdin.is_some() {
+        cmd.stdin(Stdio::piped());
+    }
+    let mut child = cmd.spawn().expect("binary spawns");
+    if let Some(input) = stdin {
+        child
+            .stdin
+            .as_mut()
+            .expect("stdin piped")
+            .write_all(input.as_bytes())
+            .expect("stdin writes");
+    }
+    let out = child.wait_with_output().expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn analyzes_example3_from_stdin() {
+    let (stdout, stderr, ok) = run_cli(
+        &["--param", "N=64", "-p", "16", "-"],
+        Some("doall (i, 1, N) { doall (j, 1, N) { A[i,j] = B[i,j] + B[i+1,j+3]; } }"),
+    );
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("communication-free : yes"), "{stdout}");
+    assert!(stdout.contains("cache aspect ratio : 1 : 3"), "{stdout}");
+    assert!(stdout.contains("grid [8, 2]"), "{stdout}");
+}
+
+#[test]
+fn simulates_with_mesh() {
+    let (stdout, stderr, ok) = run_cli(
+        &["-p", "4", "-m", "2x2", "--simulate", "-"],
+        Some("doall (i, 0, 15) { doall (j, 0, 15) { A[i,j] = A[i+1,j]; } }"),
+    );
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("== simulation =="), "{stdout}");
+    assert!(stdout.contains("aligned memory"), "{stdout}");
+}
+
+#[test]
+fn handles_multi_phase_programs() {
+    let (stdout, stderr, ok) = run_cli(
+        &["-p", "16", "-"],
+        Some(
+            "doall (i, 0, 63) { doall (j, 0, 63) { A[i,j] = A[i,j+1]; } }
+             doall (i, 0, 63) { doall (j, 0, 63) { A[i,j] = A[i+1,j]; } }",
+        ),
+    );
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("program with 2 phases"), "{stdout}");
+    assert!(stdout.contains("CommonGrid"), "{stdout}");
+}
+
+#[test]
+fn reports_parse_errors() {
+    let (_, stderr, ok) = run_cli(&["-"], Some("doall (i, 0, 9) { A[q] = 1; }"));
+    assert!(!ok);
+    assert!(stderr.contains("unknown index"), "{stderr}");
+}
+
+#[test]
+fn code_flag_prints_spmd_loop() {
+    let (stdout, _, ok) = run_cli(
+        &["-p", "4", "--code", "-"],
+        Some("doall (i, 0, 63) { A[i] = A[i+1]; }"),
+    );
+    assert!(ok);
+    assert!(stdout.contains("for i in max(0, 0 + p0*16)"), "{stdout}");
+}
