@@ -1,0 +1,333 @@
+//! Structured diagnostics with rustc-style rendering.
+//!
+//! Every finding of the legality analysis is a [`Diagnostic`]: a severity,
+//! a stable [`Rule`] identifier (so callers can filter or allow-list), a
+//! message, an optional source [`Span`], and attached [`Note`]s.  When the
+//! nest was parsed from DSL text, [`Report::render`] draws the classic
+//! caret snippet pointing at the offending reference or loop header.
+
+use alp_loopir::{line_col, line_text, Span};
+
+/// How serious a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational; never affects legality.
+    Note,
+    /// Suspicious but legal; `--check` exits 3 when only warnings remain.
+    Warning,
+    /// The nest is not a legal doall; the compiler refuses it.
+    Error,
+}
+
+impl Severity {
+    /// The rustc-style label (`error`, `warning`, `note`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Note => "note",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// Stable identifiers for every rule the analysis can fire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rule {
+    /// Two distinct doall iterations touch the same array element and at
+    /// least one access is a non-synchronized write (Def. 4 applied to
+    /// the stacked system; Appendix A exempts accumulate/accumulate).
+    DoallRace,
+    /// A race that disappears if the statement is written as a
+    /// fine-grain-synchronized reduction (`+=` / `l$`).
+    DoallReduction,
+    /// A doall index appears in no subscript of any reference: every
+    /// iteration along that dimension touches identical data.
+    DeadDoallDim,
+    /// A loop with `lower > upper` never runs.
+    ZeroTripLoop,
+    /// A reference matrix `G` has linearly dependent nonzero columns
+    /// (§3.4.1): the footprint analysis falls back to an independent
+    /// column subset.
+    RankDeficientRef,
+    /// Two loops of the nest declare the same index name.
+    ShadowedIndex,
+}
+
+impl Rule {
+    /// The stable string id, e.g. `doall-race`.
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::DoallRace => "doall-race",
+            Rule::DoallReduction => "doall-reduction",
+            Rule::DeadDoallDim => "dead-doall-dim",
+            Rule::ZeroTripLoop => "zero-trip-loop",
+            Rule::RankDeficientRef => "rank-deficient-ref",
+            Rule::ShadowedIndex => "shadowed-index",
+        }
+    }
+
+    /// The severity the rule fires at.
+    pub fn severity(self) -> Severity {
+        match self {
+            Rule::DoallRace | Rule::ShadowedIndex => Severity::Error,
+            Rule::DoallReduction
+            | Rule::DeadDoallDim
+            | Rule::ZeroTripLoop
+            | Rule::RankDeficientRef => Severity::Warning,
+        }
+    }
+
+    /// Every rule, for documentation listings.
+    pub fn all() -> &'static [Rule] {
+        &[
+            Rule::DoallRace,
+            Rule::DoallReduction,
+            Rule::DeadDoallDim,
+            Rule::ZeroTripLoop,
+            Rule::RankDeficientRef,
+            Rule::ShadowedIndex,
+        ]
+    }
+}
+
+/// A secondary remark attached to a diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Note {
+    /// The remark.
+    pub message: String,
+    /// Optional source location the remark points at.
+    pub span: Option<Span>,
+}
+
+impl Note {
+    /// A note without a location.
+    pub fn text(message: impl Into<String>) -> Self {
+        Note {
+            message: message.into(),
+            span: None,
+        }
+    }
+
+    /// A note pointing at a span.
+    pub fn spanned(message: impl Into<String>, span: Option<Span>) -> Self {
+        Note {
+            message: message.into(),
+            span,
+        }
+    }
+}
+
+/// One finding of the analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Severity (defaults to the rule's).
+    pub severity: Severity,
+    /// Which rule fired.
+    pub rule: Rule,
+    /// Primary message.
+    pub message: String,
+    /// Primary source location, when the IR was parsed from text.
+    pub span: Option<Span>,
+    /// Attached remarks (witness iterations, suggestions, …).
+    pub notes: Vec<Note>,
+}
+
+impl Diagnostic {
+    /// A diagnostic at the rule's default severity.
+    pub fn new(rule: Rule, message: impl Into<String>, span: Option<Span>) -> Self {
+        Diagnostic {
+            severity: rule.severity(),
+            rule,
+            message: message.into(),
+            span,
+            notes: Vec::new(),
+        }
+    }
+
+    /// Attach a note.
+    pub fn with_note(mut self, note: Note) -> Self {
+        self.notes.push(note);
+        self
+    }
+}
+
+/// The full outcome of analysing a nest.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Report {
+    /// All findings, in emission order (races first).
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// True when any finding is an error: the nest must not run as a
+    /// doall.
+    pub fn has_errors(&self) -> bool {
+        self.diagnostics
+            .iter()
+            .any(|d| d.severity == Severity::Error)
+    }
+
+    /// True when any finding is a warning.
+    pub fn has_warnings(&self) -> bool {
+        self.diagnostics
+            .iter()
+            .any(|d| d.severity == Severity::Warning)
+    }
+
+    /// Number of findings at `sev`.
+    pub fn count(&self, sev: Severity) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == sev)
+            .count()
+    }
+
+    /// Append another report's findings.
+    pub fn merge(&mut self, other: Report) {
+        self.diagnostics.extend(other.diagnostics);
+    }
+
+    /// Render all diagnostics as rustc-style text against the DSL source
+    /// the nest was parsed from.  Pass `""` when the IR was hand-built
+    /// (spans are `None` and only the messages print).
+    pub fn render(&self, src: &str) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&render_one(d, src));
+            out.push('\n');
+        }
+        let (e, w) = (self.count(Severity::Error), self.count(Severity::Warning));
+        if e > 0 {
+            out.push_str(&format!(
+                "error: nest is not a legal doall ({e} error{}, {w} warning{})\n",
+                plural(e),
+                plural(w)
+            ));
+        } else if w > 0 {
+            out.push_str(&format!("warning: {w} lint{} fired\n", plural(w)));
+        }
+        out
+    }
+}
+
+fn plural(n: usize) -> &'static str {
+    if n == 1 {
+        ""
+    } else {
+        "s"
+    }
+}
+
+/// Render `severity[rule]: message`, the caret snippet for the primary
+/// span, then each note (with its own snippet when it has a span).
+fn render_one(d: &Diagnostic, src: &str) -> String {
+    let mut out = format!("{}[{}]: {}\n", d.severity.label(), d.rule.id(), d.message);
+    if let Some(snippet) = snippet(src, d.span, "") {
+        out.push_str(&snippet);
+    }
+    for n in &d.notes {
+        match snippet(src, n.span, &n.message) {
+            Some(s) => out.push_str(&s),
+            None => out.push_str(&format!("  = note: {}\n", n.message)),
+        }
+    }
+    out
+}
+
+/// The `--> line:col` header plus caret-underlined source line, or `None`
+/// when there is no span or no source to point into.
+fn snippet(src: &str, span: Option<Span>, label: &str) -> Option<String> {
+    let span = span?;
+    if src.is_empty() || span.start >= src.len() {
+        return None;
+    }
+    let (line, col) = line_col(src, span.start);
+    let (text, line_start) = line_text(src, span.start);
+    let gutter = line.to_string();
+    let pad = " ".repeat(gutter.len());
+    // Carets cover the span, clipped to the line it starts on.
+    let caret_start = span.start - line_start;
+    let caret_len = span
+        .len()
+        .min(text.len().saturating_sub(caret_start))
+        .max(1);
+    let mut out = format!("  {pad}--> {line}:{col}\n");
+    out.push_str(&format!("  {pad} |\n"));
+    out.push_str(&format!("  {gutter} | {text}\n"));
+    out.push_str(&format!(
+        "  {pad} | {}{}{}{}\n",
+        " ".repeat(caret_start),
+        "^".repeat(caret_len),
+        if label.is_empty() { "" } else { " " },
+        label
+    ));
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_ids_are_stable() {
+        let ids: Vec<&str> = Rule::all().iter().map(|r| r.id()).collect();
+        assert_eq!(
+            ids,
+            vec![
+                "doall-race",
+                "doall-reduction",
+                "dead-doall-dim",
+                "zero-trip-loop",
+                "rank-deficient-ref",
+                "shadowed-index"
+            ]
+        );
+    }
+
+    #[test]
+    fn report_counts() {
+        let mut r = Report::default();
+        assert!(!r.has_errors());
+        r.diagnostics
+            .push(Diagnostic::new(Rule::DeadDoallDim, "dead", None));
+        assert!(!r.has_errors());
+        assert!(r.has_warnings());
+        r.diagnostics
+            .push(Diagnostic::new(Rule::DoallRace, "race", None));
+        assert!(r.has_errors());
+        assert_eq!(r.count(Severity::Error), 1);
+        assert_eq!(r.count(Severity::Warning), 1);
+    }
+
+    #[test]
+    fn renders_caret_snippet() {
+        let src = "doall (i, 0, 3) {\n  A[1] = B[i];\n}";
+        let span = Span::new(src.find("A[1]").unwrap(), src.find("A[1]").unwrap() + 4);
+        let d = Diagnostic::new(Rule::DoallRace, "doall iterations race on `A`", Some(span))
+            .with_note(Note::text(
+                "iteration (0) and iteration (1) both write A[1]",
+            ));
+        let mut rep = Report::default();
+        rep.diagnostics.push(d);
+        let text = rep.render(src);
+        assert!(
+            text.contains("error[doall-race]: doall iterations race on `A`"),
+            "{text}"
+        );
+        assert!(text.contains("--> 2:3"), "{text}");
+        assert!(text.contains("  A[1] = B[i];"), "{text}");
+        assert!(text.contains("^^^^"), "{text}");
+        assert!(text.contains("= note: iteration (0)"), "{text}");
+        assert!(text.contains("1 error"), "{text}");
+    }
+
+    #[test]
+    fn renders_without_source() {
+        let d = Diagnostic::new(Rule::ZeroTripLoop, "loop `i` never runs", None);
+        let mut rep = Report::default();
+        rep.diagnostics.push(d);
+        let text = rep.render("");
+        assert!(text.contains("warning[zero-trip-loop]"), "{text}");
+        assert!(!text.contains("-->"), "{text}");
+    }
+}

@@ -15,12 +15,16 @@ fn bench_counting_methods(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("det_estimate", side), &tile, |b, t| {
             b.iter(|| single_footprint_estimate(black_box(t), black_box(&g)))
         });
-        group.bench_with_input(BenchmarkId::new("lattice_corrected", side), &tile, |b, t| {
-            b.iter(|| single_footprint_lattice_corrected(black_box(t), black_box(&g)))
-        });
-        group.bench_with_input(BenchmarkId::new("exact_enumeration", side), &tile, |b, t| {
-            b.iter(|| single_footprint_exact(black_box(t), black_box(&g)))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("lattice_corrected", side),
+            &tile,
+            |b, t| b.iter(|| single_footprint_lattice_corrected(black_box(t), black_box(&g))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("exact_enumeration", side),
+            &tile,
+            |b, t| b.iter(|| single_footprint_exact(black_box(t), black_box(&g))),
+        );
     }
     group.finish();
 }
@@ -36,7 +40,10 @@ fn bench_cumulative_methods(c: &mut Criterion) {
          } } }",
     )
     .unwrap();
-    let class = classify(&nest).into_iter().find(|cl| cl.array == "B").unwrap();
+    let class = classify(&nest)
+        .into_iter()
+        .find(|cl| cl.array == "B")
+        .unwrap();
     for side in [7i128, 15] {
         let lam = [side, side, side];
         group.bench_with_input(BenchmarkId::new("theorem4", side), &lam, |b, lam| {
@@ -54,11 +61,15 @@ fn bench_cumulative_methods(c: &mut Criterion) {
                 })
             },
         );
-        group.bench_with_input(BenchmarkId::new("exact_enumeration", side), &lam, |b, lam| {
-            b.iter(|| {
-                cumulative_footprint_exact(&Tile::rect(black_box(lam)), black_box(&class))
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("exact_enumeration", side),
+            &lam,
+            |b, lam| {
+                b.iter(|| {
+                    cumulative_footprint_exact(&Tile::rect(black_box(lam)), black_box(&class))
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -80,10 +91,8 @@ fn bench_spread_variants(c: &mut Criterion) {
 fn bench_para_search_breadth(c: &mut Criterion) {
     let mut group = c.benchmark_group("para_search_breadth");
     group.sample_size(10);
-    let nest = parse(
-        "doall (i, 1, 128) { doall (j, 1, 128) { A[i,j] = B[i,j] + B[i+1,j+3]; } }",
-    )
-    .unwrap();
+    let nest =
+        parse("doall (i, 1, 128) { doall (j, 1, 128) { A[i,j] = B[i,j] + B[i+1,j+3]; } }").unwrap();
     for max_entry in [1i128, 2, 3] {
         group.bench_with_input(
             BenchmarkId::from_parameter(max_entry),
@@ -93,7 +102,10 @@ fn bench_para_search_breadth(c: &mut Criterion) {
                     optimize_parallelepiped(
                         black_box(&nest),
                         16,
-                        &ParaSearchConfig { max_entry: me, threads: 1 },
+                        &ParaSearchConfig {
+                            max_entry: me,
+                            threads: 1,
+                        },
                     )
                 })
             },

@@ -63,16 +63,17 @@ fn bench_partitioners(c: &mut Criterion) {
             b.iter(|| partition_rect(black_box(&nest), p))
         });
     }
-    let nest2 = parse(
-        "doall (i, 1, 256) { doall (j, 1, 256) { A[i,j] = B[i,j] + B[i+1,j+3]; } }",
-    )
-    .unwrap();
+    let nest2 =
+        parse("doall (i, 1, 256) { doall (j, 1, 256) { A[i,j] = B[i,j] + B[i+1,j+3]; } }").unwrap();
     group.bench_function("parallelepiped_2d", |b| {
         b.iter(|| {
             optimize_parallelepiped(
                 black_box(&nest2),
                 16,
-                &ParaSearchConfig { max_entry: 2, threads: 1 },
+                &ParaSearchConfig {
+                    max_entry: 2,
+                    threads: 1,
+                },
             )
         })
     });
@@ -81,9 +82,16 @@ fn bench_partitioners(c: &mut Criterion) {
 
 fn bench_linalg(c: &mut Criterion) {
     let mut group = c.benchmark_group("linalg");
-    let m = IMat::from_rows(&[&[3, 1, -2, 4], &[0, 5, 1, -1], &[2, 2, 7, 0], &[1, -3, 0, 6]]);
+    let m = IMat::from_rows(&[
+        &[3, 1, -2, 4],
+        &[0, 5, 1, -1],
+        &[2, 2, 7, 0],
+        &[1, -3, 0, 6],
+    ]);
     group.bench_function("det_4x4", |b| b.iter(|| black_box(&m).det().unwrap()));
-    group.bench_function("hnf_4x4", |b| b.iter(|| alp::linalg::row_hnf(black_box(&m))));
+    group.bench_function("hnf_4x4", |b| {
+        b.iter(|| alp::linalg::row_hnf(black_box(&m)))
+    });
     group.bench_function("snf_4x4", |b| {
         b.iter(|| alp::linalg::smith_normal_form(black_box(&m)))
     });

@@ -16,7 +16,10 @@ fn main() {
     let nest = parse(src).unwrap();
     let p = 16usize;
     let part = partition_rect(&nest, p as i128);
-    println!("loop partition: grid {:?}, tile λ {:?}\n", part.proc_grid, part.tile_extents);
+    println!(
+        "loop partition: grid {:?}, tile λ {:?}\n",
+        part.proc_grid, part.tile_extents
+    );
 
     let assignment = assign_rect(&nest, &part.proc_grid);
     let layout = ArrayLayout::from_nest(&nest);
@@ -81,7 +84,10 @@ fn main() {
     println!("\nplacement: average weighted neighbour hops on a 4x4 mesh");
     let weights = vec![1.0, 1.0];
     let direct = mesh_placement(&part.proc_grid, (4, 4));
-    println!("  grid-aware embedding: {:.2}", direct.weighted_neighbor_hops(&weights));
+    println!(
+        "  grid-aware embedding: {:.2}",
+        direct.weighted_neighbor_hops(&weights)
+    );
     println!(
         "\nalignment reduces remote misses {} -> {} ({} of misses stay local);\nthe halo (tile boundary) is the only remote traffic, as §4 intends.",
         r_block.total_remote_misses(),

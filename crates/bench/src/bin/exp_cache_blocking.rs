@@ -57,8 +57,8 @@ fn main() {
     // Cache-blocked order, sized by the model.
     let model = CostModel::from_nest(&nest);
     let ratio = vec![Rat::ONE, Rat::ONE];
-    let sub = cache_blocked_extents(&model, &ratio, 48, &tile_extents)
-        .expect("a feasible block exists");
+    let sub =
+        cache_blocked_extents(&model, &ratio, 48, &tile_extents).expect("a feasible block exists");
     let sub_sizes: Vec<i128> = sub.iter().map(|&x| x + 1).collect();
     let blocked = block_assignment(&assignment, &sub_sizes);
     let br = run_nest(&nest, &blocked, cfg(), &UniformHome);

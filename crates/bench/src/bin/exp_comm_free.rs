@@ -66,9 +66,18 @@ fn main() {
             let part = partition_rect(&wrapped, p);
             assign_rect(&wrapped, &part.proc_grid)
         };
-        let report = run_nest(&wrapped, &assignment, MachineConfig::uniform(p as usize), &UniformHome);
+        let report = run_nest(
+            &wrapped,
+            &assignment,
+            MachineConfig::uniform(p as usize),
+            &UniformHome,
+        );
         if found {
-            assert_eq!(report.total_coherence_misses(), 0, "{name} should be coherence-free");
+            assert_eq!(
+                report.total_coherence_misses(),
+                0,
+                "{name} should be coherence-free"
+            );
             assert_eq!(report.total_invalidations(), 0, "{name}");
         }
         t.row(&[

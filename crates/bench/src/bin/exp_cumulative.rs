@@ -6,7 +6,10 @@ use alp::prelude::*;
 use alp_bench::{header, rel_err, Table};
 
 fn main() {
-    header("E5", "cumulative footprint (Theorem 2) vs exact enumeration");
+    header(
+        "E5",
+        "cumulative footprint (Theorem 2) vs exact enumeration",
+    );
     let nest = parse(
         "doall (i, 0, 99) { doall (j, 0, 99) {
            A[i,j] = B[i+j,j] + B[i+j+1,j+2];
@@ -17,12 +20,7 @@ fn main() {
     let b = classes.iter().find(|c| c.array == "B").unwrap();
     println!("class B: spread â = {}\n", b.spread());
 
-    let t = Table::new(&[
-        ("tile L (rows)", 26),
-        ("thm2", 7),
-        ("exact", 7),
-        ("err", 7),
-    ]);
+    let t = Table::new(&[("tile L (rows)", 26), ("thm2", 7), ("exact", 7), ("err", 7)]);
     let tiles: Vec<IMat> = vec![
         IMat::from_rows(&[&[10, 4], &[2, 8]]),
         IMat::from_rows(&[&[8, 0], &[0, 8]]),
@@ -45,7 +43,10 @@ fn main() {
         ]);
     }
     println!("\nmax relative error {:.1}% — the paper's approximation is \"reasonable\nif the constant terms are small compared to the tile size\" (§3.5)", 100.0 * max_err);
-    assert!(max_err < 0.35, "Theorem 2 should stay in the right ballpark");
+    assert!(
+        max_err < 0.35,
+        "Theorem 2 should stay in the right ballpark"
+    );
 
     // Error shrinks as tiles grow (the asymptotic claim).
     println!("\nscaling: relative error vs tile size (square tiles)");

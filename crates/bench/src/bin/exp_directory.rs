@@ -32,9 +32,18 @@ fn main() {
     let mut results = Vec::new();
     for (name, dir) in [
         ("full-map", DirectoryKind::FullMap),
-        ("Dir4-NB (evict)", DirectoryKind::LimitedNoBroadcast { pointers: 4 }),
-        ("Dir4-B (broadcast)", DirectoryKind::LimitedBroadcast { pointers: 4 }),
-        ("Dir1-NB (evict)", DirectoryKind::LimitedNoBroadcast { pointers: 1 }),
+        (
+            "Dir4-NB (evict)",
+            DirectoryKind::LimitedNoBroadcast { pointers: 4 },
+        ),
+        (
+            "Dir4-B (broadcast)",
+            DirectoryKind::LimitedBroadcast { pointers: 4 },
+        ),
+        (
+            "Dir1-NB (evict)",
+            DirectoryKind::LimitedNoBroadcast { pointers: 1 },
+        ),
     ] {
         let report = run_nest(
             &nest,
@@ -58,7 +67,10 @@ fn main() {
     let nb1 = &results[3].1;
     assert_eq!(full.total_directory_overflows(), 0);
     assert!(nb4.total_directory_overflows() > 0);
-    assert!(nb1.total_misses() >= nb4.total_misses(), "fewer pointers, more thrash");
+    assert!(
+        nb1.total_misses() >= nb4.total_misses(),
+        "fewer pointers, more thrash"
+    );
     assert!(
         nb4.total_misses() > full.total_misses(),
         "pointer eviction must cost misses on 16-way read sharing"
@@ -86,7 +98,10 @@ fn main() {
     let t = Table::new(&[("directory", 22), ("misses", 8), ("overflows", 9)]);
     for (name, dir) in [
         ("full-map", DirectoryKind::FullMap),
-        ("Dir4-NB (evict)", DirectoryKind::LimitedNoBroadcast { pointers: 4 }),
+        (
+            "Dir4-NB (evict)",
+            DirectoryKind::LimitedNoBroadcast { pointers: 4 },
+        ),
     ] {
         let report = run_nest(
             &nest,
@@ -94,7 +109,14 @@ fn main() {
             MachineConfig::uniform(p).with_directory(dir),
             &UniformHome,
         );
-        t.row(&[&name, &report.total_misses(), &report.total_directory_overflows()]);
+        t.row(&[
+            &name,
+            &report.total_misses(),
+            &report.total_directory_overflows(),
+        ]);
     }
-    println!("\ngrid {:?}: B[0,*] sharing drops to the j-boundary only.", part.proc_grid);
+    println!(
+        "\ngrid {:?}: B[0,*] sharing drops to the j-boundary only.",
+        part.proc_grid
+    );
 }

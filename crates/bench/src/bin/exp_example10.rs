@@ -13,7 +13,10 @@ fn main() {
                } }";
     let nest = parse(src).unwrap();
     let classes = classify(&nest);
-    println!("classes found: {} (paper: B pair, C pair, C singleton, A singleton)", classes.len());
+    println!(
+        "classes found: {} (paper: B pair, C pair, C singleton, A singleton)",
+        classes.len()
+    );
     for c in &classes {
         println!(
             "  {} ({} refs): rank {} / {} rows, â = {}",
@@ -28,7 +31,10 @@ fn main() {
 
     // Paper's closed forms for the two active classes.
     let b = classes.iter().find(|c| c.array == "B").unwrap();
-    let c_pair = classes.iter().find(|c| c.array == "C" && c.len() == 2).unwrap();
+    let c_pair = classes
+        .iter()
+        .find(|c| c.array == "C" && c.len() == 2)
+        .unwrap();
     println!("\nclosed forms at tile (L_i, L_j) = (9, 5):");
     let (li, lj) = (9i128, 5i128);
     let b_model = cumulative_footprint_rect(&[li, lj], b);
@@ -43,7 +49,10 @@ fn main() {
         c_model,
         (li + 1) * (lj + 1) + (li + 1)
     );
-    assert_eq!(b_model, Rat::int((li + 1) * (lj + 1) + 3 * (lj + 1) + (li + 1)));
+    assert_eq!(
+        b_model,
+        Rat::int((li + 1) * (lj + 1) + 3 * (lj + 1) + (li + 1))
+    );
     assert_eq!(c_model, Rat::int((li + 1) * (lj + 1) + (li + 1)));
 
     // Exact enumeration cross-check for B (non-unimodular G!).
@@ -79,7 +88,14 @@ fn main() {
     println!("\nshape sweep on the machine (P = 36, 60x60 space):");
     let t = Table::new(&[("grid", 10), ("tile", 8), ("sim misses/tile", 15)]);
     let mut best: Option<(Vec<i128>, u64)> = None;
-    for grid in [vec![36i128, 1], vec![12, 3], vec![6, 6], vec![4, 9], vec![3, 12], vec![1, 36]] {
+    for grid in [
+        vec![36i128, 1],
+        vec![12, 3],
+        vec![6, 6],
+        vec![4, 9],
+        vec![3, 12],
+        vec![1, 36],
+    ] {
         let extents: Vec<i128> = grid.iter().map(|&g| 60 / g - 1).collect();
         let report = run_nest(
             &nest,
@@ -100,6 +116,12 @@ fn main() {
     }
     let (best_grid, _) = best.unwrap();
     let ours = partition_rect(&nest, 36);
-    println!("\nmachine minimum at {best_grid:?}; partition_rect picks {:?}", ours.proc_grid);
-    assert_eq!(best_grid, ours.proc_grid, "the optimizer's grid is the machine's best");
+    println!(
+        "\nmachine minimum at {best_grid:?}; partition_rect picks {:?}",
+        ours.proc_grid
+    );
+    assert_eq!(
+        best_grid, ours.proc_grid,
+        "the optimizer's grid is the machine's best"
+    );
 }

@@ -28,11 +28,19 @@ fn main() {
         ("a: strips 1x100", vec![1i128, 100], 104i128),
         ("b: blocks 10x10", vec![10, 10], 140),
     ] {
-        let extents: Vec<i128> =
-            grid.iter().zip([100i128, 100]).map(|(&g, n)| (n + g - 1) / g - 1).collect();
+        let extents: Vec<i128> = grid
+            .iter()
+            .zip([100i128, 100])
+            .map(|(&g, n)| (n + g - 1) / g - 1)
+            .collect();
         let modeled = model.cost_rect(&extents);
         let assignment = assign_rect(&nest, &grid);
-        let report = run_nest(&nest, &assignment, MachineConfig::uniform(100), &UniformHome);
+        let report = run_nest(
+            &nest,
+            &assignment,
+            MachineConfig::uniform(100),
+            &UniformHome,
+        );
         let per_tile = report.total_cold_misses() / 100;
         let b_class = per_tile as i128 - 100;
         t.row(&[
@@ -67,13 +75,20 @@ fn main() {
     let seq = parse(seq_src).unwrap();
     println!("\nwith 3 repetitions (Fig. 9 pattern):");
     let t = Table::new(&[("partition", 18), ("total misses", 12), ("coherence", 9)]);
-    for (name, grid) in [("a: strips 1x100", vec![1i128, 100]), ("b: blocks 10x10", vec![10, 10])] {
+    for (name, grid) in [
+        ("a: strips 1x100", vec![1i128, 100]),
+        ("b: blocks 10x10", vec![10, 10]),
+    ] {
         let report = run_nest(
             &seq,
             &assign_rect(&seq, &grid),
             MachineConfig::uniform(100),
             &UniformHome,
         );
-        t.row(&[&name, &report.total_misses(), &report.total_coherence_misses()]);
+        t.row(&[
+            &name,
+            &report.total_misses(),
+            &report.total_coherence_misses(),
+        ]);
     }
 }

@@ -16,7 +16,11 @@ fn main() {
     let ratio = optimal_aspect_ratio(&model).unwrap();
     println!(
         "closed-form aspect ratio: {} (paper: 2 : 3 : 4)\n",
-        ratio.iter().map(|r| r.to_string()).collect::<Vec<_>>().join(" : ")
+        ratio
+            .iter()
+            .map(|r| r.to_string())
+            .collect::<Vec<_>>()
+            .join(" : ")
     );
     assert_eq!(ratio, vec![Rat::int(2), Rat::int(3), Rat::int(4)]);
 
@@ -62,7 +66,10 @@ fn main() {
     let best_model = results.iter().min_by_key(|r| r.1).unwrap().0.clone();
     let best_machine = results.iter().min_by_key(|r| r.2).unwrap().0.clone();
     println!("\nmodel minimum at grid {best_model:?}, machine minimum at grid {best_machine:?}");
-    assert_eq!(best_model, best_machine, "model and machine agree on the winner");
+    assert_eq!(
+        best_model, best_machine,
+        "model and machine agree on the winner"
+    );
 
     // Agreement with Abraham & Hudak on their domain.
     let ah_nest = parse(
@@ -77,7 +84,11 @@ fn main() {
         "\nAbraham-Hudak agreement: ours {:?} vs A&H {:?} -> {}",
         ours.proc_grid,
         ah.proc_grid,
-        if ours.proc_grid == ah.proc_grid { "MATCH" } else { "MISMATCH" }
+        if ours.proc_grid == ah.proc_grid {
+            "MATCH"
+        } else {
+            "MISMATCH"
+        }
     );
     assert_eq!(ours.proc_grid, ah.proc_grid);
 
@@ -97,7 +108,11 @@ fn main() {
             MachineConfig::uniform(8),
             &UniformHome,
         );
-        t.row(&[&format!("{:?}", grid), &report.total_coherence_misses(), &report.total_invalidations()]);
+        t.row(&[
+            &format!("{:?}", grid),
+            &report.total_coherence_misses(),
+            &report.total_invalidations(),
+        ]);
     }
 
     // Bonus: the framework finds Example 8's hidden communication-free

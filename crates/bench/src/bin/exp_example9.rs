@@ -38,11 +38,23 @@ fn main() {
         ("memo formula", 12),
     ]);
     let mut best: Option<(i128, i128, usize)> = None;
-    for (l11, l22) in
-        [(40i128, 6i128), (30, 8), (24, 10), (20, 12), (16, 15), (15, 16), (12, 20), (10, 24), (8, 30), (6, 40)]
-    {
+    for (l11, l22) in [
+        (40i128, 6i128),
+        (30, 8),
+        (24, 10),
+        (20, 12),
+        (16, 15),
+        (15, 16),
+        (12, 20),
+        (10, 24),
+        (8, 30),
+        (6, 40),
+    ] {
         let tile = Tile::rect(&[l11 - 1, l22 - 1]);
-        let exact: usize = classes.iter().map(|c| cumulative_footprint_exact(&tile, c)).sum();
+        let exact: usize = classes
+            .iter()
+            .map(|c| cumulative_footprint_exact(&tile, c))
+            .sum();
         let model_cost = model.cost_rect(&[l11 - 1, l22 - 1]);
         let memo = 2 * l11 * l22 + 4 * l11 + 6 * l22;
         t.row(&[&format!("{l11}x{l22}"), &exact, &model_cost, &memo]);

@@ -5,7 +5,10 @@ use alp::prelude::*;
 use alp_bench::{header, Table};
 
 fn main() {
-    header("E4", "Example 6 / Figs. 5-6: footprint geometry of a skewed tile");
+    header(
+        "E4",
+        "Example 6 / Figs. 5-6: footprint geometry of a skewed tile",
+    );
     let nest = parse(
         "doall (i, 0, 99) { doall (j, 0, 99) {
            A[i,j] = B[i+j,j] + B[i+j+1,j+2];
@@ -45,6 +48,9 @@ fn main() {
         "  tile 0..=9: |det LG| = {}, touched = {} (density 1/2: Smith index {})",
         single_footprint_estimate(&tile2, &g2),
         single_footprint_exact(&tile2, &g2),
-        alp::linalg::smith_normal_form(&g2).invariants.iter().product::<i128>()
+        alp::linalg::smith_normal_form(&g2)
+            .invariants
+            .iter()
+            .product::<i128>()
     );
 }

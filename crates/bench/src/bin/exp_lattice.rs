@@ -61,7 +61,10 @@ fn main() {
     println!("\nExample 10, array C: Theorem 3 decides which references intersect:");
     let g = IMat::from_rows(&[&[1, 2, 1], &[0, 0, 2]]);
     let bl = BoundedLattice::new(g, vec![20, 20]).unwrap();
-    for (t, expect) in [(IVec::new(&[0, 0, 2]), true), (IVec::new(&[1, 2, 2]), false)] {
+    for (t, expect) in [
+        (IVec::new(&[0, 0, 2]), true),
+        (IVec::new(&[1, 2, 2]), false),
+    ] {
         let got = bl.intersects_translate(&t);
         println!("  offset diff {t}: intersecting = {got} (paper: {expect})");
         assert_eq!(got, expect);

@@ -67,7 +67,10 @@ fn main() {
          splitting j (lines cut) -> {} misses, {} invalidations.",
         rows.1, rows.2, cols.1, cols.2
     );
-    assert!(rows.1 < cols.1, "line-preserving tiles must win at large line size");
+    assert!(
+        rows.1 < cols.1,
+        "line-preserving tiles must win at large line size"
+    );
     assert!(rows.2 <= cols.2);
     println!(
         "\nwith multi-element lines the effective footprint is counted in lines:\n\

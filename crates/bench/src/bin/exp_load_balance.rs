@@ -7,7 +7,10 @@ use alp_bench::{header, Table};
 use alp_codegen::assignment_stats;
 
 fn main() {
-    header("E18", "load balance: rectangles vs slabs vs parallelepipeds");
+    header(
+        "E18",
+        "load balance: rectangles vs slabs vs parallelepipeds",
+    );
     let src = "doall (i, 1, 64) { doall (j, 1, 64) {
                  A[i,j] = B[i,j] + B[i+1,j+3];
                } }";
@@ -56,7 +59,12 @@ fn main() {
     let (pa, cells) = assign_para(&nest, para.tile.l_matrix());
     let ps = assignment_stats(&pa);
     let procs = pa.len().max(1);
-    let pr = run_nest(&nest, &pa, MachineConfig::uniform(procs.min(128)), &UniformHome);
+    let pr = run_nest(
+        &nest,
+        &pa,
+        MachineConfig::uniform(procs.min(128)),
+        &UniformHome,
+    );
     t.row(&[
         &format!("para cells ({} tiles)", cells.len()),
         &ps.nonempty,
@@ -72,7 +80,11 @@ fn main() {
          measured — rectangles balance perfectly ({:.3}), slabs stay close\n\
          ({:.3}), raw parallelepiped lattice cells fragment at the iteration\n\
          space boundary ({:.3} over {} cells for {} processors).",
-        rs.imbalance, ss.imbalance, ps.imbalance, cells.len(), p
+        rs.imbalance,
+        ss.imbalance,
+        ps.imbalance,
+        cells.len(),
+        p
     );
     assert!(rs.imbalance <= ss.imbalance);
     assert!(ss.imbalance <= ps.imbalance + 1.0);

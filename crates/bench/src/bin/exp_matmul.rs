@@ -49,7 +49,10 @@ fn main() {
             rows_total = report.total_misses();
         }
     }
-    assert!(block_total < rows_total, "blocks must beat rows (the §1 motivation)");
+    assert!(
+        block_total < rows_total,
+        "blocks must beat rows (the §1 motivation)"
+    );
     println!(
         "\nblocks beat rows by {:.2}x (paper §1: \"matrix multiply distributed by\nsquare blocks has a much higher degree of reuse\")",
         rows_total as f64 / block_total as f64
@@ -62,14 +65,21 @@ fn main() {
         MachineConfig::uniform(p),
         &UniformHome,
     );
-    assert!(ksplit.total_invalidations() > 0, "accumulates are writes to the protocol");
+    assert!(
+        ksplit.total_invalidations() > 0,
+        "accumulates are writes to the protocol"
+    );
     let blocks = run_nest(
         &nest,
         &assign_rect(&nest, &[4, 4, 1]),
         MachineConfig::uniform(p),
         &UniformHome,
     );
-    assert_eq!(blocks.total_invalidations(), 0, "private C tiles never invalidate");
+    assert_eq!(
+        blocks.total_invalidations(),
+        0,
+        "private C tiles never invalidate"
+    );
     println!(
         "k-split invalidations: {} (Appendix A: synchronizing accesses are\ntreated as writes by the coherence system) vs blocks: 0",
         ksplit.total_invalidations()

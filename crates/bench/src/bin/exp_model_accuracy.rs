@@ -39,7 +39,11 @@ fn main() {
     let max = |v: &[f64]| v.iter().fold(0.0f64, |a, &b| a.max(b));
     println!("single-reference footprint, {trials} random (G, L):");
     let t = Table::new(&[("estimator", 26), ("mean err", 9), ("max err", 9)]);
-    t.row(&[&"|det LG| (Eq. 2)", &format!("{:.1}%", 100.0 * mean(&det_errs)), &format!("{:.1}%", 100.0 * max(&det_errs))]);
+    t.row(&[
+        &"|det LG| (Eq. 2)",
+        &format!("{:.1}%", 100.0 * mean(&det_errs)),
+        &format!("{:.1}%", 100.0 * max(&det_errs)),
+    ]);
     t.row(&[
         &"lattice-corrected (ours)",
         &format!("{:.1}%", 100.0 * mean(&corrected_errs)),
@@ -74,7 +78,10 @@ fn main() {
         100.0 * mean(&thm4_errs),
         100.0 * max(&thm4_errs)
     );
-    assert!(max(&thm4_errs) < 0.12, "Theorem 4 should be within the corner term");
+    assert!(
+        max(&thm4_errs) < 0.12,
+        "Theorem 4 should be within the corner term"
+    );
 
     // --- Does the model rank partitions like the exact count? ----------
     println!("\nranking fidelity: model argmin == exact argmin over random 2-ref nests");
@@ -90,7 +97,13 @@ fn main() {
         let nest = parse(&src).unwrap();
         let model = CostModel::from_nest(&nest);
         let classes = classify(&nest);
-        let shapes: Vec<Vec<i128>> = vec![vec![35, 3], vec![17, 7], vec![11, 11], vec![7, 17], vec![3, 35]];
+        let shapes: Vec<Vec<i128>> = vec![
+            vec![35, 3],
+            vec![17, 7],
+            vec![11, 11],
+            vec![7, 17],
+            vec![3, 35],
+        ];
         let model_best = shapes
             .iter()
             .min_by_key(|lam| model.cost_rect(lam))

@@ -16,7 +16,13 @@ fn main() {
     // Every rectangular grid.
     let t = Table::new(&[("tile", 24), ("modeled cost", 12), ("sim misses", 10)]);
     let mut best_rect = u64::MAX;
-    for grid in [vec![1i128, 16], vec![2, 8], vec![4, 4], vec![8, 2], vec![16, 1]] {
+    for grid in [
+        vec![1i128, 16],
+        vec![2, 8],
+        vec![4, 4],
+        vec![8, 2],
+        vec![16, 1],
+    ] {
         let extents: Vec<i128> = grid.iter().map(|&g| 64 / g - 1).collect();
         let cost = model.cost_rect(&extents);
         let report = run_nest(
@@ -34,10 +40,19 @@ fn main() {
     }
 
     // The parallelepiped search.
-    let para = optimize_parallelepiped(&nest, p, &ParaSearchConfig { max_entry: 3, threads: 4 });
+    let para = optimize_parallelepiped(
+        &nest,
+        p,
+        &ParaSearchConfig {
+            max_entry: 3,
+            threads: 4,
+        },
+    );
     println!(
         "\nparallelepiped search winner: basis rows {:?}, modeled cost {}",
-        (0..2).map(|r| para.basis.row(r).0.clone()).collect::<Vec<_>>(),
+        (0..2)
+            .map(|r| para.basis.row(r).0.clone())
+            .collect::<Vec<_>>(),
         para.cost
     );
 

@@ -46,7 +46,10 @@ fn main() {
             &format!("{:?}", prog.strategy),
             &format!(
                 "{:?}",
-                prog.phases.iter().map(|p| p.proc_grid.clone()).collect::<Vec<_>>()
+                prog.phases
+                    .iter()
+                    .map(|p| p.proc_grid.clone())
+                    .collect::<Vec<_>>()
             ),
             &prog.total_cost,
             &prog.alternative_cost,

@@ -27,16 +27,55 @@ fn main() {
     header("E14", "Appendix B: uniformly intersecting classification");
     let cases: Vec<(&str, &str, bool)> = vec![
         // (source with exactly two refs, description, expected uniformly intersecting)
-        ("doall (i, 0, 9) { doall (j, 0, 9) { A[i,j] = A[i+1,j-3]; } }", "A[i,j] vs A[i+1,j-3]", true),
-        ("doall (i, 0, 9) { doall (j, 0, 9) { A[i,j] = A[i,j+4]; } }", "A[i,j] vs A[i,j+4]", true),
-        ("doall (i, 0, 9) { doall (j, 0, 9) { A[i,j] = A[2*i,j]; } }", "A[i,j] vs A[2i,j]", false),
-        ("doall (i, 0, 9) { doall (j, 0, 9) { A[i,j] = A[2*i,2*j]; } }", "A[i,j] vs A[2i,2j]", false),
-        ("doall (j, 0, 9) { A[j,2,4] = A[j,3,4]; }", "A[j,2,4] vs A[j,3,4]", false),
-        ("doall (i, 0, 9) { A[2*i] = A[2*i+1]; }", "A[2i] vs A[2i+1]", false),
-        ("doall (i, 0, 9) { A[i+2,2*i+4] = A[i+3,2*i+8]; }", "A[i+2,2i+4] vs A[i+3,2i+8]", false),
-        ("doall (i, 0, 9) { doall (j, 0, 9) { A[i,j] = B[i,j]; } }", "A[i,j] vs B[i,j]", false),
+        (
+            "doall (i, 0, 9) { doall (j, 0, 9) { A[i,j] = A[i+1,j-3]; } }",
+            "A[i,j] vs A[i+1,j-3]",
+            true,
+        ),
+        (
+            "doall (i, 0, 9) { doall (j, 0, 9) { A[i,j] = A[i,j+4]; } }",
+            "A[i,j] vs A[i,j+4]",
+            true,
+        ),
+        (
+            "doall (i, 0, 9) { doall (j, 0, 9) { A[i,j] = A[2*i,j]; } }",
+            "A[i,j] vs A[2i,j]",
+            false,
+        ),
+        (
+            "doall (i, 0, 9) { doall (j, 0, 9) { A[i,j] = A[2*i,2*j]; } }",
+            "A[i,j] vs A[2i,2j]",
+            false,
+        ),
+        (
+            "doall (j, 0, 9) { A[j,2,4] = A[j,3,4]; }",
+            "A[j,2,4] vs A[j,3,4]",
+            false,
+        ),
+        (
+            "doall (i, 0, 9) { A[2*i] = A[2*i+1]; }",
+            "A[2i] vs A[2i+1]",
+            false,
+        ),
+        (
+            "doall (i, 0, 9) { A[i+2,2*i+4] = A[i+3,2*i+8]; }",
+            "A[i+2,2i+4] vs A[i+3,2i+8]",
+            false,
+        ),
+        (
+            "doall (i, 0, 9) { doall (j, 0, 9) { A[i,j] = B[i,j]; } }",
+            "A[i,j] vs B[i,j]",
+            false,
+        ),
     ];
-    let t = Table::new(&[("pair", 28), ("unif.gen", 9), ("intersect", 9), ("unif.int", 9), ("paper", 6), ("ok", 3)]);
+    let t = Table::new(&[
+        ("pair", 28),
+        ("unif.gen", 9),
+        ("intersect", 9),
+        ("unif.int", 9),
+        ("paper", 6),
+        ("ok", 3),
+    ]);
     for (src, desc, expected) in cases {
         let nest = parse(src).unwrap();
         let refs = nest.all_refs();

@@ -27,7 +27,9 @@ impl Table {
         }
         println!("{}", line.trim_end());
         println!("{}", "-".repeat(line.trim_end().len()));
-        Table { widths: cols.iter().map(|&(_, w)| w).collect() }
+        Table {
+            widths: cols.iter().map(|&(_, w)| w).collect(),
+        }
     }
 
     /// Print one row.

@@ -1,6 +1,6 @@
 //! Iteration-to-processor assignment.
 
-use alp_linalg::{IMat, IVec, Rat, RMat};
+use alp_linalg::{IMat, IVec, RMat, Rat};
 use alp_loopir::LoopNest;
 use std::collections::HashMap;
 
@@ -20,9 +20,16 @@ pub fn assign_rect(nest: &LoopNest, grid: &[i128]) -> Assignment {
     assert_eq!(grid.len(), l, "grid depth mismatch");
     let trips: Vec<i128> = nest.loops.iter().map(|lp| lp.trip_count()).collect();
     for (k, (&g, &n)) in grid.iter().zip(&trips).enumerate() {
-        assert!(g >= 1 && g <= n, "grid factor {g} invalid for loop {k} with {n} iterations");
+        assert!(
+            g >= 1 && g <= n,
+            "grid factor {g} invalid for loop {k} with {n} iterations"
+        );
     }
-    let chunks: Vec<i128> = grid.iter().zip(&trips).map(|(&g, &n)| (n + g - 1) / g).collect();
+    let chunks: Vec<i128> = grid
+        .iter()
+        .zip(&trips)
+        .map(|(&g, &n)| (n + g - 1) / g)
+        .collect();
     let total: i128 = grid.iter().product();
     let mut out: Assignment = vec![Vec::new(); total as usize];
     for i in nest.iteration_points() {
@@ -116,13 +123,16 @@ pub fn block_iterations(points: &[IVec], sub: &[i128]) -> Vec<IVec> {
     }
     let l = points[0].len();
     assert_eq!(sub.len(), l, "sub-block depth mismatch");
-    assert!(sub.iter().all(|&s| s >= 1), "sub-block extents must be positive");
-    let mins: Vec<i128> =
-        (0..l).map(|k| points.iter().map(|p| p[k]).min().expect("nonempty")).collect();
+    assert!(
+        sub.iter().all(|&s| s >= 1),
+        "sub-block extents must be positive"
+    );
+    let mins: Vec<i128> = (0..l)
+        .map(|k| points.iter().map(|p| p[k]).min().expect("nonempty"))
+        .collect();
     let mut out = points.to_vec();
     out.sort_by_key(|p| {
-        let block: Vec<i128> =
-            (0..l).map(|k| (p[k] - mins[k]) / sub[k]).collect();
+        let block: Vec<i128> = (0..l).map(|k| (p[k] - mins[k]) / sub[k]).collect();
         (block, p.clone())
     });
     out
@@ -130,7 +140,10 @@ pub fn block_iterations(points: &[IVec], sub: &[i128]) -> Vec<IVec> {
 
 /// Apply [`block_iterations`] to every processor of an assignment.
 pub fn block_assignment(assignment: &Assignment, sub: &[i128]) -> Assignment {
-    assignment.iter().map(|tile| block_iterations(tile, sub)).collect()
+    assignment
+        .iter()
+        .map(|tile| block_iterations(tile, sub))
+        .collect()
 }
 
 /// Load-balance statistics of an assignment (the paper's §2.1
@@ -163,7 +176,13 @@ pub fn assignment_stats(assignment: &Assignment) -> AssignmentStats {
         total as f64 / assignment.len() as f64
     };
     let imbalance = if mean > 0.0 { max as f64 / mean } else { 0.0 };
-    AssignmentStats { nonempty, min, max, mean, imbalance }
+    AssignmentStats {
+        nonempty,
+        min,
+        max,
+        mean,
+        imbalance,
+    }
 }
 
 /// Verify the partition property: every iteration appears exactly once.

@@ -1,7 +1,7 @@
 //! Readable per-processor loop-nest emission.
 
 use crate::fm::{eliminate, System};
-use alp_linalg::{IMat, Rat, RMat};
+use alp_linalg::{IMat, RMat, Rat};
 use alp_loopir::LoopNest;
 
 /// Emit pseudo-code for a rectangular partition: the SPMD loop a
@@ -40,7 +40,11 @@ pub fn emit_rect_code(nest: &LoopNest, grid: &[i128]) -> String {
             "{}{} = {};\n",
             "  ".repeat(indent),
             st.lhs.display(&names),
-            if rhs.is_empty() { "0".into() } else { rhs.join(" + ") }
+            if rhs.is_empty() {
+                "0".into()
+            } else {
+                rhs.join(" + ")
+            }
         ));
     }
     while indent > 0 {
@@ -64,7 +68,9 @@ pub fn emit_rect_code(nest: &LoopNest, grid: &[i128]) -> String {
 pub fn emit_para_code(nest: &LoopNest, l_matrix: &IMat) -> String {
     let l = nest.depth();
     assert_eq!(l_matrix.rows(), l, "tile depth mismatch");
-    let linv = RMat::from_int(l_matrix).inverse().expect("tile must be nonsingular");
+    let linv = RMat::from_int(l_matrix)
+        .inverse()
+        .expect("tile must be nonsingular");
     // Constraints over iteration variables x: for each tile coordinate
     // column c: 0 ≤ Σ_r x_r·linv[r][c] ≤ 1.
     let mut sys = System::new(l);
@@ -85,7 +91,9 @@ pub fn emit_para_code(nest: &LoopNest, l_matrix: &IMat) -> String {
     let mut out = String::new();
     out.push_str(&format!(
         "// Scanning the tile at the origin with edge rows L = {:?}\n",
-        (0..l).map(|r| l_matrix.row(r).0.clone()).collect::<Vec<_>>()
+        (0..l)
+            .map(|r| l_matrix.row(r).0.clone())
+            .collect::<Vec<_>>()
     ));
     let mut indent = 0usize;
     for k in 0..l {
@@ -139,7 +147,11 @@ pub fn emit_para_code(nest: &LoopNest, l_matrix: &IMat) -> String {
             "{}{} = {};\n",
             "  ".repeat(indent),
             st.lhs.display(&names),
-            if rhs.is_empty() { "0".into() } else { rhs.join(" + ") }
+            if rhs.is_empty() {
+                "0".into()
+            } else {
+                rhs.join(" + ")
+            }
         ));
     }
     while indent > 0 {
@@ -156,10 +168,7 @@ mod tests {
 
     #[test]
     fn rect_code_shape() {
-        let nest = parse(
-            "doall (i, 0, 63) { doall (j, 0, 63) { A[i,j] = B[i,j+1]; } }",
-        )
-        .unwrap();
+        let nest = parse("doall (i, 0, 63) { doall (j, 0, 63) { A[i,j] = B[i,j+1]; } }").unwrap();
         let code = emit_rect_code(&nest, &[4, 2]);
         assert!(code.contains("for i in max(0, 0 + p0*16)"), "{code}");
         assert!(code.contains("for j in max(0, 0 + p1*32)"), "{code}");
@@ -176,10 +185,7 @@ mod tests {
 
     #[test]
     fn para_code_rect_tile_degenerates_to_box() {
-        let nest = parse(
-            "doall (i, 0, 63) { doall (j, 0, 63) { A[i,j] = A[i,j]; } }",
-        )
-        .unwrap();
+        let nest = parse("doall (i, 0, 63) { doall (j, 0, 63) { A[i,j] = A[i,j]; } }").unwrap();
         let code = emit_para_code(&nest, &IMat::diag(&[4, 8]));
         // Outer: 0 ≤ i ≤ 4; inner: 0 ≤ j ≤ 8.
         assert!(code.contains("for i in ceil(0) ..= floor(4)"), "{code}");
@@ -188,15 +194,18 @@ mod tests {
 
     #[test]
     fn para_code_skewed_bounds_mention_outer_var() {
-        let nest = parse(
-            "doall (i, 0, 63) { doall (j, 0, 63) { A[i,j] = A[i,j]; } }",
-        )
-        .unwrap();
+        let nest = parse("doall (i, 0, 63) { doall (j, 0, 63) { A[i,j] = A[i,j]; } }").unwrap();
         // Example 6 tile: rows (4,4), (3,0).
         let code = emit_para_code(&nest, &IMat::from_rows(&[&[4, 4], &[3, 0]]));
         // Inner loop bounds must reference i.
-        let inner = code.lines().find(|l| l.trim_start().starts_with("for j")).unwrap();
-        assert!(inner.contains('i'), "inner bounds should mention i: {inner}");
+        let inner = code
+            .lines()
+            .find(|l| l.trim_start().starts_with("for j"))
+            .unwrap();
+        assert!(
+            inner.contains('i'),
+            "inner bounds should mention i: {inner}"
+        );
     }
 
     #[test]

@@ -14,11 +14,14 @@
 
 pub mod assign;
 pub mod emit;
-pub mod fm;
 
+/// Re-export of the Fourier–Motzkin eliminator, which moved to
+/// `alp-linalg` so that `alp-analysis` can share it.
+pub use alp_linalg::fm;
+
+pub use alp_linalg::fm::{eliminate, Constraint, System};
 pub use assign::{
     assign_para, assign_rect, assign_slabs, assignment_stats, block_assignment, block_iterations,
     Assignment, AssignmentStats,
 };
 pub use emit::{emit_para_code, emit_rect_code};
-pub use fm::{eliminate, Constraint, System};

@@ -23,9 +23,9 @@ fn arb_system() -> impl Strategy<Value = System> {
 }
 
 fn satisfies(s: &System, x: i128, y: i128) -> bool {
-    s.constraints.iter().all(|c| {
-        c.coeffs[0] * Rat::int(x) + c.coeffs[1] * Rat::int(y) <= c.bound
-    })
+    s.constraints
+        .iter()
+        .all(|c| c.coeffs[0] * Rat::int(x) + c.coeffs[1] * Rat::int(y) <= c.bound)
 }
 
 proptest! {

@@ -122,10 +122,7 @@ fn restrict(v: &IVec, keep: &[usize]) -> IVec {
 /// some member offset is not an *integer* lattice translate of the first
 /// (then members do not share the coefficient grid and the caller should
 /// fall back to [`cumulative_footprint_exact`]).
-pub fn cumulative_footprint_rect_exact_lattice(
-    lambda: &[i128],
-    class: &RefClass,
-) -> Option<i128> {
+pub fn cumulative_footprint_rect_exact_lattice(lambda: &[i128], class: &RefClass) -> Option<i128> {
     use alp_linalg::solve_integer;
     let keep = max_independent_columns(&class.g);
     if keep.is_empty() {
@@ -223,10 +220,8 @@ mod tests {
         let (li, lj, lk) = (6i128, 9i128, 12i128);
         let got = cumulative_footprint_rect(&[li, lj, lk], &class);
         let p = |x: i128| x + 1;
-        let expected = p(li) * p(lj) * p(lk)
-            + 2 * p(lj) * p(lk)
-            + 3 * p(li) * p(lk)
-            + 4 * p(li) * p(lj);
+        let expected =
+            p(li) * p(lj) * p(lk) + 2 * p(lj) * p(lk) + 3 * p(li) * p(lk) + 4 * p(li) * p(lj);
         assert_eq!(got, Rat::int(expected));
     }
 
@@ -256,7 +251,10 @@ mod tests {
              } }",
         )
         .unwrap();
-        let class = classify(&nest).into_iter().find(|c| c.array == "C").unwrap();
+        let class = classify(&nest)
+            .into_iter()
+            .find(|c| c.array == "C")
+            .unwrap();
         assert_eq!(class.len(), 2);
         let (li, lj) = (8i128, 5i128);
         let got = cumulative_footprint_rect(&[li, lj], &class);
@@ -265,7 +263,10 @@ mod tests {
 
     #[test]
     fn single_ref_class_has_no_spread_terms() {
-        let class = class_of("doall (i, 0, 9) { doall (j, 0, 9) { A[i,j] = A[i,j]; } }", "A");
+        let class = class_of(
+            "doall (i, 0, 9) { doall (j, 0, 9) { A[i,j] = A[i,j]; } }",
+            "A",
+        );
         let got = cumulative_footprint_rect(&[4, 4], &class);
         assert_eq!(got, Rat::int(25));
     }
@@ -283,7 +284,10 @@ mod tests {
     #[test]
     fn rank_deficient_class_falls_back() {
         // A[i+j] with offsets 0 and 2: exact = λ1+λ2+1+2.
-        let class = class_of("doall (i, 0, 9) { doall (j, 0, 9) { A[i+j] = A[i+j+2]; } }", "A");
+        let class = class_of(
+            "doall (i, 0, 9) { doall (j, 0, 9) { A[i+j] = A[i+j+2]; } }",
+            "A",
+        );
         let tile = Tile::rect(&[5, 3]);
         assert_eq!(cumulative_footprint_exact(&tile, &class), 5 + 3 + 1 + 2);
         // Zonotope fallback: generators (5), (3), spread (2) -> 10.
@@ -324,14 +328,26 @@ mod tests {
 
     #[test]
     fn exact_lattice_declines_rank_deficient() {
-        let class = class_of("doall (i, 0, 9) { doall (j, 0, 9) { A[i+j] = A[i+j+2]; } }", "A");
-        assert_eq!(cumulative_footprint_rect_exact_lattice(&[5, 3], &class), None);
+        let class = class_of(
+            "doall (i, 0, 9) { doall (j, 0, 9) { A[i+j] = A[i+j+2]; } }",
+            "A",
+        );
+        assert_eq!(
+            cumulative_footprint_rect_exact_lattice(&[5, 3], &class),
+            None
+        );
     }
 
     #[test]
     fn exact_lattice_single_ref_is_box() {
-        let class = class_of("doall (i, 0, 9) { doall (j, 0, 9) { A[i,j] = A[i,j]; } }", "A");
-        assert_eq!(cumulative_footprint_rect_exact_lattice(&[4, 6], &class), Some(5 * 7));
+        let class = class_of(
+            "doall (i, 0, 9) { doall (j, 0, 9) { A[i,j] = A[i,j]; } }",
+            "A",
+        );
+        assert_eq!(
+            cumulative_footprint_rect_exact_lattice(&[4, 6], &class),
+            Some(5 * 7)
+        );
     }
 
     proptest! {

@@ -49,10 +49,18 @@ impl CostModel {
             .map(|class| {
                 let rows_independent = class.g.rank() == class.g.rows();
                 let zero_spread = class.spread().is_zero();
-                ClassCost { shape_invariant: rows_independent && zero_spread, class }
+                ClassCost {
+                    shape_invariant: rows_independent && zero_spread,
+                    class,
+                }
             })
             .collect();
-        CostModel { classes, depth, trips, sync_weight: Rat::ONE }
+        CostModel {
+            classes,
+            depth,
+            trips,
+            sync_weight: Rat::ONE,
+        }
     }
 
     /// Weight fine-grain-synchronized (`l$`/accumulate) classes by
@@ -77,7 +85,7 @@ impl CostModel {
     }
 
     fn class_weight(&self, cc: &ClassCost) -> Rat {
-        if cc.class.kinds.iter().any(|k| *k == alp_loopir::AccessKind::Accumulate) {
+        if cc.class.kinds.contains(&alp_loopir::AccessKind::Accumulate) {
             self.sync_weight
         } else {
             Rat::ONE
@@ -110,8 +118,7 @@ impl CostModel {
         assert_eq!(lambda.len(), self.depth, "tile depth mismatch");
         let mut total = Rat::ZERO;
         for cc in &self.classes {
-            total =
-                total + cumulative_footprint_rect(lambda, &cc.class) * self.class_weight(cc);
+            total = total + cumulative_footprint_rect(lambda, &cc.class) * self.class_weight(cc);
         }
         total
     }

@@ -262,7 +262,10 @@ mod tests {
         // FAR better than the naive dense-bounding-box count
         // ((7+7+7+1) x (14+21+28+1)) = 1408.
         let bbox = (7 + 7 + 7 + 1) * (14 + 21 + 28 + 1);
-        assert!((est - exact).abs() * 4 < exact, "est {est} vs exact {exact}");
+        assert!(
+            (est - exact).abs() * 4 < exact,
+            "est {est} vs exact {exact}"
+        );
         assert!(bbox > 5 * exact, "bbox {bbox} vs exact {exact}");
     }
 
@@ -282,7 +285,10 @@ mod tests {
             5 * 7
         );
         // Rank 1: A[i+j] -> values 0..λ1+λ2.
-        assert_eq!(single_footprint_exact_l2(&[4, 6], &IMat::from_rows(&[&[1], &[1]])), 11);
+        assert_eq!(
+            single_footprint_exact_l2(&[4, 6], &IMat::from_rows(&[&[1], &[1]])),
+            11
+        );
         // Rank 1 with a gap structure: A[2i+3j, 4i+6j] (both rows
         // multiples of (2... direction (1, ...)): rows (2,4) and (3,6)
         // are multiples of (1,2): c = (2, 3).

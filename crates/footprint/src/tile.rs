@@ -24,7 +24,9 @@ impl Tile {
     /// Panics if any extent is negative.
     pub fn rect(lambda: &[i128]) -> Self {
         assert!(lambda.iter().all(|&x| x >= 0), "negative tile extent");
-        Tile { l: IMat::diag(lambda) }
+        Tile {
+            l: IMat::diag(lambda),
+        }
     }
 
     /// General hyperparallelepiped tile from its `L` matrix (rows = edge
@@ -55,7 +57,8 @@ impl Tile {
 
     /// The diagonal extents, if rectangular.
     pub fn rect_extents(&self) -> Option<Vec<i128>> {
-        self.is_rect().then(|| (0..self.l.rows()).map(|i| self.l[(i, i)]).collect())
+        self.is_rect()
+            .then(|| (0..self.l.rows()).map(|i| self.l[(i, i)]).collect())
     }
 
     /// Continuous tile volume `|det L|` (Prop. 2).

@@ -80,7 +80,11 @@ impl BoundedLattice {
     /// Membership test: integer coefficients within the bounds.
     pub fn contains(&self, x: &IVec) -> bool {
         match solve_integer(&self.basis, x) {
-            Some(u) => u.0.iter().zip(&self.bounds).all(|(&ui, &b)| 0 <= ui && ui <= b),
+            Some(u) => {
+                u.0.iter()
+                    .zip(&self.bounds)
+                    .all(|(&ui, &b)| 0 <= ui && ui <= b)
+            }
             None => false,
         }
     }
@@ -115,12 +119,11 @@ impl BoundedLattice {
         let full = self.size();
         match solve_integer(&self.basis, t) {
             Some(u) => {
-                let overlap: i128 = u
-                    .0
-                    .iter()
-                    .zip(&self.bounds)
-                    .map(|(&ui, &b)| (b + 1 - ui.abs()).max(0))
-                    .product();
+                let overlap: i128 =
+                    u.0.iter()
+                        .zip(&self.bounds)
+                        .map(|(&ui, &b)| (b + 1 - ui.abs()).max(0))
+                        .product();
                 2 * full - overlap
             }
             None => 2 * full,

@@ -1,9 +1,13 @@
 //! A small exact Fourier–Motzkin eliminator over rational linear
-//! inequalities — enough to derive scanning bounds for parallelepiped
-//! tiles (§3.7 notes that rectangular tiles make code generation easy;
-//! this module is what "hard" costs for the general case).
+//! inequalities.
+//!
+//! Two consumers share this machinery: `alp-codegen` derives scanning
+//! bounds for parallelepiped tiles (§3.7 notes that rectangular tiles
+//! make code generation easy; this module is what "hard" costs for the
+//! general case), and `alp-analysis` bounds the coefficient search when
+//! intersecting a dependence-solution lattice with the loop bounds.
 
-use alp_linalg::Rat;
+use crate::rat::Rat;
 
 /// A linear inequality `Σ coeffs[k]·x_k ≤ bound`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -37,7 +41,10 @@ pub struct System {
 impl System {
     /// Empty system over `vars` variables.
     pub fn new(vars: usize) -> Self {
-        System { constraints: Vec::new(), vars }
+        System {
+            constraints: Vec::new(),
+            vars,
+        }
     }
 
     /// Add `Σ c_k x_k ≤ b`.
@@ -70,7 +77,11 @@ impl System {
             if ck.is_zero() {
                 continue;
             }
-            if c.coeffs.iter().enumerate().any(|(j, v)| j != k && !v.is_zero()) {
+            if c.coeffs
+                .iter()
+                .enumerate()
+                .any(|(j, v)| j != k && !v.is_zero())
+            {
                 continue; // mentions other variables
             }
             let b = c.bound / ck;

@@ -90,7 +90,11 @@ pub fn row_hnf(a: &IMat) -> Hnf {
 /// column lattice of `a`.
 pub fn column_hnf(a: &IMat) -> Hnf {
     let t = row_hnf(&a.transpose());
-    Hnf { h: t.h.transpose(), u: t.u.transpose(), pivots: t.pivots }
+    Hnf {
+        h: t.h.transpose(),
+        u: t.u.transpose(),
+        pivots: t.pivots,
+    }
 }
 
 fn swap_rows(m: &mut IMat, i: usize, j: usize) {
@@ -145,7 +149,10 @@ mod tests {
                 assert_eq!(h[(i, c)], 0, "nonzero below pivot");
             }
             for i in 0..r {
-                assert!(0 <= h[(i, c)] && h[(i, c)] < h[(r, c)], "entry above pivot not reduced");
+                assert!(
+                    0 <= h[(i, c)] && h[(i, c)] < h[(r, c)],
+                    "entry above pivot not reduced"
+                );
             }
             // Everything left of the pivot in this row is zero.
             for cc in 0..c {

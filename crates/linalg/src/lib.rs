@@ -20,6 +20,7 @@
 //! vectors and references map `i ↦ i·G + a`, so `G` has one row per loop
 //! index and one column per array dimension.
 
+pub mod fm;
 pub mod hnf;
 pub mod mat;
 pub mod num;
@@ -29,6 +30,7 @@ pub mod snf;
 pub mod solve;
 pub mod vec;
 
+pub use fm::{eliminate, Constraint, System};
 pub use hnf::{column_hnf, row_hnf, Hnf};
 pub use mat::IMat;
 pub use num::{gcd, gcd_many, lcm, xgcd};
@@ -60,7 +62,11 @@ impl std::fmt::Display for LinalgError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             LinalgError::ShapeMismatch { left, right } => {
-                write!(f, "shape mismatch: {}x{} vs {}x{}", left.0, left.1, right.0, right.1)
+                write!(
+                    f,
+                    "shape mismatch: {}x{} vs {}x{}",
+                    left.0, left.1, right.0, right.1
+                )
             }
             LinalgError::Singular => write!(f, "matrix is singular"),
             LinalgError::NotIntegral => write!(f, "result is not integral"),

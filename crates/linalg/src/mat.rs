@@ -29,7 +29,11 @@ impl IMat {
             assert_eq!(row.len(), c, "ragged rows");
             data.extend_from_slice(row);
         }
-        IMat { rows: r, cols: c, data }
+        IMat {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Build a matrix from a flat row-major vector.
@@ -52,7 +56,11 @@ impl IMat {
 
     /// The `n×n` zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        IMat { rows, cols, data: vec![0; rows * cols] }
+        IMat {
+            rows,
+            cols,
+            data: vec![0; rows * cols],
+        }
     }
 
     /// The `n×n` identity.
@@ -132,8 +140,17 @@ impl IMat {
         if self.rows != other.rows || self.cols != other.cols {
             return Err(self.shape_err(other));
         }
-        let data = self.data.iter().zip(&other.data).map(|(a, b)| a + b).collect();
-        Ok(IMat { rows: self.rows, cols: self.cols, data })
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a + b)
+            .collect();
+        Ok(IMat {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        })
     }
 
     /// Matrix product `self · other`.
@@ -218,7 +235,9 @@ impl IMat {
                     let num = a[idx(i, j)]
                         .checked_mul(a[idx(k, k)])
                         .and_then(|x| {
-                            a[idx(i, k)].checked_mul(a[idx(k, j)]).and_then(|y| x.checked_sub(y))
+                            a[idx(i, k)]
+                                .checked_mul(a[idx(k, j)])
+                                .and_then(|y| x.checked_sub(y))
                         })
                         .expect("determinant overflow");
                     debug_assert_eq!(num % prev, 0, "Bareiss divisibility invariant");
@@ -293,7 +312,9 @@ impl IMat {
     /// paper: zero columns of `G` make the subscript constant and are
     /// dropped, lowering the effective array dimension.
     pub fn nonzero_columns(&self) -> Vec<usize> {
-        (0..self.cols).filter(|&j| (0..self.rows).any(|i| self[(i, j)] != 0)).collect()
+        (0..self.cols)
+            .filter(|&j| (0..self.rows).any(|i| self[(i, j)] != 0))
+            .collect()
     }
 
     /// Iterate over entries in row-major order.
@@ -396,7 +417,8 @@ mod tests {
         assert_eq!(IMat::from_rows(&[&[1, 1], &[1, -1]]).det().unwrap(), -2);
         assert_eq!(IMat::from_rows(&[&[1, 0], &[1, 1]]).det().unwrap(), 1);
         let m = IMat::from_rows(&[&[2, 0, 1], &[1, 3, 2], &[1, 1, 1]]);
-        assert_eq!(m.det().unwrap(), 2 * (3 - 2) + (1 - 3));
+        // Cofactor expansion along the first row: 2*(3-2) + 1*(1-3) = 0.
+        assert_eq!(m.det().unwrap(), 0);
     }
 
     #[test]
@@ -405,7 +427,9 @@ mod tests {
         // Zero pivot forces a row swap.
         assert_eq!(IMat::from_rows(&[&[0, 1], &[1, 0]]).det().unwrap(), -1);
         assert_eq!(
-            IMat::from_rows(&[&[0, 0, 1], &[0, 1, 0], &[1, 0, 0]]).det().unwrap(),
+            IMat::from_rows(&[&[0, 0, 1], &[0, 1, 0], &[1, 0, 0]])
+                .det()
+                .unwrap(),
             -1
         );
     }
@@ -443,13 +467,15 @@ mod tests {
     #[test]
     fn select_columns_subsets() {
         let m = IMat::from_rows(&[&[1, 2, 3], &[4, 5, 6]]);
-        assert_eq!(m.select_columns(&[0, 2]), IMat::from_rows(&[&[1, 3], &[4, 6]]));
+        assert_eq!(
+            m.select_columns(&[0, 2]),
+            IMat::from_rows(&[&[1, 3], &[4, 6]])
+        );
         assert_eq!(m.select_columns(&[]), IMat::zeros(2, 0));
     }
 
     fn arb_mat(n: usize) -> impl Strategy<Value = IMat> {
-        proptest::collection::vec(-6i128..=6, n * n)
-            .prop_map(move |v| IMat::from_vec(n, n, v))
+        proptest::collection::vec(-6i128..=6, n * n).prop_map(move |v| IMat::from_vec(n, n, v))
     }
 
     proptest! {

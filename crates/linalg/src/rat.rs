@@ -72,7 +72,10 @@ impl Rat {
 
     /// Absolute value.
     pub fn abs(&self) -> Rat {
-        Rat { num: self.num.abs(), den: self.den }
+        Rat {
+            num: self.num.abs(),
+            den: self.den,
+        }
     }
 
     /// Multiplicative inverse.
@@ -127,7 +130,10 @@ impl std::ops::Div for Rat {
 impl std::ops::Neg for Rat {
     type Output = Rat;
     fn neg(self) -> Rat {
-        Rat { num: -self.num, den: self.den }
+        Rat {
+            num: -self.num,
+            den: self.den,
+        }
     }
 }
 

@@ -28,12 +28,20 @@ impl RMat {
             assert_eq!(row.len(), c, "ragged rows");
             data.extend_from_slice(row);
         }
-        RMat { rows: r, cols: c, data }
+        RMat {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        RMat { rows, cols, data: vec![Rat::ZERO; rows * cols] }
+        RMat {
+            rows,
+            cols,
+            data: vec![Rat::ZERO; rows * cols],
+        }
     }
 
     /// Identity matrix.
@@ -236,7 +244,10 @@ mod tests {
     #[test]
     fn det_matches_integer_det() {
         let m = IMat::from_rows(&[&[2, 0, 1], &[1, 3, 2], &[1, 1, 1]]);
-        assert_eq!(RMat::from_int(&m).det().unwrap(), Rat::int(m.det().unwrap()));
+        assert_eq!(
+            RMat::from_int(&m).det().unwrap(),
+            Rat::int(m.det().unwrap())
+        );
     }
 
     #[test]

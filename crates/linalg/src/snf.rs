@@ -71,9 +71,13 @@ pub fn smith_normal_form(a: &IMat) -> Snf {
         }
     }
 
-    let invariants: Vec<i128> =
-        (0..k).map(|t| s[(t, t)]).take_while(|&d| d != 0).collect();
-    Snf { s, u, v, invariants }
+    let invariants: Vec<i128> = (0..k).map(|t| s[(t, t)]).take_while(|&d| d != 0).collect();
+    Snf {
+        s,
+        u,
+        v,
+        invariants,
+    }
 }
 
 /// Clear row `t` and column `t` (beyond the pivot) to a fixed point.
@@ -205,7 +209,12 @@ mod tests {
     use proptest::prelude::*;
 
     fn check_snf(a: &IMat) {
-        let Snf { s, u, v, invariants } = smith_normal_form(a);
+        let Snf {
+            s,
+            u,
+            v,
+            invariants,
+        } = smith_normal_form(a);
         // u * a * v == s
         assert_eq!(u.mul(a).unwrap().mul(&v).unwrap(), s, "transform identity");
         assert!(u.is_unimodular(), "u not unimodular");
@@ -220,7 +229,10 @@ mod tests {
         }
         // divisibility chain, positivity
         for w in invariants.windows(2) {
-            assert!(w[0] > 0 && w[1] % w[0] == 0, "divisibility chain broken: {w:?}");
+            assert!(
+                w[0] > 0 && w[1] % w[0] == 0,
+                "divisibility chain broken: {w:?}"
+            );
         }
         if let Some(&last) = invariants.last() {
             assert!(last > 0);
@@ -240,7 +252,10 @@ mod tests {
     #[test]
     fn snf_identity() {
         check_snf(&IMat::identity(3));
-        assert_eq!(smith_normal_form(&IMat::identity(3)).invariants, vec![1, 1, 1]);
+        assert_eq!(
+            smith_normal_form(&IMat::identity(3)).invariants,
+            vec![1, 1, 1]
+        );
     }
 
     #[test]

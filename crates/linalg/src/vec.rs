@@ -90,7 +90,13 @@ impl IVec {
                 right: (1, other.len()),
             });
         }
-        Ok(IVec(self.0.iter().zip(&other.0).map(|(&a, &b)| f(a, b)).collect()))
+        Ok(IVec(
+            self.0
+                .iter()
+                .zip(&other.0)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        ))
     }
 }
 

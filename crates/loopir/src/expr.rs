@@ -17,7 +17,10 @@ pub struct AffineExpr {
 impl AffineExpr {
     /// The constant expression `c`.
     pub fn constant(depth: usize, c: i128) -> Self {
-        AffineExpr { coeffs: vec![0; depth], constant: c }
+        AffineExpr {
+            coeffs: vec![0; depth],
+            constant: c,
+        }
     }
 
     /// The single index `i_k` (0-based) in a nest of the given depth, with
@@ -29,7 +32,10 @@ impl AffineExpr {
         assert!(k < depth, "index out of nest");
         let mut coeffs = vec![0; depth];
         coeffs[k] = 1;
-        AffineExpr { coeffs, constant: 0 }
+        AffineExpr {
+            coeffs,
+            constant: 0,
+        }
     }
 
     /// Build from explicit coefficients and constant.
@@ -49,7 +55,12 @@ impl AffineExpr {
     pub fn add(&self, other: &AffineExpr) -> AffineExpr {
         assert_eq!(self.depth(), other.depth(), "depth mismatch");
         AffineExpr {
-            coeffs: self.coeffs.iter().zip(&other.coeffs).map(|(a, b)| a + b).collect(),
+            coeffs: self
+                .coeffs
+                .iter()
+                .zip(&other.coeffs)
+                .map(|(a, b)| a + b)
+                .collect(),
             constant: self.constant + other.constant,
         }
     }
@@ -64,7 +75,10 @@ impl AffineExpr {
 
     /// Add a constant.
     pub fn offset(&self, c: i128) -> AffineExpr {
-        AffineExpr { coeffs: self.coeffs.clone(), constant: self.constant + c }
+        AffineExpr {
+            coeffs: self.coeffs.clone(),
+            constant: self.constant + c,
+        }
     }
 
     /// Evaluate at an iteration point.
@@ -73,7 +87,13 @@ impl AffineExpr {
     /// Panics on depth mismatch.
     pub fn eval(&self, i: &IVec) -> i128 {
         assert_eq!(i.len(), self.depth(), "depth mismatch");
-        self.constant + self.coeffs.iter().zip(&i.0).map(|(c, x)| c * x).sum::<i128>()
+        self.constant
+            + self
+                .coeffs
+                .iter()
+                .zip(&i.0)
+                .map(|(c, x)| c * x)
+                .sum::<i128>()
     }
 
     /// True when no loop index appears (a pure constant subscript —

@@ -22,11 +22,13 @@ pub mod expr;
 pub mod nest;
 pub mod parser;
 pub mod refs;
+pub mod span;
 
 pub use expr::AffineExpr;
 pub use nest::{LoopIndex, LoopNest, Statement};
 pub use parser::{parse, parse_program, parse_program_with_params, parse_with_params, ParseError};
 pub use refs::{AccessKind, ArrayRef};
+pub use span::{line_col, line_text, Span};
 
 /// Errors raised while constructing or validating IR.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -52,19 +54,36 @@ pub enum IrError {
         /// Index name.
         index: String,
     },
+    /// The same index name is used by two loops of the nest (counting
+    /// both `doseq` and `doall` levels): the inner loop would shadow the
+    /// outer and every subscript would be ambiguous.
+    DuplicateIndex {
+        /// The repeated index name.
+        index: String,
+    },
 }
 
 impl std::fmt::Display for IrError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            IrError::DimensionMismatch { array, expected, found } => write!(
+            IrError::DimensionMismatch {
+                array,
+                expected,
+                found,
+            } => write!(
                 f,
                 "array `{array}` used with {found} subscripts, previously {expected}"
             ),
             IrError::DepthMismatch { depth, found } => {
-                write!(f, "subscript has {found} coefficients in a depth-{depth} nest")
+                write!(
+                    f,
+                    "subscript has {found} coefficients in a depth-{depth} nest"
+                )
             }
             IrError::EmptyLoop { index } => write!(f, "loop `{index}` has lower > upper"),
+            IrError::DuplicateIndex { index } => {
+                write!(f, "index `{index}` is declared by more than one loop")
+            }
         }
     }
 }

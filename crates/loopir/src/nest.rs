@@ -1,12 +1,15 @@
 //! Loop nests: the unit of partitioning.
 
 use crate::refs::{AccessKind, ArrayRef};
+use crate::span::Span;
 use crate::IrError;
 use alp_linalg::IVec;
 use std::collections::HashMap;
 
 /// One loop level: `Doall (name, lower, upper)` with unit stride (§2.1).
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Equality ignores [`span`](LoopIndex::span) (source metadata only).
+#[derive(Debug, Clone, Eq)]
 pub struct LoopIndex {
     /// Index variable name.
     pub name: String,
@@ -14,12 +17,31 @@ pub struct LoopIndex {
     pub lower: i128,
     /// Inclusive upper bound.
     pub upper: i128,
+    /// Span of the index name in the loop header, when parsed.
+    pub span: Option<Span>,
+}
+
+impl PartialEq for LoopIndex {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name && self.lower == other.lower && self.upper == other.upper
+    }
 }
 
 impl LoopIndex {
     /// Construct a loop level.
     pub fn new(name: impl Into<String>, lower: i128, upper: i128) -> Self {
-        LoopIndex { name: name.into(), lower, upper }
+        LoopIndex {
+            name: name.into(),
+            lower,
+            upper,
+            span: None,
+        }
+    }
+
+    /// Attach a source span (the index name in the header).
+    pub fn with_span(mut self, span: Span) -> Self {
+        self.span = Some(span);
+        self
     }
 
     /// Number of iterations.
@@ -31,12 +53,44 @@ impl LoopIndex {
 /// An assignment statement `lhs = f(rhs…)` (only the reference structure
 /// matters to the analysis; arithmetic operators are irrelevant to
 /// traffic).
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Equality ignores [`span`](Statement::span) (source metadata only).
+#[derive(Debug, Clone, Eq)]
 pub struct Statement {
     /// The written (or accumulated) reference.
     pub lhs: ArrayRef,
     /// All references read on the right-hand side.
     pub rhs: Vec<ArrayRef>,
+    /// Span of the whole statement (lhs through `;`), when parsed.
+    pub span: Option<Span>,
+}
+
+impl PartialEq for Statement {
+    fn eq(&self, other: &Self) -> bool {
+        self.lhs == other.lhs && self.rhs == other.rhs
+    }
+}
+
+impl Statement {
+    /// Construct a statement.
+    pub fn new(lhs: ArrayRef, rhs: Vec<ArrayRef>) -> Self {
+        Statement {
+            lhs,
+            rhs,
+            span: None,
+        }
+    }
+
+    /// Attach a source span (lhs through the terminating `;`).
+    pub fn with_span(mut self, span: Span) -> Self {
+        self.span = Some(span);
+        self
+    }
+
+    /// Every reference of the statement: the write first, then the reads.
+    pub fn refs(&self) -> impl Iterator<Item = &ArrayRef> {
+        std::iter::once(&self.lhs).chain(self.rhs.iter())
+    }
 }
 
 /// A perfectly nested loop (Fig. 1), optionally wrapped in outer
@@ -65,7 +119,11 @@ impl LoopNest {
         loops: Vec<LoopIndex>,
         body: Vec<Statement>,
     ) -> Result<Self, IrError> {
-        let nest = LoopNest { seq_loops, loops, body };
+        let nest = LoopNest {
+            seq_loops,
+            loops,
+            body,
+        };
         nest.validate()?;
         Ok(nest)
     }
@@ -200,13 +258,21 @@ impl LoopNest {
         }
         for st in &self.body {
             let rhs: Vec<String> = st.rhs.iter().map(|r| r.display(&names)).collect();
-            let op = if st.lhs.kind == AccessKind::Accumulate { "+=" } else { "=" };
+            let op = if st.lhs.kind == AccessKind::Accumulate {
+                "+="
+            } else {
+                "="
+            };
             s.push_str(&format!(
                 "{}{} {} {};\n",
                 "  ".repeat(indent),
                 st.lhs.display(&names),
                 op,
-                if rhs.is_empty() { "0".to_string() } else { rhs.join(" + ") }
+                if rhs.is_empty() {
+                    "0".to_string()
+                } else {
+                    rhs.join(" + ")
+                }
             ));
         }
         while indent > 0 {
@@ -217,9 +283,17 @@ impl LoopNest {
     }
 
     fn validate(&self) -> Result<(), IrError> {
+        let mut names = std::collections::HashSet::new();
         for l in self.seq_loops.iter().chain(&self.loops) {
             if l.lower > l.upper {
-                return Err(IrError::EmptyLoop { index: l.name.clone() });
+                return Err(IrError::EmptyLoop {
+                    index: l.name.clone(),
+                });
+            }
+            if !names.insert(l.name.as_str()) {
+                return Err(IrError::DuplicateIndex {
+                    index: l.name.clone(),
+                });
             }
         }
         let depth = self.depth();
@@ -227,7 +301,10 @@ impl LoopNest {
         for r in self.all_refs() {
             for sub in &r.subscripts {
                 if sub.depth() != depth {
-                    return Err(IrError::DepthMismatch { depth, found: sub.depth() });
+                    return Err(IrError::DepthMismatch {
+                        depth,
+                        found: sub.depth(),
+                    });
                 }
             }
             match dims.get(r.array.as_str()) {
@@ -273,7 +350,7 @@ mod tests {
         );
         LoopNest::new(
             vec![LoopIndex::new("i", 101, 200), LoopIndex::new("j", 1, 100)],
-            vec![Statement { lhs: a, rhs: vec![b1, b2] }],
+            vec![Statement::new(a, vec![b1, b2])],
         )
         .unwrap()
     }
@@ -324,7 +401,7 @@ mod tests {
         let a2 = ArrayRef::new("A", vec![idx(1, 0), idx(1, 0)], AccessKind::Read);
         let r = LoopNest::new(
             vec![LoopIndex::new("i", 0, 9)],
-            vec![Statement { lhs: a1, rhs: vec![a2] }],
+            vec![Statement::new(a1, vec![a2])],
         );
         assert!(matches!(r, Err(IrError::DimensionMismatch { .. })));
     }
@@ -334,7 +411,7 @@ mod tests {
         let bad = ArrayRef::new("A", vec![idx(3, 0)], AccessKind::Write);
         let r = LoopNest::new(
             vec![LoopIndex::new("i", 0, 9)],
-            vec![Statement { lhs: bad, rhs: vec![] }],
+            vec![Statement::new(bad, vec![])],
         );
         assert!(matches!(r, Err(IrError::DepthMismatch { .. })));
     }

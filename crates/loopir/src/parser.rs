@@ -17,29 +17,64 @@
 use crate::expr::AffineExpr;
 use crate::nest::{LoopIndex, LoopNest, Statement};
 use crate::refs::{AccessKind, ArrayRef};
+use crate::span::{line_col, Span};
 use crate::IrError;
 use std::collections::HashMap;
 
-/// Parse failure, with a human-oriented message and byte offset.
+/// Parse failure, with a human-oriented message and source position.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseError {
     /// What went wrong.
     pub message: String,
     /// Byte offset into the source.
     pub offset: usize,
+    /// 1-based line of the offset (0 when the position is unknown).
+    pub line: usize,
+    /// 1-based column of the offset (0 when the position is unknown).
+    pub column: usize,
+}
+
+impl ParseError {
+    /// An error at a byte offset of `src`, with line/column filled in.
+    pub fn at(message: impl Into<String>, offset: usize, src: &str) -> Self {
+        let offset = offset.min(src.len());
+        let (line, column) = line_col(src, offset);
+        ParseError {
+            message: message.into(),
+            offset,
+            line,
+            column,
+        }
+    }
 }
 
 impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+        if self.line > 0 {
+            write!(
+                f,
+                "parse error at line {}, column {}: {}",
+                self.line, self.column, self.message
+            )
+        } else {
+            write!(f, "parse error: {}", self.message)
+        }
     }
 }
 
 impl std::error::Error for ParseError {}
 
+/// Lossy fallback for IR errors raised outside the parser: no source is
+/// available, so the position is unknown.  The parser itself converts
+/// [`IrError`] via [`ParseError::at`] with the offending nest's offset.
 impl From<IrError> for ParseError {
     fn from(e: IrError) -> Self {
-        ParseError { message: e.to_string(), offset: 0 }
+        ParseError {
+            message: e.to_string(),
+            offset: 0,
+            line: 0,
+            column: 0,
+        }
     }
 }
 
@@ -55,7 +90,12 @@ pub fn parse_with_params(
     params: &HashMap<String, i128>,
 ) -> Result<LoopNest, ParseError> {
     let tokens = tokenize(src)?;
-    let mut p = Parser { tokens, pos: 0, params };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        params,
+        src,
+    };
     let nest = p.parse_nest()?;
     p.expect_eof()?;
     Ok(nest)
@@ -74,7 +114,12 @@ pub fn parse_program_with_params(
     params: &HashMap<String, i128>,
 ) -> Result<Vec<LoopNest>, ParseError> {
     let tokens = tokenize(src)?;
-    let mut p = Parser { tokens, pos: 0, params };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        params,
+        src,
+    };
     let mut nests = Vec::new();
     loop {
         nests.push(p.parse_nest()?);
@@ -88,15 +133,17 @@ pub fn parse_program_with_params(
         for r in nest.all_refs() {
             match dims.get(&r.array) {
                 Some(&d) if d != r.dim() => {
-                    return Err(ParseError {
-                        message: format!(
+                    let offset = r.span.map_or(0, |s| s.start);
+                    return Err(ParseError::at(
+                        format!(
                             "array `{}` used with {} subscripts here, {} elsewhere",
                             r.array,
                             r.dim(),
                             d
                         ),
-                        offset: 0,
-                    });
+                        offset,
+                        src,
+                    ));
                 }
                 _ => {
                     dims.insert(r.array.clone(), r.dim());
@@ -120,6 +167,7 @@ enum Tok {
 struct Spanned {
     tok: Tok,
     offset: usize,
+    end: usize,
 }
 
 fn tokenize(src: &str) -> Result<Vec<Spanned>, ParseError> {
@@ -140,41 +188,59 @@ fn tokenize(src: &str) -> Result<Vec<Spanned>, ParseError> {
                 while i < bytes.len() && bytes[i].is_ascii_digit() {
                     i += 1;
                 }
-                let n: i128 = src[start..i].parse().map_err(|_| ParseError {
-                    message: "integer literal out of range".into(),
+                let n: i128 = src[start..i]
+                    .parse()
+                    .map_err(|_| ParseError::at("integer literal out of range", start, src))?;
+                out.push(Spanned {
+                    tok: Tok::Int(n),
                     offset: start,
-                })?;
-                out.push(Spanned { tok: Tok::Int(n), offset: start });
+                    end: i,
+                });
             }
             'a'..='z' | 'A'..='Z' | '_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 let word = &src[start..i];
                 // `l$` accumulate sigil.
                 if word == "l" && bytes.get(i) == Some(&b'$') {
                     i += 1;
-                    out.push(Spanned { tok: Tok::AccSigil, offset: start });
+                    out.push(Spanned {
+                        tok: Tok::AccSigil,
+                        offset: start,
+                        end: i,
+                    });
                 } else {
-                    out.push(Spanned { tok: Tok::Ident(word.to_string()), offset: start });
+                    out.push(Spanned {
+                        tok: Tok::Ident(word.to_string()),
+                        offset: start,
+                        end: i,
+                    });
                 }
             }
             '+' if bytes.get(i + 1) == Some(&b'=') => {
-                out.push(Spanned { tok: Tok::PlusEq, offset: i });
+                out.push(Spanned {
+                    tok: Tok::PlusEq,
+                    offset: i,
+                    end: i + 2,
+                });
                 i += 2;
             }
             '(' | ')' | '{' | '}' | '[' | ']' | ',' | ';' | '=' | '+' | '-' | '*' => {
-                out.push(Spanned { tok: Tok::Sym(c), offset: i });
+                out.push(Spanned {
+                    tok: Tok::Sym(c),
+                    offset: i,
+                    end: i + 1,
+                });
                 i += 1;
             }
             other => {
-                return Err(ParseError {
-                    message: format!("unexpected character `{other}`"),
-                    offset: i,
-                })
+                return Err(ParseError::at(
+                    format!("unexpected character `{other}`"),
+                    i,
+                    src,
+                ))
             }
         }
     }
@@ -185,6 +251,7 @@ struct Parser<'a> {
     tokens: Vec<Spanned>,
     pos: usize,
     params: &'a HashMap<String, i128>,
+    src: &'a str,
 }
 
 impl Parser<'_> {
@@ -193,7 +260,17 @@ impl Parser<'_> {
     }
 
     fn offset(&self) -> usize {
-        self.tokens.get(self.pos).map_or(usize::MAX, |s| s.offset)
+        self.tokens
+            .get(self.pos)
+            .map_or(self.src.len(), |s| s.offset)
+    }
+
+    /// Offset one past the end of the most recently bumped token.
+    fn prev_end(&self) -> usize {
+        self.pos
+            .checked_sub(1)
+            .and_then(|p| self.tokens.get(p))
+            .map_or(self.src.len(), |s| s.end)
     }
 
     fn bump(&mut self) -> Option<Tok> {
@@ -203,7 +280,7 @@ impl Parser<'_> {
     }
 
     fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
-        Err(ParseError { message: msg.into(), offset: self.offset() })
+        Err(ParseError::at(msg, self.offset(), self.src))
     }
 
     fn expect_sym(&mut self, c: char) -> Result<(), ParseError> {
@@ -225,8 +302,9 @@ impl Parser<'_> {
     }
 
     fn parse_nest(&mut self) -> Result<LoopNest, ParseError> {
-        let mut seq_loops = Vec::new();
-        let mut loops = Vec::new();
+        let nest_start = self.offset();
+        let mut seq_loops: Vec<LoopIndex> = Vec::new();
+        let mut loops: Vec<LoopIndex> = Vec::new();
         let mut opened = 0usize;
         // Headers: doseq* doall+
         loop {
@@ -246,6 +324,21 @@ impl Parser<'_> {
                 }
                 _ => break,
             }
+            // Reject shadowed indices at the duplicate's own position.
+            let latest = loops
+                .last()
+                .unwrap_or_else(|| seq_loops.last().expect("just pushed"));
+            let earlier = seq_loops
+                .iter()
+                .chain(&loops)
+                .filter(|l| l.name == latest.name);
+            if earlier.count() > 1 {
+                return Err(ParseError::at(
+                    format!("index `{}` is declared by more than one loop", latest.name),
+                    latest.span.map_or(nest_start, |s| s.start),
+                    self.src,
+                ));
+            }
         }
         if loops.is_empty() {
             return self.err("expected at least one doall loop");
@@ -259,12 +352,14 @@ impl Parser<'_> {
         for _ in 0..opened {
             self.expect_sym('}')?;
         }
-        Ok(LoopNest::with_seq(seq_loops, loops, body)?)
+        LoopNest::with_seq(seq_loops, loops, body)
+            .map_err(|e| ParseError::at(e.to_string(), nest_start, self.src))
     }
 
     /// `(name, lo, hi) {`
     fn parse_header(&mut self) -> Result<LoopIndex, ParseError> {
         self.expect_sym('(')?;
+        let name_start = self.offset();
         let name = match self.bump() {
             Some(Tok::Ident(n)) => n,
             _ => {
@@ -272,13 +367,14 @@ impl Parser<'_> {
                 return self.err("expected loop index name");
             }
         };
+        let name_span = Span::new(name_start, self.prev_end());
         self.expect_sym(',')?;
         let lower = self.parse_bound()?;
         self.expect_sym(',')?;
         let upper = self.parse_bound()?;
         self.expect_sym(')')?;
         self.expect_sym('{')?;
-        Ok(LoopIndex::new(name, lower, upper))
+        Ok(LoopIndex::new(name, lower, upper).with_span(name_span))
     }
 
     /// Integer literal, optionally negated, or a named parameter.
@@ -307,6 +403,7 @@ impl Parser<'_> {
     }
 
     fn parse_statement(&mut self, names: &[String]) -> Result<Statement, ParseError> {
+        let stmt_start = self.offset();
         let (mut lhs, _) = self.parse_ref(names, AccessKind::Write)?;
         let acc = match self.bump() {
             Some(Tok::Sym('=')) => false,
@@ -362,7 +459,7 @@ impl Parser<'_> {
                 _ => return self.err("expected `+`, `-` or `;`"),
             }
         }
-        Ok(Statement { lhs, rhs })
+        Ok(Statement::new(lhs, rhs).with_span(Span::new(stmt_start, self.prev_end())))
     }
 
     /// `[l$]Name[affine, affine, …]`
@@ -371,6 +468,7 @@ impl Parser<'_> {
         names: &[String],
         default_kind: AccessKind,
     ) -> Result<(ArrayRef, usize), ParseError> {
+        let ref_start = self.offset();
         let kind = if matches!(self.peek(), Some(Tok::AccSigil)) {
             self.bump();
             AccessKind::Accumulate
@@ -398,7 +496,8 @@ impl Parser<'_> {
             }
         }
         let d = subs.len();
-        Ok((ArrayRef::new(array, subs, kind), d))
+        let span = Span::new(ref_start, self.prev_end());
+        Ok((ArrayRef::new(array, subs, kind).with_span(span), d))
     }
 
     /// Sum of `[int *] index` and integer terms with `+`/`-` signs.

@@ -1,6 +1,7 @@
 //! Array references `A[ḡ(ī)]` and their `(G, ā)` form.
 
 use crate::expr::AffineExpr;
+use crate::span::Span;
 use alp_linalg::{IMat, IVec};
 
 /// How a reference touches memory.
@@ -26,7 +27,11 @@ impl AccessKind {
 }
 
 /// A single array reference with affine subscripts.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+///
+/// Equality and hashing ignore [`span`](ArrayRef::span), which is pure
+/// source metadata: a parsed reference equals the same reference built by
+/// hand.
+#[derive(Debug, Clone, Eq)]
 pub struct ArrayRef {
     /// Array name (aliasing resolved: distinct names are distinct arrays,
     /// §3.3).
@@ -35,12 +40,39 @@ pub struct ArrayRef {
     pub subscripts: Vec<AffineExpr>,
     /// Access kind.
     pub kind: AccessKind,
+    /// Source span when parsed from DSL text (`None` for built IR).
+    pub span: Option<Span>,
+}
+
+impl PartialEq for ArrayRef {
+    fn eq(&self, other: &Self) -> bool {
+        self.array == other.array && self.subscripts == other.subscripts && self.kind == other.kind
+    }
+}
+
+impl std::hash::Hash for ArrayRef {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.array.hash(state);
+        self.subscripts.hash(state);
+        self.kind.hash(state);
+    }
 }
 
 impl ArrayRef {
     /// Construct a reference.
     pub fn new(array: impl Into<String>, subscripts: Vec<AffineExpr>, kind: AccessKind) -> Self {
-        ArrayRef { array: array.into(), subscripts, kind }
+        ArrayRef {
+            array: array.into(),
+            subscripts,
+            kind,
+            span: None,
+        }
+    }
+
+    /// Attach a source span.
+    pub fn with_span(mut self, span: Span) -> Self {
+        self.span = Some(span);
+        self
     }
 
     /// Array dimensionality `d`.
@@ -82,11 +114,14 @@ impl ArrayRef {
     /// behaves as a reference to a lower-dimensional array.  Returns the
     /// reduced reference and the kept subscript positions.
     pub fn drop_constant_subscripts(&self) -> (ArrayRef, Vec<usize>) {
-        let keep: Vec<usize> = (0..self.dim()).filter(|&k| !self.subscripts[k].is_constant()).collect();
+        let keep: Vec<usize> = (0..self.dim())
+            .filter(|&k| !self.subscripts[k].is_constant())
+            .collect();
         let reduced = ArrayRef {
             array: self.array.clone(),
             subscripts: keep.iter().map(|&k| self.subscripts[k].clone()).collect(),
             kind: self.kind,
+            span: self.span,
         };
         (reduced, keep)
     }
@@ -94,7 +129,11 @@ impl ArrayRef {
     /// Render with the given index names, e.g. `B[i+j, i-j-1]`.
     pub fn display(&self, names: &[String]) -> String {
         let subs: Vec<String> = self.subscripts.iter().map(|s| s.display(names)).collect();
-        let sigil = if self.kind == AccessKind::Accumulate { "l$" } else { "" };
+        let sigil = if self.kind == AccessKind::Accumulate {
+            "l$"
+        } else {
+            ""
+        };
         format!("{sigil}{}[{}]", self.array, subs.join(", "))
     }
 }
@@ -121,7 +160,10 @@ mod tests {
             AccessKind::Read,
         );
         let g = r.g_matrix();
-        assert_eq!(g, IMat::from_rows(&[&[0, 0, 0, 0], &[0, 0, 1, 0], &[1, 0, 0, 0]]));
+        assert_eq!(
+            g,
+            IMat::from_rows(&[&[0, 0, 0, 0], &[0, 0, 1, 0], &[1, 0, 0, 0]])
+        );
         assert_eq!(r.offset(), IVec::new(&[2, 5, -1, 4]));
     }
 
@@ -148,12 +190,20 @@ mod tests {
     fn eval_matches_g_and_a() {
         let r = ArrayRef::new(
             "B",
-            vec![AffineExpr::new(vec![1, 1], 4), AffineExpr::new(vec![1, -1], 2)],
+            vec![
+                AffineExpr::new(vec![1, 1], 4),
+                AffineExpr::new(vec![1, -1], 2),
+            ],
             AccessKind::Read,
         );
         let i = IVec::new(&[10, 3]);
         let via_eval = r.eval(&i);
-        let via_mat = r.g_matrix().apply_row(&i).unwrap().add(&r.offset()).unwrap();
+        let via_mat = r
+            .g_matrix()
+            .apply_row(&i)
+            .unwrap()
+            .add(&r.offset())
+            .unwrap();
         assert_eq!(via_eval, via_mat);
         assert_eq!(via_eval, IVec::new(&[17, 9]));
     }
@@ -169,7 +219,10 @@ mod tests {
     fn rendering() {
         let r = ArrayRef::new(
             "B",
-            vec![AffineExpr::new(vec![1, 1, 0], 4), AffineExpr::new(vec![1, -1, 0], 0)],
+            vec![
+                AffineExpr::new(vec![1, 1, 0], 4),
+                AffineExpr::new(vec![1, -1, 0], 0),
+            ],
             AccessKind::Read,
         );
         assert_eq!(r.display(&names()), "B[i+j+4, i-j]");

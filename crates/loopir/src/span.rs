@@ -1,0 +1,105 @@
+//! Byte spans into DSL source text.
+//!
+//! The parser attaches a [`Span`] to every loop header, statement and
+//! array reference it produces, so downstream passes (notably
+//! `alp-analysis`) can render rustc-style caret diagnostics pointing at
+//! the offending source.  Spans are *metadata*: they never participate
+//! in equality or hashing of IR nodes, so a hand-built nest (span-less)
+//! compares equal to its parsed pretty-printed form.
+
+/// A half-open byte range `[start, end)` into the source the nest was
+/// parsed from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Span {
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+}
+
+impl Span {
+    /// Construct a span; `end` is clamped to be at least `start`.
+    pub fn new(start: usize, end: usize) -> Self {
+        Span {
+            start,
+            end: end.max(start),
+        }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True when the span covers no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Smallest span covering both operands.
+    pub fn to(self, other: Span) -> Span {
+        Span::new(self.start.min(other.start), self.end.max(other.end))
+    }
+}
+
+/// 1-based `(line, column)` of a byte offset in `src`.
+///
+/// Columns count bytes from the start of the line (the DSL is ASCII).
+/// Offsets past the end of `src` report the position just past the last
+/// byte.
+pub fn line_col(src: &str, offset: usize) -> (usize, usize) {
+    let offset = offset.min(src.len());
+    let mut line = 1;
+    let mut col = 1;
+    for b in src.as_bytes()[..offset].iter() {
+        if *b == b'\n' {
+            line += 1;
+            col = 1;
+        } else {
+            col += 1;
+        }
+    }
+    (line, col)
+}
+
+/// The full text of the (1-based) line containing `offset`, without its
+/// trailing newline, plus the byte offset at which that line starts.
+pub fn line_text(src: &str, offset: usize) -> (&str, usize) {
+    let offset = offset.min(src.len());
+    let start = src[..offset].rfind('\n').map_or(0, |p| p + 1);
+    let end = src[start..].find('\n').map_or(src.len(), |p| start + p);
+    (&src[start..end], start)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_col_basics() {
+        let src = "ab\ncd\n";
+        assert_eq!(line_col(src, 0), (1, 1));
+        assert_eq!(line_col(src, 1), (1, 2));
+        assert_eq!(line_col(src, 3), (2, 1));
+        assert_eq!(line_col(src, 4), (2, 2));
+        // Past the end: clamped.
+        assert_eq!(line_col(src, 99), (3, 1));
+    }
+
+    #[test]
+    fn line_text_extracts_line() {
+        let src = "first\nsecond\nthird";
+        assert_eq!(line_text(src, 0), ("first", 0));
+        assert_eq!(line_text(src, 7), ("second", 6));
+        assert_eq!(line_text(src, 14), ("third", 13));
+    }
+
+    #[test]
+    fn span_union() {
+        let s = Span::new(4, 7).to(Span::new(1, 5));
+        assert_eq!(s, Span::new(1, 7));
+        assert_eq!(s.len(), 6);
+        assert!(!s.is_empty());
+        assert!(Span::new(3, 3).is_empty());
+    }
+}

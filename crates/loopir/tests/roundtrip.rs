@@ -7,10 +7,7 @@ use proptest::prelude::*;
 
 /// Generate a random affine expression over `depth` indices.
 fn arb_expr(depth: usize) -> impl Strategy<Value = AffineExpr> {
-    (
-        proptest::collection::vec(-4i128..=4, depth),
-        -9i128..=9,
-    )
+    (proptest::collection::vec(-4i128..=4, depth), -9i128..=9)
         .prop_map(|(coeffs, c)| AffineExpr::new(coeffs, c))
 }
 
@@ -30,13 +27,16 @@ fn arb_nest() -> impl Strategy<Value = LoopNest> {
             .map(|k| LoopIndex::new(format!("i{k}"), 0, 7))
             .collect();
         proptest::collection::vec(
-            (arb_ref(depth, AccessKind::Write), proptest::collection::vec(arb_ref(depth, AccessKind::Read), 0..=3)),
+            (
+                arb_ref(depth, AccessKind::Write),
+                proptest::collection::vec(arb_ref(depth, AccessKind::Read), 0..=3),
+            ),
             1..=3,
         )
         .prop_filter_map("consistent array dims", move |stmts| {
             let body: Vec<Statement> = stmts
                 .into_iter()
-                .map(|(lhs, rhs)| Statement { lhs, rhs })
+                .map(|(lhs, rhs)| Statement::new(lhs, rhs))
                 .collect();
             LoopNest::new(loops.clone(), body).ok()
         })

@@ -37,17 +37,29 @@ impl ArrayLayout {
         let extents = nest.array_extents();
         for name in nest.arrays() {
             let ext = extents[&name].clone();
-            let dims: Vec<u64> = ext.iter().map(|&(lo, hi)| (hi - lo + 1).max(0) as u64).collect();
+            let dims: Vec<u64> = ext
+                .iter()
+                .map(|&(lo, hi)| (hi - lo + 1).max(0) as u64)
+                .collect();
             let mut strides = vec![1u64; dims.len()];
             for k in (0..dims.len().saturating_sub(1)).rev() {
                 strides[k] = strides[k + 1] * dims[k + 1];
             }
             let size: u64 = dims.iter().product::<u64>().max(1);
             by_name.insert(name.clone(), arrays.len());
-            arrays.push(ArrayInfo { name, extents: ext, base, strides });
+            arrays.push(ArrayInfo {
+                name,
+                extents: ext,
+                base,
+                strides,
+            });
             base += size;
         }
-        ArrayLayout { arrays, by_name, total_lines: base }
+        ArrayLayout {
+            arrays,
+            by_name,
+            total_lines: base,
+        }
     }
 
     /// Total number of distinct lines (elements) across all arrays.
@@ -75,7 +87,13 @@ impl ArrayLayout {
         debug_assert_eq!(index.len(), a.extents.len(), "rank mismatch");
         let mut off = 0u64;
         for (k, (&x, &(lo, hi))) in index.0.iter().zip(&a.extents).enumerate() {
-            assert!(lo <= x && x <= hi, "{}[{}] out of extent {:?}", a.name, index, a.extents);
+            assert!(
+                lo <= x && x <= hi,
+                "{}[{}] out of extent {:?}",
+                a.name,
+                index,
+                a.extents
+            );
             off += (x - lo) as u64 * a.strides[k];
         }
         a.base + off
@@ -195,7 +213,11 @@ impl TiledHome {
                 assert!(*od < grid.len(), "owner dim out of range");
             }
         }
-        TiledHome { arrays, processors: processors as usize, grid }
+        TiledHome {
+            arrays,
+            processors: processors as usize,
+            grid,
+        }
     }
 
     /// Number of processors.
@@ -212,8 +234,11 @@ impl HomeMap for TiledHome {
             }
             // Unflatten row-major.
             let mut rem = line - a.base;
-            let dims: Vec<u64> =
-                a.extents.iter().map(|&(lo, hi)| (hi - lo + 1).max(1) as u64).collect();
+            let dims: Vec<u64> = a
+                .extents
+                .iter()
+                .map(|&(lo, hi)| (hi - lo + 1).max(1) as u64)
+                .collect();
             let mut idx = vec![0i128; dims.len()];
             for k in (0..dims.len()).rev() {
                 idx[k] = (rem % dims[k]) as i128 + a.extents[k].0;
@@ -221,9 +246,9 @@ impl HomeMap for TiledHome {
             }
             // Loop-grid coordinates implied by the owned data dimensions.
             let mut coords = vec![0i128; self.grid.len()];
-            for k in 0..dims.len() {
+            for (k, &i) in idx.iter().enumerate() {
                 if let Some(r) = a.owner_dim[k] {
-                    let c = ((idx[k] - a.extents[k].0) / a.chunks[k]).min(self.grid[r] - 1);
+                    let c = ((i - a.extents[k].0) / a.chunks[k]).min(self.grid[r] - 1);
                     coords[r] = c.max(0);
                 }
             }
@@ -244,10 +269,7 @@ mod tests {
 
     #[test]
     fn layout_flattening() {
-        let nest = parse(
-            "doall (i, 0, 9) { doall (j, 0, 4) { A[i,j] = B[i+j]; } }",
-        )
-        .unwrap();
+        let nest = parse("doall (i, 0, 9) { doall (j, 0, 4) { A[i,j] = B[i+j]; } }").unwrap();
         let lay = ArrayLayout::from_nest(&nest);
         assert_eq!(lay.array_count(), 2);
         let a = lay.array_id("A").unwrap();

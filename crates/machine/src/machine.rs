@@ -20,7 +20,7 @@ pub struct MachineConfig {
     pub mesh: Option<(usize, usize)>,
     /// Elements per cache line.  The paper assumes 1 (§2.2) and notes
     /// that larger lines "can be included as suggested in \[6\]"; values
-    /// > 1 model spatial locality *and* false sharing at tile
+    /// above 1 model spatial locality *and* false sharing at tile
     /// boundaries.  Consecutive flattened element addresses share a
     /// line.
     pub line_size: u64,
@@ -115,9 +115,17 @@ impl<'h> Machine<'h> {
             (1..=128).contains(&config.processors),
             "processors must be in 1..=128 (full-map bitmask)"
         );
-        let caches = (0..config.processors).map(|_| Cache::new(config.cache)).collect();
+        let caches = (0..config.processors)
+            .map(|_| Cache::new(config.cache))
+            .collect();
         let counters = vec![ProcessorCounters::default(); config.processors];
-        Machine { config, home, caches, directory: HashMap::new(), counters }
+        Machine {
+            config,
+            home,
+            caches,
+            directory: HashMap::new(),
+            counters,
+        }
     }
 
     fn hops(&self, a: usize, b: usize) -> u64 {
@@ -254,18 +262,14 @@ impl<'h> Machine<'h> {
             let already = e.sharers & (1u128 << p) != 0;
             let count = e.sharers.count_ones();
             match directory_kind {
-                DirectoryKind::LimitedNoBroadcast { pointers }
-                    if !already && count >= pointers =>
-                {
+                DirectoryKind::LimitedNoBroadcast { pointers } if !already && count >= pointers => {
                     // Evict the lowest-numbered tracked sharer.
                     let victim = e.sharers.trailing_zeros() as usize;
                     e.sharers &= !(1u128 << victim);
                     e.sharers |= 1u128 << p;
                     evict_victim = Some(victim);
                 }
-                DirectoryKind::LimitedBroadcast { pointers }
-                    if !already && count >= pointers =>
-                {
+                DirectoryKind::LimitedBroadcast { pointers } if !already && count >= pointers => {
                     // The new sharer is cached but untracked.
                     e.broadcast = true;
                 }
@@ -307,7 +311,10 @@ impl<'h> Machine<'h> {
 
     /// Consume the machine, yielding the traffic report.
     pub fn into_report(self, repetitions: u64) -> TrafficReport {
-        TrafficReport { per_processor: self.counters, repetitions }
+        TrafficReport {
+            per_processor: self.counters,
+            repetitions,
+        }
     }
 
     /// Processor count.
@@ -338,7 +345,11 @@ fn build_trace(nest: &LoopNest, layout: &ArrayLayout, iters: &[IVec]) -> Vec<Acc
                 .rhs
                 .iter()
                 .map(|r| {
-                    (layout.array_id(&r.array).expect("laid out"), r.kind.is_write_like(), r)
+                    (
+                        layout.array_id(&r.array).expect("laid out"),
+                        r.kind.is_write_like(),
+                        r,
+                    )
                 })
                 .collect();
             (lhs_id, rhs)
@@ -373,7 +384,11 @@ pub fn run_nest(
     home: &dyn HomeMap,
 ) -> TrafficReport {
     let layout = ArrayLayout::from_nest(nest);
-    assert_eq!(assignment.len(), config.processors, "one iteration list per processor");
+    assert_eq!(
+        assignment.len(),
+        config.processors,
+        "one iteration list per processor"
+    );
 
     // Parallel trace generation (deterministic: output order is fixed by
     // the assignment, not by thread timing).
@@ -385,12 +400,19 @@ pub fn run_nest(
                 .iter()
                 .map(|iters| scope.spawn(move |_| build_trace(nest, layout_ref, iters)))
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("trace worker")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("trace worker"))
+                .collect()
         })
         .expect("crossbeam scope");
         traces.extend(results);
     } else {
-        traces.extend(assignment.iter().map(|iters| build_trace(nest, &layout, iters)));
+        traces.extend(
+            assignment
+                .iter()
+                .map(|iters| build_trace(nest, &layout, iters)),
+        );
     }
 
     let reps = nest.seq_repetitions().max(1) as u64;
@@ -464,7 +486,10 @@ mod tests {
         let assignment = vec![vec![pts[0].clone()], vec![pts[1].clone()]];
         let r = run_nest(&nest, &assignment, MachineConfig::uniform(2), &UniformHome);
         assert!(r.check_conservation());
-        assert!(r.total_invalidations() > 0, "writes to a shared line must invalidate");
+        assert!(
+            r.total_invalidations() > 0,
+            "writes to a shared line must invalidate"
+        );
         assert!(r.total_coherence_misses() > 0);
     }
 
@@ -494,8 +519,7 @@ mod tests {
     fn doseq_turns_boundary_into_coherence() {
         // With writes to A and re-reads of neighbours' A elements across
         // repetitions, boundary sharing becomes coherence traffic.
-        let nest =
-            parse("doseq (t, 0, 3) { doall (i, 0, 19) { A[i] = A[i+1]; } }").unwrap();
+        let nest = parse("doseq (t, 0, 3) { doall (i, 0, 19) { A[i] = A[i+1]; } }").unwrap();
         let assignment = rows_assignment(&nest, 4);
         let r = run_nest(&nest, &assignment, MachineConfig::uniform(4), &UniformHome);
         assert!(r.check_conservation());
@@ -527,13 +551,18 @@ mod tests {
         // Shifted home map (each 4-line chunk homed one processor over):
         // everything lands remote.
         let scrambled = crate::layout::FnHome(|l| (((l / 4) + 1) % 4) as usize);
-        let r2 = run_nest(&nest, &assignment, MachineConfig {
-            processors: 4,
-            cache: CacheConfig::Infinite,
-            mesh: Some((2, 2)),
-            line_size: 1,
-            directory: DirectoryKind::FullMap,
-        }, &scrambled);
+        let r2 = run_nest(
+            &nest,
+            &assignment,
+            MachineConfig {
+                processors: 4,
+                cache: CacheConfig::Infinite,
+                mesh: Some((2, 2)),
+                line_size: 1,
+                directory: DirectoryKind::FullMap,
+            },
+            &scrambled,
+        );
         assert_eq!(r2.total_remote_misses(), 16);
         assert!(r2.total_hop_traffic() > 0);
     }
@@ -557,10 +586,7 @@ mod tests {
 
     #[test]
     fn determinism() {
-        let nest = parse(
-            "doseq (t, 0, 2) { doall (i, 0, 31) { A[i] = A[i+1] + B[i]; } }",
-        )
-        .unwrap();
+        let nest = parse("doseq (t, 0, 2) { doall (i, 0, 31) { A[i] = A[i+1] + B[i]; } }").unwrap();
         let assignment = rows_assignment(&nest, 4);
         let r1 = run_nest(&nest, &assignment, MachineConfig::uniform(4), &UniformHome);
         let r2 = run_nest(&nest, &assignment, MachineConfig::uniform(4), &UniformHome);
@@ -634,7 +660,10 @@ mod tests {
     }
 
     fn one_iter_per_proc(nest: &LoopNest) -> Vec<Vec<IVec>> {
-        nest.iteration_points().into_iter().map(|p| vec![p]).collect()
+        nest.iteration_points()
+            .into_iter()
+            .map(|p| vec![p])
+            .collect()
     }
 
     #[test]

@@ -132,7 +132,11 @@ impl TrafficReport {
 
     /// Worst-per-processor misses (load imbalance indicator).
     pub fn max_processor_misses(&self) -> u64 {
-        self.per_processor.iter().map(ProcessorCounters::misses).max().unwrap_or(0)
+        self.per_processor
+            .iter()
+            .map(ProcessorCounters::misses)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Consistency invariant: hits + misses == accesses, per processor.

@@ -9,10 +9,10 @@ use proptest::prelude::*;
 /// A random small stencil nest (with a doseq wrapper half the time).
 fn arb_nest() -> impl Strategy<Value = LoopNest> {
     (
-        0i128..=2,          // doseq repetitions - 1 (0 = no wrapper)
-        -2i128..=2,         // offset o1
-        -2i128..=2,         // o2
-        any::<bool>(),      // second rhs ref?
+        0i128..=2,     // doseq repetitions - 1 (0 = no wrapper)
+        -2i128..=2,    // offset o1
+        -2i128..=2,    // o2
+        any::<bool>(), // second rhs ref?
     )
         .prop_map(|(reps, o1, o2, second)| {
             let body = format!(

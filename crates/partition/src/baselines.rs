@@ -62,7 +62,11 @@ pub fn abraham_hudak_rect(nest: &LoopNest, p: i128) -> Option<RectPartition> {
             }
             cost = cost + term;
         }
-        let cand = RectPartition { proc_grid: grid, tile_extents: extents, cost };
+        let cand = RectPartition {
+            proc_grid: grid,
+            tile_extents: extents,
+            cost,
+        };
         match &best {
             Some(b) if b.cost <= cand.cost => {}
             _ => best = Some(cand),
@@ -102,14 +106,12 @@ pub fn naive_partition(nest: &LoopNest, p: i128, shape: NaiveShape) -> Option<Re
             g[l - 1] = p;
             g
         }
-        NaiveShape::SquareBlocks => factorizations(p, l)
-            .into_iter()
-            .min_by_key(|g| {
-                // most balanced: minimize max/min ratio via max-min spread
-                let mx = *g.iter().max().expect("nonempty");
-                let mn = *g.iter().min().expect("nonempty");
-                (mx - mn, g.clone())
-            })?,
+        NaiveShape::SquareBlocks => factorizations(p, l).into_iter().min_by_key(|g| {
+            // most balanced: minimize max/min ratio via max-min spread
+            let mx = *g.iter().max().expect("nonempty");
+            let mn = *g.iter().min().expect("nonempty");
+            (mx - mn, g.clone())
+        })?,
     };
     if grid.iter().zip(&trips).any(|(&g, &n)| g > n) {
         return None;
@@ -121,7 +123,11 @@ pub fn naive_partition(nest: &LoopNest, p: i128, shape: NaiveShape) -> Option<Re
         .collect();
     let model = CostModel::from_nest(nest);
     let cost = model.cost_rect(&extents);
-    Some(RectPartition { proc_grid: grid, tile_extents: extents, cost })
+    Some(RectPartition {
+        proc_grid: grid,
+        tile_extents: extents,
+        cost,
+    })
 }
 
 /// True when the nest fits Abraham & Hudak's program class (used by the
@@ -132,16 +138,19 @@ pub fn in_abraham_hudak_domain(nest: &LoopNest) -> bool {
     let refs = nest.all_refs();
     match refs.first() {
         None => false,
-        Some(first) => refs.iter().all(|r| {
-            r.array == first.array && r.dim() == l && r.g_matrix() == identity
-        }),
+        Some(first) => refs
+            .iter()
+            .all(|r| r.array == first.array && r.dim() == l && r.g_matrix() == identity),
     }
 }
 
 /// Count of write-like references (used by experiments to report
 /// invalidation-heavy nests).
 pub fn write_reference_count(nest: &LoopNest) -> usize {
-    nest.all_refs().iter().filter(|r| r.kind.is_write_like()).count()
+    nest.all_refs()
+        .iter()
+        .filter(|r| r.kind.is_write_like())
+        .count()
 }
 
 #[cfg(test)]
@@ -161,17 +170,13 @@ mod tests {
         assert!(in_abraham_hudak_domain(&stencil));
         assert!(abraham_hudak_rect(&stencil, 16).is_some());
 
-        let two_arrays = parse(
-            "doall (i, 1, 32) { doall (j, 1, 32) { A[i,j] = B[i,j]; } }",
-        )
-        .unwrap();
+        let two_arrays =
+            parse("doall (i, 1, 32) { doall (j, 1, 32) { A[i,j] = B[i,j]; } }").unwrap();
         assert!(!in_abraham_hudak_domain(&two_arrays));
         assert!(abraham_hudak_rect(&two_arrays, 16).is_none());
 
-        let affine = parse(
-            "doall (i, 1, 32) { doall (j, 1, 32) { A[i+j,j] = A[i+j,j]; } }",
-        )
-        .unwrap();
+        let affine =
+            parse("doall (i, 1, 32) { doall (j, 1, 32) { A[i+j,j] = A[i+j,j]; } }").unwrap();
         assert!(!in_abraham_hudak_domain(&affine));
     }
 
@@ -193,10 +198,7 @@ mod tests {
 
     #[test]
     fn naive_shapes() {
-        let nest = parse(
-            "doall (i, 1, 64) { doall (j, 1, 64) { A[i,j] = A[i+1,j]; } }",
-        )
-        .unwrap();
+        let nest = parse("doall (i, 1, 64) { doall (j, 1, 64) { A[i,j] = A[i+1,j]; } }").unwrap();
         let rows = naive_partition(&nest, 8, NaiveShape::ByRows).unwrap();
         assert_eq!(rows.proc_grid, vec![8, 1]);
         let cols = naive_partition(&nest, 8, NaiveShape::ByColumns).unwrap();
@@ -222,7 +224,11 @@ mod tests {
         ] {
             let nest = parse(src).unwrap();
             let ours = partition_rect(&nest, 16);
-            for shape in [NaiveShape::ByRows, NaiveShape::ByColumns, NaiveShape::SquareBlocks] {
+            for shape in [
+                NaiveShape::ByRows,
+                NaiveShape::ByColumns,
+                NaiveShape::SquareBlocks,
+            ] {
                 if let Some(n) = naive_partition(&nest, 16, shape) {
                     assert!(ours.cost <= n.cost, "{src} lost to {shape:?}");
                 }

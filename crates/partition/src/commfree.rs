@@ -69,7 +69,10 @@ pub fn communication_free_normals(nest: &LoopNest) -> Vec<IVec> {
     // h must satisfy h·t = 0 for all t: left-nullspace of the matrix with
     // the t's as columns, i.e. x·Tᵗ = 0.
     let t_mat = IMat::from_row_vecs(&ts).transpose();
-    integer_nullspace(&t_mat).into_iter().map(|h| h.primitive()).collect()
+    integer_nullspace(&t_mat)
+        .into_iter()
+        .map(|h| h.primitive())
+        .collect()
 }
 
 /// Does a communication-free (non-trivial) partition exist?

@@ -71,10 +71,18 @@ pub fn align_arrays(nest: &LoopNest, lambda: &[i128]) -> Vec<ArrayPartition> {
         order.push(class.array.clone());
         seen.insert(
             class.array.clone(),
-            ArrayPartition { array: class.array.clone(), tile_extents: extents, dims: keep, offset },
+            ArrayPartition {
+                array: class.array.clone(),
+                tile_extents: extents,
+                dims: keep,
+                offset,
+            },
         );
     }
-    order.into_iter().map(|a| seen.remove(&a).expect("inserted")).collect()
+    order
+        .into_iter()
+        .map(|a| seen.remove(&a).expect("inserted"))
+        .collect()
 }
 
 /// An embedding of virtual processors (grid coordinates) into a 2-D mesh.
@@ -160,7 +168,10 @@ impl MeshPlacement {
 pub fn mesh_placement(grid: &[i128], mesh: (usize, usize)) -> MeshPlacement {
     let total: i128 = grid.iter().product();
     let cap = (mesh.0 * mesh.1) as i128;
-    assert!(total <= cap, "mesh {mesh:?} too small for {total} processors");
+    assert!(
+        total <= cap,
+        "mesh {mesh:?} too small for {total} processors"
+    );
 
     // Direct 2-D embedding when the grid matches the mesh orientation.
     let active: Vec<i128> = grid.iter().copied().filter(|&g| g > 1).collect();
@@ -190,7 +201,11 @@ pub fn mesh_placement(grid: &[i128], mesh: (usize, usize)) -> MeshPlacement {
                 let (x, y) = (full[i0] as usize, full[i1] as usize);
                 coords.push(if t { (y, x) } else { (x, y) });
             }
-            return MeshPlacement { mesh, grid: grid.to_vec(), coords };
+            return MeshPlacement {
+                mesh,
+                grid: grid.to_vec(),
+                coords,
+            };
         }
     }
 
@@ -198,10 +213,18 @@ pub fn mesh_placement(grid: &[i128], mesh: (usize, usize)) -> MeshPlacement {
     let mut coords = Vec::with_capacity(total as usize);
     for p in 0..total as usize {
         let row = p / mesh.0;
-        let col = if row.is_multiple_of(2) { p % mesh.0 } else { mesh.0 - 1 - (p % mesh.0) };
+        let col = if row.is_multiple_of(2) {
+            p % mesh.0
+        } else {
+            mesh.0 - 1 - (p % mesh.0)
+        };
         coords.push((col, row));
     }
-    MeshPlacement { mesh, grid: grid.to_vec(), coords }
+    MeshPlacement {
+        mesh,
+        grid: grid.to_vec(),
+        coords,
+    }
 }
 
 #[cfg(test)]
@@ -220,17 +243,22 @@ mod tests {
         let parts = align_arrays(&nest, &[7, 15]);
         assert_eq!(parts.len(), 1);
         let a = &parts[0];
-        assert_eq!(a.tile_extents, vec![7, 15], "same aspect ratio as loop tiles");
-        assert_eq!(a.offset, IVec::new(&[0, 0]), "median of {{-1,0,0,0,1}} per dim");
+        assert_eq!(
+            a.tile_extents,
+            vec![7, 15],
+            "same aspect ratio as loop tiles"
+        );
+        assert_eq!(
+            a.offset,
+            IVec::new(&[0, 0]),
+            "median of {{-1,0,0,0,1}} per dim"
+        );
     }
 
     #[test]
     fn align_skewed_reference() {
         // B[i+j, j]: loop tile (λi, λj) images to (λi+λj, λj).
-        let nest = parse(
-            "doall (i, 1, 64) { doall (j, 1, 64) { A[i,j] = B[i+j,j]; } }",
-        )
-        .unwrap();
+        let nest = parse("doall (i, 1, 64) { doall (j, 1, 64) { A[i,j] = B[i+j,j]; } }").unwrap();
         let parts = align_arrays(&nest, &[8, 4]);
         let b = parts.iter().find(|p| p.array == "B").unwrap();
         assert_eq!(b.tile_extents, vec![12, 4]);
@@ -238,10 +266,7 @@ mod tests {
 
     #[test]
     fn align_offset_median() {
-        let nest = parse(
-            "doall (i, 1, 64) { A[i] = A[i+4] + A[i+6]; }",
-        )
-        .unwrap();
+        let nest = parse("doall (i, 1, 64) { A[i] = A[i+4] + A[i+6]; }").unwrap();
         let parts = align_arrays(&nest, &[15]);
         assert_eq!(parts[0].offset, IVec::new(&[4]), "median of 0,4,6");
     }

@@ -26,7 +26,10 @@ pub struct ParaSearchConfig {
 
 impl Default for ParaSearchConfig {
     fn default() -> Self {
-        ParaSearchConfig { max_entry: 2, threads: 4 }
+        ParaSearchConfig {
+            max_entry: 2,
+            threads: 4,
+        }
     }
 }
 
@@ -104,18 +107,12 @@ pub fn optimize_parallelepiped(
 
     let best = if bases.len() > 64 && config.threads > 1 {
         // Parallel sweep over candidate bases.
-        let chunks: Vec<&[IMat]> =
-            bases.chunks(bases.len().div_ceil(config.threads)).collect();
+        let chunks: Vec<&[IMat]> = bases.chunks(bases.len().div_ceil(config.threads)).collect();
         crossbeam::scope(|scope| {
             let handles: Vec<_> = chunks
                 .into_iter()
                 .map(|chunk| {
-                    scope.spawn(move |_| {
-                        chunk
-                            .iter()
-                            .filter_map(evaluate)
-                            .min_by_key(|c| c.cost)
-                    })
+                    scope.spawn(move |_| chunk.iter().filter_map(evaluate).min_by_key(|c| c.cost))
                 })
                 .collect();
             handles
@@ -138,11 +135,7 @@ pub fn optimize_parallelepiped(
 /// Lagrange optimum is `λ_i ∝ c_i` with `c_i` the summed spread
 /// determinants.  We form the continuous optimum, then search a small
 /// neighbourhood of integer roundings that meet the volume target.
-fn best_scaling_for_basis(
-    model: &CostModel,
-    basis: &IMat,
-    volume: i128,
-) -> Option<ParaPartition> {
+fn best_scaling_for_basis(model: &CostModel, basis: &IMat, volume: i128) -> Option<ParaPartition> {
     let l = basis.rows();
     // Spread coefficients c_i: evaluate the cost with unit λ and with
     // λ_i = 2 to finite-difference the multilinear form... simpler and
@@ -209,7 +202,11 @@ fn best_scaling_for_basis(
         }
         let lmat = IMat::from_row_vecs(&rows);
         let cost = model.cost_general(&lmat);
-        let cand = ParaPartition { tile: Tile::general(lmat), cost, basis: basis.clone() };
+        let cand = ParaPartition {
+            tile: Tile::general(lmat),
+            cost,
+            basis: basis.clone(),
+        };
         match &best {
             Some(b) if b.cost <= cand.cost => {}
             _ => best = Some(cand),
@@ -237,8 +234,9 @@ fn continuous_lambda(c: &[i128], volume: i128) -> Vec<f64> {
     // is free; but bounded tiles still need finite extents — the even
     // share keeps the search near sane roundings).
     let gm = prod_c.powf(1.0 / pos.len() as f64);
-    let all_c: Vec<f64> =
-        (0..l).map(|i| if c[i] > 0 { c[i] as f64 } else { gm }).collect();
+    let all_c: Vec<f64> = (0..l)
+        .map(|i| if c[i] > 0 { c[i] as f64 } else { gm })
+        .collect();
     let prod_all: f64 = all_c.iter().product();
     let s = (v / prod_all).powf(1.0 / l as f64);
     let _ = inactive;
@@ -248,8 +246,8 @@ fn continuous_lambda(c: &[i128], volume: i128) -> Vec<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use alp_footprint::cumulative_footprint_exact;
     use alp_footprint::classify;
+    use alp_footprint::cumulative_footprint_exact;
     use alp_loopir::parse;
 
     #[test]
@@ -277,7 +275,14 @@ mod tests {
         )
         .unwrap();
         let p = 16;
-        let para = optimize_parallelepiped(&nest, p, &ParaSearchConfig { max_entry: 3, threads: 2 });
+        let para = optimize_parallelepiped(
+            &nest,
+            p,
+            &ParaSearchConfig {
+                max_entry: 3,
+                threads: 2,
+            },
+        );
         let rect = crate::rect::partition_rect(&nest, p);
         // Model costs: parallelogram strictly cheaper.
         assert!(
@@ -332,7 +337,10 @@ mod tests {
         // Exact includes boundary points: modeled volume estimate is a
         // lower bound within perimeter slack.
         assert!(modeled as usize <= exact);
-        assert!(exact - modeled as usize <= 200, "exact {exact} modeled {modeled}");
+        assert!(
+            exact - modeled as usize <= 200,
+            "exact {exact} modeled {modeled}"
+        );
     }
 
     #[test]

@@ -52,16 +52,18 @@ pub struct ProgramPartition {
 fn array_sizes(nest: &LoopNest) -> HashMap<String, i128> {
     nest.array_extents()
         .into_iter()
-        .map(|(a, ext)| (a, ext.iter().map(|&(lo, hi)| (hi - lo + 1).max(0)).product()))
+        .map(|(a, ext)| {
+            (
+                a,
+                ext.iter().map(|&(lo, hi)| (hi - lo + 1).max(0)).product(),
+            )
+        })
         .collect()
 }
 
 /// Redistribution cost between consecutive phases: each shared array
 /// whose grid changed moves once (its full size).
-fn redistribution_cost(
-    nests: &[LoopNest],
-    parts: &[RectPartition],
-) -> i128 {
+fn redistribution_cost(nests: &[LoopNest], parts: &[RectPartition]) -> i128 {
     let mut total = 0i128;
     for w in 0..nests.len().saturating_sub(1) {
         if parts[w].proc_grid == parts[w + 1].proc_grid {
@@ -164,10 +166,8 @@ mod tests {
 
     #[test]
     fn single_phase_degenerates_to_partition_rect() {
-        let nests = parse_program(
-            "doall (i, 0, 63) { doall (j, 0, 63) { A[i,j] = A[i+2,j]; } }",
-        )
-        .unwrap();
+        let nests =
+            parse_program("doall (i, 0, 63) { doall (j, 0, 63) { A[i,j] = A[i+2,j]; } }").unwrap();
         let prog = partition_program(&nests, 16);
         let solo = partition_rect(&nests[0], 16);
         assert_eq!(prog.phases[0].proc_grid, solo.proc_grid);

@@ -74,8 +74,7 @@ pub fn aspect_ratio_with_spread(model: &CostModel, kind: SpreadKind) -> Option<V
             SpreadKind::MaxMin => cc.class.spread(),
             SpreadKind::Cumulative => cc.class.cumulative_spread(),
         };
-        let spread_red =
-            alp_linalg::IVec(keep.iter().map(|&k| spread[k]).collect());
+        let spread_red = alp_linalg::IVec(keep.iter().map(|&k| spread[k]).collect());
         let u = solve_rational(&g_red, &spread_red)?;
         for (i, ui) in u.iter().enumerate() {
             coeffs[i] = coeffs[i] + ui.abs();
@@ -123,7 +122,13 @@ pub fn cache_blocked_extents(
     };
     // Binary search the largest feasible scale.
     let fits = |scale: f64| model.cost_rect(&extents_for(scale)) <= Rat::int(capacity);
-    if !fits(1.0 / ratio.iter().map(|r| r.to_f64()).fold(f64::INFINITY, f64::min).max(1e-9)) {
+    if !fits(
+        1.0 / ratio
+            .iter()
+            .map(|r| r.to_f64())
+            .fold(f64::INFINITY, f64::min)
+            .max(1e-9),
+    ) {
         // Even the smallest nonzero block may overflow; check the unit block.
         let unit = vec![0i128; l];
         if model.cost_rect(&unit) > Rat::int(capacity) {
@@ -206,11 +211,7 @@ pub fn partition_rect(nest: &LoopNest, p: i128) -> RectPartition {
 /// # Panics
 /// Panics if `p < 1`, the nest has no parallel loops, or the model was
 /// built for a different depth.
-pub fn partition_rect_with_model(
-    nest: &LoopNest,
-    p: i128,
-    model: &CostModel,
-) -> RectPartition {
+pub fn partition_rect_with_model(nest: &LoopNest, p: i128, model: &CostModel) -> RectPartition {
     assert!(p >= 1, "need at least one processor");
     let l = nest.depth();
     assert!(l >= 1, "nest has no parallel loops");
@@ -230,7 +231,11 @@ pub fn partition_rect_with_model(
             .map(|(&g, &n)| (n + g - 1) / g - 1)
             .collect();
         let cost = model.cost_rect(&extents);
-        let cand = RectPartition { proc_grid: grid, tile_extents: extents, cost };
+        let cand = RectPartition {
+            proc_grid: grid,
+            tile_extents: extents,
+            cost,
+        };
         match &best {
             Some(b) if b.cost <= cand.cost => {}
             _ => best = Some(cand),
@@ -364,10 +369,7 @@ mod tests {
     fn more_processors_than_iterations_in_one_dim() {
         // 4 iterations of i, 8 processors: grid (4, 2) is forced over
         // (8, 1).
-        let nest = parse(
-            "doall (i, 0, 3) { doall (j, 0, 63) { A[i,j] = A[i,j+1]; } }",
-        )
-        .unwrap();
+        let nest = parse("doall (i, 0, 3) { doall (j, 0, 63) { A[i,j] = A[i,j+1]; } }").unwrap();
         let part = partition_rect(&nest, 8);
         assert!(part.proc_grid[0] <= 4);
         assert_eq!(part.tiles(), 8);
@@ -416,8 +418,7 @@ mod tests {
 
     #[test]
     fn cache_blocking_huge_capacity_takes_everything() {
-        let nest = parse("doall (i, 0, 31) { doall (j, 0, 31) { A[i,j] = A[i+1,j+2]; } }")
-            .unwrap();
+        let nest = parse("doall (i, 0, 31) { doall (j, 0, 31) { A[i,j] = A[i+1,j+2]; } }").unwrap();
         let model = CostModel::from_nest(&nest);
         let ratio = optimal_aspect_ratio(&model).unwrap();
         let ext = cache_blocked_extents(&model, &ratio, 1_000_000, &[31, 31]).unwrap();
@@ -429,7 +430,10 @@ mod tests {
         let nest = parse("doall (i, 0, 31) { doall (j, 0, 31) { A[i,j] = B[i,j]; } }").unwrap();
         let model = CostModel::from_nest(&nest);
         // Even one iteration touches 2 elements: capacity 1 is infeasible.
-        assert_eq!(cache_blocked_extents(&model, &[Rat::ONE, Rat::ONE], 1, &[31, 31]), None);
+        assert_eq!(
+            cache_blocked_extents(&model, &[Rat::ONE, Rat::ONE], 1, &[31, 31]),
+            None
+        );
     }
 
     #[test]
@@ -445,11 +449,19 @@ mod tests {
         )
         .unwrap();
         let pure = partition_rect(&nest, 16);
-        assert!(pure.proc_grid[2] > 1, "pure footprint splits k: {:?}", pure.proc_grid);
+        assert!(
+            pure.proc_grid[2] > 1,
+            "pure footprint splits k: {:?}",
+            pure.proc_grid
+        );
 
         let weighted = CostModel::from_nest(&nest).with_sync_weight(alp_linalg::Rat::int(4));
         let part = partition_rect_with_model(&nest, 16, &weighted);
-        assert_eq!(part.proc_grid[2], 1, "weighted model keeps k whole: {:?}", part.proc_grid);
+        assert_eq!(
+            part.proc_grid[2], 1,
+            "weighted model keeps k whole: {:?}",
+            part.proc_grid
+        );
         assert_eq!(part.proc_grid, vec![4, 4, 1]);
     }
 

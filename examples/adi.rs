@@ -32,10 +32,19 @@ fn main() {
     let prog = partition_program(&nests, p);
     println!("\n== program decision ==");
     println!("  strategy          : {:?}", prog.strategy);
-    println!("  grids             : {:?}", prog.phases.iter().map(|ph| ph.proc_grid.clone()).collect::<Vec<_>>());
+    println!(
+        "  grids             : {:?}",
+        prog.phases
+            .iter()
+            .map(|ph| ph.proc_grid.clone())
+            .collect::<Vec<_>>()
+    );
     println!("  total cost        : {}", prog.total_cost);
     println!("  alternative cost  : {}", prog.alternative_cost);
-    println!("  redistribution    : {} elements (if per-phase)", prog.redistribution);
+    println!(
+        "  redistribution    : {} elements (if per-phase)",
+        prog.redistribution
+    );
 
     // Validate on the machine: simulate both strategies phase by phase
     // with warm caches carried across phases.
@@ -71,7 +80,11 @@ fn main() {
     let solo1 = partition_rect(&nests[0], p).proc_grid;
     let solo2 = partition_rect(&nests[1], p).proc_grid;
     println!("\n== simulated (cold-start per phase) ==");
-    println!("  common grid {:?}         : {} misses", common, simulate([&common, &common]));
+    println!(
+        "  common grid {:?}         : {} misses",
+        common,
+        simulate([&common, &common])
+    );
     println!(
         "  per-phase {:?} then {:?} : {} misses + {} redistributed",
         solo1,

@@ -19,7 +19,10 @@ fn main() {
     let nest = parse(src).expect("parses");
     let p = 16i128;
 
-    let compiler = Compiler::new(p).with_mesh(4, 4);
+    // The in-place relaxation races across doall iterations; the paper
+    // partitions it anyway (convergence tolerates stale reads), so skip
+    // the legality gate.
+    let compiler = Compiler::new(p).with_mesh(4, 4).unchecked();
     let result = compiler.compile(nest).expect("compiles");
 
     println!("== loop partitioning ==");
@@ -90,7 +93,10 @@ fn main() {
         "  {:<22} {:>10} {:>10} {:>12} {:>10}",
         "memory layout", "misses", "remote", "remote frac", "hops"
     );
-    for (name, r) in [("block row-major", &r_block), ("aligned to tiles", &r_aligned)] {
+    for (name, r) in [
+        ("block row-major", &r_block),
+        ("aligned to tiles", &r_aligned),
+    ] {
         println!(
             "  {:<22} {:>10} {:>10} {:>11.1}% {:>10}",
             name,

@@ -38,7 +38,10 @@ fn main() {
         ("blocks (4x1x4)", vec![4, 1, 4]),
     ];
 
-    println!("\n{:<22} {:>12} {:>12} {:>14} {:>12}", "partition", "cold", "coherence", "invalidations", "total");
+    println!(
+        "\n{:<22} {:>12} {:>12} {:>14} {:>12}",
+        "partition", "cold", "coherence", "invalidations", "total"
+    );
     let mut rows = Vec::new();
     for (name, grid) in shapes {
         let assignment = assign_rect(&nest, &grid);

@@ -32,7 +32,10 @@ fn main() {
     let model = CostModel::from_nest(&nest);
     if let Some(ratio) = optimal_aspect_ratio(&model) {
         let parts: Vec<String> = ratio.iter().map(|r| r.to_string()).collect();
-        println!("\noptimal tile aspect ratio  L_i : L_j : L_k  ::  {}", parts.join(" : "));
+        println!(
+            "\noptimal tile aspect ratio  L_i : L_j : L_k  ::  {}",
+            parts.join(" : ")
+        );
     }
 
     // 3. Full pipeline for 64 processors.
@@ -41,7 +44,10 @@ fn main() {
     println!("\n== chosen partition ==");
     println!("  processor grid : {:?}", result.partition.proc_grid);
     println!("  tile extents λ : {:?}", result.partition.tile_extents);
-    println!("  modeled cost   : {} data elements per tile", result.partition.cost);
+    println!(
+        "  modeled cost   : {} data elements per tile",
+        result.partition.cost
+    );
 
     // 4. Generated SPMD code.
     println!("\n== generated code ==\n{}", result.code);
@@ -66,8 +72,7 @@ fn main() {
     println!("  cold misses   : {}", naive_report.total_cold_misses());
     println!(
         "\noptimal partition saves {:.1}% of misses over by-rows",
-        100.0
-            * (naive_report.total_cold_misses() as f64 - report.total_cold_misses() as f64)
+        100.0 * (naive_report.total_cold_misses() as f64 - report.total_cold_misses() as f64)
             / naive_report.total_cold_misses() as f64
     );
 }

@@ -23,9 +23,17 @@ fn example2() {
 
     // Partition a: strips (full i extent, one j each).
     // Partition b: 10x10 blocks.
-    for (name, grid) in [("a: strips (1x100)", vec![1i128, 100]), ("b: blocks (10x10)", vec![10, 10])] {
+    for (name, grid) in [
+        ("a: strips (1x100)", vec![1i128, 100]),
+        ("b: blocks (10x10)", vec![10, 10]),
+    ] {
         let assignment = assign_rect(&nest, &grid);
-        let report = run_nest(&nest, &assignment, MachineConfig::uniform(100), &UniformHome);
+        let report = run_nest(
+            &nest,
+            &assignment,
+            MachineConfig::uniform(100),
+            &UniformHome,
+        );
         // Per-tile misses: paper counts the B-class footprint (A adds a
         // constant 100 per tile).
         let per_tile = report.total_cold_misses() / 100;
@@ -39,9 +47,15 @@ fn example2() {
     // The framework discovers partition a via the communication-free
     // normals (Ramanujam & Sadayappan's case).
     let normals = communication_free_normals(&nest);
-    println!("  communication-free normals: {:?}", normals.iter().map(|h| h.to_string()).collect::<Vec<_>>());
+    println!(
+        "  communication-free normals: {:?}",
+        normals.iter().map(|h| h.to_string()).collect::<Vec<_>>()
+    );
     let part = partition_rect(&nest, 100);
-    println!("  partition_rect picks grid {:?} (tile λ = {:?})", part.proc_grid, part.tile_extents);
+    println!(
+        "  partition_rect picks grid {:?} (tile λ = {:?})",
+        part.proc_grid, part.tile_extents
+    );
 }
 
 /// Example 3: parallelogram tiles internalize the (1,3) translation.
@@ -61,21 +75,40 @@ fn example3() {
     );
 
     // Parallelepiped search.
-    let para = optimize_parallelepiped(&nest, p, &ParaSearchConfig { max_entry: 3, threads: 4 });
+    let para = optimize_parallelepiped(
+        &nest,
+        p,
+        &ParaSearchConfig {
+            max_entry: 3,
+            threads: 4,
+        },
+    );
     println!(
         "  best parallelogram: basis rows {:?}, modeled cost {}",
-        (0..2).map(|r| para.basis.row(r).0.clone()).collect::<Vec<_>>(),
+        (0..2)
+            .map(|r| para.basis.row(r).0.clone())
+            .collect::<Vec<_>>(),
         para.cost
     );
 
     // Simulate both: slab assignment along the comm-free normal vs the
     // rectangle.
     let rect_assign = assign_rect(&nest, &rect.proc_grid);
-    let rect_report = run_nest(&nest, &rect_assign, MachineConfig::uniform(p as usize), &UniformHome);
+    let rect_report = run_nest(
+        &nest,
+        &rect_assign,
+        MachineConfig::uniform(p as usize),
+        &UniformHome,
+    );
 
     let normals = communication_free_normals(&nest);
     let slab_assign = assign_slabs(&nest, &normals[0], p);
-    let slab_report = run_nest(&nest, &slab_assign, MachineConfig::uniform(p as usize), &UniformHome);
+    let slab_report = run_nest(
+        &nest,
+        &slab_assign,
+        MachineConfig::uniform(p as usize),
+        &UniformHome,
+    );
 
     println!(
         "  simulated misses : rectangle {} vs parallelogram-slabs {}",

@@ -12,7 +12,14 @@
 //!       --para              also search parallelepiped tiles (2-D nests)
 //!       --line-size <N>     cache line size in elements   [default: 1]
 //!       --code              print the generated SPMD code
+//!       --check             run the doall legality analysis only
+//!       --no-check          skip the legality analysis
 //! ```
+//!
+//! The legality analysis (races, lints) runs by default before
+//! partitioning; racy nests are refused.  Exit codes: `0` success /
+//! clean, `1` I/O or parse failure, `2` usage, `3` (`--check` only)
+//! warnings but no errors, `4` legality errors.
 //!
 //! Example:
 //!
@@ -35,13 +42,20 @@ struct Options {
     para: bool,
     line_size: u64,
     show_code: bool,
+    check_only: bool,
+    no_check: bool,
     input: String,
 }
+
+/// Exit code for `--check` runs with warnings but no errors.
+const EXIT_WARNINGS: u8 = 3;
+/// Exit code when the legality analysis finds errors (races).
+const EXIT_ILLEGAL: u8 = 4;
 
 fn usage() -> ! {
     eprintln!(
         "usage: alp-cli [-p N] [-m WxH] [--param NAME=VAL]... [--simulate] [--para] \
-         [--line-size N] [--code] <FILE|->"
+         [--line-size N] [--code] [--check|--no-check] <FILE|->"
     );
     std::process::exit(2)
 }
@@ -55,6 +69,8 @@ fn parse_args() -> Options {
         para: false,
         line_size: 1,
         show_code: false,
+        check_only: false,
+        no_check: false,
         input: String::new(),
     };
     let mut args = std::env::args().skip(1);
@@ -90,6 +106,8 @@ fn parse_args() -> Options {
                     .unwrap_or_else(|| usage());
             }
             "--code" => opts.show_code = true,
+            "--check" => opts.check_only = true,
+            "--no-check" => opts.no_check = true,
             "-h" | "--help" => usage(),
             other if input.is_none() => input = Some(other.to_string()),
             _ => usage(),
@@ -125,6 +143,33 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+
+    // Legality analysis: standalone with --check, as a gate otherwise.
+    if opts.check_only {
+        let report = analyze_program(&nests);
+        eprint!("{}", report.render(&src));
+        return if report.has_errors() {
+            ExitCode::from(EXIT_ILLEGAL)
+        } else if report.has_warnings() {
+            ExitCode::from(EXIT_WARNINGS)
+        } else {
+            println!(
+                "ok: {} nest{} pass{} the doall legality analysis",
+                nests.len(),
+                if nests.len() == 1 { "" } else { "s" },
+                if nests.len() == 1 { "es" } else { "" }
+            );
+            ExitCode::SUCCESS
+        };
+    }
+    if !opts.no_check {
+        let report = analyze_program(&nests);
+        eprint!("{}", report.render(&src));
+        if report.has_errors() {
+            eprintln!("alp-cli: refusing illegal doall (use --no-check to override)");
+            return ExitCode::from(EXIT_ILLEGAL);
+        }
+    }
 
     if nests.len() > 1 {
         println!("program with {} phases", nests.len());
@@ -163,13 +208,21 @@ fn main() -> ExitCode {
     if let Some(ratio) = optimal_aspect_ratio(&model) {
         println!(
             "  cache aspect ratio : {}",
-            ratio.iter().map(ToString::to_string).collect::<Vec<_>>().join(" : ")
+            ratio
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join(" : ")
         );
     }
     if let Some(ratio) = aspect_ratio_with_spread(&model, SpreadKind::Cumulative) {
         println!(
             "  data  aspect ratio : {}",
-            ratio.iter().map(ToString::to_string).collect::<Vec<_>>().join(" : ")
+            ratio
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join(" : ")
         );
     }
     let normals = communication_free_normals(&nest);
@@ -183,7 +236,9 @@ fn main() -> ExitCode {
     }
 
     println!("\n== partition (P = {}) ==", opts.processors);
-    let mut compiler = Compiler::new(opts.processors);
+    // The program-level analysis above already gated legality (or the
+    // user opted out), so the pipeline itself runs unchecked.
+    let mut compiler = Compiler::new(opts.processors).unchecked();
     if let Some((w, h)) = opts.mesh {
         compiler = compiler.with_mesh(w, h);
     }
@@ -194,7 +249,10 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    println!("  grid {:?}, tile λ {:?}, modeled cost {}", result.partition.proc_grid, result.partition.tile_extents, result.partition.cost);
+    println!(
+        "  grid {:?}, tile λ {:?}, modeled cost {}",
+        result.partition.proc_grid, result.partition.tile_extents, result.partition.cost
+    );
     for ap in &result.data_partitions {
         println!(
             "  data {:<3} tile {:?} over dims {:?}, offset {}",
@@ -210,10 +268,13 @@ fn main() -> ExitCode {
     }
 
     if opts.para && result.nest.depth() >= 2 {
-        let para = optimize_parallelepiped(&result.nest, opts.processors, &ParaSearchConfig::default());
+        let para =
+            optimize_parallelepiped(&result.nest, opts.processors, &ParaSearchConfig::default());
         println!(
             "  parallelepiped: basis rows {:?}, modeled cost {} (rect: {})",
-            (0..para.basis.rows()).map(|r| para.basis.row(r).0.clone()).collect::<Vec<_>>(),
+            (0..para.basis.rows())
+                .map(|r| para.basis.row(r).0.clone())
+                .collect::<Vec<_>>(),
             para.cost,
             result.partition.cost
         );
@@ -235,7 +296,11 @@ fn main() -> ExitCode {
         };
         let report = run_nest(&result.nest, &assignment, cfg, &UniformHome);
         println!("  accesses        : {}", report.total_accesses());
-        println!("  misses          : {} (rate {:.4})", report.total_misses(), report.miss_rate());
+        println!(
+            "  misses          : {} (rate {:.4})",
+            report.total_misses(),
+            report.miss_rate()
+        );
         println!("    cold          : {}", report.total_cold_misses());
         println!("    coherence     : {}", report.total_coherence_misses());
         println!("  invalidations   : {}", report.total_invalidations());

@@ -33,6 +33,8 @@
 //! The workspace crates, re-exported here:
 //!
 //! * [`linalg`] — exact integer/rational matrices, HNF/SNF, nullspaces;
+//! * [`analysis`] — exact doall legality & race detection with
+//!   witness iterations and rustc-style diagnostics;
 //! * [`lattice`] — bounded lattices (Thm. 3, Lemma 3), parallelepiped
 //!   point counting;
 //! * [`loopir`] — the loop-nest IR and `doall` DSL;
@@ -45,6 +47,7 @@
 //!   simulator (full-map MSI directory);
 //! * [`codegen`] — iteration assignment and per-processor code emission.
 
+pub use alp_analysis as analysis;
 pub use alp_codegen as codegen;
 pub use alp_footprint as footprint;
 pub use alp_lattice as lattice;
@@ -56,7 +59,9 @@ pub use alp_partition as partition;
 use alp_codegen::assign_rect;
 use alp_footprint::CostModel;
 use alp_loopir::{IrError, LoopNest, ParseError};
-use alp_machine::{run_nest, ArrayLayout, BlockRowMajorHome, MachineConfig, TrafficReport, UniformHome};
+use alp_machine::{
+    run_nest, ArrayLayout, BlockRowMajorHome, MachineConfig, TrafficReport, UniformHome,
+};
 use alp_partition::{
     align_arrays, communication_free_normals, mesh_placement, partition_rect, ArrayPartition,
     MeshPlacement, RectPartition,
@@ -69,6 +74,10 @@ pub enum AlpError {
     Parse(ParseError),
     /// IR validation failure.
     Ir(IrError),
+    /// The nest is not a legal doall: the legality analysis found races
+    /// (or other errors).  The report carries the full diagnostics;
+    /// [`Compiler::unchecked`] opts out of the gate.
+    Illegal(alp_analysis::Report),
     /// The nest cannot be partitioned as requested.
     Infeasible(String),
 }
@@ -78,6 +87,7 @@ impl std::fmt::Display for AlpError {
         match self {
             AlpError::Parse(e) => write!(f, "{e}"),
             AlpError::Ir(e) => write!(f, "{e}"),
+            AlpError::Illegal(r) => write!(f, "{}", r.render("").trim_end()),
             AlpError::Infeasible(m) => write!(f, "infeasible: {m}"),
         }
     }
@@ -106,6 +116,9 @@ pub struct Compiler {
     /// Optional 2-D mesh for the placement phase and simulator hop
     /// accounting.
     pub mesh: Option<(usize, usize)>,
+    /// Run the doall legality analysis and refuse racy nests (default
+    /// on; [`Compiler::unchecked`] turns it off).
+    pub check: bool,
 }
 
 /// Everything the pipeline produces for one loop nest.
@@ -117,6 +130,10 @@ pub struct CompileResult {
     pub class_count: usize,
     /// The chosen rectangular partition.
     pub partition: RectPartition,
+    /// Legality analysis findings (empty when compiled with
+    /// [`Compiler::unchecked`]); never contains errors — those abort
+    /// [`Compiler::compile`] with [`AlpError::Illegal`].
+    pub report: alp_analysis::Report,
     /// Communication-free hyperplane normals, if any exist.
     pub comm_free_normals: Vec<alp_linalg::IVec>,
     /// Aligned data partitions, one per array.
@@ -130,12 +147,25 @@ pub struct CompileResult {
 impl Compiler {
     /// A compiler for `processors` processors, no mesh.
     pub fn new(processors: i128) -> Self {
-        Compiler { processors, mesh: None }
+        Compiler {
+            processors,
+            mesh: None,
+            check: true,
+        }
     }
 
     /// Configure an Alewife-style 2-D mesh.
     pub fn with_mesh(mut self, w: usize, h: usize) -> Self {
         self.mesh = Some((w, h));
+        self
+    }
+
+    /// Skip the doall legality analysis: partition the nest even when
+    /// distinct iterations race.  Useful for studying the paper's
+    /// relaxation examples, whose convergence tolerates races, and for
+    /// benchmarking the partitioner in isolation.
+    pub fn unchecked(mut self) -> Self {
+        self.check = false;
         self
     }
 
@@ -153,16 +183,28 @@ impl Compiler {
         if self.processors < 1 {
             return Err(AlpError::Infeasible("need at least one processor".into()));
         }
+        let report = if self.check {
+            let report = alp_analysis::analyze(&nest);
+            if report.has_errors() {
+                return Err(AlpError::Illegal(report));
+            }
+            report
+        } else {
+            alp_analysis::Report::default()
+        };
         let model = CostModel::from_nest(&nest);
         let partition = partition_rect(&nest, self.processors);
         let comm_free_normals = communication_free_normals(&nest);
         let data_partitions = align_arrays(&nest, &partition.tile_extents);
-        let placement = self.mesh.map(|mesh| mesh_placement(&partition.proc_grid, mesh));
+        let placement = self
+            .mesh
+            .map(|mesh| mesh_placement(&partition.proc_grid, mesh));
         let code = alp_codegen::emit_rect_code(&nest, &partition.proc_grid);
         Ok(CompileResult {
             class_count: model.classes().len(),
             nest,
             partition,
+            report,
             comm_free_normals,
             data_partitions,
             placement,
@@ -241,10 +283,7 @@ impl Compiler {
 /// columns) are not distributed (grid factor 1) — the analysis cannot
 /// align them with a rectangular grid; `alp-partition`'s parallelepiped
 /// machinery covers those shapes analytically instead.
-pub fn aligned_home(
-    nest: &LoopNest,
-    partition: &RectPartition,
-) -> alp_machine::TiledHome {
+pub fn aligned_home(nest: &LoopNest, partition: &RectPartition) -> alp_machine::TiledHome {
     use alp_footprint::classify;
     use alp_machine::TiledArrayHome;
 
@@ -256,9 +295,14 @@ pub fn aligned_home(
         if !described.insert(class.array.clone()) {
             continue;
         }
-        let Some(id) = layout.array_id(&class.array) else { continue };
+        let Some(id) = layout.array_id(&class.array) else {
+            continue;
+        };
         let extents = layout.extents(id).to_vec();
-        let size: u64 = extents.iter().map(|&(lo, hi)| (hi - lo + 1).max(1) as u64).product();
+        let size: u64 = extents
+            .iter()
+            .map(|&(lo, hi)| (hi - lo + 1).max(1) as u64)
+            .product();
         let base = {
             // First line of this array: evaluate the lowest corner.
             let corner = alp_linalg::IVec(extents.iter().map(|&(lo, _)| lo).collect());
@@ -283,7 +327,13 @@ pub fn aligned_home(
                 }
             }
         }
-        arrays.push(TiledArrayHome { base, size, extents, chunks, owner_dim });
+        arrays.push(TiledArrayHome {
+            base,
+            size,
+            extents,
+            chunks,
+            owner_dim,
+        });
     }
     let _ = p;
     alp_machine::TiledHome::new(partition.proc_grid.clone(), arrays)
@@ -292,6 +342,7 @@ pub fn aligned_home(
 /// Convenient glob import for downstream users.
 pub mod prelude {
     pub use crate::{AlpError, CompileResult, Compiler};
+    pub use alp_analysis::{analyze, analyze_program, pair_conflict, Report, Witness};
     pub use alp_codegen::{assign_para, assign_rect, assign_slabs, emit_para_code, emit_rect_code};
     pub use alp_footprint::{
         classify, cumulative_footprint_exact, cumulative_footprint_general,

@@ -3,7 +3,7 @@
 use std::io::Write;
 use std::process::{Command, Stdio};
 
-fn run_cli(args: &[&str], stdin: Option<&str>) -> (String, String, bool) {
+fn run_cli(args: &[&str], stdin: Option<&str>) -> (String, String, Option<i32>) {
     let mut cmd = Command::new(env!("CARGO_BIN_EXE_alp-cli"));
     cmd.args(args).stdout(Stdio::piped()).stderr(Stdio::piped());
     if stdin.is_some() {
@@ -22,17 +22,17 @@ fn run_cli(args: &[&str], stdin: Option<&str>) -> (String, String, bool) {
     (
         String::from_utf8_lossy(&out.stdout).into_owned(),
         String::from_utf8_lossy(&out.stderr).into_owned(),
-        out.status.success(),
+        out.status.code(),
     )
 }
 
 #[test]
 fn analyzes_example3_from_stdin() {
-    let (stdout, stderr, ok) = run_cli(
+    let (stdout, stderr, code) = run_cli(
         &["--param", "N=64", "-p", "16", "-"],
         Some("doall (i, 1, N) { doall (j, 1, N) { A[i,j] = B[i,j] + B[i+1,j+3]; } }"),
     );
-    assert!(ok, "stderr: {stderr}");
+    assert_eq!(code, Some(0), "stderr: {stderr}");
     assert!(stdout.contains("communication-free : yes"), "{stdout}");
     assert!(stdout.contains("cache aspect ratio : 1 : 3"), "{stdout}");
     assert!(stdout.contains("grid [8, 2]"), "{stdout}");
@@ -40,42 +40,114 @@ fn analyzes_example3_from_stdin() {
 
 #[test]
 fn simulates_with_mesh() {
-    let (stdout, stderr, ok) = run_cli(
-        &["-p", "4", "-m", "2x2", "--simulate", "-"],
+    // The stencil races across i; --no-check studies it regardless.
+    let (stdout, stderr, code) = run_cli(
+        &["-p", "4", "-m", "2x2", "--simulate", "--no-check", "-"],
         Some("doall (i, 0, 15) { doall (j, 0, 15) { A[i,j] = A[i+1,j]; } }"),
     );
-    assert!(ok, "stderr: {stderr}");
+    assert_eq!(code, Some(0), "stderr: {stderr}");
     assert!(stdout.contains("== simulation =="), "{stdout}");
     assert!(stdout.contains("aligned memory"), "{stdout}");
 }
 
 #[test]
 fn handles_multi_phase_programs() {
-    let (stdout, stderr, ok) = run_cli(
-        &["-p", "16", "-"],
+    let (stdout, stderr, code) = run_cli(
+        &["-p", "16", "--no-check", "-"],
         Some(
             "doall (i, 0, 63) { doall (j, 0, 63) { A[i,j] = A[i,j+1]; } }
              doall (i, 0, 63) { doall (j, 0, 63) { A[i,j] = A[i+1,j]; } }",
         ),
     );
-    assert!(ok, "stderr: {stderr}");
+    assert_eq!(code, Some(0), "stderr: {stderr}");
     assert!(stdout.contains("program with 2 phases"), "{stdout}");
     assert!(stdout.contains("CommonGrid"), "{stdout}");
 }
 
 #[test]
 fn reports_parse_errors() {
-    let (_, stderr, ok) = run_cli(&["-"], Some("doall (i, 0, 9) { A[q] = 1; }"));
-    assert!(!ok);
+    let (_, stderr, code) = run_cli(&["-"], Some("doall (i, 0, 9) { A[q] = 1; }"));
+    assert_eq!(code, Some(1));
     assert!(stderr.contains("unknown index"), "{stderr}");
+    assert!(stderr.contains("line 1"), "{stderr}");
 }
 
 #[test]
 fn code_flag_prints_spmd_loop() {
-    let (stdout, _, ok) = run_cli(
-        &["-p", "4", "--code", "-"],
+    let (stdout, _, code) = run_cli(
+        &["-p", "4", "--code", "--no-check", "-"],
         Some("doall (i, 0, 63) { A[i] = A[i+1]; }"),
     );
-    assert!(ok);
+    assert_eq!(code, Some(0));
     assert!(stdout.contains("for i in max(0, 0 + p0*16)"), "{stdout}");
+}
+
+#[test]
+fn racy_nest_is_refused_with_exit_4() {
+    let (_, stderr, code) = run_cli(
+        &["-p", "4", "-"],
+        Some("doall (i, 0, 15) { A[i] = A[i+1]; }"),
+    );
+    assert_eq!(code, Some(4), "stderr: {stderr}");
+    assert!(stderr.contains("error[doall-race]"), "{stderr}");
+    assert!(stderr.contains("--no-check"), "{stderr}");
+}
+
+#[test]
+fn check_reports_race_with_witness_and_exit_4() {
+    let (_, stderr, code) = run_cli(
+        &["--check", "-"],
+        Some("doall (i, 0, 15) { doall (j, 0, 15) { A[i,j] = A[i+1,j]; } }"),
+    );
+    assert_eq!(code, Some(4), "stderr: {stderr}");
+    assert!(stderr.contains("error[doall-race]"), "{stderr}");
+    // Caret snippet against the source plus a concrete witness pair.
+    assert!(stderr.contains("^"), "{stderr}");
+    assert!(stderr.contains("i="), "{stderr}");
+}
+
+#[test]
+fn check_accepts_accumulate_reduction() {
+    let (stdout, stderr, code) = run_cli(
+        &["--check", "-"],
+        Some(
+            "doall (i, 1, 8) { doall (j, 1, 8) { doall (k, 1, 8) {
+               l$C[i,j] = l$C[i,j] + A[i,k] + B[k,j];
+             } } }",
+        ),
+    );
+    assert_eq!(code, Some(0), "stderr: {stderr}");
+    assert!(stdout.contains("ok:"), "{stdout}");
+}
+
+#[test]
+fn check_clean_nest_exits_0() {
+    let (stdout, stderr, code) = run_cli(
+        &["--check", "-"],
+        Some("doall (i, 0, 15) { doall (j, 0, 15) { A[i,j] = B[i,j] + B[i+1,j]; } }"),
+    );
+    assert_eq!(code, Some(0), "stderr: {stderr}");
+    assert!(stdout.contains("ok: 1 nest passes"), "{stdout}");
+}
+
+#[test]
+fn check_warning_only_exits_3() {
+    // Rank-deficient read (Example 7's shape): legal but lint-worthy.
+    let (_, stderr, code) = run_cli(
+        &["--check", "-"],
+        Some("doall (i, 0, 15) { doall (j, 0, 15) { B[i,j] = A[i, 2*i, i+j]; } }"),
+    );
+    assert_eq!(code, Some(3), "stderr: {stderr}");
+    assert!(stderr.contains("warning[rank-deficient-ref]"), "{stderr}");
+}
+
+#[test]
+fn check_suggests_reduction_rewrite() {
+    let (_, stderr, code) = run_cli(
+        &["--check", "-"],
+        Some("doall (i, 0, 3) { doall (k, 0, 3) { C[i] = C[i] + A[i,k]; } }"),
+    );
+    assert_eq!(code, Some(4), "stderr: {stderr}");
+    assert!(stderr.contains("doall-reduction"), "{stderr}");
+    assert!(stderr.contains("+="), "{stderr}");
 }

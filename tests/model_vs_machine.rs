@@ -24,7 +24,10 @@ fn cold_misses_equal_exact_footprint_per_tile() {
 
     // Interior tiles all have the same extents: 12x24.
     let tile = Tile::rect(&[11, 23]);
-    let predicted: usize = classes.iter().map(|c| cumulative_footprint_exact(&tile, c)).sum();
+    let predicted: usize = classes
+        .iter()
+        .map(|c| cumulative_footprint_exact(&tile, c))
+        .sum();
     for (p, counters) in report.per_processor.iter().enumerate() {
         assert_eq!(
             counters.cold_misses as usize, predicted,
@@ -42,7 +45,13 @@ fn theorem4_estimate_tracks_simulation() {
                } }";
     let nest = parse(src).unwrap();
     let model = CostModel::from_nest(&nest);
-    for grid in [vec![1i128, 16], vec![2, 8], vec![4, 4], vec![8, 2], vec![16, 1]] {
+    for grid in [
+        vec![1i128, 16],
+        vec![2, 8],
+        vec![4, 4],
+        vec![8, 2],
+        vec![16, 1],
+    ] {
         let extents: Vec<i128> = grid.iter().map(|&g| 64 / g - 1).collect();
         let est = model.cost_rect(&extents);
         let assignment = assign_rect(&nest, &grid);
@@ -159,7 +168,9 @@ fn alignment_improves_locality() {
                    A[i,j] = A[i-1,j] + A[i+1,j] + A[i,j-1] + A[i,j+1];
                  } }
                }";
-    let compiler = Compiler::new(16).with_mesh(4, 4);
+    // The relaxation races across iterations (Jacobi-in-place); the
+    // paper still partitions it, so opt out of the legality gate.
+    let compiler = Compiler::new(16).with_mesh(4, 4).unchecked();
     let result = compiler.compile_src(src).unwrap();
     let dist = compiler.simulate_distributed(&result);
     // Block row-major homes do not match the 2-D tiles: many remote
@@ -200,5 +211,8 @@ fn aligned_home_transposed_reference() {
     // are remote unless ci == cj.  Either way, nothing panics and at
     // least A's share stays local.
     let local = aligned.total_misses() - aligned.total_remote_misses();
-    assert!(local * 2 >= aligned.total_misses() / 2, "some locality retained");
+    assert!(
+        local * 2 >= aligned.total_misses() / 2,
+        "some locality retained"
+    );
 }

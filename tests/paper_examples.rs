@@ -36,7 +36,12 @@ fn example2_end_to_end() {
     // Simulated per-tile misses match the paper's counts.
     for (grid, expected_b_misses) in [(vec![1i128, 100], 104u64), (vec![10, 10], 140)] {
         let assignment = assign_rect(&nest, &grid);
-        let report = run_nest(&nest, &assignment, MachineConfig::uniform(100), &UniformHome);
+        let report = run_nest(
+            &nest,
+            &assignment,
+            MachineConfig::uniform(100),
+            &UniformHome,
+        );
         assert!(report.check_conservation());
         let per_tile = report.total_cold_misses() / 100;
         assert_eq!(per_tile - 100, expected_b_misses, "grid {grid:?}");
@@ -60,7 +65,12 @@ fn example3_parallelogram() {
     let p = 16i128;
     let rect = partition_rect(&nest, p);
     let para = optimize_parallelepiped(&nest, p, &ParaSearchConfig::default());
-    assert!(Rat::int(para.cost) < rect.cost, "para {} rect {}", para.cost, rect.cost);
+    assert!(
+        Rat::int(para.cost) < rect.cost,
+        "para {} rect {}",
+        para.cost,
+        rect.cost
+    );
 
     // Simulated: slabs along the communication-free normal beat the
     // rectangle.
@@ -105,10 +115,8 @@ fn example6_footprint() {
 /// Example 7: dependent columns reduce to a unimodular G'.
 #[test]
 fn example7_column_reduction() {
-    let nest = parse(
-        "doall (i, 0, 9) { doall (j, 0, 9) { A[i, 2*i, i+j] = A[i, 2*i, i+j]; } }",
-    )
-    .unwrap();
+    let nest =
+        parse("doall (i, 0, 9) { doall (j, 0, 9) { A[i, 2*i, i+j] = A[i, 2*i, i+j]; } }").unwrap();
     let r = &nest.body[0].lhs;
     let g = r.g_matrix();
     assert_eq!(g, IMat::from_rows(&[&[1, 2, 1], &[0, 0, 1]]));
@@ -161,7 +169,10 @@ fn example8_end_to_end() {
         MachineConfig::uniform(8),
         &UniformHome,
     );
-    assert!(r.total_coherence_misses() > 0, "repeated sweeps share tile halos");
+    assert!(
+        r.total_coherence_misses() > 0,
+        "repeated sweeps share tile halos"
+    );
     assert!(r.check_conservation());
 }
 
@@ -187,7 +198,10 @@ fn example9_model() {
     // Cross-check with exact footprint enumeration.
     let exact = |lam: &[i128]| -> usize {
         let tile = Tile::rect(lam);
-        classes.iter().map(|c| cumulative_footprint_exact(&tile, c)).sum()
+        classes
+            .iter()
+            .map(|c| cumulative_footprint_exact(&tile, c))
+            .sum()
     };
     assert!(exact(&[9, 9]) < exact(&[4, 19]));
     assert!(exact(&[9, 9]) < exact(&[19, 4]));
@@ -219,7 +233,10 @@ fn example10_end_to_end() {
     // Optimal ratio 3:2 (λ_i : λ_j), i.e. traffic 3(L_j+1) + 2(L_i+1)
     // minimized — the paper's "2L_i = 3L_j + 1" optimality condition.
     let model = CostModel::from_nest(&nest);
-    assert_eq!(optimal_aspect_ratio(&model).unwrap(), vec![Rat::int(3), Rat::int(2)]);
+    assert_eq!(
+        optimal_aspect_ratio(&model).unwrap(),
+        vec![Rat::int(3), Rat::int(2)]
+    );
 
     // No communication-free partition exists (the case [7] cannot
     // handle), yet the optimizer still returns the best rectangle.
@@ -296,7 +313,9 @@ fn pipeline_smoke_all_examples() {
     ];
     for src in sources {
         let compiler = Compiler::new(16).with_mesh(4, 4);
-        let result = compiler.compile_src(src).unwrap_or_else(|e| panic!("{src}: {e}"));
+        let result = compiler
+            .compile_src(src)
+            .unwrap_or_else(|e| panic!("{src}: {e}"));
         assert_eq!(result.partition.tiles(), 16, "{src}");
         let report = compiler.simulate_uniform(&result);
         assert!(report.check_conservation(), "{src}");
