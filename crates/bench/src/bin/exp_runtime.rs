@@ -1,0 +1,251 @@
+//! E-RT: native runtime wall-clock — the model-optimal tile shape vs
+//! naive baselines at the same thread count, on real threads and real
+//! `f64` arrays (not the simulator).
+//!
+//! Three experiments:
+//!
+//! * Example 8's 3-D stencil: `partition_rect`'s grid vs naive square
+//!   blocks and row slabs;
+//! * an additive matmul-style accumulate nest: uncontended `i,j` blocks
+//!   vs a naive `k`-split whose tiles all CAS on the same output
+//!   elements;
+//! * Example 2's skewed 2-D nest: strips vs square blocks.
+//!
+//! Every configuration is validated bitwise against the sequential
+//! reference before timing, and every tiling also reports its
+//! *measured* worst-tile distinct-line footprint next to the model's
+//! prediction — on machines with fewer cores than threads the wall
+//! times cannot show parallel effects, but the footprint ordering
+//! (what the paper's model optimizes) is measured on the real
+//! execution either way.  `--json` additionally writes
+//! `BENCH_runtime.json` with the wall time and footprint per tiling.
+
+use alp::prelude::*;
+use alp_bench::{header, Table};
+use std::time::Duration;
+
+const THREADS: usize = 8;
+const TRIALS: usize = 3;
+
+struct GridResult {
+    label: &'static str,
+    grid: Vec<i128>,
+    wall: Duration,
+    model_cost: f64,
+    measured_lines: u64,
+    matches: bool,
+}
+
+/// Best-of-`TRIALS` wall time for one grid, with touch tracking off so
+/// the timing measures only kernel execution.  A separate tracked run
+/// measures the worst tile's distinct-line footprint, and a verified
+/// run checks bitwise equality with the sequential reference.
+fn bench_grid(nest: &LoopNest, grid: &[i128], label: &'static str) -> GridResult {
+    let exec = Executor::from_grid(nest, grid).expect("executable nest");
+    let timing = ExecOptions {
+        threads: THREADS,
+        schedule: Schedule::Static,
+        line_size: 1,
+        track_touches: false,
+    };
+    let outcome = exec.verify(42, &timing);
+    let mut wall = outcome.report.wall;
+    for _ in 1..TRIALS {
+        let store = exec.seeded_store(42);
+        wall = wall.min(exec.run(&store, &timing).wall);
+    }
+    let tracked = ExecOptions {
+        track_touches: true,
+        ..timing
+    };
+    let store = exec.seeded_store(42);
+    let measured_lines = exec.run(&store, &tracked).max_tile_footprint().unwrap_or(0);
+    let model_cost = CostModel::from_nest(nest)
+        .cost_rect(exec.tile_extents())
+        .to_f64();
+    GridResult {
+        label,
+        grid: grid.to_vec(),
+        wall,
+        model_cost,
+        measured_lines,
+        matches: outcome.matches_reference,
+    }
+}
+
+fn run_case(
+    name: &'static str,
+    nest: &LoopNest,
+    grids: Vec<(&'static str, Vec<i128>)>,
+) -> (&'static str, Vec<GridResult>) {
+    println!("\n{name} ({} threads, best of {TRIALS}):", THREADS);
+    let t = Table::new(&[
+        ("tiling", 16),
+        ("grid", 14),
+        ("wall", 12),
+        ("model/tile", 10),
+        ("meas/tile", 9),
+        ("bitwise", 7),
+    ]);
+    let results: Vec<GridResult> = grids
+        .into_iter()
+        .map(|(label, grid)| bench_grid(nest, &grid, label))
+        .collect();
+    for r in &results {
+        t.row(&[
+            &r.label,
+            &format!("{:?}", r.grid),
+            &format!("{:.3?}", r.wall),
+            &format!("{:.0}", r.model_cost),
+            &r.measured_lines,
+            &if r.matches { "ok" } else { "FAIL" },
+        ]);
+        assert!(r.matches, "{name}/{}: parallel != sequential", r.label);
+    }
+    let fastest = results.iter().min_by_key(|r| r.wall).unwrap();
+    let leanest = results.iter().min_by_key(|r| r.measured_lines).unwrap();
+    println!(
+        "fastest: {} at {:.3?}; smallest measured footprint: {} ({} lines/tile)",
+        fastest.label, fastest.wall, leanest.label, leanest.measured_lines
+    );
+    (name, results)
+}
+
+fn json_escape_ms(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64() * 1e3)
+}
+
+fn write_json(cases: &[(&'static str, Vec<GridResult>)]) {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut s = String::from("{\n");
+    s.push_str("  \"benchmark\": \"runtime\",\n");
+    s.push_str(&format!("  \"threads\": {THREADS},\n"));
+    s.push_str(&format!("  \"cores\": {cores},\n"));
+    s.push_str(&format!("  \"trials\": {TRIALS},\n"));
+    s.push_str("  \"cases\": [\n");
+    for (ci, (name, results)) in cases.iter().enumerate() {
+        s.push_str("    {\n");
+        s.push_str(&format!("      \"name\": \"{name}\",\n"));
+        s.push_str("      \"tilings\": [\n");
+        for (ri, r) in results.iter().enumerate() {
+            s.push_str(&format!(
+                "        {{\"label\": \"{}\", \"grid\": {:?}, \"wall_ms\": {}, \
+                 \"model_cost_per_tile\": {:.1}, \"measured_max_tile_lines\": {}, \
+                 \"matches_reference\": {}}}{}\n",
+                r.label,
+                r.grid,
+                json_escape_ms(r.wall),
+                r.model_cost,
+                r.measured_lines,
+                r.matches,
+                if ri + 1 < results.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("      ],\n");
+        let opt = &results[0];
+        let naive = results[1..]
+            .iter()
+            .max_by_key(|r| r.wall)
+            .unwrap_or(&results[0]);
+        s.push_str(&format!(
+            "      \"speedup_first_over_slowest\": {:.3}\n",
+            naive.wall.as_secs_f64() / opt.wall.as_secs_f64()
+        ));
+        s.push_str(&format!(
+            "    }}{}\n",
+            if ci + 1 < cases.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    std::fs::write("BENCH_runtime.json", &s).expect("write BENCH_runtime.json");
+    println!("\nwrote BENCH_runtime.json");
+}
+
+fn main() {
+    let json = std::env::args().any(|a| a == "--json");
+    header("E-RT", "native runtime: model-optimal vs naive tilings");
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if cores < THREADS {
+        println!(
+            "note: {cores} core(s) available for {THREADS} threads — wall times \
+             reflect interleaved execution, not parallel speedup"
+        );
+    }
+    let mut cases = Vec::new();
+
+    // Example 8's stencil.  The first tiling is partition_rect's choice;
+    // the baselines get the same processor count.
+    let ex8 = parse(
+        "doall (i, 1, 64) { doall (j, 1, 64) { doall (k, 1, 64) {
+           A[i,j,k] = B[i-1,j,k+1] + B[i,j+1,k] + B[i+1,j-2,k-3];
+         } } }",
+    )
+    .unwrap();
+    let optimal = partition_rect(&ex8, 16).proc_grid;
+    let square = naive_partition(&ex8, 16, NaiveShape::SquareBlocks)
+        .expect("square blocks")
+        .proc_grid;
+    let mut grids = vec![("optimal", optimal.clone())];
+    if square != optimal {
+        grids.push(("square", square));
+    }
+    grids.push(("row-slabs", vec![16, 1, 1]));
+    cases.push(run_case("example8-stencil-64^3", &ex8, grids));
+
+    // Accumulates: every iteration adds into C[i,j].  Blocking over i,j
+    // keeps each output element on one thread (uncontended CAS); the
+    // naive k-split makes all 16 tiles hammer the same C elements.
+    let acc = parse(
+        "doall (i, 0, 127) { doall (j, 0, 127) { doall (k, 0, 127) {
+           C[i,j] += A[i,k] + B[k,j];
+         } } }",
+    )
+    .unwrap();
+    cases.push(run_case(
+        "accumulate-matmul-128^3",
+        &acc,
+        vec![("ij-blocks", vec![4, 4, 1]), ("k-split", vec![1, 1, 16])],
+    ));
+
+    // Row reduction: S[i] += A[i,j].  partition_rect splits the i axis
+    // (smallest footprint, and each S element stays on one thread);
+    // naive square blocks make 4 threads CAS the same S rows
+    // concurrently, and a j-split makes all 16 collide.
+    let red = parse(
+        "doall (i, 0, 127) { doall (j, 0, 8191) {
+           S[i] += A[i,j];
+         } }",
+    )
+    .unwrap();
+    let red_opt = partition_rect(&red, 16).proc_grid;
+    let red_square = naive_partition(&red, 16, NaiveShape::SquareBlocks)
+        .expect("square blocks")
+        .proc_grid;
+    cases.push(run_case(
+        "row-reduction-128x8192",
+        &red,
+        vec![
+            ("optimal", red_opt),
+            ("square", red_square),
+            ("j-split", vec![1, 16]),
+        ],
+    ));
+
+    // Example 2's skewed references: strips (the paper's partition a)
+    // vs square blocks, scaled up to make the wall time measurable.
+    let ex2 = parse(
+        "doall (i, 101, 612) { doall (j, 1, 512) {
+           A[i,j] = B[i+j,i-j-1] + B[i+j+4,i-j+3];
+         } }",
+    )
+    .unwrap();
+    cases.push(run_case(
+        "example2-skewed-512^2",
+        &ex2,
+        vec![("strips", vec![1, 16]), ("blocks", vec![4, 4])],
+    ));
+
+    if json {
+        write_json(&cases);
+    }
+}

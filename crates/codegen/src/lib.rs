@@ -22,6 +22,6 @@ pub use alp_linalg::fm;
 pub use alp_linalg::fm::{eliminate, Constraint, System};
 pub use assign::{
     assign_para, assign_rect, assign_slabs, assignment_stats, block_assignment, block_iterations,
-    Assignment, AssignmentStats,
+    is_exact_cover, Assignment, AssignmentStats,
 };
 pub use emit::{emit_para_code, emit_rect_code};

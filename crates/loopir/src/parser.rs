@@ -459,6 +459,18 @@ impl Parser<'_> {
                 _ => return self.err("expected `+`, `-` or `;`"),
             }
         }
+        // `lhs += rhs` is sugar for `l$lhs = l$lhs + rhs`: make the
+        // implicit self-read explicit so both spellings yield one IR.
+        if acc {
+            let has_self = rhs.iter().any(|r| {
+                r.kind == AccessKind::Accumulate
+                    && r.array == lhs.array
+                    && r.subscripts == lhs.subscripts
+            });
+            if !has_self {
+                rhs.insert(0, lhs.clone());
+            }
+        }
         Ok(Statement::new(lhs, rhs).with_span(Span::new(stmt_start, self.prev_end())))
     }
 
@@ -518,6 +530,7 @@ impl Parser<'_> {
                     _ => break,
                 }
             }
+            let term_start = self.offset();
             match self.bump() {
                 Some(Tok::Int(n)) => {
                     if matches!(self.peek(), Some(Tok::Sym('*'))) {
@@ -525,7 +538,8 @@ impl Parser<'_> {
                         match self.bump() {
                             Some(Tok::Ident(id)) => {
                                 let k = self.index_of(&id, names)?;
-                                expr.coeffs[k] += sign * n;
+                                expr.coeffs[k] =
+                                    self.add_term(expr.coeffs[k], sign, n, term_start)?;
                             }
                             _ => {
                                 self.pos -= 1;
@@ -533,12 +547,12 @@ impl Parser<'_> {
                             }
                         }
                     } else {
-                        expr.constant += sign * n;
+                        expr.constant = self.add_term(expr.constant, sign, n, term_start)?;
                     }
                 }
                 Some(Tok::Ident(id)) => {
                     let k = self.index_of(&id, names)?;
-                    expr.coeffs[k] += sign;
+                    expr.coeffs[k] = self.add_term(expr.coeffs[k], sign, 1, term_start)?;
                 }
                 _ => {
                     self.pos -= 1;
@@ -551,6 +565,14 @@ impl Parser<'_> {
             }
         }
         Ok(expr)
+    }
+
+    /// `acc + sign * n` with overflow reported as a parse error at the
+    /// term's source position instead of a panic/wrap.
+    fn add_term(&self, acc: i128, sign: i128, n: i128, at: usize) -> Result<i128, ParseError> {
+        n.checked_mul(sign)
+            .and_then(|t| acc.checked_add(t))
+            .ok_or_else(|| ParseError::at("affine subscript term overflows i128", at, self.src))
     }
 
     fn index_of(&self, id: &str, names: &[String]) -> Result<usize, ParseError> {
@@ -648,6 +670,54 @@ mod tests {
     fn plus_eq_marks_accumulate() {
         let n = parse("doall (i, 0, 3) { C[i] += A[i]; }").unwrap();
         assert_eq!(n.body[0].lhs.kind, AccessKind::Accumulate);
+    }
+
+    #[test]
+    fn plus_eq_desugars_to_explicit_self_read() {
+        // Both spellings of an accumulate must produce identical IR.
+        let sugar = parse("doall (i, 0, 3) { C[i] += A[i]; }").unwrap();
+        let explicit = parse("doall (i, 0, 3) { l$C[i] = l$C[i] + A[i]; }").unwrap();
+        assert_eq!(sugar, explicit);
+        let st = &sugar.body[0];
+        assert_eq!(st.rhs.len(), 2);
+        assert_eq!(st.rhs[0].kind, AccessKind::Accumulate);
+        assert_eq!(st.rhs[0].array, "C");
+        assert_eq!(st.rhs[1].array, "A");
+    }
+
+    #[test]
+    fn plus_eq_self_read_not_duplicated() {
+        // An already-explicit accumulate self-read is left alone …
+        let n = parse("doall (i, 0, 3) { l$C[i] += l$C[i] + A[i]; }").unwrap();
+        assert_eq!(n.body[0].rhs.len(), 2);
+        // … but a plain (Read-kind) self reference is a distinct old-value
+        // use, so the implicit accumulate read is still inserted.
+        let n = parse("doall (i, 0, 3) { C[i] += C[i]; }").unwrap();
+        assert_eq!(n.body[0].rhs.len(), 2);
+        assert_eq!(n.body[0].rhs[0].kind, AccessKind::Accumulate);
+        assert_eq!(n.body[0].rhs[1].kind, AccessKind::Read);
+    }
+
+    #[test]
+    fn plus_eq_round_trips_through_display() {
+        let n = parse("doall (i, 0, 3) { C[i] += A[i]; }").unwrap();
+        let reparsed = parse(&n.display()).unwrap();
+        assert_eq!(n, reparsed);
+    }
+
+    #[test]
+    fn subscript_overflow_is_error_not_panic() {
+        let big = i128::MAX;
+        let src = format!("doall (i, 0, 3) {{\n  A[{big} + {big}] = B[i];\n}}");
+        let e = parse(&src).unwrap_err();
+        assert!(e.message.contains("overflows"), "{e}");
+        assert_eq!(e.line, 2, "{e:?}");
+        assert!(e.column > 1, "{e:?}");
+
+        // Coefficient accumulation overflows the same way.
+        let src = format!("doall (i, 0, 3) {{ A[{big}*i + {big}*i] = B[i]; }}");
+        let e = parse(&src).unwrap_err();
+        assert!(e.message.contains("overflows"), "{e}");
     }
 
     #[test]

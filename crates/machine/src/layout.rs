@@ -108,6 +108,21 @@ impl ArrayLayout {
     pub fn extents(&self, array_id: usize) -> &[(i128, i128)] {
         &self.arrays[array_id].extents
     }
+
+    /// Base line id of an array (its first element, lowest corner).
+    pub fn base(&self, array_id: usize) -> u64 {
+        self.arrays[array_id].base
+    }
+
+    /// Row-major element strides of an array, one per dimension.
+    ///
+    /// Together with [`ArrayLayout::base`] and the extent lower bounds
+    /// this lets callers (e.g. a runtime kernel compiler) fold the whole
+    /// element-id computation `base + Σ_d stride_d·(x_d − lo_d)` into an
+    /// affine form instead of calling [`ArrayLayout::line`] per access.
+    pub fn strides(&self, array_id: usize) -> &[u64] {
+        &self.arrays[array_id].strides
+    }
 }
 
 /// Maps a line to the processor whose memory module stores it (the

@@ -1,0 +1,408 @@
+//! The parallel executor: P OS threads running a compiled kernel over
+//! the tiles of a partition, with a barrier at the end of each outer
+//! sequential repetition.
+
+use crate::kernel::Kernel;
+use crate::report::{RunReport, Schedule, ThreadMetrics, TileMetrics};
+use crate::store::ArrayStore;
+use crate::tiles::{explicit_tiles, rect_tiles, IterBox};
+use crate::touch::TouchSet;
+use crate::RuntimeError;
+use alp_linalg::IVec;
+use alp_loopir::{AccessKind, LoopNest};
+use alp_machine::ArrayLayout;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Barrier;
+use std::time::Instant;
+
+/// Knobs for one run.
+#[derive(Debug, Clone)]
+pub struct ExecOptions {
+    /// OS threads to use; 0 means one per tile (capped at the tile
+    /// count either way).
+    pub threads: usize,
+    /// Static round-robin or dynamic self-scheduling.
+    pub schedule: Schedule,
+    /// Elements per cache line for touch counting.
+    pub line_size: u64,
+    /// Record distinct-line touch counts (small overhead, first
+    /// repetition only).
+    pub track_touches: bool,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions {
+            threads: 0,
+            schedule: Schedule::Static,
+            line_size: 1,
+            track_touches: true,
+        }
+    }
+}
+
+/// One unit of schedulable work.
+#[derive(Debug, Clone)]
+enum Work {
+    /// A rectangular block of iterations.
+    Box(IterBox),
+    /// An explicit iteration list (from a codegen `Assignment`).
+    Points(Vec<Vec<i64>>),
+}
+
+impl Work {
+    fn iterations(&self) -> u64 {
+        match self {
+            Work::Box(b) => b.volume(),
+            Work::Points(p) => p.len() as u64,
+        }
+    }
+
+    fn for_each_point(&self, mut f: impl FnMut(&[i64])) {
+        match self {
+            Work::Box(b) => b.for_each_point(f),
+            Work::Points(pts) => {
+                for p in pts {
+                    f(p);
+                }
+            }
+        }
+    }
+}
+
+/// A nest compiled and partitioned, ready to run any number of times.
+#[derive(Debug)]
+pub struct Executor {
+    nest: LoopNest,
+    layout: ArrayLayout,
+    kernel: Kernel,
+    work: Vec<Work>,
+    /// Interior-tile extents λ (empty for explicit assignments).
+    tile_extents: Vec<i128>,
+    repetitions: u64,
+}
+
+impl Executor {
+    /// Partition the nest's iteration space over a rectangular virtual
+    /// processor grid (one tile per grid cell, `assign_rect` numbering).
+    pub fn from_grid(nest: &LoopNest, grid: &[i128]) -> Result<Executor, RuntimeError> {
+        let layout = ArrayLayout::from_nest(nest);
+        let kernel = Kernel::compile(nest, &layout)?;
+        let (tiles, chunks) = rect_tiles(nest, grid)?;
+        Ok(Executor {
+            nest: nest.clone(),
+            repetitions: reps(nest)?,
+            layout,
+            kernel,
+            work: tiles.into_iter().map(Work::Box).collect(),
+            // chunks are iterations per tile; λ is the inclusive extent
+            // (λ + 1 iterations), the convention of RectPartition and
+            // CostModel::cost_rect.
+            tile_extents: chunks.iter().map(|c| c - 1).collect(),
+        })
+    }
+
+    /// Run an explicit per-processor iteration assignment (e.g. from
+    /// `alp_codegen::assign_rect` or `assign_para`).
+    pub fn from_assignment(
+        nest: &LoopNest,
+        assignment: &[Vec<IVec>],
+    ) -> Result<Executor, RuntimeError> {
+        let layout = ArrayLayout::from_nest(nest);
+        let kernel = Kernel::compile(nest, &layout)?;
+        let work = explicit_tiles(assignment)?
+            .into_iter()
+            .map(Work::Points)
+            .collect();
+        Ok(Executor {
+            nest: nest.clone(),
+            repetitions: reps(nest)?,
+            layout,
+            kernel,
+            work,
+            tile_extents: Vec::new(),
+        })
+    }
+
+    /// The memory layout shared by executor and simulator.
+    pub fn layout(&self) -> &ArrayLayout {
+        &self.layout
+    }
+
+    /// Number of tiles (virtual processors).
+    pub fn tile_count(&self) -> usize {
+        self.work.len()
+    }
+
+    /// Interior-tile extents λ, in the paper's inclusive convention
+    /// (a tile spans `λ_k + 1` iterations along dimension `k`); empty
+    /// for explicit assignments.
+    pub fn tile_extents(&self) -> &[i128] {
+        &self.tile_extents
+    }
+
+    /// A store sized for this nest, seeded with integer-valued data.
+    pub fn seeded_store(&self, seed: u64) -> ArrayStore {
+        ArrayStore::seeded(self.layout.total_lines(), seed)
+    }
+
+    /// Execute the nest in parallel, mutating `store` in place.
+    pub fn run(&self, store: &ArrayStore, opts: &ExecOptions) -> RunReport {
+        let tiles = self.work.len();
+        let threads = match opts.threads {
+            0 => tiles.max(1),
+            t => t.min(tiles.max(1)),
+        };
+        let barrier = Barrier::new(threads);
+        let next_tile = AtomicUsize::new(0);
+        let total_lines = self.layout.total_lines();
+        let wall_start = Instant::now();
+
+        struct ThreadOut {
+            metrics: ThreadMetrics,
+            tiles: Vec<TileMetrics>,
+            exact: bool,
+        }
+
+        let mut outs: Vec<ThreadOut> = crossbeam::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let barrier = &barrier;
+                    let next_tile = &next_tile;
+                    scope.spawn(move |_| {
+                        let mut thread_touch = opts
+                            .track_touches
+                            .then(|| TouchSet::new(total_lines, opts.line_size));
+                        let mut scratch = opts
+                            .track_touches
+                            .then(|| TouchSet::new(total_lines, opts.line_size));
+                        let mut tile_metrics: Vec<TileMetrics> = Vec::new();
+                        let mut iterations = 0u64;
+                        let mut busy = std::time::Duration::ZERO;
+                        for rep in 0..self.repetitions {
+                            // Touches repeat identically every rep;
+                            // track only the first.
+                            let track = rep == 0;
+                            let mut run_tile = |tile: usize| {
+                                let t0 = Instant::now();
+                                let work = &self.work[tile];
+                                if track {
+                                    if let Some(sc) = scratch.as_mut() {
+                                        sc.clear();
+                                        work.for_each_point(|i| {
+                                            self.kernel.for_each_access(i, |e, _w| sc.insert(e));
+                                            self.kernel.execute(i, store);
+                                        });
+                                    } else {
+                                        work.for_each_point(|i| self.kernel.execute(i, store));
+                                    }
+                                } else {
+                                    work.for_each_point(|i| self.kernel.execute(i, store));
+                                }
+                                let dt = t0.elapsed();
+                                busy += dt;
+                                iterations += work.iterations();
+                                if track {
+                                    let lines = scratch.as_ref().map(TouchSet::count);
+                                    if let (Some(tt), Some(sc)) =
+                                        (thread_touch.as_mut(), scratch.as_ref())
+                                    {
+                                        tt.merge(sc);
+                                    }
+                                    tile_metrics.push(TileMetrics {
+                                        tile,
+                                        thread: t,
+                                        iterations: work.iterations(),
+                                        distinct_lines: lines,
+                                        busy: dt,
+                                    });
+                                } else if let Some(m) =
+                                    tile_metrics.iter_mut().find(|m| m.tile == tile)
+                                {
+                                    m.busy += dt;
+                                }
+                            };
+                            match opts.schedule {
+                                Schedule::Static => {
+                                    let mut tile = t;
+                                    while tile < tiles {
+                                        run_tile(tile);
+                                        tile += threads;
+                                    }
+                                }
+                                Schedule::Dynamic => loop {
+                                    let tile = next_tile.fetch_add(1, Ordering::SeqCst);
+                                    if tile >= tiles {
+                                        break;
+                                    }
+                                    run_tile(tile);
+                                },
+                            }
+                            // End-of-doall barrier: no thread starts
+                            // repetition r+1 until all finish r.
+                            let res = barrier.wait();
+                            if opts.schedule == Schedule::Dynamic {
+                                if res.is_leader() {
+                                    next_tile.store(0, Ordering::SeqCst);
+                                }
+                                barrier.wait();
+                            }
+                        }
+                        let exact = thread_touch.as_ref().is_none_or(TouchSet::is_exact);
+                        ThreadOut {
+                            metrics: ThreadMetrics {
+                                thread: t,
+                                tiles_run: tile_metrics.len(),
+                                iterations,
+                                distinct_lines: thread_touch.as_ref().map(TouchSet::count),
+                                busy,
+                            },
+                            tiles: tile_metrics,
+                            exact,
+                        }
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("runtime worker panicked"))
+                .collect()
+        })
+        .expect("runtime thread scope");
+
+        let wall = wall_start.elapsed();
+        outs.sort_by_key(|o| o.metrics.thread);
+        let touches_exact = outs.iter().all(|o| o.exact);
+        let mut per_tile: Vec<TileMetrics> =
+            outs.iter().flat_map(|o| o.tiles.iter().cloned()).collect();
+        per_tile.sort_by_key(|m| m.tile);
+        let per_thread: Vec<ThreadMetrics> = outs.into_iter().map(|o| o.metrics).collect();
+        RunReport {
+            threads,
+            tiles,
+            schedule: opts.schedule,
+            line_size: opts.line_size.max(1),
+            repetitions: self.repetitions,
+            total_iterations: per_thread.iter().map(|m| m.iterations).sum(),
+            wall,
+            touches_exact,
+            per_thread,
+            per_tile,
+        }
+    }
+
+    /// Execute the nest *sequentially* from `init`, interpreting the IR
+    /// directly (`ArrayRef::eval` + `ArrayLayout::line`) rather than
+    /// through the compiled kernel — an independent implementation path
+    /// that the parallel result must match bit for bit.
+    pub fn run_reference(&self, init: &[f64]) -> Vec<f64> {
+        let mut data = init.to_vec();
+        let stmts: Vec<RefStmt> = self.nest.body.iter().map(RefStmt::new).collect();
+        for _rep in 0..self.repetitions {
+            for pt in self.nest.iteration_points() {
+                for st in &stmts {
+                    let lhs = self.line_of(st.stmt, &pt);
+                    match st.mode {
+                        RefMode::Accumulate => {
+                            let mut delta = 0.0;
+                            for r in &st.sources {
+                                delta += data[self.line_of_ref(r, &pt)];
+                            }
+                            data[lhs] += delta;
+                        }
+                        RefMode::Assign => {
+                            let mut v = 0.0;
+                            for r in &st.sources {
+                                v += data[self.line_of_ref(r, &pt)];
+                            }
+                            data[lhs] = v;
+                        }
+                    }
+                }
+            }
+        }
+        data
+    }
+
+    /// Run on a seeded store and check the parallel result against the
+    /// sequential reference, bit for bit.
+    pub fn verify(&self, seed: u64, opts: &ExecOptions) -> ExecOutcome {
+        let store = self.seeded_store(seed);
+        let init = store.snapshot();
+        let report = self.run(&store, opts);
+        let reference = self.run_reference(&init);
+        let parallel = store.snapshot();
+        let matches_reference = parallel.len() == reference.len()
+            && parallel
+                .iter()
+                .zip(&reference)
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+        ExecOutcome {
+            report,
+            matches_reference,
+        }
+    }
+
+    fn line_of(&self, st: &alp_loopir::Statement, pt: &IVec) -> usize {
+        let id = self.layout.array_id(&st.lhs.array).expect("known array");
+        self.layout.line(id, &st.lhs.eval(pt)) as usize
+    }
+
+    fn line_of_ref(&self, r: &alp_loopir::ArrayRef, pt: &IVec) -> usize {
+        let id = self.layout.array_id(&r.array).expect("known array");
+        self.layout.line(id, &r.eval(pt)) as usize
+    }
+}
+
+/// Result of [`Executor::verify`].
+#[derive(Debug, Clone)]
+pub struct ExecOutcome {
+    /// Metrics from the parallel run.
+    pub report: RunReport,
+    /// Whether the parallel result equals the sequential reference
+    /// bit for bit.
+    pub matches_reference: bool,
+}
+
+enum RefMode {
+    Assign,
+    Accumulate,
+}
+
+/// A statement pre-classified for the interpreted reference path, using
+/// the same accumulate rule as the kernel compiler but none of its code.
+struct RefStmt<'a> {
+    stmt: &'a alp_loopir::Statement,
+    mode: RefMode,
+    sources: Vec<&'a alp_loopir::ArrayRef>,
+}
+
+impl<'a> RefStmt<'a> {
+    fn new(st: &'a alp_loopir::Statement) -> Self {
+        let is_self = |r: &alp_loopir::ArrayRef| {
+            r.kind == AccessKind::Accumulate
+                && r.array == st.lhs.array
+                && r.subscripts == st.lhs.subscripts
+        };
+        if st.lhs.kind == AccessKind::Accumulate
+            && st.rhs.iter().filter(|r| is_self(r)).count() == 1
+        {
+            RefStmt {
+                stmt: st,
+                mode: RefMode::Accumulate,
+                sources: st.rhs.iter().filter(|r| !is_self(r)).collect(),
+            }
+        } else {
+            RefStmt {
+                stmt: st,
+                mode: RefMode::Assign,
+                sources: st.rhs.iter().collect(),
+            }
+        }
+    }
+}
+
+fn reps(nest: &LoopNest) -> Result<u64, RuntimeError> {
+    u64::try_from(nest.seq_repetitions())
+        .map_err(|_| RuntimeError::BadGrid("sequential repetition count overflows u64".into()))
+}

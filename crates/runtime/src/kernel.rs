@@ -1,0 +1,253 @@
+//! Lowering loop-nest statements into executable per-iteration kernels.
+//!
+//! Every affine reference `A[Gī + ā]` combined with the array layout's
+//! base/strides folds into a single linear form over the *parallel*
+//! iteration vector: `element(ī) = c·ī + c₀` (subscripts range over
+//! parallel indices only — outer `doseq` loops just repeat the doall).
+//! Executing an iteration is then a handful of integer multiply-adds
+//! plus the f64 arithmetic, with no per-access layout lookups.
+
+use crate::RuntimeError;
+use alp_loopir::{AccessKind, ArrayRef, LoopNest};
+use alp_machine::ArrayLayout;
+
+/// A reference lowered to one linear form over the iteration vector.
+#[derive(Debug, Clone)]
+pub struct LinRef {
+    /// Coefficient per parallel loop index.
+    coeffs: Vec<i64>,
+    /// Constant term (absorbs the array base and extent lower bounds).
+    constant: i64,
+}
+
+impl LinRef {
+    /// Flat element id for iteration `i`.
+    #[inline]
+    pub fn eval(&self, i: &[i64]) -> usize {
+        let mut e = self.constant;
+        for (c, x) in self.coeffs.iter().zip(i) {
+            e += c * x;
+        }
+        debug_assert!(e >= 0, "element id must be non-negative");
+        e as usize
+    }
+}
+
+/// One statement, classified for parallel execution.
+#[derive(Debug, Clone)]
+pub enum CompiledStmt {
+    /// `lhs = Σ sources` — a plain overwrite.  Legal doalls guarantee no
+    /// other iteration touches `lhs`, so a relaxed store suffices.
+    Assign {
+        /// Destination element.
+        lhs: LinRef,
+        /// Source elements, summed.
+        sources: Vec<LinRef>,
+    },
+    /// `lhs += Σ sources` — an Appendix-A accumulate.  The self-read is
+    /// implicit in the atomic add, so `sources` excludes it.
+    Accumulate {
+        /// Destination element (atomically updated).
+        lhs: LinRef,
+        /// Source elements, summed into the delta.
+        sources: Vec<LinRef>,
+    },
+}
+
+/// A compiled nest body: the statements of one iteration.
+#[derive(Debug, Clone)]
+pub struct Kernel {
+    stmts: Vec<CompiledStmt>,
+}
+
+impl Kernel {
+    /// Lower every statement of `nest` against `layout`.
+    ///
+    /// Accumulate statements must contain exactly one accumulate-kind
+    /// self-reference on the right-hand side (the canonical form the
+    /// parser produces for `+=`); it becomes the implicit read of the
+    /// atomic add.  An accumulate lhs with *no* self-read degenerates to
+    /// a plain overwrite; more than one self-read is rejected.
+    pub fn compile(nest: &LoopNest, layout: &ArrayLayout) -> Result<Kernel, RuntimeError> {
+        let mut stmts = Vec::with_capacity(nest.body.len());
+        for st in &nest.body {
+            let lhs = lower_ref(&st.lhs, layout)?;
+            if st.lhs.kind == AccessKind::Accumulate {
+                let is_self = |r: &&ArrayRef| {
+                    r.kind == AccessKind::Accumulate
+                        && r.array == st.lhs.array
+                        && r.subscripts == st.lhs.subscripts
+                };
+                let self_count = st.rhs.iter().filter(|r| is_self(r)).count();
+                match self_count {
+                    0 => {
+                        // No old-value read: sequential semantics are a
+                        // plain overwrite.
+                        let sources = lower_refs(&st.rhs, layout)?;
+                        stmts.push(CompiledStmt::Assign { lhs, sources });
+                    }
+                    1 => {
+                        let others: Vec<&ArrayRef> =
+                            st.rhs.iter().filter(|r| !is_self(r)).collect();
+                        let sources = others
+                            .iter()
+                            .map(|r| lower_ref(r, layout))
+                            .collect::<Result<_, _>>()?;
+                        stmts.push(CompiledStmt::Accumulate { lhs, sources });
+                    }
+                    n => {
+                        return Err(RuntimeError::UnsupportedStatement(format!(
+                            "accumulate of `{}` reads its own old value {n} times; \
+                             only one self-read is executable",
+                            st.lhs.array
+                        )));
+                    }
+                }
+            } else {
+                let sources = lower_refs(&st.rhs, layout)?;
+                stmts.push(CompiledStmt::Assign { lhs, sources });
+            }
+        }
+        Ok(Kernel { stmts })
+    }
+
+    /// The compiled statements, in source order.
+    pub fn stmts(&self) -> &[CompiledStmt] {
+        &self.stmts
+    }
+
+    /// Element ids touched by one iteration, write-likes flagged.
+    /// (Used by touch tracking; mirrors the simulator's access order:
+    /// rhs first, then the lhs write.)
+    pub fn for_each_access(&self, i: &[i64], mut f: impl FnMut(usize, bool)) {
+        for st in &self.stmts {
+            match st {
+                CompiledStmt::Assign { lhs, sources } => {
+                    for s in sources {
+                        f(s.eval(i), false);
+                    }
+                    f(lhs.eval(i), true);
+                }
+                CompiledStmt::Accumulate { lhs, sources } => {
+                    for s in sources {
+                        f(s.eval(i), false);
+                    }
+                    f(lhs.eval(i), true);
+                }
+            }
+        }
+    }
+
+    /// Execute one iteration against the shared store.
+    #[inline]
+    pub fn execute(&self, i: &[i64], store: &crate::ArrayStore) {
+        for st in &self.stmts {
+            match st {
+                CompiledStmt::Assign { lhs, sources } => {
+                    let mut v = 0.0;
+                    for s in sources {
+                        v += store.get(s.eval(i));
+                    }
+                    store.set(lhs.eval(i), v);
+                }
+                CompiledStmt::Accumulate { lhs, sources } => {
+                    let mut delta = 0.0;
+                    for s in sources {
+                        delta += store.get(s.eval(i));
+                    }
+                    store.fetch_add(lhs.eval(i), delta);
+                }
+            }
+        }
+    }
+}
+
+fn lower_refs(refs: &[ArrayRef], layout: &ArrayLayout) -> Result<Vec<LinRef>, RuntimeError> {
+    refs.iter().map(|r| lower_ref(r, layout)).collect()
+}
+
+/// Fold a reference's subscripts through the layout's strides:
+/// `element(ī) = base + Σ_d stride_d · (sub_d(ī) − lo_d)`.
+fn lower_ref(r: &ArrayRef, layout: &ArrayLayout) -> Result<LinRef, RuntimeError> {
+    let id = layout
+        .array_id(&r.array)
+        .ok_or_else(|| RuntimeError::UnknownArray(r.array.clone()))?;
+    let strides = layout.strides(id);
+    let extents = layout.extents(id);
+    let depth = r.subscripts.first().map_or(0, |s| s.coeffs.len());
+
+    let mut coeffs = vec![0i128; depth];
+    let mut constant = layout.base(id) as i128;
+    for (d, sub) in r.subscripts.iter().enumerate() {
+        let stride = strides[d] as i128;
+        for (k, &c) in sub.coeffs.iter().enumerate() {
+            coeffs[k] += stride * c;
+        }
+        constant += stride * (sub.constant - extents[d].0);
+    }
+
+    let narrow = |v: i128| -> Result<i64, RuntimeError> {
+        i64::try_from(v).map_err(|_| RuntimeError::Overflow {
+            array: r.array.clone(),
+        })
+    };
+    Ok(LinRef {
+        coeffs: coeffs.into_iter().map(narrow).collect::<Result<_, _>>()?,
+        constant: narrow(constant)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ArrayStore;
+    use alp_loopir::parse;
+
+    #[test]
+    fn linref_matches_layout_line() {
+        // Every compiled element id must equal the interpreted
+        // layout.line(eval(i)) on every iteration.
+        let nest = parse(
+            "doall (i, 2, 5) { doall (j, -1, 3) {
+               A[2*i, i+2*j-1] = B[j+6, i] + A[2*i, i+2*j-1];
+             } }",
+        )
+        .unwrap();
+        let layout = ArrayLayout::from_nest(&nest);
+        let refs = nest.all_refs();
+        for r in &refs {
+            let lin = lower_ref(r, &layout).unwrap();
+            let id = layout.array_id(&r.array).unwrap();
+            for pt in nest.iteration_points() {
+                let i: Vec<i64> = pt.0.iter().map(|&x| x as i64).collect();
+                assert_eq!(lin.eval(&i) as u64, layout.line(id, &r.eval(&pt)));
+            }
+        }
+    }
+
+    #[test]
+    fn accumulate_requires_single_self_read() {
+        let nest = parse("doall (i, 0, 3) { l$C[i] = l$C[i] + l$C[i] + A[i]; }").unwrap();
+        let layout = ArrayLayout::from_nest(&nest);
+        let err = Kernel::compile(&nest, &layout).unwrap_err();
+        assert!(matches!(err, RuntimeError::UnsupportedStatement(_)));
+    }
+
+    #[test]
+    fn accumulate_without_self_read_is_overwrite() {
+        let nest = parse("doall (i, 0, 3) { l$C[i] = A[i]; }").unwrap();
+        let layout = ArrayLayout::from_nest(&nest);
+        let kernel = Kernel::compile(&nest, &layout).unwrap();
+        assert!(matches!(kernel.stmts()[0], CompiledStmt::Assign { .. }));
+        let store = ArrayStore::zeroed(layout.total_lines());
+        let a0 = layout.array_id("A").unwrap();
+        store.set(layout.line(a0, &alp_linalg::IVec::new(&[2])) as usize, 9.0);
+        kernel.execute(&[2], &store);
+        kernel.execute(&[2], &store); // overwrite, not accumulate
+        let c0 = layout.array_id("C").unwrap();
+        assert_eq!(
+            store.get(layout.line(c0, &alp_linalg::IVec::new(&[2])) as usize),
+            9.0
+        );
+    }
+}

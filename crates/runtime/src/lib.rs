@@ -1,0 +1,188 @@
+//! A native multithreaded executor for partitioned doall nests.
+//!
+//! Where `alp-machine` *simulates* the memory system of a partitioned
+//! loop nest, this crate actually *runs* the nest: real f64 arrays, one
+//! OS thread per (group of) tile(s), atomic accumulates for `l$`
+//! statements, and a barrier at the end of each outer sequential
+//! repetition.  Three things come out of a run:
+//!
+//! * **Results** — the array contents, checked bit-for-bit against an
+//!   independently interpreted sequential reference
+//!   ([`Executor::verify`]).
+//! * **Metrics** — per-thread/per-tile iteration counts, wall time, and
+//!   distinct-cache-line touch counts ([`RunReport`]).
+//! * **Validation** — the touch counts are directly comparable to the
+//!   cost model's per-tile cumulative footprints (Theorem 4) and the
+//!   simulator's per-processor cold misses
+//!   ([`RunReport::compare_with_model`],
+//!   [`RunReport::compare_with_traffic`]).
+//!
+//! ```
+//! use alp_runtime::{ExecOptions, Executor};
+//!
+//! let nest = alp_loopir::parse(
+//!     "doall (i, 0, 31) { doall (j, 0, 31) { A[i, j] = B[i, j] + B[i+1, j]; } }",
+//! ).unwrap();
+//! let exec = Executor::from_grid(&nest, &[2, 2]).unwrap();
+//! let outcome = exec.verify(42, &ExecOptions::default());
+//! assert!(outcome.matches_reference);
+//! assert_eq!(outcome.report.total_iterations, 32 * 32);
+//! ```
+
+mod exec;
+mod kernel;
+mod report;
+mod store;
+mod tiles;
+mod touch;
+
+pub use exec::{ExecOptions, ExecOutcome, Executor};
+pub use kernel::{CompiledStmt, Kernel, LinRef};
+pub use report::{ModelComparison, RunReport, Schedule, ThreadMetrics, TileMetrics};
+pub use store::ArrayStore;
+pub use tiles::{rect_tiles, IterBox};
+pub use touch::TouchSet;
+
+/// Why a nest could not be compiled for native execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// A reference names an array the layout does not know.
+    UnknownArray(String),
+    /// A statement has no executable lowering (e.g. an accumulate
+    /// reading its own old value more than once).
+    UnsupportedStatement(String),
+    /// Array addressing does not fit native integer arithmetic.
+    Overflow {
+        /// The array whose address computation overflowed.
+        array: String,
+    },
+    /// The processor grid does not fit the nest.
+    BadGrid(String),
+}
+
+impl std::fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RuntimeError::UnknownArray(a) => write!(f, "unknown array `{a}`"),
+            RuntimeError::UnsupportedStatement(m) => write!(f, "unsupported statement: {m}"),
+            RuntimeError::Overflow { array } => {
+                write!(f, "address computation for `{array}` overflows i64")
+            }
+            RuntimeError::BadGrid(m) => write!(f, "bad processor grid: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alp_loopir::parse;
+
+    fn example2() -> alp_loopir::LoopNest {
+        parse(
+            "doall (i, 0, 15) { doall (j, 0, 15) {
+               A[i, j] = B[i+j, i-j-1] + B[i+j+4, i-j+3];
+             } }",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn parallel_matches_reference_static() {
+        let exec = Executor::from_grid(&example2(), &[2, 2]).unwrap();
+        let outcome = exec.verify(1, &ExecOptions::default());
+        assert!(outcome.matches_reference);
+        assert_eq!(outcome.report.total_iterations, 256);
+        assert_eq!(outcome.report.threads, 4);
+    }
+
+    #[test]
+    fn parallel_matches_reference_dynamic() {
+        let opts = ExecOptions {
+            threads: 3,
+            schedule: Schedule::Dynamic,
+            ..ExecOptions::default()
+        };
+        let exec = Executor::from_grid(&example2(), &[4, 2]).unwrap();
+        let outcome = exec.verify(2, &opts);
+        assert!(outcome.matches_reference);
+        assert_eq!(outcome.report.threads, 3);
+        assert_eq!(outcome.report.tiles, 8);
+        assert_eq!(outcome.report.total_iterations, 256);
+    }
+
+    #[test]
+    fn accumulate_matmul_matches_reference() {
+        // Fig. 11 matmul: k-dimension split forces concurrent atomic
+        // accumulates into the same C elements.
+        let nest = parse(
+            "doall (i, 0, 7) { doall (j, 0, 7) { doall (k, 0, 7) {
+               l$C[i,j] = l$C[i,j] + A[i,k] + B[k,j];
+             } } }",
+        )
+        .unwrap();
+        let exec = Executor::from_grid(&nest, &[1, 1, 8]).unwrap();
+        let outcome = exec.verify(3, &ExecOptions::default());
+        assert!(outcome.matches_reference);
+    }
+
+    #[test]
+    fn doseq_repeats_with_barrier() {
+        // Fig. 9 shape: each repetition re-reads what the previous one
+        // wrote, so reps must be barrier-separated to stay correct.
+        let nest = parse(
+            "doseq (s, 0, 3) { doall (i, 0, 63) {
+               l$A[0] = l$A[0] + B[i];
+             } }",
+        )
+        .unwrap();
+        let exec = Executor::from_grid(&nest, &[8]).unwrap();
+        let outcome = exec.verify(4, &ExecOptions::default());
+        assert!(outcome.matches_reference);
+        assert_eq!(outcome.report.repetitions, 4);
+        assert_eq!(outcome.report.total_iterations, 4 * 64);
+    }
+
+    #[test]
+    fn touch_counts_match_footprint() {
+        // 1 processor, unit lines: distinct touches == whole-nest
+        // cumulative footprint (A 10 + B 11 = 21, as in the simulator's
+        // cold-miss test).
+        let nest = parse("doall (i, 0, 9) { A[i] = B[i] + B[i+1]; }").unwrap();
+        let exec = Executor::from_grid(&nest, &[1]).unwrap();
+        let outcome = exec.verify(5, &ExecOptions::default());
+        assert!(outcome.matches_reference);
+        assert!(outcome.report.touches_exact);
+        assert_eq!(outcome.report.max_tile_footprint(), Some(21));
+    }
+
+    #[test]
+    fn fewer_threads_than_tiles() {
+        let exec = Executor::from_grid(&example2(), &[4, 4]).unwrap();
+        let opts = ExecOptions {
+            threads: 2,
+            ..ExecOptions::default()
+        };
+        let outcome = exec.verify(6, &opts);
+        assert!(outcome.matches_reference);
+        assert_eq!(outcome.report.threads, 2);
+        assert_eq!(outcome.report.tiles, 16);
+        let tiles_run: usize = outcome.report.per_thread.iter().map(|m| m.tiles_run).sum();
+        assert_eq!(tiles_run, 16);
+    }
+
+    #[test]
+    fn explicit_assignment_path() {
+        let nest = example2();
+        let assignment = vec![
+            nest.iteration_points()[..100].to_vec(),
+            nest.iteration_points()[100..].to_vec(),
+        ];
+        let exec = Executor::from_assignment(&nest, &assignment).unwrap();
+        let outcome = exec.verify(7, &ExecOptions::default());
+        assert!(outcome.matches_reference);
+        assert_eq!(outcome.report.total_iterations, 256);
+    }
+}

@@ -1,0 +1,146 @@
+//! Shared array storage for parallel execution.
+//!
+//! All arrays of a nest live in one flat `Vec<AtomicU64>` indexed by the
+//! element ids of [`alp_machine::ArrayLayout`], each cell holding an
+//! `f64` bit pattern.  Plain assigns use relaxed loads/stores (legal
+//! doalls never race on them); accumulates use a compare-exchange loop,
+//! the runtime analogue of the paper's fine-grain `l$` synchronization
+//! (Appendix A).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A flat, atomically accessible f64 heap covering every array element
+/// of a nest.
+#[derive(Debug)]
+pub struct ArrayStore {
+    cells: Vec<AtomicU64>,
+}
+
+impl ArrayStore {
+    /// A store of `len` elements, all 0.0.
+    pub fn zeroed(len: u64) -> Self {
+        let len = usize::try_from(len).expect("store size exceeds usize");
+        let mut cells = Vec::with_capacity(len);
+        cells.resize_with(len, || AtomicU64::new(0f64.to_bits()));
+        ArrayStore { cells }
+    }
+
+    /// A store seeded with small, deterministic, *integer-valued* f64s.
+    ///
+    /// Integer values keep every sum a nest can produce exact in f64
+    /// (far below 2^53), so accumulate results are independent of the
+    /// order threads interleave their additions — which is what makes
+    /// bitwise parallel-vs-sequential comparison meaningful.
+    pub fn seeded(len: u64, seed: u64) -> Self {
+        let store = ArrayStore::zeroed(len);
+        for (k, cell) in store.cells.iter().enumerate() {
+            // SplitMix64-style mix of (seed, index), reduced to 0..=255.
+            let mut z = seed ^ (k as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            let v = ((z ^ (z >> 31)) & 0xFF) as f64;
+            cell.store(v.to_bits(), Ordering::Relaxed);
+        }
+        store
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True when the store holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Read one element.
+    #[inline]
+    pub fn get(&self, idx: usize) -> f64 {
+        f64::from_bits(self.cells[idx].load(Ordering::Relaxed))
+    }
+
+    /// Overwrite one element.
+    #[inline]
+    pub fn set(&self, idx: usize, v: f64) {
+        self.cells[idx].store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Atomically add `delta` to one element (CAS loop).
+    #[inline]
+    pub fn fetch_add(&self, idx: usize, delta: f64) {
+        let cell = &self.cells[idx];
+        let mut cur = cell.load(Ordering::Relaxed);
+        loop {
+            let new = (f64::from_bits(cur) + delta).to_bits();
+            match cell.compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Copy the current contents out as plain f64s.
+    pub fn snapshot(&self) -> Vec<f64> {
+        self.cells
+            .iter()
+            .map(|c| f64::from_bits(c.load(Ordering::Relaxed)))
+            .collect()
+    }
+
+    /// Overwrite the whole store from a plain f64 slice.
+    ///
+    /// # Panics
+    /// Panics if `values.len()` differs from the store length.
+    pub fn load_from(&self, values: &[f64]) {
+        assert_eq!(values.len(), self.cells.len(), "length mismatch");
+        for (cell, &v) in self.cells.iter().zip(values) {
+            cell.store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_is_deterministic_and_integer_valued() {
+        let a = ArrayStore::seeded(64, 7);
+        let b = ArrayStore::seeded(64, 7);
+        let c = ArrayStore::seeded(64, 8);
+        assert_eq!(a.snapshot(), b.snapshot());
+        assert_ne!(a.snapshot(), c.snapshot());
+        for v in a.snapshot() {
+            assert_eq!(v, v.trunc());
+            assert!((0.0..=255.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn fetch_add_accumulates() {
+        let s = ArrayStore::zeroed(4);
+        s.fetch_add(2, 1.5);
+        s.fetch_add(2, 2.5);
+        assert_eq!(s.get(2), 4.0);
+        assert_eq!(s.get(0), 0.0);
+    }
+
+    #[test]
+    fn concurrent_fetch_add_loses_nothing() {
+        let s = ArrayStore::zeroed(1);
+        let threads = 8;
+        let per_thread = 10_000;
+        crossbeam::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|_| {
+                    for _ in 0..per_thread {
+                        s.fetch_add(0, 1.0);
+                    }
+                });
+            }
+        })
+        .expect("crossbeam scope");
+        assert_eq!(s.get(0), (threads * per_thread) as f64);
+    }
+}

@@ -1,0 +1,157 @@
+//! Property tests: for random legal nests and random rectangular
+//! partitions, the parallel executor must (a) produce bitwise-identical
+//! results to the sequential reference under every schedule and thread
+//! count, and (b) execute every iteration exactly once per repetition.
+
+use alp_loopir::{parse, LoopNest};
+use alp_runtime::{rect_tiles, ExecOptions, Executor, Schedule};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+/// Per-dimension (lower bound, trip count).
+type Bounds = Vec<(i128, i128)>;
+
+fn bounds_strategy(depth: usize) -> impl Strategy<Value = Bounds> {
+    proptest::collection::vec((-2i128..=2, 1i128..=5), depth..=depth)
+}
+
+fn grid_strategy(depth: usize) -> impl Strategy<Value = Vec<i128>> {
+    proptest::collection::vec(1i128..=3, depth..=depth)
+}
+
+/// Build a random-but-legal nest source: disjoint identity writes (and
+/// optionally an accumulate) reading offset references of a read-only
+/// array.  Legality holds by construction: no array is both written and
+/// read across iterations, and writes hit distinct elements.
+fn nest_source(bounds: &Bounds, template: usize, seq: bool) -> String {
+    let depth = bounds.len();
+    let idx: Vec<String> = (0..depth).map(|k| format!("i{k}")).collect();
+    let id_subs = idx.join(", ");
+    let shifted: Vec<String> = idx.iter().map(|n| format!("{n}+1")).collect();
+    let shifted_subs = shifted.join(", ");
+    // Accumulate target collapses the innermost dimension (all
+    // iterations along it race on one element — the Appendix-A case).
+    let acc_subs = if depth == 1 {
+        "0".to_string()
+    } else {
+        idx[..depth - 1].join(", ")
+    };
+    let body = match template {
+        0 => format!("A[{id_subs}] = B[{id_subs}] + B[{shifted_subs}];"),
+        1 => format!(
+            "A[{id_subs}] = B[{shifted_subs}];\n C[{id_subs}] = B[{id_subs}] + B[{id_subs}];"
+        ),
+        _ => format!("S[{acc_subs}] += B[{id_subs}];"),
+    };
+    let mut src = String::new();
+    if seq {
+        src.push_str("doseq (t, 0, 2) {\n");
+    }
+    for (k, &(lo, trip)) in bounds.iter().enumerate() {
+        src.push_str(&format!(
+            "doall ({}, {}, {}) {{\n",
+            idx[k],
+            lo,
+            lo + trip - 1
+        ));
+    }
+    src.push_str(&body);
+    for _ in 0..depth {
+        src.push('}');
+    }
+    if seq {
+        src.push('}');
+    }
+    src
+}
+
+fn check_exact_cover(nest: &LoopNest, grid: &[i128]) {
+    let (tiles, _) = rect_tiles(nest, grid).unwrap();
+    let mut covered: HashSet<Vec<i64>> = HashSet::new();
+    let mut total = 0u64;
+    for tile in &tiles {
+        tile.for_each_point(|i| {
+            assert!(covered.insert(i.to_vec()), "iteration {i:?} covered twice");
+            total += 1;
+        });
+    }
+    let expected: HashSet<Vec<i64>> = nest
+        .iteration_points()
+        .into_iter()
+        .map(|p| p.0.iter().map(|&x| x as i64).collect())
+        .collect();
+    assert_eq!(total as usize, expected.len());
+    assert_eq!(covered, expected);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_partitions_execute_exactly(
+        spec in (1usize..=3).prop_flat_map(|d| (
+            bounds_strategy(d),
+            grid_strategy(d),
+            0usize..3,
+            any::<bool>(),
+            any::<bool>(),
+            1usize..=4,
+        )),
+    ) {
+        let (bounds, grid, template, seq, dynamic, threads) = spec;
+        let src = nest_source(&bounds, template, seq);
+        let nest = parse(&src).unwrap();
+
+        // (b) the tiles cover the iteration space exactly once.
+        check_exact_cover(&nest, &grid);
+
+        // (a) parallel result is bitwise equal to the sequential
+        // reference, and the executed iteration count is exact.
+        let exec = Executor::from_grid(&nest, &grid).unwrap();
+        let opts = ExecOptions {
+            threads,
+            schedule: if dynamic { Schedule::Dynamic } else { Schedule::Static },
+            ..ExecOptions::default()
+        };
+        let outcome = exec.verify(0xA1E5_EED0, &opts);
+        prop_assert!(outcome.matches_reference, "parallel != sequential for:\n{src}");
+
+        let volume: i128 = nest.iteration_count();
+        let reps: i128 = nest.seq_repetitions();
+        prop_assert_eq!(outcome.report.total_iterations as i128, volume * reps);
+
+        // Per-tile iteration counts add up per repetition as well.
+        let per_tile: u64 = outcome.report.per_tile.iter().map(|t| t.iterations).sum();
+        prop_assert_eq!(per_tile as i128, volume);
+    }
+
+    #[test]
+    fn runtime_tiles_agree_with_codegen_assignment(
+        spec in (1usize..=3).prop_flat_map(|d| (bounds_strategy(d), grid_strategy(d))),
+    ) {
+        // The executor's box tiles and codegen's explicit assignment are
+        // two spellings of the same partition: running either must give
+        // the same answer on the same seed.
+        let (bounds, grid) = spec;
+        let src = nest_source(&bounds, 0, false);
+        let nest = parse(&src).unwrap();
+        // assign_rect requires every grid factor ≤ the loop's trip count.
+        let grid: Vec<i128> = grid
+            .iter()
+            .zip(&bounds)
+            .map(|(&g, &(_, trip))| g.min(trip))
+            .collect();
+        let assignment = alp_codegen::assign_rect(&nest, &grid);
+        prop_assert!(alp_codegen::is_exact_cover(&nest, &assignment));
+
+        let by_grid = Executor::from_grid(&nest, &grid).unwrap();
+        let by_list = Executor::from_assignment(&nest, &assignment).unwrap();
+        let opts = ExecOptions::default();
+
+        let store_a = by_grid.seeded_store(99);
+        by_grid.run(&store_a, &opts);
+        let store_b = by_list.seeded_store(99);
+        by_list.run(&store_b, &opts);
+        prop_assert_eq!(store_a.snapshot(), store_b.snapshot());
+    }
+}

@@ -1,0 +1,305 @@
+//! Offline stand-in for `criterion`: a text-only micro-benchmark harness
+//! implementing the API subset this workspace's benches use.
+//!
+//! Each benchmark is warmed up, its per-iteration time estimated, and
+//! then measured over `sample_size` samples; mean and min/max are
+//! printed to stdout.  There are no plots, no statistics beyond the
+//! summary line, and no saved baselines — but timings are real, so
+//! relative comparisons between benchmarks remain meaningful.
+//!
+//! Passing `--test` (as `cargo test --benches` does) runs each
+//! benchmark body once, as a smoke test, without timing loops.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement settings shared by [`Criterion`] and benchmark groups.
+#[derive(Debug, Clone)]
+struct Settings {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    quick: bool,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings {
+            warm_up_time: Duration::from_millis(500),
+            measurement_time: Duration::from_secs(2),
+            sample_size: 20,
+            quick: std::env::args().any(|a| a == "--test"),
+        }
+    }
+}
+
+/// The benchmark manager (mirrors `criterion::Criterion`).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Criterion {
+    /// Set the target total measurement time per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.settings.measurement_time = d;
+        self
+    }
+
+    /// Set the warm-up time per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.settings.warm_up_time = d;
+        self
+    }
+
+    /// Set the number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.settings.sample_size = n.max(2);
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let settings = self.settings.clone();
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            settings,
+        }
+    }
+
+    /// Run a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&self.settings, name, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    settings: Settings,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n.max(2);
+        self
+    }
+
+    /// Override the measurement time for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.measurement_time = d;
+        self
+    }
+
+    /// Record the per-iteration workload size (accepted for API parity;
+    /// the shim does not derive throughput rates from it).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Benchmark `f` with a borrowed input.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.0);
+        run_benchmark(&self.settings, &label, |b| f(b, input));
+        self
+    }
+
+    /// Benchmark a closure with no extra input.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, name);
+        run_benchmark(&self.settings, &label, f);
+        self
+    }
+
+    /// Finish the group (no-op beyond API parity).
+    pub fn finish(self) {}
+}
+
+/// Workload-size annotations (accepted, not currently reported).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `<function_name>/<parameter>`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{}", function_name.into(), parameter))
+    }
+
+    /// Just the parameter as the identifier.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Passed to benchmark closures; call [`Bencher::iter`] with the
+/// routine to measure.
+pub struct Bencher<'a> {
+    settings: &'a Settings,
+    /// Mean seconds per iteration, recorded by `iter`.
+    mean: f64,
+    /// (min, max) seconds per iteration across samples.
+    spread: (f64, f64),
+    ran: bool,
+}
+
+impl Bencher<'_> {
+    /// Measure `routine`: warm up, pick an iteration count that fills
+    /// the measurement budget, then time `sample_size` samples.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        self.ran = true;
+        if self.settings.quick {
+            black_box(routine());
+            return;
+        }
+
+        // Warm up and estimate the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.settings.warm_up_time {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+
+        // Split the measurement budget into sample_size samples.
+        let budget = self.settings.measurement_time.as_secs_f64();
+        let total_iters = (budget / per_iter.max(1e-9)).ceil() as u64;
+        let iters_per_sample = (total_iters / self.settings.sample_size as u64).max(1);
+
+        let mut times = Vec::with_capacity(self.settings.sample_size);
+        for _ in 0..self.settings.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            times.push(t0.elapsed().as_secs_f64() / iters_per_sample as f64);
+        }
+        self.mean = times.iter().sum::<f64>() / times.len() as f64;
+        self.spread = times.iter().fold((f64::INFINITY, 0.0f64), |(lo, hi), &t| {
+            (lo.min(t), hi.max(t))
+        });
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+fn run_benchmark<F>(settings: &Settings, label: &str, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher {
+        settings,
+        mean: 0.0,
+        spread: (0.0, 0.0),
+        ran: false,
+    };
+    f(&mut b);
+    if settings.quick {
+        println!("{label}: ok (smoke)");
+    } else if b.ran {
+        println!(
+            "{label}: time [{} .. {} .. {}]",
+            fmt_time(b.spread.0),
+            fmt_time(b.mean),
+            fmt_time(b.spread.1),
+        );
+    } else {
+        println!("{label}: no measurement (Bencher::iter never called)");
+    }
+}
+
+/// Declare a group of benchmark functions (both upstream forms).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declare the benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(20))
+            .sample_size(3);
+        let mut calls = 0u64;
+        {
+            let mut g = c.benchmark_group("shim");
+            g.throughput(Throughput::Elements(4));
+            g.bench_with_input(BenchmarkId::new("sum", 4), &4u64, |b, &n| {
+                b.iter(|| {
+                    calls += 1;
+                    (0..n).sum::<u64>()
+                })
+            });
+            g.finish();
+        }
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 8).0, "f/8");
+        assert_eq!(BenchmarkId::from_parameter("16x2").0, "16x2");
+    }
+}

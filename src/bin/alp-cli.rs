@@ -1,8 +1,9 @@
-//! `alp-cli` — analyze and partition a `doall` program from the command
-//! line.
+//! `alp-cli` — analyze, partition, and natively execute a `doall`
+//! program from the command line.
 //!
 //! ```sh
 //! alp-cli [OPTIONS] <FILE|->          # '-' reads the DSL from stdin
+//! alp-cli run [OPTIONS] <FILE|->      # partition AND execute on threads
 //!
 //! OPTIONS:
 //!   -p, --processors <N>    processors to partition for   [default: 16]
@@ -14,19 +15,31 @@
 //!       --code              print the generated SPMD code
 //!       --check             run the doall legality analysis only
 //!       --no-check          skip the legality analysis
+//!
+//! RUN OPTIONS (in addition to -p, --param, --line-size, --no-check):
+//!       --threads <N>       OS threads (0 = one per tile)  [default: 0]
+//!       --steal             dynamic self-scheduling instead of static
+//!       --seed <N>          array-content seed            [default: 42]
 //! ```
 //!
 //! The legality analysis (races, lints) runs by default before
-//! partitioning; racy nests are refused.  Exit codes: `0` success /
-//! clean, `1` I/O or parse failure, `2` usage, `3` (`--check` only)
-//! warnings but no errors, `4` legality errors.
+//! partitioning; racy nests are refused.  `run` compiles the nest's
+//! partition to a native kernel, executes it on OS threads over real
+//! `f64` arrays, prints per-thread metrics plus the measured-vs-modeled
+//! footprint ratio, and checks the parallel result bitwise against a
+//! sequential reference run.  Exit codes: `0` success / clean, `1` I/O
+//! or parse failure, `2` usage, `3` (`--check` only) warnings but no
+//! errors, `4` legality errors, `5` (`run` only) parallel result differs
+//! from the sequential reference.
 //!
-//! Example:
+//! Examples:
 //!
 //! ```sh
 //! echo 'doall (i, 1, N) { doall (j, 1, N) {
 //!         A[i,j] = B[i,j] + B[i+1,j+3]; } }' \
 //!   | alp-cli --param N=64 -p 16 --simulate --para -
+//!
+//! alp-cli run -p 24 --threads 8 --steal examples/ex8.alp
 //! ```
 
 use alp::prelude::*;
@@ -51,13 +64,182 @@ struct Options {
 const EXIT_WARNINGS: u8 = 3;
 /// Exit code when the legality analysis finds errors (races).
 const EXIT_ILLEGAL: u8 = 4;
+/// Exit code when `run` finds the parallel result differs from the
+/// sequential reference.
+const EXIT_MISMATCH: u8 = 5;
 
 fn usage() -> ! {
     eprintln!(
         "usage: alp-cli [-p N] [-m WxH] [--param NAME=VAL]... [--simulate] [--para] \
-         [--line-size N] [--code] [--check|--no-check] <FILE|->"
+         [--line-size N] [--code] [--check|--no-check] <FILE|->\n       \
+         alp-cli run [-p N] [--param NAME=VAL]... [--threads N] [--steal] \
+         [--line-size N] [--seed N] [--no-check] <FILE|->"
     );
     std::process::exit(2)
+}
+
+struct RunOptions {
+    processors: i128,
+    params: HashMap<String, i128>,
+    threads: usize,
+    steal: bool,
+    line_size: u64,
+    seed: u64,
+    no_check: bool,
+    input: String,
+}
+
+fn parse_run_args(mut args: impl Iterator<Item = String>) -> RunOptions {
+    let mut opts = RunOptions {
+        processors: 16,
+        params: HashMap::new(),
+        threads: 0,
+        steal: false,
+        line_size: 1,
+        seed: 42,
+        no_check: false,
+        input: String::new(),
+    };
+    let mut input: Option<String> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "-p" | "--processors" => {
+                opts.processors = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--param" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                let (name, val) = v.split_once('=').unwrap_or_else(|| usage());
+                opts.params
+                    .insert(name.to_string(), val.parse().unwrap_or_else(|_| usage()));
+            }
+            "--threads" => {
+                opts.threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--steal" => opts.steal = true,
+            "--line-size" => {
+                opts.line_size = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--seed" => {
+                opts.seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--no-check" => opts.no_check = true,
+            "-h" | "--help" => usage(),
+            other if input.is_none() => input = Some(other.to_string()),
+            _ => usage(),
+        }
+    }
+    opts.input = input.unwrap_or_else(|| usage());
+    opts
+}
+
+fn read_source(input: &str) -> Result<String, ExitCode> {
+    if input == "-" {
+        let mut buf = String::new();
+        if std::io::stdin().read_to_string(&mut buf).is_err() {
+            eprintln!("alp-cli: failed to read stdin");
+            return Err(ExitCode::FAILURE);
+        }
+        Ok(buf)
+    } else {
+        std::fs::read_to_string(input).map_err(|e| {
+            eprintln!("alp-cli: {input}: {e}");
+            ExitCode::FAILURE
+        })
+    }
+}
+
+/// The `run` subcommand: partition, then actually execute on OS threads
+/// and validate against a sequential reference.
+fn run_main(opts: RunOptions) -> ExitCode {
+    let src = match read_source(&opts.input) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    let nests = match alp::loopir::parse_program_with_params(&src, &opts.params) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("alp-cli: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if nests.len() != 1 {
+        eprintln!(
+            "alp-cli: run expects a single-nest program ({} nests found)",
+            nests.len()
+        );
+        return ExitCode::FAILURE;
+    }
+    let nest = nests.into_iter().next().expect("nonempty");
+    if !opts.no_check {
+        let report = analyze(&nest);
+        eprint!("{}", report.render(&src));
+        if report.has_errors() {
+            eprintln!("alp-cli: refusing illegal doall (use --no-check to override)");
+            return ExitCode::from(EXIT_ILLEGAL);
+        }
+    }
+
+    let compiler = Compiler::new(opts.processors).unchecked();
+    let result = match compiler.compile(nest) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("alp-cli: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "partition: grid {:?}, tile λ {:?}, modeled cost {}",
+        result.partition.proc_grid, result.partition.tile_extents, result.partition.cost
+    );
+
+    let exec_opts = ExecOptions {
+        threads: opts.threads,
+        schedule: if opts.steal {
+            Schedule::Dynamic
+        } else {
+            Schedule::Static
+        },
+        line_size: opts.line_size,
+        track_touches: true,
+    };
+    let summary = match compiler.execute(&result, &exec_opts, opts.seed) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("alp-cli: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!("\n== run ==");
+    print!("{}", summary.outcome.report.render());
+    if let Some(mc) = &summary.model_comparison {
+        println!(
+            "model footprint: predicted {:.1} lines/tile, measured max {}{}, ratio {:.2}",
+            mc.predicted_per_tile,
+            if mc.exact { "" } else { "~" },
+            mc.measured_max_tile,
+            mc.ratio
+        );
+    }
+    if summary.outcome.matches_reference {
+        println!("result: parallel output matches the sequential reference bitwise");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("alp-cli: parallel result DIFFERS from the sequential reference");
+        ExitCode::from(EXIT_MISMATCH)
+    }
 }
 
 fn parse_args() -> Options {
@@ -118,22 +300,13 @@ fn parse_args() -> Options {
 }
 
 fn main() -> ExitCode {
+    if std::env::args().nth(1).as_deref() == Some("run") {
+        return run_main(parse_run_args(std::env::args().skip(2)));
+    }
     let opts = parse_args();
-    let src = if opts.input == "-" {
-        let mut buf = String::new();
-        if std::io::stdin().read_to_string(&mut buf).is_err() {
-            eprintln!("alp-cli: failed to read stdin");
-            return ExitCode::FAILURE;
-        }
-        buf
-    } else {
-        match std::fs::read_to_string(&opts.input) {
-            Ok(s) => s,
-            Err(e) => {
-                eprintln!("alp-cli: {}: {e}", opts.input);
-                return ExitCode::FAILURE;
-            }
-        }
+    let src = match read_source(&opts.input) {
+        Ok(s) => s,
+        Err(code) => return code,
     };
 
     let nests = match alp::loopir::parse_program_with_params(&src, &opts.params) {

@@ -45,7 +45,10 @@
 //!   alignment, mesh placement;
 //! * [`machine`] — a deterministic cache-coherent multiprocessor
 //!   simulator (full-map MSI directory);
-//! * [`codegen`] — iteration assignment and per-processor code emission.
+//! * [`codegen`] — iteration assignment and per-processor code emission;
+//! * [`runtime`] — a native multithreaded executor that actually runs
+//!   partitioned nests on OS threads, with per-thread footprint metrics
+//!   validated against the model and the simulator.
 
 pub use alp_analysis as analysis;
 pub use alp_codegen as codegen;
@@ -55,6 +58,7 @@ pub use alp_linalg as linalg;
 pub use alp_loopir as loopir;
 pub use alp_machine as machine;
 pub use alp_partition as partition;
+pub use alp_runtime as runtime;
 
 use alp_codegen::assign_rect;
 use alp_footprint::CostModel;
@@ -80,6 +84,8 @@ pub enum AlpError {
     Illegal(alp_analysis::Report),
     /// The nest cannot be partitioned as requested.
     Infeasible(String),
+    /// The nest compiled but cannot be lowered for native execution.
+    Runtime(alp_runtime::RuntimeError),
 }
 
 impl std::fmt::Display for AlpError {
@@ -89,6 +95,7 @@ impl std::fmt::Display for AlpError {
             AlpError::Ir(e) => write!(f, "{e}"),
             AlpError::Illegal(r) => write!(f, "{}", r.render("").trim_end()),
             AlpError::Infeasible(m) => write!(f, "infeasible: {m}"),
+            AlpError::Runtime(e) => write!(f, "{e}"),
         }
     }
 }
@@ -104,6 +111,12 @@ impl From<ParseError> for AlpError {
 impl From<IrError> for AlpError {
     fn from(e: IrError) -> Self {
         AlpError::Ir(e)
+    }
+}
+
+impl From<alp_runtime::RuntimeError> for AlpError {
+    fn from(e: alp_runtime::RuntimeError) -> Self {
+        AlpError::Runtime(e)
     }
 }
 
@@ -142,6 +155,19 @@ pub struct CompileResult {
     pub placement: Option<MeshPlacement>,
     /// SPMD pseudo-code for the chosen partition.
     pub code: String,
+}
+
+/// What [`Compiler::execute`] produces: the native run's outcome plus
+/// the model-versus-measured footprint comparison.
+#[derive(Debug)]
+pub struct ExecutionSummary {
+    /// The run report and the bitwise check against the sequential
+    /// reference.
+    pub outcome: alp_runtime::ExecOutcome,
+    /// Measured max per-tile distinct-line count versus the cost model's
+    /// cumulative-footprint prediction (`None` when touch tracking was
+    /// off or the partition has no rectangular tile extents).
+    pub model_comparison: Option<alp_runtime::ModelComparison>,
 }
 
 impl Compiler {
@@ -252,6 +278,33 @@ impl Compiler {
         )
     }
 
+    /// Natively execute the compiled partition on OS threads and check
+    /// the parallel result bitwise against a sequential reference run.
+    ///
+    /// Arrays are materialized as real `f64` buffers seeded from `seed`
+    /// (small integer values, so floating-point addition stays exact and
+    /// order-independent).  The returned summary carries the executor's
+    /// [`RunReport`](alp_runtime::RunReport) — per-thread iteration and
+    /// distinct-cache-line counts — plus a comparison of the measured
+    /// per-tile footprint against the cost model's cumulative-footprint
+    /// prediction for the chosen tile shape.
+    pub fn execute(
+        &self,
+        result: &CompileResult,
+        opts: &alp_runtime::ExecOptions,
+        seed: u64,
+    ) -> Result<ExecutionSummary, AlpError> {
+        let exec = alp_runtime::Executor::from_grid(&result.nest, &result.partition.proc_grid)?;
+        let extents = exec.tile_extents().to_vec();
+        let outcome = exec.verify(seed, opts);
+        let model = CostModel::from_nest(&result.nest);
+        let model_comparison = outcome.report.compare_with_model(&model, &extents);
+        Ok(ExecutionSummary {
+            outcome,
+            model_comparison,
+        })
+    }
+
     /// Simulate with memory **aligned to the loop partition** (§4's data
     /// partitioning + alignment): array tile `(c₀, c₁, …)` is stored on
     /// the processor executing loop tile `(c₀, c₁, …)`.
@@ -341,7 +394,7 @@ pub fn aligned_home(nest: &LoopNest, partition: &RectPartition) -> alp_machine::
 
 /// Convenient glob import for downstream users.
 pub mod prelude {
-    pub use crate::{AlpError, CompileResult, Compiler};
+    pub use crate::{AlpError, CompileResult, Compiler, ExecutionSummary};
     pub use alp_analysis::{analyze, analyze_program, pair_conflict, Report, Witness};
     pub use alp_codegen::{assign_para, assign_rect, assign_slabs, emit_para_code, emit_rect_code};
     pub use alp_footprint::{
@@ -364,5 +417,8 @@ pub mod prelude {
         is_communication_free, mesh_placement, naive_partition, optimal_aspect_ratio,
         optimize_parallelepiped, partition_program, partition_rect, NaiveShape, ParaSearchConfig,
         ProgramPartition, ProgramStrategy, RectPartition, SpreadKind,
+    };
+    pub use alp_runtime::{
+        ExecOptions, ExecOutcome, Executor, ModelComparison, RunReport, Schedule,
     };
 }
