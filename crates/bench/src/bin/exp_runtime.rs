@@ -17,12 +17,16 @@
 //! prediction — on machines with fewer cores than threads the wall
 //! times cannot show parallel effects, but the footprint ordering
 //! (what the paper's model optimizes) is measured on the real
-//! execution either way.  `--json` additionally writes
-//! `BENCH_runtime.json` with the wall time and footprint per tiling.
+//! execution either way.  A final sweep drives `Compiler::compile_cached`
+//! over every (nest, P) pair to measure the plan cache: cold compiles
+//! (analysis + partition search) vs warm hits that replay the stored
+//! `PartitionPlan`.  `--json` additionally writes `BENCH_runtime.json`
+//! with the wall time and footprint per tiling plus the cache figures.
 
 use alp::prelude::*;
+use alp::Compiler;
 use alp_bench::{header, Table};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 const THREADS: usize = 8;
 const TRIALS: usize = 3;
@@ -111,11 +115,84 @@ fn run_case(
     (name, results)
 }
 
+struct CacheSweep {
+    keys: usize,
+    warm_rounds: usize,
+    cold_ms_per_compile: f64,
+    warm_ms_per_compile: f64,
+    speedup: f64,
+    stats: CacheStats,
+}
+
+/// Drive `compile_cached` over every (nest, P) key: one cold round that
+/// populates the cache, then `WARM_ROUNDS` rounds of pure hits.  The
+/// warm path skips parsing-side analysis and the partition search
+/// entirely and only re-runs alignment, placement, and code emission.
+fn bench_plan_cache(nests: &[(&'static str, &LoopNest)]) -> CacheSweep {
+    const WARM_ROUNDS: usize = 5;
+    // Alewife-scale machine sizes: the partition search a cold compile
+    // pays for grows with the factorization count of P.
+    let procs: [i128; 3] = [64, 256, 512];
+    let mut cache = PlanCache::new(64);
+    let mut cold = Duration::ZERO;
+    let mut warm = Duration::ZERO;
+    let keys = nests.len() * procs.len();
+    for round in 0..=WARM_ROUNDS {
+        for (_, nest) in nests {
+            for &p in &procs {
+                let compiler = Compiler::new(p);
+                let start = Instant::now();
+                let result = compiler
+                    .compile_cached((*nest).clone(), &mut cache)
+                    .expect("sweep nests compile");
+                let elapsed = start.elapsed();
+                assert!(!result.code.is_empty());
+                if round == 0 {
+                    cold += elapsed;
+                } else {
+                    warm += elapsed;
+                }
+            }
+        }
+    }
+    let stats = cache.stats();
+    assert_eq!(stats.misses as usize, keys, "every key misses exactly once");
+    assert_eq!(stats.hits as usize, keys * WARM_ROUNDS, "then always hits");
+    let cold_ms_per_compile = cold.as_secs_f64() * 1e3 / keys as f64;
+    let warm_ms_per_compile = warm.as_secs_f64() * 1e3 / (keys * WARM_ROUNDS) as f64;
+    CacheSweep {
+        keys,
+        warm_rounds: WARM_ROUNDS,
+        cold_ms_per_compile,
+        warm_ms_per_compile,
+        speedup: cold_ms_per_compile / warm_ms_per_compile,
+        stats,
+    }
+}
+
+fn report_plan_cache(sweep: &CacheSweep) {
+    println!(
+        "\nplan cache ({} keys, {} warm rounds):",
+        sweep.keys, sweep.warm_rounds
+    );
+    println!(
+        "  cold compile {:.3} ms, warm compile {:.3} ms  ->  {:.1}x warm speedup",
+        sweep.cold_ms_per_compile, sweep.warm_ms_per_compile, sweep.speedup
+    );
+    println!(
+        "  hits {}  misses {}  evictions {}  hit rate {:.3}",
+        sweep.stats.hits,
+        sweep.stats.misses,
+        sweep.stats.evictions,
+        sweep.stats.hit_rate()
+    );
+}
+
 fn json_escape_ms(d: Duration) -> String {
     format!("{:.3}", d.as_secs_f64() * 1e3)
 }
 
-fn write_json(cases: &[(&'static str, Vec<GridResult>)]) {
+fn write_json(cases: &[(&'static str, Vec<GridResult>)], sweep: &CacheSweep) {
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut s = String::from("{\n");
     s.push_str("  \"benchmark\": \"runtime\",\n");
@@ -156,7 +233,23 @@ fn write_json(cases: &[(&'static str, Vec<GridResult>)]) {
             if ci + 1 < cases.len() { "," } else { "" }
         ));
     }
-    s.push_str("  ]\n}\n");
+    s.push_str("  ],\n");
+    s.push_str(&format!(
+        "  \"plan_cache\": {{\"keys\": {}, \"warm_rounds\": {}, \
+         \"cold_ms_per_compile\": {:.3}, \"warm_ms_per_compile\": {:.3}, \
+         \"warm_speedup\": {:.1}, \"hits\": {}, \"misses\": {}, \
+         \"evictions\": {}, \"hit_rate\": {:.3}}}\n",
+        sweep.keys,
+        sweep.warm_rounds,
+        sweep.cold_ms_per_compile,
+        sweep.warm_ms_per_compile,
+        sweep.speedup,
+        sweep.stats.hits,
+        sweep.stats.misses,
+        sweep.stats.evictions,
+        sweep.stats.hit_rate()
+    ));
+    s.push_str("}\n");
     std::fs::write("BENCH_runtime.json", &s).expect("write BENCH_runtime.json");
     println!("\nwrote BENCH_runtime.json");
 }
@@ -245,7 +338,15 @@ fn main() {
         vec![("strips", vec![1, 16]), ("blocks", vec![4, 4])],
     ));
 
+    let sweep = bench_plan_cache(&[
+        ("example8", &ex8),
+        ("accumulate", &acc),
+        ("reduction", &red),
+        ("example2", &ex2),
+    ]);
+    report_plan_cache(&sweep);
+
     if json {
-        write_json(&cases);
+        write_json(&cases, &sweep);
     }
 }

@@ -12,6 +12,11 @@ pub type Assignment = Vec<Vec<IVec>>;
 /// coordinates `(c_0, …)` (row-major linearized) executes the product of
 /// its chunks.
 ///
+/// The tiles themselves come from [`alp_plan::rect_tiles`] — the one
+/// rectangular enumerator of the workspace — so this assignment, the
+/// native executor, and the machine simulator agree by construction on
+/// which iterations processor `t` owns.
+///
 /// # Panics
 /// Panics if the grid depth mismatches the nest or any factor exceeds
 /// the trip count.
@@ -25,23 +30,16 @@ pub fn assign_rect(nest: &LoopNest, grid: &[i128]) -> Assignment {
             "grid factor {g} invalid for loop {k} with {n} iterations"
         );
     }
-    let chunks: Vec<i128> = grid
+    let (tiles, _) =
+        alp_plan::rect_tiles(nest, grid).expect("asserts above uphold the enumerator's contract");
+    tiles
         .iter()
-        .zip(&trips)
-        .map(|(&g, &n)| (n + g - 1) / g)
-        .collect();
-    let total: i128 = grid.iter().product();
-    let mut out: Assignment = vec![Vec::new(); total as usize];
-    for i in nest.iteration_points() {
-        let mut p = 0i128;
-        for k in 0..l {
-            let rel = i[k] - nest.loops[k].lower;
-            let c = (rel / chunks[k]).min(grid[k] - 1);
-            p = p * grid[k] + c;
-        }
-        out[p as usize].push(i);
-    }
-    out
+        .map(|tile| {
+            let mut pts = Vec::with_capacity(tile.volume() as usize);
+            tile.for_each_point(|i| pts.push(IVec(i.iter().map(|&x| x as i128).collect())));
+            pts
+        })
+        .collect()
 }
 
 /// Slab assignment along a hyperplane normal `h` (communication-free

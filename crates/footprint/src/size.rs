@@ -75,7 +75,7 @@ pub fn single_footprint_lattice_corrected(tile: &Tile, g: &IMat) -> i128 {
 
 /// Exact footprint size for a **rectangular** tile and a depth-2 nest
 /// with *any* reference matrix `G` — §3.8's claim that "the size of the
-/// footprint can be computed precisely ... [when] the loop nesting
+/// footprint can be computed precisely ... \[when\] the loop nesting
 /// l = 2", in closed or semi-closed form (no data-space enumeration):
 ///
 /// * rank 2 (independent rows): `(λ₁+1)(λ₂+1)` — Theorem 5;

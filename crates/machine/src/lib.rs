@@ -29,5 +29,5 @@ pub use cache::{Cache, CacheConfig};
 pub use layout::{
     ArrayLayout, BlockRowMajorHome, FnHome, HomeMap, TiledArrayHome, TiledHome, UniformHome,
 };
-pub use machine::{run_nest, DirectoryKind, Machine, MachineConfig};
+pub use machine::{run_nest, run_plan, DirectoryKind, Machine, MachineConfig};
 pub use report::{MissKind, ProcessorCounters, TrafficReport};

@@ -437,6 +437,38 @@ pub fn run_nest(
     machine.into_report(reps)
 }
 
+/// Simulate a saved [`alp_plan::PartitionPlan`] directly.
+///
+/// The nest is reconstructed from the plan's embedded source (with its
+/// fingerprint re-verified) and the per-processor iteration lists come
+/// from the workspace's single tile enumerator
+/// ([`alp_plan::rect_tiles`]) on the plan's processor grid, so the
+/// simulated machine executes exactly the tiles the native runtime and
+/// the generated code would.  `config.processors` is overridden to the
+/// plan's tile count; the plan's mesh is used unless `config` already
+/// sets one.
+pub fn run_plan(
+    plan: &alp_plan::PartitionPlan,
+    mut config: MachineConfig,
+    home: &dyn HomeMap,
+) -> Result<TrafficReport, alp_plan::PlanError> {
+    let nest = plan.nest()?;
+    let (tiles, _) = alp_plan::rect_tiles(&nest, &plan.proc_grid)?;
+    let assignment: Vec<Vec<IVec>> = tiles
+        .iter()
+        .map(|tile| {
+            let mut pts = Vec::with_capacity(tile.volume() as usize);
+            tile.for_each_point(|i| pts.push(IVec(i.iter().map(|&x| x as i128).collect())));
+            pts
+        })
+        .collect();
+    config.processors = assignment.len();
+    if config.mesh.is_none() {
+        config.mesh = plan.mesh;
+    }
+    Ok(run_nest(&nest, &assignment, config, home))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,262 @@
+//! Content-addressed memoization of partition plans.
+//!
+//! Planning a nest is the expensive end of the pipeline (legality
+//! analysis, reference classification, exhaustive tile-shape search).
+//! [`PlanCache`] memoizes finished [`PartitionPlan`]s keyed by the
+//! nest's structural fingerprint plus the machine parameters, so
+//! re-compiling the same nest — common in the bench sweeps and in any
+//! driver that compiles a program repeatedly — is a hash lookup.
+//!
+//! Plans are held behind [`Arc`], so a hit costs one reference-count
+//! bump and hands out the same immutable artifact to every consumer.
+//! Eviction is least-recently-used with a fixed capacity; hit, miss,
+//! and eviction counters are exposed through [`CacheStats`] for the
+//! bench harness.
+
+use crate::{PartitionPlan, PlanError};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// What a cached plan is keyed by: the structural nest fingerprint plus
+/// every compilation parameter that can change the plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PlanKey {
+    /// Structural fingerprint of the nest ([`crate::fingerprint()`]).
+    pub fingerprint: u64,
+    /// Processor count the plan targets.
+    pub processors: i128,
+    /// Optional 2-D mesh shape.
+    pub mesh: Option<(usize, usize)>,
+    /// Whether legality analysis ran (checked and unchecked plans for
+    /// the same nest must not alias).
+    pub checked: bool,
+}
+
+/// Hit/miss/eviction counters, cumulative over the cache's lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to the planner.
+    pub misses: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Hits as a fraction of all lookups (0 when no lookups yet).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Entry {
+    plan: Arc<PartitionPlan>,
+    last_used: u64,
+}
+
+/// An LRU cache of finished partition plans.
+pub struct PlanCache {
+    map: HashMap<PlanKey, Entry>,
+    capacity: usize,
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl PlanCache {
+    /// Default capacity used by the compiler and CLI.
+    pub const DEFAULT_CAPACITY: usize = 64;
+
+    /// A cache holding at most `capacity` plans (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        PlanCache {
+            map: HashMap::new(),
+            capacity: capacity.max(1),
+            tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Number of cached plans.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The cumulative counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Look up a plan, counting a hit or miss and refreshing recency.
+    pub fn get(&mut self, key: &PlanKey) -> Option<Arc<PartitionPlan>> {
+        self.tick += 1;
+        match self.map.get_mut(key) {
+            Some(e) => {
+                e.last_used = self.tick;
+                self.stats.hits += 1;
+                Some(Arc::clone(&e.plan))
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert a plan, evicting the least-recently-used entry when full.
+    pub fn insert(&mut self, key: PlanKey, plan: Arc<PartitionPlan>) {
+        self.tick += 1;
+        if !self.map.contains_key(&key) && self.map.len() >= self.capacity {
+            if let Some(victim) = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k)
+            {
+                self.map.remove(&victim);
+                self.stats.evictions += 1;
+            }
+        }
+        self.map.insert(
+            key,
+            Entry {
+                plan,
+                last_used: self.tick,
+            },
+        );
+    }
+
+    /// Memoize: return the cached plan for `key`, or build one with
+    /// `make`, cache it, and return it.  A failed build caches nothing.
+    pub fn get_or_try_insert_with(
+        &mut self,
+        key: PlanKey,
+        make: impl FnOnce() -> Result<PartitionPlan, PlanError>,
+    ) -> Result<Arc<PartitionPlan>, PlanError> {
+        if let Some(plan) = self.get(&key) {
+            return Ok(plan);
+        }
+        let plan = Arc::new(make()?);
+        self.insert(key, Arc::clone(&plan));
+        Ok(plan)
+    }
+}
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        Self::new(Self::DEFAULT_CAPACITY)
+    }
+}
+
+impl std::fmt::Debug for PlanCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PlanCache")
+            .field("len", &self.map.len())
+            .field("capacity", &self.capacity)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LegalityVerdict;
+    use alp_loopir::parse;
+
+    fn key(fp: u64) -> PlanKey {
+        PlanKey {
+            fingerprint: fp,
+            processors: 16,
+            mesh: None,
+            checked: true,
+        }
+    }
+
+    fn plan(trip: i128) -> PartitionPlan {
+        let nest = parse(&format!("doall (i, 0, {trip}) {{ A[i] = A[i]; }}")).unwrap();
+        PartitionPlan::build(&nest, 4, None, LegalityVerdict::Unchecked).unwrap()
+    }
+
+    #[test]
+    fn memoizes_and_counts() {
+        let mut cache = PlanCache::new(8);
+        let mut built = 0;
+        for _ in 0..3 {
+            let p = cache
+                .get_or_try_insert_with(key(1), || {
+                    built += 1;
+                    Ok(plan(63))
+                })
+                .unwrap();
+            assert_eq!(p.tiles(), 4);
+        }
+        assert_eq!(built, 1, "planner ran once");
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 2,
+                misses: 1,
+                evictions: 0
+            }
+        );
+        assert!((cache.stats().hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distinct_params_do_not_alias() {
+        let mut cache = PlanCache::new(8);
+        cache.insert(key(1), Arc::new(plan(63)));
+        assert!(cache.get(&key(2)).is_none());
+        assert!(cache
+            .get(&PlanKey {
+                checked: false,
+                ..key(1)
+            })
+            .is_none());
+        assert!(cache
+            .get(&PlanKey {
+                mesh: Some((2, 2)),
+                ..key(1)
+            })
+            .is_none());
+        assert!(cache.get(&key(1)).is_some());
+    }
+
+    #[test]
+    fn lru_eviction() {
+        let mut cache = PlanCache::new(2);
+        cache.insert(key(1), Arc::new(plan(63)));
+        cache.insert(key(2), Arc::new(plan(127)));
+        cache.get(&key(1)); // refresh 1; 2 becomes LRU
+        cache.insert(key(3), Arc::new(plan(255)));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 1);
+        assert!(cache.get(&key(2)).is_none(), "LRU entry evicted");
+        assert!(cache.get(&key(1)).is_some());
+        assert!(cache.get(&key(3)).is_some());
+    }
+
+    #[test]
+    fn failed_build_not_cached() {
+        let mut cache = PlanCache::new(2);
+        let r = cache.get_or_try_insert_with(key(9), || Err(PlanError::Infeasible("boom".into())));
+        assert!(r.is_err());
+        assert!(cache.is_empty());
+        // A later successful build fills the slot.
+        cache
+            .get_or_try_insert_with(key(9), || Ok(plan(63)))
+            .unwrap();
+        assert_eq!(cache.len(), 1);
+    }
+}

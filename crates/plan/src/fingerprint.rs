@@ -1,0 +1,97 @@
+//! Stable structural fingerprints of loop nests.
+//!
+//! The fingerprint is the cache key and the integrity check of a saved
+//! [`PartitionPlan`](crate::PartitionPlan), so it must be (a) identical
+//! for structurally identical nests — in particular invariant under
+//! renaming the loop indices — and (b) stable across processes,
+//! platforms, and Rust versions (which rules out `DefaultHasher`).
+//!
+//! We canonicalize the nest by renaming every parallel index to its
+//! position (`i0`, `i1`, …) and every outer sequential index to `s0`,
+//! `s1`, …, then hash the canonical DSL rendering with FNV-1a (64-bit).
+//! Subscripts are stored as coefficient vectors in the IR, so index
+//! names appear nowhere except the loop headers — renaming the headers
+//! is a complete canonicalization.
+
+use alp_loopir::LoopNest;
+
+/// 64-bit FNV-1a over a byte string.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// The canonical textual form the fingerprint hashes: the nest's DSL
+/// rendering with positional index names.
+pub fn canonical_source(nest: &LoopNest) -> String {
+    let mut canon = nest.clone();
+    for (k, l) in canon.seq_loops.iter_mut().enumerate() {
+        l.name = format!("s{k}");
+        l.span = None;
+    }
+    for (k, l) in canon.loops.iter_mut().enumerate() {
+        l.name = format!("i{k}");
+        l.span = None;
+    }
+    canon.display()
+}
+
+/// Structural fingerprint of a nest (see the module docs).
+pub fn fingerprint(nest: &LoopNest) -> u64 {
+    fnv1a64(canonical_source(nest).as_bytes())
+}
+
+/// [`fingerprint`] rendered as the 16-digit lowercase hex string used in
+/// plan files.
+pub fn fingerprint_hex(nest: &LoopNest) -> String {
+    format!("{:016x}", fingerprint(nest))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alp_loopir::parse;
+
+    #[test]
+    fn invariant_under_index_renaming() {
+        let a = parse("doall (i, 1, 8) { doall (j, 1, 8) { A[i,j] = B[i+1,j]; } }").unwrap();
+        let b = parse("doall (x, 1, 8) { doall (y, 1, 8) { A[x,y] = B[x+1,y]; } }").unwrap();
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+        assert_eq!(fingerprint_hex(&a), fingerprint_hex(&b));
+    }
+
+    #[test]
+    fn sensitive_to_bounds_refs_and_kind() {
+        let base = parse("doall (i, 1, 8) { A[i] = B[i]; }").unwrap();
+        for other in [
+            "doall (i, 1, 9) { A[i] = B[i]; }",
+            "doall (i, 1, 8) { A[i] = B[i+1]; }",
+            "doall (i, 1, 8) { A[i] = C[i]; }",
+            "doall (i, 1, 8) { l$A[i] = l$A[i] + B[i]; }",
+            "doseq (t, 0, 1) { doall (i, 1, 8) { A[i] = B[i]; } }",
+        ] {
+            let nest = parse(other).unwrap();
+            assert_ne!(fingerprint(&base), fingerprint(&nest), "{other}");
+        }
+    }
+
+    #[test]
+    fn seq_indices_canonicalized_too() {
+        let a = parse("doseq (t, 0, 3) { doall (i, 0, 7) { l$A[0] = l$A[0] + B[i]; } }").unwrap();
+        let b = parse("doseq (q, 0, 3) { doall (k, 0, 7) { l$A[0] = l$A[0] + B[k]; } }").unwrap();
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+    }
+
+    #[test]
+    fn fnv_vector() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+}

@@ -1,0 +1,527 @@
+//! A minimal JSON reader/writer for the plan schema — hand-rolled so the
+//! workspace stays dependency-free (no serde).
+//!
+//! The subset is exactly what [`PartitionPlan`](crate::PartitionPlan)
+//! needs: objects, arrays, strings, `i128` integers, booleans, and
+//! `null`.  Floating-point literals are rejected — every quantity in a
+//! plan is exact (integers and `num/den` rationals), which is also what
+//! makes the encoding canonical and byte-stable.
+//!
+//! The writer emits a deterministic pretty form (two-space indent, fixed
+//! field order chosen by the encoder), so encoding the same plan twice
+//! yields byte-identical text — the property the golden-snapshot test
+//! pins down.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A parsed JSON value (plan-schema subset).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer (the schema has no floats).
+    Int(i128),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object.  Insertion order is not preserved — encoders list
+    /// fields explicitly, so lookup order is all that matters.
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Object field access.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// The integer value, if this is an integer.
+    pub fn as_int(&self) -> Option<i128> {
+        match self {
+            Json::Int(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The bool value, if this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Where and why a JSON parse failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset of the failure.
+    pub offset: usize,
+    /// What the parser expected or found.
+    pub message: String,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "json error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Parse a complete JSON document (trailing whitespace allowed, trailing
+/// garbage is an error).
+pub fn parse(src: &str) -> Result<Json, JsonError> {
+    let mut p = Parser {
+        bytes: src.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after the JSON document"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: impl Into<String>) -> JsonError {
+        JsonError {
+            offset: self.pos,
+            message: msg.into(),
+        }
+    }
+
+    fn eof_err(&self) -> JsonError {
+        self.err("unexpected end of input (document truncated?)")
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        match self.peek() {
+            Some(c) if c == b => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(c) => Err(self.err(format!("expected `{}`, found `{}`", b as char, c as char))),
+            None => Err(self.eof_err()),
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else if self.bytes.len() - self.pos < text.len() {
+            Err(self.eof_err())
+        } else {
+            Err(self.err(format!("expected `{text}`")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        match self.peek() {
+            None => Err(self.eof_err()),
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(c) => Err(self.err(format!("unexpected character `{}`", c as char))),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            if map.insert(key.clone(), val).is_some() {
+                return Err(self.err(format!("duplicate object key `{key}`")));
+            }
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(map));
+                }
+                Some(c) => {
+                    return Err(self.err(format!(
+                        "expected `,` or `}}` in object, found `{}`",
+                        c as char
+                    )))
+                }
+                None => return Err(self.eof_err()),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut out = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(out));
+        }
+        loop {
+            self.skip_ws();
+            out.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(out));
+                }
+                Some(c) => {
+                    return Err(self.err(format!(
+                        "expected `,` or `]` in array, found `{}`",
+                        c as char
+                    )))
+                }
+                None => return Err(self.eof_err()),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.eof_err()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        None => return Err(self.eof_err()),
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            if self.pos + 5 > self.bytes.len() {
+                                return Err(self.eof_err());
+                            }
+                            let hex = &self.bytes[self.pos + 1..self.pos + 5];
+                            let hex = std::str::from_utf8(hex)
+                                .ok()
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.err("invalid \\u escape"))?;
+                            let c = char::from_u32(hex)
+                                .ok_or_else(|| self.err("\\u escape is not a scalar value"))?;
+                            out.push(c);
+                            self.pos += 4;
+                        }
+                        Some(c) => {
+                            return Err(self.err(format!("unknown escape `\\{}`", c as char)))
+                        }
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input came from &str, so
+                    // boundaries are valid).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid UTF-8"))?;
+                    let c = s.chars().next().expect("nonempty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if matches!(self.peek(), Some(b'.' | b'e' | b'E')) {
+            return Err(self.err(
+                "floating-point literals are not part of the plan schema (use exact \
+                 integers or `num/den` rational strings)",
+            ));
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii digits");
+        text.parse::<i128>()
+            .map(Json::Int)
+            .map_err(|_| self.err(format!("integer `{text}` out of range")))
+    }
+}
+
+/// Serialize with deterministic two-space-indented pretty-printing.
+///
+/// Objects are written through [`ObjWriter`] in the field order the
+/// encoder chooses; this function renders `Json` values (arrays of
+/// scalars inline, everything else indented).
+pub fn write_value(out: &mut String, v: &Json, indent: usize) {
+    match v {
+        Json::Null => out.push_str("null"),
+        Json::Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+        Json::Int(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Json::Str(s) => write_string(out, s),
+        Json::Arr(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+            } else if items.iter().all(is_scalar) {
+                out.push('[');
+                for (i, it) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    write_value(out, it, indent);
+                }
+                out.push(']');
+            } else {
+                out.push_str("[\n");
+                for (i, it) in items.iter().enumerate() {
+                    pad(out, indent + 1);
+                    write_value(out, it, indent + 1);
+                    if i + 1 < items.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                pad(out, indent);
+                out.push(']');
+            }
+        }
+        Json::Obj(map) => {
+            if map.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push_str("{\n");
+            for (i, (k, val)) in map.iter().enumerate() {
+                pad(out, indent + 1);
+                write_string(out, k);
+                out.push_str(": ");
+                write_value(out, val, indent + 1);
+                if i + 1 < map.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            pad(out, indent);
+            out.push('}');
+        }
+    }
+}
+
+fn is_scalar(v: &Json) -> bool {
+    matches!(v, Json::Null | Json::Bool(_) | Json::Int(_) | Json::Str(_))
+}
+
+fn pad(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+/// Write a JSON string literal with escaping.
+pub fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// An object writer that preserves the encoder's field order (unlike
+/// `Json::Obj`, whose `BTreeMap` sorts keys) — this is what keeps the
+/// emitted schema human-readable *and* byte-deterministic.
+pub struct ObjWriter {
+    fields: Vec<(String, Json)>,
+}
+
+impl ObjWriter {
+    /// Start an object.
+    pub fn new() -> Self {
+        ObjWriter { fields: Vec::new() }
+    }
+
+    /// Append a field (encoder-chosen order is preserved verbatim).
+    pub fn field(mut self, key: &str, value: Json) -> Self {
+        self.fields.push((key.to_string(), value));
+        self
+    }
+
+    /// Render the object at the given indent level.
+    pub fn render(&self, out: &mut String, indent: usize) {
+        if self.fields.is_empty() {
+            out.push_str("{}");
+            return;
+        }
+        out.push_str("{\n");
+        for (i, (k, v)) in self.fields.iter().enumerate() {
+            pad(out, indent + 1);
+            write_string(out, k);
+            out.push_str(": ");
+            write_value(out, v, indent + 1);
+            if i + 1 < self.fields.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        pad(out, indent);
+        out.push('}');
+    }
+}
+
+impl Default for ObjWriter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_document() {
+        let v = parse(r#"{"a": [1, -2, 3], "b": {"c": "x\ny", "d": true}, "e": null}"#).unwrap();
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap()[1], Json::Int(-2));
+        assert_eq!(v.get("b").unwrap().get("c").unwrap().as_str(), Some("x\ny"));
+        assert_eq!(v.get("b").unwrap().get("d").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("e"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn truncated_inputs_fail_with_offset() {
+        for src in [
+            "",
+            "{",
+            r#"{"a""#,
+            r#"{"a": "#,
+            r#"{"a": [1, 2"#,
+            r#"{"a": "unterminat"#,
+            "tru",
+        ] {
+            let e = parse(src).unwrap_err();
+            assert!(
+                e.message.contains("end of input") || e.message.contains("expected"),
+                "{src:?} -> {e}"
+            );
+            assert!(e.offset <= src.len());
+        }
+    }
+
+    #[test]
+    fn floats_are_rejected_with_diagnostic() {
+        let e = parse(r#"{"x": 1.5}"#).unwrap_err();
+        assert!(e.message.contains("floating-point"), "{e}");
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        assert!(parse("{} x").is_err());
+    }
+
+    #[test]
+    fn duplicate_keys_rejected() {
+        assert!(parse(r#"{"a": 1, "a": 2}"#).is_err());
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let mut out = String::new();
+        write_string(&mut out, "a\"b\\c\nd\u{1}");
+        let back = parse(&out).unwrap();
+        assert_eq!(back.as_str(), Some("a\"b\\c\nd\u{1}"));
+    }
+
+    #[test]
+    fn writer_is_deterministic() {
+        let v = parse(r#"{"b": [1, 2], "a": {"z": 1, "y": [true, null]}}"#).unwrap();
+        let mut one = String::new();
+        write_value(&mut one, &v, 0);
+        let mut two = String::new();
+        write_value(&mut two, &parse(&one).unwrap(), 0);
+        assert_eq!(one, two);
+    }
+
+    #[test]
+    fn big_integers_survive() {
+        let n = i128::MAX;
+        let v = parse(&format!("[{n}]")).unwrap();
+        assert_eq!(v.as_arr().unwrap()[0].as_int(), Some(n));
+    }
+}

@@ -1,0 +1,103 @@
+//! # alp-plan — the partitioning decision as a first-class artifact
+//!
+//! Every layer of the pipeline used to trade in loose tuples of
+//! `(RectPartition, Report, …)`; this crate makes the decision itself
+//! the currency.  A [`PartitionPlan`] bundles
+//!
+//! * a **structural fingerprint** of the nest (stable FNV-1a over a
+//!   canonically-renamed rendering — invariant under loop-index
+//!   renaming, stable across platforms and Rust versions),
+//! * the chosen **rectangular partition** (processor grid and tile
+//!   extents) with the optimizer's Theorem-4 objective value,
+//! * the predicted **Eq.-2 cumulative footprints** per uniformly
+//!   intersecting reference class,
+//! * the **legality verdict** and **provenance** (processor count,
+//!   mesh, optimizer name),
+//! * the nest's **canonical source**, so a plan file alone suffices to
+//!   re-execute or re-simulate the computation.
+//!
+//! Plans serialize to a versioned JSON schema ([`json`]) with a
+//! hand-rolled, float-free codec whose output is byte-deterministic —
+//! the golden-snapshot tests diff the exact bytes.  [`PlanCache`]
+//! memoizes plans by `(fingerprint, processors, mesh, checked)` with
+//! hit/miss/eviction counters, and [`rect_tiles`] is the single
+//! rectangular tile enumerator every consumer (codegen, runtime,
+//! machine simulation) shares.
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod fingerprint;
+pub mod json;
+mod plan;
+pub mod tiles;
+
+pub use cache::{CacheStats, PlanCache, PlanKey};
+pub use fingerprint::{canonical_source, fingerprint, fingerprint_hex, fnv1a64};
+pub use json::{Json, JsonError};
+pub use plan::{ClassFootprint, LegalityVerdict, PartitionPlan, SCHEMA_VERSION};
+pub use tiles::{rect_tiles, IterBox};
+
+/// Everything that can go wrong building, encoding, or decoding a plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    /// A tile grid that does not fit the nest (wrong rank, non-positive
+    /// extent, or overflow).
+    BadGrid(String),
+    /// The plan file is not well-formed JSON (includes truncation).
+    Json(JsonError),
+    /// The plan file declares a schema version this build cannot read.
+    UnsupportedVersion {
+        /// Version found in the file.
+        found: i128,
+        /// Newest version this build understands.
+        supported: u32,
+    },
+    /// Well-formed JSON that does not match the plan schema.
+    Schema(String),
+    /// The embedded source no longer matches the recorded fingerprint.
+    FingerprintMismatch {
+        /// Fingerprint recorded in the plan.
+        expected: String,
+        /// Fingerprint of the embedded source.
+        found: String,
+    },
+    /// The nest cannot be partitioned as requested.
+    Infeasible(String),
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::BadGrid(msg) => write!(f, "bad tile grid: {msg}"),
+            PlanError::Json(e) => write!(f, "plan is not valid JSON: {e}"),
+            PlanError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "plan schema version {found} is not supported (this build reads version \
+                 {supported}); re-emit the plan with `alp-cli plan --emit`"
+            ),
+            PlanError::Schema(msg) => write!(f, "plan does not match the schema: {msg}"),
+            PlanError::FingerprintMismatch { expected, found } => write!(
+                f,
+                "plan fingerprint {expected} does not match its embedded source \
+                 (which hashes to {found}); the plan file was edited or corrupted"
+            ),
+            PlanError::Infeasible(msg) => write!(f, "cannot plan nest: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PlanError::Json(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<JsonError> for PlanError {
+    fn from(e: JsonError) -> Self {
+        PlanError::Json(e)
+    }
+}

@@ -1,0 +1,526 @@
+//! The [`PartitionPlan`] artifact and its versioned JSON schema.
+
+use crate::fingerprint::fingerprint_hex;
+use crate::json::{self, Json, ObjWriter};
+use crate::PlanError;
+use alp_footprint::{cumulative_footprint_rect, CostModel};
+use alp_linalg::{IVec, Rat};
+use alp_loopir::LoopNest;
+use alp_partition::{communication_free_normals, partition_rect, RectPartition};
+
+/// Current plan schema version.  Bump when the JSON layout changes;
+/// decoders refuse versions they do not understand (never panic).
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// What the legality analysis said about the nest when the plan was
+/// made.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LegalityVerdict {
+    /// The doall legality analysis ran and found no errors (`warnings`
+    /// lints fired).
+    Checked {
+        /// Number of warning-severity lints.
+        warnings: usize,
+    },
+    /// The analysis was skipped (`Compiler::unchecked`); the plan may
+    /// describe a racy nest.
+    Unchecked,
+}
+
+/// Predicted Eq.-2 cumulative footprint of one uniformly intersecting
+/// class at the plan's tile shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassFootprint {
+    /// Array the class references.
+    pub array: String,
+    /// Number of member references.
+    pub refs: usize,
+    /// True when the class cannot influence the optimal tile shape.
+    pub shape_invariant: bool,
+    /// Theorem-4 cumulative footprint of one interior tile.
+    pub footprint: Rat,
+}
+
+/// The canonical, serializable partitioning decision — the single
+/// currency every pipeline layer consumes.
+///
+/// A plan bundles the structural fingerprint of the nest it was made
+/// for, the chosen rectangular partition, the model's per-class
+/// footprint predictions, the legality verdict, and provenance
+/// (processor count, mesh, optimizer).  It serializes to a versioned
+/// JSON schema ([`PartitionPlan::to_json_string`]) whose encoding is
+/// byte-deterministic, and embeds the canonical nest source so a saved
+/// plan is sufficient to re-execute the computation
+/// ([`PartitionPlan::nest`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionPlan {
+    /// Schema version the plan was written with.
+    pub schema_version: u32,
+    /// Structural fingerprint of the nest (hex, invariant under loop
+    /// index renaming).
+    pub fingerprint: String,
+    /// Processor count the partition targets.
+    pub processors: i128,
+    /// Optional 2-D mesh for placement/hop accounting.
+    pub mesh: Option<(usize, usize)>,
+    /// Legality verdict at plan time.
+    pub legality: LegalityVerdict,
+    /// Which optimizer chose the partition (provenance).
+    pub optimizer: String,
+    /// Processors along each loop dimension.
+    pub proc_grid: Vec<i128>,
+    /// Interior tile extent λ per dimension (inclusive convention).
+    pub tile_extents: Vec<i128>,
+    /// Modeled cumulative footprint of one tile (the optimizer's
+    /// objective value).
+    pub cost: Rat,
+    /// Per-class footprint predictions at the chosen tile shape.
+    pub class_footprints: Vec<ClassFootprint>,
+    /// Communication-free hyperplane normals, if any exist.
+    pub comm_free_normals: Vec<IVec>,
+    /// The nest in DSL form (round-trips through `alp_loopir::parse`).
+    pub source: String,
+}
+
+impl PartitionPlan {
+    /// Run the §4 planning phases on a nest: rectangular partitioning
+    /// under the Theorem-4 cost model, per-class footprint prediction,
+    /// and the communication-free check.  The caller supplies the
+    /// legality verdict (the analysis lives a layer above this crate).
+    pub fn build(
+        nest: &LoopNest,
+        processors: i128,
+        mesh: Option<(usize, usize)>,
+        legality: LegalityVerdict,
+    ) -> Result<PartitionPlan, PlanError> {
+        if nest.depth() == 0 {
+            return Err(PlanError::Infeasible("nest has no parallel loops".into()));
+        }
+        if processors < 1 {
+            return Err(PlanError::Infeasible("need at least one processor".into()));
+        }
+        let model = CostModel::from_nest(nest);
+        let partition = partition_rect(nest, processors);
+        let class_footprints = model
+            .classes()
+            .iter()
+            .map(|cc| ClassFootprint {
+                array: cc.class.array.clone(),
+                refs: cc.class.len(),
+                shape_invariant: cc.shape_invariant,
+                footprint: cumulative_footprint_rect(&partition.tile_extents, &cc.class),
+            })
+            .collect();
+        Ok(PartitionPlan {
+            schema_version: SCHEMA_VERSION,
+            fingerprint: fingerprint_hex(nest),
+            processors,
+            mesh,
+            legality,
+            optimizer: "rect-exhaustive".into(),
+            proc_grid: partition.proc_grid,
+            tile_extents: partition.tile_extents,
+            cost: partition.cost,
+            class_footprints,
+            comm_free_normals: communication_free_normals(nest),
+            source: nest.display(),
+        })
+    }
+
+    /// The plan's partition in `alp-partition`'s type.
+    pub fn rect_partition(&self) -> RectPartition {
+        RectPartition {
+            proc_grid: self.proc_grid.clone(),
+            tile_extents: self.tile_extents.clone(),
+            cost: self.cost,
+        }
+    }
+
+    /// Total number of tiles.
+    pub fn tiles(&self) -> i128 {
+        self.proc_grid.iter().product()
+    }
+
+    /// Reconstruct the nest from the embedded source and verify it
+    /// still matches the recorded fingerprint (integrity check against
+    /// hand-edited plan files).
+    pub fn nest(&self) -> Result<LoopNest, PlanError> {
+        let nest = alp_loopir::parse(&self.source)
+            .map_err(|e| PlanError::Schema(format!("embedded source does not parse: {e}")))?;
+        let found = fingerprint_hex(&nest);
+        if found != self.fingerprint {
+            return Err(PlanError::FingerprintMismatch {
+                expected: self.fingerprint.clone(),
+                found,
+            });
+        }
+        Ok(nest)
+    }
+
+    /// Encode as the versioned JSON schema.  Byte-deterministic: the
+    /// same plan always yields the same text (golden-snapshot safe).
+    pub fn to_json_string(&self) -> String {
+        let classes = self
+            .class_footprints
+            .iter()
+            .map(|c| {
+                let mut s = String::new();
+                ObjWriter::new()
+                    .field("array", Json::Str(c.array.clone()))
+                    .field("refs", Json::Int(c.refs as i128))
+                    .field("shape_invariant", Json::Bool(c.shape_invariant))
+                    .field("footprint", Json::Str(rat_str(&c.footprint)))
+                    .render(&mut s, 2);
+                s
+            })
+            .collect::<Vec<_>>();
+
+        let mut out = String::new();
+        out.push_str("{\n");
+        push_field(&mut out, "alp-plan", Json::Int(self.schema_version as i128));
+        push_field(&mut out, "fingerprint", Json::Str(self.fingerprint.clone()));
+        push_field(&mut out, "processors", Json::Int(self.processors));
+        push_field(
+            &mut out,
+            "mesh",
+            match self.mesh {
+                Some((w, h)) => Json::Arr(vec![Json::Int(w as i128), Json::Int(h as i128)]),
+                None => Json::Null,
+            },
+        );
+        let (checked, warnings) = match self.legality {
+            LegalityVerdict::Checked { warnings } => (true, warnings as i128),
+            LegalityVerdict::Unchecked => (false, 0),
+        };
+        out.push_str("  \"legality\": ");
+        ObjWriter::new()
+            .field("checked", Json::Bool(checked))
+            .field("warnings", Json::Int(warnings))
+            .render(&mut out, 1);
+        out.push_str(",\n");
+        push_field(&mut out, "optimizer", Json::Str(self.optimizer.clone()));
+        push_field(&mut out, "proc_grid", int_arr(&self.proc_grid));
+        push_field(&mut out, "tile_extents", int_arr(&self.tile_extents));
+        push_field(&mut out, "cost", Json::Str(rat_str(&self.cost)));
+        if classes.is_empty() {
+            out.push_str("  \"class_footprints\": [],\n");
+        } else {
+            out.push_str("  \"class_footprints\": [\n");
+            for (i, c) in classes.iter().enumerate() {
+                out.push_str("    ");
+                out.push_str(c);
+                out.push_str(if i + 1 < classes.len() { ",\n" } else { "\n" });
+            }
+            out.push_str("  ],\n");
+        }
+        push_field(
+            &mut out,
+            "comm_free_normals",
+            Json::Arr(
+                self.comm_free_normals
+                    .iter()
+                    .map(|v| int_arr(&v.0))
+                    .collect(),
+            ),
+        );
+        out.push_str("  \"source\": ");
+        json::write_string(&mut out, &self.source);
+        out.push_str("\n}\n");
+        out
+    }
+
+    /// Decode a plan from JSON text.
+    ///
+    /// Fails with a diagnostic (never panics) on malformed or truncated
+    /// JSON, an unknown schema version, or missing/mistyped fields.
+    pub fn from_json_str(src: &str) -> Result<PartitionPlan, PlanError> {
+        let v = json::parse(src).map_err(PlanError::Json)?;
+        if !matches!(v, Json::Obj(_)) {
+            return Err(PlanError::Schema("top level is not an object".into()));
+        }
+        let version = v
+            .get("alp-plan")
+            .and_then(Json::as_int)
+            .ok_or_else(|| PlanError::Schema("missing `alp-plan` schema version field".into()))?;
+        if version != SCHEMA_VERSION as i128 {
+            return Err(PlanError::UnsupportedVersion {
+                found: version,
+                supported: SCHEMA_VERSION,
+            });
+        }
+        let fingerprint = str_field(&v, "fingerprint")?;
+        let processors = int_field(&v, "processors")?;
+        let mesh = match v.get("mesh") {
+            None | Some(Json::Null) => None,
+            Some(Json::Arr(items)) if items.len() == 2 => {
+                let w = items[0]
+                    .as_int()
+                    .and_then(|n| usize::try_from(n).ok())
+                    .ok_or_else(|| PlanError::Schema("mesh width is not a usize".into()))?;
+                let h = items[1]
+                    .as_int()
+                    .and_then(|n| usize::try_from(n).ok())
+                    .ok_or_else(|| PlanError::Schema("mesh height is not a usize".into()))?;
+                Some((w, h))
+            }
+            Some(_) => return Err(PlanError::Schema("`mesh` must be null or [w, h]".into())),
+        };
+        let legality = {
+            let l = v
+                .get("legality")
+                .ok_or_else(|| PlanError::Schema("missing `legality`".into()))?;
+            let checked = l
+                .get("checked")
+                .and_then(Json::as_bool)
+                .ok_or_else(|| PlanError::Schema("`legality.checked` must be a bool".into()))?;
+            if checked {
+                let warnings = l
+                    .get("warnings")
+                    .and_then(Json::as_int)
+                    .and_then(|n| usize::try_from(n).ok())
+                    .ok_or_else(|| {
+                        PlanError::Schema("`legality.warnings` must be a count".into())
+                    })?;
+                LegalityVerdict::Checked { warnings }
+            } else {
+                LegalityVerdict::Unchecked
+            }
+        };
+        let optimizer = str_field(&v, "optimizer")?;
+        let proc_grid = int_arr_field(&v, "proc_grid")?;
+        let tile_extents = int_arr_field(&v, "tile_extents")?;
+        if proc_grid.is_empty() || proc_grid.len() != tile_extents.len() {
+            return Err(PlanError::Schema(format!(
+                "proc_grid ({}) and tile_extents ({}) must be nonempty and equal length",
+                proc_grid.len(),
+                tile_extents.len()
+            )));
+        }
+        let cost = parse_rat(&str_field(&v, "cost")?)?;
+        let class_footprints = v
+            .get("class_footprints")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| PlanError::Schema("missing `class_footprints` array".into()))?
+            .iter()
+            .map(|c| {
+                Ok(ClassFootprint {
+                    array: str_field(c, "array")?,
+                    refs: int_field(c, "refs").and_then(|n| {
+                        usize::try_from(n)
+                            .map_err(|_| PlanError::Schema("`refs` is not a count".into()))
+                    })?,
+                    shape_invariant: c
+                        .get("shape_invariant")
+                        .and_then(Json::as_bool)
+                        .ok_or_else(|| {
+                            PlanError::Schema("class missing `shape_invariant`".into())
+                        })?,
+                    footprint: parse_rat(&str_field(c, "footprint")?)?,
+                })
+            })
+            .collect::<Result<Vec<_>, PlanError>>()?;
+        let comm_free_normals = v
+            .get("comm_free_normals")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| PlanError::Schema("missing `comm_free_normals` array".into()))?
+            .iter()
+            .map(|n| {
+                n.as_arr()
+                    .map(|items| {
+                        items
+                            .iter()
+                            .map(|x| {
+                                x.as_int().ok_or_else(|| {
+                                    PlanError::Schema("normal component is not an integer".into())
+                                })
+                            })
+                            .collect::<Result<Vec<_>, _>>()
+                            .map(IVec)
+                    })
+                    .ok_or_else(|| PlanError::Schema("normal is not an array".into()))?
+            })
+            .collect::<Result<Vec<_>, PlanError>>()?;
+        let source = str_field(&v, "source")?;
+        Ok(PartitionPlan {
+            schema_version: SCHEMA_VERSION,
+            fingerprint,
+            processors,
+            mesh,
+            legality,
+            optimizer,
+            proc_grid,
+            tile_extents,
+            cost,
+            class_footprints,
+            comm_free_normals,
+            source,
+        })
+    }
+}
+
+fn push_field(out: &mut String, key: &str, value: Json) {
+    out.push_str("  ");
+    json::write_string(out, key);
+    out.push_str(": ");
+    json::write_value(out, &value, 1);
+    out.push_str(",\n");
+}
+
+fn int_arr(xs: &[i128]) -> Json {
+    Json::Arr(xs.iter().map(|&x| Json::Int(x)).collect())
+}
+
+fn rat_str(r: &Rat) -> String {
+    format!("{}/{}", r.num(), r.den())
+}
+
+fn parse_rat(s: &str) -> Result<Rat, PlanError> {
+    let (num, den) = s
+        .split_once('/')
+        .ok_or_else(|| PlanError::Schema(format!("`{s}` is not a num/den rational")))?;
+    let num: i128 = num
+        .parse()
+        .map_err(|_| PlanError::Schema(format!("bad rational numerator `{num}`")))?;
+    let den: i128 = den
+        .parse()
+        .map_err(|_| PlanError::Schema(format!("bad rational denominator `{den}`")))?;
+    if den == 0 {
+        return Err(PlanError::Schema("rational with zero denominator".into()));
+    }
+    Ok(Rat::new(num, den))
+}
+
+fn str_field(v: &Json, key: &str) -> Result<String, PlanError> {
+    v.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| PlanError::Schema(format!("missing string field `{key}`")))
+}
+
+fn int_field(v: &Json, key: &str) -> Result<i128, PlanError> {
+    v.get(key)
+        .and_then(Json::as_int)
+        .ok_or_else(|| PlanError::Schema(format!("missing integer field `{key}`")))
+}
+
+fn int_arr_field(v: &Json, key: &str) -> Result<Vec<i128>, PlanError> {
+    v.get(key)
+        .and_then(Json::as_arr)
+        .ok_or_else(|| PlanError::Schema(format!("missing array field `{key}`")))?
+        .iter()
+        .map(|x| {
+            x.as_int()
+                .ok_or_else(|| PlanError::Schema(format!("`{key}` element is not an integer")))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alp_loopir::parse;
+
+    fn example8() -> LoopNest {
+        parse(
+            "doall (i, 1, 64) { doall (j, 1, 64) { doall (k, 1, 64) {
+               A[i,j,k] = B[i-1,j,k+1] + B[i,j+1,k] + B[i+1,j-2,k-3];
+             } } }",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn build_records_partition_and_footprints() {
+        let nest = example8();
+        let plan = PartitionPlan::build(
+            &nest,
+            64,
+            Some((8, 8)),
+            LegalityVerdict::Checked { warnings: 0 },
+        )
+        .unwrap();
+        assert_eq!(plan.tiles(), 64);
+        assert_eq!(plan.proc_grid.len(), 3);
+        assert_eq!(plan.class_footprints.len(), 2);
+        let part = plan.rect_partition();
+        assert_eq!(part, partition_rect(&nest, 64));
+        // The embedded source reconstructs the very same nest.
+        assert_eq!(plan.nest().unwrap(), nest);
+    }
+
+    #[test]
+    fn json_round_trip_is_byte_identical() {
+        let plan = PartitionPlan::build(&example8(), 16, None, LegalityVerdict::Unchecked).unwrap();
+        let text = plan.to_json_string();
+        let back = PartitionPlan::from_json_str(&text).unwrap();
+        assert_eq!(back, plan);
+        assert_eq!(back.to_json_string(), text, "encoding is canonical");
+    }
+
+    #[test]
+    fn mesh_and_warnings_round_trip() {
+        let nest = parse("doall (i, 0, 15) { doall (j, 0, 15) { A[i,j] = A[i,j]; } }").unwrap();
+        let plan = PartitionPlan::build(
+            &nest,
+            4,
+            Some((2, 2)),
+            LegalityVerdict::Checked { warnings: 3 },
+        )
+        .unwrap();
+        let back = PartitionPlan::from_json_str(&plan.to_json_string()).unwrap();
+        assert_eq!(back.mesh, Some((2, 2)));
+        assert_eq!(back.legality, LegalityVerdict::Checked { warnings: 3 });
+    }
+
+    #[test]
+    fn unknown_version_fails_with_diagnostic() {
+        let plan = PartitionPlan::build(&example8(), 8, None, LegalityVerdict::Unchecked).unwrap();
+        let text = plan
+            .to_json_string()
+            .replace("\"alp-plan\": 1", "\"alp-plan\": 99");
+        let err = PartitionPlan::from_json_str(&text).unwrap_err();
+        match err {
+            PlanError::UnsupportedVersion { found, supported } => {
+                assert_eq!(found, 99);
+                assert_eq!(supported, SCHEMA_VERSION);
+            }
+            e => panic!("wrong error: {e}"),
+        }
+    }
+
+    #[test]
+    fn truncated_input_fails_with_diagnostic() {
+        let plan = PartitionPlan::build(&example8(), 8, None, LegalityVerdict::Unchecked).unwrap();
+        let text = plan.to_json_string();
+        for cut in [0, 1, text.len() / 2, text.len() - 2] {
+            let err = PartitionPlan::from_json_str(&text[..cut]).unwrap_err();
+            assert!(
+                matches!(err, PlanError::Json(_)),
+                "cut at {cut}: wrong error {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn tampered_source_fails_fingerprint_check() {
+        let plan = PartitionPlan::build(&example8(), 8, None, LegalityVerdict::Unchecked).unwrap();
+        let mut tampered = plan.clone();
+        tampered.source = "doall (i, 0, 3) { A[i] = A[i]; }\n".into();
+        assert!(matches!(
+            tampered.nest(),
+            Err(PlanError::FingerprintMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn missing_field_fails_cleanly() {
+        let plan = PartitionPlan::build(&example8(), 8, None, LegalityVerdict::Unchecked).unwrap();
+        let text = plan
+            .to_json_string()
+            .replace("\"proc_grid\"", "\"wrong_name\"");
+        assert!(matches!(
+            PartitionPlan::from_json_str(&text),
+            Err(PlanError::Schema(_))
+        ));
+    }
+}

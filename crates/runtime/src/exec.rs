@@ -102,6 +102,15 @@ impl Executor {
         })
     }
 
+    /// Build an executor straight from a saved [`alp_plan::PartitionPlan`]:
+    /// the nest is reconstructed from the plan's embedded source (with
+    /// its fingerprint re-verified) and tiled on the plan's processor
+    /// grid.
+    pub fn from_plan(plan: &alp_plan::PartitionPlan) -> Result<Executor, RuntimeError> {
+        let nest = plan.nest()?;
+        Executor::from_grid(&nest, &plan.proc_grid)
+    }
+
     /// Run an explicit per-processor iteration assignment (e.g. from
     /// `alp_codegen::assign_rect` or `assign_para`).
     pub fn from_assignment(

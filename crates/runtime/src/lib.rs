@@ -58,6 +58,9 @@ pub enum RuntimeError {
     },
     /// The processor grid does not fit the nest.
     BadGrid(String),
+    /// A saved plan could not be turned into an executor (corrupt file,
+    /// fingerprint mismatch, unsupported schema version).
+    BadPlan(alp_plan::PlanError),
 }
 
 impl std::fmt::Display for RuntimeError {
@@ -69,11 +72,30 @@ impl std::fmt::Display for RuntimeError {
                 write!(f, "address computation for `{array}` overflows i64")
             }
             RuntimeError::BadGrid(m) => write!(f, "bad processor grid: {m}"),
+            RuntimeError::BadPlan(e) => write!(f, "cannot execute plan: {e}"),
         }
     }
 }
 
-impl std::error::Error for RuntimeError {}
+impl std::error::Error for RuntimeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RuntimeError::BadPlan(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<alp_plan::PlanError> for RuntimeError {
+    fn from(e: alp_plan::PlanError) -> Self {
+        match e {
+            // Grid-shape problems keep their established variant so
+            // callers matching on BadGrid see no change.
+            alp_plan::PlanError::BadGrid(m) => RuntimeError::BadGrid(m),
+            e => RuntimeError::BadPlan(e),
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {

@@ -1,128 +1,14 @@
-//! Rectangular tiles of the parallel iteration space.
+//! Tiles for the executor.
 //!
-//! [`rect_tiles`] mirrors `alp_codegen::assign_rect` exactly: the same
-//! ceiling-division chunking, the same row-major tile→processor
-//! numbering, and the same clamping at the upper boundary — so tile `t`
-//! here encloses precisely the iterations `assign_rect` gives processor
-//! `t`.  Empty boundary tiles are preserved to keep the numbering
-//! aligned.
+//! The rectangular enumerator lives in [`alp_plan::tiles`] — the single
+//! implementation shared with `alp-codegen`'s `assign_rect` and the
+//! machine simulator, so tile `t` here encloses precisely the iterations
+//! every other layer gives processor `t`.  This module re-exports it and
+//! adds the explicit-assignment conversion the executor also accepts.
 
 use crate::RuntimeError;
-use alp_loopir::LoopNest;
 
-/// An axis-aligned box of iterations, inclusive on both ends per
-/// dimension.  Empty when any `lo > hi`.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct IterBox {
-    /// Inclusive lower corner.
-    pub lo: Vec<i64>,
-    /// Inclusive upper corner.
-    pub hi: Vec<i64>,
-}
-
-impl IterBox {
-    /// Number of iterations in the box (0 when empty).
-    pub fn volume(&self) -> u64 {
-        self.lo
-            .iter()
-            .zip(&self.hi)
-            .map(|(&l, &h)| if h < l { 0 } else { (h - l + 1) as u64 })
-            .product()
-    }
-
-    /// True when the box contains no iterations.
-    pub fn is_empty(&self) -> bool {
-        self.volume() == 0
-    }
-
-    /// Visit every iteration in row-major order (outermost dimension
-    /// slowest), reusing one scratch vector.
-    pub fn for_each_point(&self, mut f: impl FnMut(&[i64])) {
-        if self.is_empty() {
-            return;
-        }
-        let l = self.lo.len();
-        let mut i = self.lo.clone();
-        loop {
-            f(&i);
-            let mut k = l;
-            loop {
-                if k == 0 {
-                    return;
-                }
-                k -= 1;
-                i[k] += 1;
-                if i[k] <= self.hi[k] {
-                    break;
-                }
-                i[k] = self.lo[k];
-            }
-        }
-    }
-}
-
-/// Split the nest's parallel iteration space into `Π grid` rectangular
-/// tiles, one per virtual processor, row-major over the grid.
-///
-/// Returns the tiles and the per-dimension chunk sizes (the tile
-/// extents λ of interior tiles, in the paper's terms).
-pub fn rect_tiles(
-    nest: &LoopNest,
-    grid: &[i128],
-) -> Result<(Vec<IterBox>, Vec<i128>), RuntimeError> {
-    if grid.len() != nest.depth() {
-        return Err(RuntimeError::BadGrid(format!(
-            "grid has {} dims, nest has {} parallel loops",
-            grid.len(),
-            nest.depth()
-        )));
-    }
-    if grid.iter().any(|&g| g <= 0) {
-        return Err(RuntimeError::BadGrid(format!(
-            "grid extents must be positive, got {grid:?}"
-        )));
-    }
-    let chunks: Vec<i128> = nest
-        .loops
-        .iter()
-        .zip(grid)
-        .map(|(l, &g)| (l.trip_count() + g - 1) / g)
-        .collect();
-
-    let tiles_total: i128 = grid.iter().product();
-    let tiles_total = usize::try_from(tiles_total)
-        .map_err(|_| RuntimeError::BadGrid(format!("grid too large: {grid:?}")))?;
-
-    let to_i64 = |v: i128, what: &str| -> Result<i64, RuntimeError> {
-        i64::try_from(v).map_err(|_| RuntimeError::BadGrid(format!("{what} {v} overflows i64")))
-    };
-
-    let mut tiles = Vec::with_capacity(tiles_total);
-    let dims = grid.len();
-    let mut coord = vec![0i128; dims];
-    for _ in 0..tiles_total {
-        let mut lo = Vec::with_capacity(dims);
-        let mut hi = Vec::with_capacity(dims);
-        for (k, l) in nest.loops.iter().enumerate() {
-            let tile_lo = l.lower + coord[k] * chunks[k];
-            let tile_hi = (tile_lo + chunks[k] - 1).min(l.upper);
-            lo.push(to_i64(tile_lo, "tile bound")?);
-            hi.push(to_i64(tile_hi, "tile bound")?);
-        }
-        tiles.push(IterBox { lo, hi });
-        // Row-major increment over the grid (last dim fastest).
-        let mut k = dims;
-        while k > 0 {
-            k -= 1;
-            coord[k] += 1;
-            if coord[k] < grid[k] {
-                break;
-            }
-            coord[k] = 0;
-        }
-    }
-    Ok((tiles, chunks))
-}
+pub use alp_plan::{rect_tiles, IterBox};
 
 /// Explicit per-processor iteration lists, converted from a codegen
 /// [`Assignment`](alp_codegen::Assignment).
@@ -157,7 +43,9 @@ mod tests {
     #[test]
     fn tiles_mirror_assign_rect() {
         // 7×5 space on a 2×3 grid: boundary tiles shrink, numbering
-        // must match assign_rect's processor numbering exactly.
+        // must match assign_rect's processor numbering exactly.  Both
+        // sides now derive from alp_plan::rect_tiles, so this pins the
+        // conversion paths, not two parallel implementations.
         let nest = parse("doall (i, 0, 6) { doall (j, 10, 14) { A[i, j] = A[i, j]; } }").unwrap();
         let grid = [2i128, 3];
         let assignment = assign_rect(&nest, &grid);

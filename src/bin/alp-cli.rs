@@ -3,6 +3,7 @@
 //!
 //! ```sh
 //! alp-cli [OPTIONS] <FILE|->          # '-' reads the DSL from stdin
+//! alp-cli plan [OPTIONS] <FILE|->     # emit the partition plan as JSON
 //! alp-cli run [OPTIONS] <FILE|->      # partition AND execute on threads
 //!
 //! OPTIONS:
@@ -15,22 +16,34 @@
 //!       --code              print the generated SPMD code
 //!       --check             run the doall legality analysis only
 //!       --no-check          skip the legality analysis
+//!       --from-plan <FILE>  load a saved plan instead of planning a DSL
+//!                           nest (no positional input needed)
+//!
+//! PLAN OPTIONS (in addition to -p, -m, --param, --no-check):
+//!       --emit <FILE|->     where to write the plan JSON  [default: -]
 //!
 //! RUN OPTIONS (in addition to -p, --param, --line-size, --no-check):
 //!       --threads <N>       OS threads (0 = one per tile)  [default: 0]
 //!       --steal             dynamic self-scheduling instead of static
 //!       --seed <N>          array-content seed            [default: 42]
+//!       --from-plan <FILE>  execute a saved plan (no DSL input needed)
 //! ```
 //!
 //! The legality analysis (races, lints) runs by default before
-//! partitioning; racy nests are refused.  `run` compiles the nest's
-//! partition to a native kernel, executes it on OS threads over real
-//! `f64` arrays, prints per-thread metrics plus the measured-vs-modeled
-//! footprint ratio, and checks the parallel result bitwise against a
-//! sequential reference run.  Exit codes: `0` success / clean, `1` I/O
-//! or parse failure, `2` usage, `3` (`--check` only) warnings but no
-//! errors, `4` legality errors, `5` (`run` only) parallel result differs
-//! from the sequential reference.
+//! partitioning; racy nests are refused.  `plan` runs the analysis and
+//! partitioning phases only and writes the decision as a versioned JSON
+//! [`PartitionPlan`] artifact; `run --from-plan` / `--from-plan`
+//! re-execute or re-simulate such an artifact without repeating the
+//! analysis (the embedded nest is fingerprint-verified on load).  `run`
+//! compiles the nest's partition to a native kernel, executes it on OS
+//! threads over real `f64` arrays, prints per-thread metrics plus the
+//! measured-vs-modeled footprint ratio, and checks the parallel result
+//! bitwise against a sequential reference run.
+//!
+//! Exit codes: `0` success / clean, `1` I/O, parse, or plan-decode
+//! failure, `2` usage, `3` (`--check` only) warnings but no errors, `4`
+//! legality errors, `5` (`run` only) parallel result differs from the
+//! sequential reference.
 //!
 //! Examples:
 //!
@@ -39,7 +52,9 @@
 //!         A[i,j] = B[i,j] + B[i+1,j+3]; } }' \
 //!   | alp-cli --param N=64 -p 16 --simulate --para -
 //!
-//! alp-cli run -p 24 --threads 8 --steal examples/ex8.alp
+//! alp-cli plan -p 24 --emit plan.json examples/ex8.alp
+//! alp-cli run --from-plan plan.json --threads 8 --steal
+//! alp-cli --from-plan plan.json --simulate
 //! ```
 
 use alp::prelude::*;
@@ -57,6 +72,7 @@ struct Options {
     show_code: bool,
     check_only: bool,
     no_check: bool,
+    from_plan: Option<String>,
     input: String,
 }
 
@@ -71,9 +87,11 @@ const EXIT_MISMATCH: u8 = 5;
 fn usage() -> ! {
     eprintln!(
         "usage: alp-cli [-p N] [-m WxH] [--param NAME=VAL]... [--simulate] [--para] \
-         [--line-size N] [--code] [--check|--no-check] <FILE|->\n       \
+         [--line-size N] [--code] [--check|--no-check] [--from-plan FILE] <FILE|->\n       \
+         alp-cli plan [-p N] [-m WxH] [--param NAME=VAL]... [--no-check] \
+         [--emit FILE|-] <FILE|->\n       \
          alp-cli run [-p N] [--param NAME=VAL]... [--threads N] [--steal] \
-         [--line-size N] [--seed N] [--no-check] <FILE|->"
+         [--line-size N] [--seed N] [--no-check] [--from-plan FILE] <FILE|->"
     );
     std::process::exit(2)
 }
@@ -86,6 +104,7 @@ struct RunOptions {
     line_size: u64,
     seed: u64,
     no_check: bool,
+    from_plan: Option<String>,
     input: String,
 }
 
@@ -98,6 +117,7 @@ fn parse_run_args(mut args: impl Iterator<Item = String>) -> RunOptions {
         line_size: 1,
         seed: 42,
         no_check: false,
+        from_plan: None,
         input: String::new(),
     };
     let mut input: Option<String> = None;
@@ -135,12 +155,19 @@ fn parse_run_args(mut args: impl Iterator<Item = String>) -> RunOptions {
                     .unwrap_or_else(|| usage());
             }
             "--no-check" => opts.no_check = true,
+            "--from-plan" => {
+                opts.from_plan = Some(args.next().unwrap_or_else(|| usage()));
+            }
             "-h" | "--help" => usage(),
             other if input.is_none() => input = Some(other.to_string()),
             _ => usage(),
         }
     }
-    opts.input = input.unwrap_or_else(|| usage());
+    match input {
+        Some(i) => opts.input = i,
+        None if opts.from_plan.is_some() => {}
+        None => usage(),
+    }
     opts
 }
 
@@ -160,43 +187,68 @@ fn read_source(input: &str) -> Result<String, ExitCode> {
     }
 }
 
-/// The `run` subcommand: partition, then actually execute on OS threads
-/// and validate against a sequential reference.
-fn run_main(opts: RunOptions) -> ExitCode {
-    let src = match read_source(&opts.input) {
-        Ok(s) => s,
-        Err(code) => return code,
-    };
-    let nests = match alp::loopir::parse_program_with_params(&src, &opts.params) {
-        Ok(n) => n,
-        Err(e) => {
-            eprintln!("alp-cli: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    if nests.len() != 1 {
-        eprintln!(
-            "alp-cli: run expects a single-nest program ({} nests found)",
-            nests.len()
-        );
-        return ExitCode::FAILURE;
-    }
-    let nest = nests.into_iter().next().expect("nonempty");
-    if !opts.no_check {
-        let report = analyze(&nest);
-        eprint!("{}", report.render(&src));
-        if report.has_errors() {
-            eprintln!("alp-cli: refusing illegal doall (use --no-check to override)");
-            return ExitCode::from(EXIT_ILLEGAL);
-        }
-    }
+/// Load and decode a saved plan file ('-' reads stdin).
+fn load_plan(path: &str) -> Result<PartitionPlan, ExitCode> {
+    let text = read_source(path)?;
+    PartitionPlan::from_json_str(&text).map_err(|e| {
+        let e = AlpError::from(e);
+        eprintln!("alp-cli: error[{}]: {e}", e.code());
+        ExitCode::FAILURE
+    })
+}
 
-    let compiler = Compiler::new(opts.processors).unchecked();
-    let result = match compiler.compile(nest) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("alp-cli: {e}");
+/// The `run` subcommand: partition (or load a saved plan), then actually
+/// execute on OS threads and validate against a sequential reference.
+fn run_main(opts: RunOptions) -> ExitCode {
+    let (compiler, result) = if let Some(plan_path) = &opts.from_plan {
+        let plan = match load_plan(plan_path) {
+            Ok(p) => p,
+            Err(code) => return code,
+        };
+        let compiler = Compiler::new(plan.processors).unchecked();
+        match compiler.compile_from_plan(&plan) {
+            Ok(r) => (compiler, r),
+            Err(e) => {
+                eprintln!("alp-cli: error[{}]: {e}", e.code());
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        let src = match read_source(&opts.input) {
+            Ok(s) => s,
+            Err(code) => return code,
+        };
+        let nests = match alp::loopir::parse_program_with_params(&src, &opts.params) {
+            Ok(n) => n,
+            Err(e) => {
+                eprintln!("alp-cli: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if nests.len() != 1 {
+            eprintln!(
+                "alp-cli: run expects a single-nest program ({} nests found)",
+                nests.len()
+            );
             return ExitCode::FAILURE;
+        }
+        let nest = nests.into_iter().next().expect("nonempty");
+        if !opts.no_check {
+            let report = analyze(&nest);
+            eprint!("{}", report.render(&src));
+            if report.has_errors() {
+                eprintln!("alp-cli: refusing illegal doall (use --no-check to override)");
+                return ExitCode::from(EXIT_ILLEGAL);
+            }
+        }
+
+        let compiler = Compiler::new(opts.processors).unchecked();
+        match compiler.compile(nest) {
+            Ok(r) => (compiler, r),
+            Err(e) => {
+                eprintln!("alp-cli: {e}");
+                return ExitCode::FAILURE;
+            }
         }
     };
     println!(
@@ -242,6 +294,187 @@ fn run_main(opts: RunOptions) -> ExitCode {
     }
 }
 
+struct PlanOptions {
+    processors: i128,
+    mesh: Option<(usize, usize)>,
+    params: HashMap<String, i128>,
+    no_check: bool,
+    emit: String,
+    input: String,
+}
+
+fn parse_plan_args(mut args: impl Iterator<Item = String>) -> PlanOptions {
+    let mut opts = PlanOptions {
+        processors: 16,
+        mesh: None,
+        params: HashMap::new(),
+        no_check: false,
+        emit: "-".to_string(),
+        input: String::new(),
+    };
+    let mut input: Option<String> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "-p" | "--processors" => {
+                opts.processors = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "-m" | "--mesh" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                let (w, h) = v.split_once('x').unwrap_or_else(|| usage());
+                opts.mesh = Some((
+                    w.parse().unwrap_or_else(|_| usage()),
+                    h.parse().unwrap_or_else(|_| usage()),
+                ));
+            }
+            "--param" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                let (name, val) = v.split_once('=').unwrap_or_else(|| usage());
+                opts.params
+                    .insert(name.to_string(), val.parse().unwrap_or_else(|_| usage()));
+            }
+            "--no-check" => opts.no_check = true,
+            "--emit" => opts.emit = args.next().unwrap_or_else(|| usage()),
+            "-h" | "--help" => usage(),
+            other if input.is_none() => input = Some(other.to_string()),
+            _ => usage(),
+        }
+    }
+    opts.input = input.unwrap_or_else(|| usage());
+    opts
+}
+
+/// The `plan` subcommand: run analysis + partitioning only and write the
+/// decision as the versioned JSON plan artifact.
+fn plan_main(opts: PlanOptions) -> ExitCode {
+    let src = match read_source(&opts.input) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    let nests = match alp::loopir::parse_program_with_params(&src, &opts.params) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("alp-cli: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if nests.len() != 1 {
+        eprintln!(
+            "alp-cli: plan expects a single-nest program ({} nests found)",
+            nests.len()
+        );
+        return ExitCode::FAILURE;
+    }
+    let nest = nests.into_iter().next().expect("nonempty");
+    let mut compiler = Compiler::new(opts.processors);
+    if let Some((w, h)) = opts.mesh {
+        compiler = compiler.with_mesh(w, h);
+    }
+    if opts.no_check {
+        compiler = compiler.unchecked();
+    }
+    let plan = match compiler.plan(&nest) {
+        Ok(p) => p,
+        Err(AlpError::Illegal(report)) => {
+            eprint!("{}", report.render(&src));
+            eprintln!("alp-cli: refusing illegal doall (use --no-check to override)");
+            return ExitCode::from(EXIT_ILLEGAL);
+        }
+        Err(e) => {
+            eprintln!("alp-cli: error[{}]: {e}", e.code());
+            return ExitCode::FAILURE;
+        }
+    };
+    let json = plan.to_json_string();
+    if opts.emit == "-" {
+        print!("{json}");
+    } else {
+        if let Err(e) = std::fs::write(&opts.emit, &json) {
+            eprintln!("alp-cli: {}: {e}", opts.emit);
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "alp-cli: wrote plan (fingerprint {}, grid {:?}, {} tiles) to {}",
+            plan.fingerprint,
+            plan.proc_grid,
+            plan.tiles(),
+            opts.emit
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+/// Default mode with `--from-plan`: report (and optionally simulate) a
+/// saved plan without re-running analysis or the optimizer.
+fn from_plan_main(opts: &Options, plan_path: &str) -> ExitCode {
+    let plan = match load_plan(plan_path) {
+        Ok(p) => p,
+        Err(code) => return code,
+    };
+    let mut compiler = Compiler::new(plan.processors).unchecked();
+    if let Some((w, h)) = opts.mesh.or(plan.mesh) {
+        compiler = compiler.with_mesh(w, h);
+    }
+    let result = match compiler.compile_from_plan(&plan) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("alp-cli: error[{}]: {e}", e.code());
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "== plan {} (P = {}) ==",
+        result.plan.fingerprint, result.plan.processors
+    );
+    println!(
+        "  grid {:?}, tile λ {:?}, modeled cost {}",
+        result.partition.proc_grid, result.partition.tile_extents, result.partition.cost
+    );
+    for ap in &result.data_partitions {
+        println!(
+            "  data {:<3} tile {:?} over dims {:?}, offset {}",
+            ap.array, ap.tile_extents, ap.dims, ap.offset
+        );
+    }
+    if opts.show_code {
+        println!("\n== code ==\n{}", result.code);
+    }
+    if opts.simulate {
+        println!("\n== simulation ==");
+        let report = match alp::machine::run_plan(
+            &result.plan,
+            MachineConfig {
+                // Overridden to the plan's tile count by run_plan.
+                processors: 0,
+                cache: CacheConfig::Infinite,
+                mesh: opts.mesh.or(plan.mesh),
+                line_size: opts.line_size,
+                directory: DirectoryKind::FullMap,
+            },
+            &UniformHome,
+        ) {
+            Ok(r) => r,
+            Err(e) => {
+                let e = AlpError::from(e);
+                eprintln!("alp-cli: error[{}]: {e}", e.code());
+                return ExitCode::FAILURE;
+            }
+        };
+        println!("  accesses        : {}", report.total_accesses());
+        println!(
+            "  misses          : {} (rate {:.4})",
+            report.total_misses(),
+            report.miss_rate()
+        );
+        println!("    cold          : {}", report.total_cold_misses());
+        println!("    coherence     : {}", report.total_coherence_misses());
+        println!("  invalidations   : {}", report.total_invalidations());
+    }
+    ExitCode::SUCCESS
+}
+
 fn parse_args() -> Options {
     let mut opts = Options {
         processors: 16,
@@ -253,6 +486,7 @@ fn parse_args() -> Options {
         show_code: false,
         check_only: false,
         no_check: false,
+        from_plan: None,
         input: String::new(),
     };
     let mut args = std::env::args().skip(1);
@@ -290,20 +524,32 @@ fn parse_args() -> Options {
             "--code" => opts.show_code = true,
             "--check" => opts.check_only = true,
             "--no-check" => opts.no_check = true,
+            "--from-plan" => {
+                opts.from_plan = Some(args.next().unwrap_or_else(|| usage()));
+            }
             "-h" | "--help" => usage(),
             other if input.is_none() => input = Some(other.to_string()),
             _ => usage(),
         }
     }
-    opts.input = input.unwrap_or_else(|| usage());
+    match input {
+        Some(i) => opts.input = i,
+        None if opts.from_plan.is_some() => {}
+        None => usage(),
+    }
     opts
 }
 
 fn main() -> ExitCode {
-    if std::env::args().nth(1).as_deref() == Some("run") {
-        return run_main(parse_run_args(std::env::args().skip(2)));
+    match std::env::args().nth(1).as_deref() {
+        Some("run") => return run_main(parse_run_args(std::env::args().skip(2))),
+        Some("plan") => return plan_main(parse_plan_args(std::env::args().skip(2))),
+        _ => {}
     }
     let opts = parse_args();
+    if let Some(plan_path) = opts.from_plan.clone() {
+        return from_plan_main(&opts, &plan_path);
+    }
     let src = match read_source(&opts.input) {
         Ok(s) => s,
         Err(code) => return code,

@@ -43,6 +43,9 @@
 //! * [`partition`] — rectangular/parallelepiped optimizers,
 //!   communication-free partitions, Abraham–Hudak baseline, data
 //!   alignment, mesh placement;
+//! * [`plan`] — the [`PartitionPlan`] artifact: stable nest
+//!   fingerprints, the single rectangular tile enumerator, a versioned
+//!   JSON schema, and the memoizing [`PlanCache`];
 //! * [`machine`] — a deterministic cache-coherent multiprocessor
 //!   simulator (full-map MSI directory);
 //! * [`codegen`] — iteration assignment and per-processor code emission;
@@ -58,34 +61,58 @@ pub use alp_linalg as linalg;
 pub use alp_loopir as loopir;
 pub use alp_machine as machine;
 pub use alp_partition as partition;
+pub use alp_plan as plan;
 pub use alp_runtime as runtime;
 
-use alp_codegen::assign_rect;
-use alp_footprint::CostModel;
 use alp_loopir::{IrError, LoopNest, ParseError};
 use alp_machine::{
-    run_nest, ArrayLayout, BlockRowMajorHome, MachineConfig, TrafficReport, UniformHome,
+    ArrayLayout, BlockRowMajorHome, HomeMap, MachineConfig, TrafficReport, UniformHome,
 };
-use alp_partition::{
-    align_arrays, communication_free_normals, mesh_placement, partition_rect, ArrayPartition,
-    MeshPlacement, RectPartition,
-};
+use alp_partition::{align_arrays, mesh_placement, ArrayPartition, MeshPlacement, RectPartition};
+use alp_plan::{LegalityVerdict, PartitionPlan, PlanCache, PlanError, PlanKey};
+use std::sync::Arc;
 
 /// Things that can go wrong in the pipeline.
+///
+/// Every variant has a stable machine-readable code ([`AlpError::code`])
+/// and chains to its underlying cause through
+/// [`std::error::Error::source`]; wrapped parse/IR errors keep their
+/// source spans intact.
 #[derive(Debug)]
 pub enum AlpError {
-    /// DSL parse failure.
+    /// DSL parse failure (`ALP0001`).
     Parse(ParseError),
-    /// IR validation failure.
+    /// IR validation failure (`ALP0002`).
     Ir(IrError),
-    /// The nest is not a legal doall: the legality analysis found races
-    /// (or other errors).  The report carries the full diagnostics;
-    /// [`Compiler::unchecked`] opts out of the gate.
+    /// The nest is not a legal doall (`ALP0003`): the legality analysis
+    /// found races (or other errors).  The report carries the full
+    /// diagnostics; [`Compiler::unchecked`] opts out of the gate.
     Illegal(alp_analysis::Report),
-    /// The nest cannot be partitioned as requested.
+    /// The nest cannot be partitioned as requested (`ALP0004`).
     Infeasible(String),
-    /// The nest compiled but cannot be lowered for native execution.
+    /// The nest compiled but cannot be lowered for native execution
+    /// (`ALP0005`).
     Runtime(alp_runtime::RuntimeError),
+    /// A saved partition plan could not be decoded or no longer matches
+    /// its embedded source (`ALP0006`).
+    Plan(PlanError),
+}
+
+impl AlpError {
+    /// The stable error code: `ALP0001` parse, `ALP0002` IR, `ALP0003`
+    /// illegal doall, `ALP0004` infeasible, `ALP0005` runtime lowering,
+    /// `ALP0006` plan artifact.  Codes never change meaning across
+    /// releases; new variants get new codes.
+    pub fn code(&self) -> &'static str {
+        match self {
+            AlpError::Parse(_) => "ALP0001",
+            AlpError::Ir(_) => "ALP0002",
+            AlpError::Illegal(_) => "ALP0003",
+            AlpError::Infeasible(_) => "ALP0004",
+            AlpError::Runtime(_) => "ALP0005",
+            AlpError::Plan(_) => "ALP0006",
+        }
+    }
 }
 
 impl std::fmt::Display for AlpError {
@@ -96,11 +123,24 @@ impl std::fmt::Display for AlpError {
             AlpError::Illegal(r) => write!(f, "{}", r.render("").trim_end()),
             AlpError::Infeasible(m) => write!(f, "infeasible: {m}"),
             AlpError::Runtime(e) => write!(f, "{e}"),
+            AlpError::Plan(e) => write!(f, "{e}"),
         }
     }
 }
 
-impl std::error::Error for AlpError {}
+impl std::error::Error for AlpError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AlpError::Parse(e) => Some(e),
+            AlpError::Ir(e) => Some(e),
+            AlpError::Runtime(e) => Some(e),
+            AlpError::Plan(e) => Some(e),
+            // A Report is diagnostics, not an error value; Infeasible is
+            // a leaf message.
+            AlpError::Illegal(_) | AlpError::Infeasible(_) => None,
+        }
+    }
+}
 
 impl From<ParseError> for AlpError {
     fn from(e: ParseError) -> Self {
@@ -117,6 +157,17 @@ impl From<IrError> for AlpError {
 impl From<alp_runtime::RuntimeError> for AlpError {
     fn from(e: alp_runtime::RuntimeError) -> Self {
         AlpError::Runtime(e)
+    }
+}
+
+impl From<PlanError> for AlpError {
+    fn from(e: PlanError) -> Self {
+        match e {
+            // Planner infeasibility keeps the established variant (and
+            // its `infeasible: …` rendering).
+            PlanError::Infeasible(m) => AlpError::Infeasible(m),
+            e => AlpError::Plan(e),
+        }
     }
 }
 
@@ -139,13 +190,18 @@ pub struct Compiler {
 pub struct CompileResult {
     /// The analyzed nest.
     pub nest: LoopNest,
+    /// The partitioning decision as a serializable artifact — shared
+    /// (via [`Arc`]) with any [`PlanCache`] the compile went through.
+    pub plan: Arc<PartitionPlan>,
     /// Number of uniformly intersecting classes found.
     pub class_count: usize,
     /// The chosen rectangular partition.
     pub partition: RectPartition,
     /// Legality analysis findings (empty when compiled with
-    /// [`Compiler::unchecked`]); never contains errors — those abort
-    /// [`Compiler::compile`] with [`AlpError::Illegal`].
+    /// [`Compiler::unchecked`] or rebuilt from a cached/saved plan —
+    /// the plan's [`LegalityVerdict`] records the original verdict);
+    /// never contains errors — those abort [`Compiler::compile`] with
+    /// [`AlpError::Illegal`].
     pub report: alp_analysis::Report,
     /// Communication-free hyperplane normals, if any exist.
     pub comm_free_normals: Vec<alp_linalg::IVec>,
@@ -201,16 +257,31 @@ impl Compiler {
         self.compile(nest)
     }
 
-    /// Run the full pipeline on a nest.
-    pub fn compile(&self, nest: LoopNest) -> Result<CompileResult, AlpError> {
-        if nest.depth() == 0 {
-            return Err(AlpError::Infeasible("nest has no parallel loops".into()));
+    /// The cache key this compiler would use for a nest: the nest's
+    /// structural fingerprint plus every parameter that can change the
+    /// plan.
+    pub fn plan_key(&self, nest: &LoopNest) -> PlanKey {
+        PlanKey {
+            fingerprint: alp_plan::fingerprint(nest),
+            processors: self.processors,
+            mesh: self.mesh,
+            checked: self.check,
         }
-        if self.processors < 1 {
-            return Err(AlpError::Infeasible("need at least one processor".into()));
-        }
+    }
+
+    /// Run the analysis and partitioning phases only, producing the
+    /// serializable [`PartitionPlan`] artifact (what `alp-cli plan
+    /// --emit` writes).
+    pub fn plan(&self, nest: &LoopNest) -> Result<PartitionPlan, AlpError> {
+        self.plan_with_report(nest).map(|(plan, _)| plan)
+    }
+
+    fn plan_with_report(
+        &self,
+        nest: &LoopNest,
+    ) -> Result<(PartitionPlan, alp_analysis::Report), AlpError> {
         let report = if self.check {
-            let report = alp_analysis::analyze(&nest);
+            let report = alp_analysis::analyze(nest);
             if report.has_errors() {
                 return Err(AlpError::Illegal(report));
             }
@@ -218,64 +289,115 @@ impl Compiler {
         } else {
             alp_analysis::Report::default()
         };
-        let model = CostModel::from_nest(&nest);
-        let partition = partition_rect(&nest, self.processors);
-        let comm_free_normals = communication_free_normals(&nest);
+        let verdict = if self.check {
+            LegalityVerdict::Checked {
+                warnings: report.count(alp_analysis::Severity::Warning),
+            }
+        } else {
+            LegalityVerdict::Unchecked
+        };
+        let plan = PartitionPlan::build(nest, self.processors, self.mesh, verdict)?;
+        Ok((plan, report))
+    }
+
+    /// Run the full pipeline on a nest.
+    pub fn compile(&self, nest: LoopNest) -> Result<CompileResult, AlpError> {
+        let (plan, report) = self.plan_with_report(&nest)?;
+        Ok(self.finish(nest, Arc::new(plan), report))
+    }
+
+    /// Run the full pipeline, memoizing the expensive phases (legality
+    /// analysis, reference classification, tile-shape search) through a
+    /// [`PlanCache`].  A cache hit skips them all and rebuilds only the
+    /// cheap backend products (alignment, placement, code); its
+    /// diagnostics report is empty, with the original verdict preserved
+    /// in the plan's [`LegalityVerdict`].
+    pub fn compile_cached(
+        &self,
+        nest: LoopNest,
+        cache: &mut PlanCache,
+    ) -> Result<CompileResult, AlpError> {
+        let key = self.plan_key(&nest);
+        if let Some(plan) = cache.get(&key) {
+            return Ok(self.finish(nest, plan, alp_analysis::Report::default()));
+        }
+        let (plan, report) = self.plan_with_report(&nest)?;
+        let plan = Arc::new(plan);
+        cache.insert(key, Arc::clone(&plan));
+        Ok(self.finish(nest, plan, report))
+    }
+
+    /// Rebuild a full [`CompileResult`] from a saved plan without
+    /// re-running analysis or the optimizer.  The nest comes from the
+    /// plan's embedded source and is verified against the recorded
+    /// fingerprint; the plan's own processor count and mesh are used
+    /// (a plan is self-contained provenance, not a request).
+    pub fn compile_from_plan(&self, plan: &PartitionPlan) -> Result<CompileResult, AlpError> {
+        let nest = plan.nest().map_err(AlpError::Plan)?;
+        Ok(self.finish(
+            nest,
+            Arc::new(plan.clone()),
+            alp_analysis::Report::default(),
+        ))
+    }
+
+    /// The cheap backend phases, shared by every compile path: data
+    /// alignment, mesh placement, and code emission from an
+    /// already-decided plan.
+    fn finish(
+        &self,
+        nest: LoopNest,
+        plan: Arc<PartitionPlan>,
+        report: alp_analysis::Report,
+    ) -> CompileResult {
+        let partition = plan.rect_partition();
         let data_partitions = align_arrays(&nest, &partition.tile_extents);
-        let placement = self
+        let placement = plan
             .mesh
             .map(|mesh| mesh_placement(&partition.proc_grid, mesh));
         let code = alp_codegen::emit_rect_code(&nest, &partition.proc_grid);
-        Ok(CompileResult {
-            class_count: model.classes().len(),
+        CompileResult {
+            class_count: plan.class_footprints.len(),
+            comm_free_normals: plan.comm_free_normals.clone(),
             nest,
+            plan,
             partition,
             report,
-            comm_free_normals,
             data_partitions,
             placement,
             code,
-        })
+        }
+    }
+
+    fn simulate_plan(&self, result: &CompileResult, home: &dyn HomeMap) -> TrafficReport {
+        alp_machine::run_plan(
+            &result.plan,
+            MachineConfig {
+                // Overridden by run_plan to the plan's tile count.
+                processors: 0,
+                cache: alp_machine::CacheConfig::Infinite,
+                mesh: self.mesh,
+                line_size: 1,
+                directory: alp_machine::DirectoryKind::FullMap,
+            },
+            home,
+        )
+        .expect("a plan produced by this compiler round-trips")
     }
 
     /// Simulate the compiled partition on the machine model with uniform
     /// (monolithic) memory — the §2.2 configuration.
     pub fn simulate_uniform(&self, result: &CompileResult) -> TrafficReport {
-        let assignment = assign_rect(&result.nest, &result.partition.proc_grid);
-        let p = assignment.len();
-        run_nest(
-            &result.nest,
-            &assignment,
-            MachineConfig {
-                processors: p,
-                cache: alp_machine::CacheConfig::Infinite,
-                mesh: self.mesh,
-                line_size: 1,
-                directory: alp_machine::DirectoryKind::FullMap,
-            },
-            &UniformHome,
-        )
+        self.simulate_plan(result, &UniformHome)
     }
 
     /// Simulate with block-distributed memory (no alignment) — the
     /// baseline the alignment experiments improve on.
     pub fn simulate_distributed(&self, result: &CompileResult) -> TrafficReport {
-        let assignment = assign_rect(&result.nest, &result.partition.proc_grid);
-        let p = assignment.len();
         let layout = ArrayLayout::from_nest(&result.nest);
+        let p = usize::try_from(result.plan.tiles()).expect("tile count fits usize");
         let home = BlockRowMajorHome::new(p, layout.total_lines());
-        run_nest(
-            &result.nest,
-            &assignment,
-            MachineConfig {
-                processors: p,
-                cache: alp_machine::CacheConfig::Infinite,
-                mesh: self.mesh,
-                line_size: 1,
-                directory: alp_machine::DirectoryKind::FullMap,
-            },
-            &home,
-        )
+        self.simulate_plan(result, &home)
     }
 
     /// Natively execute the compiled partition on OS threads and check
@@ -294,10 +416,10 @@ impl Compiler {
         opts: &alp_runtime::ExecOptions,
         seed: u64,
     ) -> Result<ExecutionSummary, AlpError> {
-        let exec = alp_runtime::Executor::from_grid(&result.nest, &result.partition.proc_grid)?;
+        let exec = alp_runtime::Executor::from_plan(&result.plan)?;
         let extents = exec.tile_extents().to_vec();
         let outcome = exec.verify(seed, opts);
-        let model = CostModel::from_nest(&result.nest);
+        let model = alp_footprint::CostModel::from_nest(&result.nest);
         let model_comparison = outcome.report.compare_with_model(&model, &extents);
         Ok(ExecutionSummary {
             outcome,
@@ -309,21 +431,8 @@ impl Compiler {
     /// partitioning + alignment): array tile `(c₀, c₁, …)` is stored on
     /// the processor executing loop tile `(c₀, c₁, …)`.
     pub fn simulate_aligned(&self, result: &CompileResult) -> TrafficReport {
-        let assignment = assign_rect(&result.nest, &result.partition.proc_grid);
-        let p = assignment.len();
         let home = aligned_home(&result.nest, &result.partition);
-        run_nest(
-            &result.nest,
-            &assignment,
-            MachineConfig {
-                processors: p,
-                cache: alp_machine::CacheConfig::Infinite,
-                mesh: self.mesh,
-                line_size: 1,
-                directory: alp_machine::DirectoryKind::FullMap,
-            },
-            &home,
-        )
+        self.simulate_plan(result, &home)
     }
 }
 
@@ -417,6 +526,10 @@ pub mod prelude {
         is_communication_free, mesh_placement, naive_partition, optimal_aspect_ratio,
         optimize_parallelepiped, partition_program, partition_rect, NaiveShape, ParaSearchConfig,
         ProgramPartition, ProgramStrategy, RectPartition, SpreadKind,
+    };
+    pub use alp_plan::{
+        fingerprint, fingerprint_hex, rect_tiles, CacheStats, IterBox, LegalityVerdict,
+        PartitionPlan, PlanCache, PlanError, PlanKey,
     };
     pub use alp_runtime::{
         ExecOptions, ExecOutcome, Executor, ModelComparison, RunReport, Schedule,

@@ -141,6 +141,92 @@ fn check_warning_only_exits_3() {
     assert!(stderr.contains("warning[rank-deficient-ref]"), "{stderr}");
 }
 
+const STENCIL: &str = "doall (i, 1, 16) { doall (j, 1, 16) { A[i,j] = B[i,j] + B[i+1,j+3]; } }";
+
+#[test]
+fn plan_emits_versioned_json_to_stdout() {
+    let (stdout, stderr, code) = run_cli(&["plan", "-p", "4", "-"], Some(STENCIL));
+    assert_eq!(code, Some(0), "stderr: {stderr}");
+    assert!(stdout.starts_with("{\n  \"alp-plan\": 1,"), "{stdout}");
+    assert!(stdout.contains("\"fingerprint\""), "{stdout}");
+    assert!(stdout.contains("\"source\""), "{stdout}");
+}
+
+#[test]
+fn plan_refuses_racy_nest_with_exit_4() {
+    let (_, stderr, code) = run_cli(
+        &["plan", "-p", "4", "-"],
+        Some("doall (i, 0, 15) { A[i] = A[i+1]; }"),
+    );
+    assert_eq!(code, Some(4), "stderr: {stderr}");
+    assert!(stderr.contains("error[doall-race]"), "{stderr}");
+}
+
+#[test]
+fn plan_emit_then_run_from_plan_matches_source_run() {
+    let plan_path =
+        std::env::temp_dir().join(format!("alp-cli-test-{}.plan.json", std::process::id()));
+    let plan_path = plan_path.to_str().expect("utf-8 temp path").to_string();
+    let (_, stderr, code) = run_cli(
+        &["plan", "-p", "8", "--emit", &plan_path, "-"],
+        Some(STENCIL),
+    );
+    assert_eq!(code, Some(0), "stderr: {stderr}");
+    assert!(stderr.contains("wrote plan"), "{stderr}");
+
+    let (from_plan, stderr, code) =
+        run_cli(&["run", "--from-plan", &plan_path, "--seed", "7"], None);
+    assert_eq!(code, Some(0), "stderr: {stderr}");
+    assert!(
+        from_plan.contains("matches the sequential reference bitwise"),
+        "{from_plan}"
+    );
+    let (from_source, stderr, code) =
+        run_cli(&["run", "-p", "8", "--seed", "7", "-"], Some(STENCIL));
+    assert_eq!(code, Some(0), "stderr: {stderr}");
+    std::fs::remove_file(&plan_path).ok();
+
+    // Identical footprint counters whether the partition came from the
+    // plan artifact or was re-derived from source.
+    let footprint = |out: &str| {
+        out.lines()
+            .find(|l| l.contains("max tile footprint"))
+            .map(str::to_string)
+    };
+    assert!(footprint(&from_plan).is_some(), "{from_plan}");
+    assert_eq!(footprint(&from_plan), footprint(&from_source));
+}
+
+#[test]
+fn truncated_plan_fails_with_code_and_exit_1() {
+    let (_, stderr, code) = run_cli(&["run", "--from-plan", "-"], Some("{\"alp-plan\": 1, "));
+    assert_eq!(code, Some(1), "stderr: {stderr}");
+    assert!(stderr.contains("ALP0006"), "{stderr}");
+    assert!(stderr.contains("truncated"), "{stderr}");
+}
+
+#[test]
+fn unsupported_plan_version_is_rejected() {
+    let (stdout, _, code) = run_cli(&["plan", "-p", "4", "-"], Some(STENCIL));
+    assert_eq!(code, Some(0));
+    let bumped = stdout.replace("\"alp-plan\": 1", "\"alp-plan\": 99");
+    let (_, stderr, code) = run_cli(&["run", "--from-plan", "-"], Some(&bumped));
+    assert_eq!(code, Some(1), "stderr: {stderr}");
+    assert!(stderr.contains("version 99 is not supported"), "{stderr}");
+}
+
+#[test]
+fn run_mismatch_exits_5() {
+    // One worker thread executes tiles in ascending order, so a race that
+    // crosses the j-boundary backwards gives a deterministic mismatch.
+    let (_, stderr, code) = run_cli(
+        &["run", "-p", "2", "--threads", "1", "--no-check", "-"],
+        Some("doall (i, 0, 3) { doall (j, 0, 3) { A[i,j] = A[i-2,j+1]; } }"),
+    );
+    assert_eq!(code, Some(5), "stderr: {stderr}");
+    assert!(stderr.contains("DIFFERS"), "{stderr}");
+}
+
 #[test]
 fn check_suggests_reduction_rewrite() {
     let (_, stderr, code) = run_cli(

@@ -1,0 +1,115 @@
+//! Cross-crate tests for the `PartitionPlan` artifact: golden snapshot
+//! stability, round-trip fidelity, decode diagnostics, fingerprint
+//! invariance, and plan-cache equivalence.
+
+use alp::prelude::*;
+use alp::Compiler;
+
+const GOLDEN_SOURCE: &str = include_str!("golden/example8.alp");
+const GOLDEN_PLAN: &str = include_str!("golden/example8.plan.json");
+
+fn golden_compiler() -> Compiler {
+    Compiler::new(64).with_mesh(8, 8)
+}
+
+fn golden_nest() -> LoopNest {
+    parse(GOLDEN_SOURCE).expect("golden source parses")
+}
+
+#[test]
+fn golden_snapshot_is_byte_identical() {
+    let plan = golden_compiler().plan(&golden_nest()).expect("plan builds");
+    assert_eq!(
+        plan.to_json_string(),
+        GOLDEN_PLAN,
+        "plan encoding drifted from tests/golden/example8.plan.json; \
+         if the change is intentional, re-emit the snapshot with \
+         `alp-cli plan -p 64 -m 8x8 --emit tests/golden/example8.plan.json - \
+         < tests/golden/example8.alp`"
+    );
+}
+
+#[test]
+fn decode_then_encode_round_trips_bytes() {
+    let plan = PartitionPlan::from_json_str(GOLDEN_PLAN).expect("golden plan decodes");
+    assert_eq!(plan.to_json_string(), GOLDEN_PLAN);
+    assert_eq!(plan.processors, 64);
+    assert_eq!(plan.mesh, Some((8, 8)));
+    assert_eq!(plan.proc_grid, vec![4, 4, 4]);
+}
+
+#[test]
+fn unknown_version_fails_with_diagnostic() {
+    let bumped = GOLDEN_PLAN.replace("\"alp-plan\": 1", "\"alp-plan\": 7");
+    let err = PartitionPlan::from_json_str(&bumped).expect_err("must reject");
+    let msg = err.to_string();
+    assert!(msg.contains("version 7 is not supported"), "{msg}");
+    assert!(msg.contains("re-emit"), "{msg}");
+}
+
+#[test]
+fn truncated_input_fails_with_diagnostic() {
+    // Every prefix must fail cleanly — no panic, no partial decode.
+    for cut in 0..GOLDEN_PLAN.len() - 1 {
+        let err =
+            PartitionPlan::from_json_str(&GOLDEN_PLAN[..cut]).expect_err("prefix must not decode");
+        assert!(!err.to_string().is_empty());
+    }
+    let msg = PartitionPlan::from_json_str(&GOLDEN_PLAN[..GOLDEN_PLAN.len() / 2])
+        .expect_err("half a document must not decode")
+        .to_string();
+    assert!(msg.contains("truncated"), "{msg}");
+}
+
+#[test]
+fn fingerprint_is_invariant_under_index_renaming() {
+    let renamed = GOLDEN_SOURCE
+        .replace('i', "outer")
+        .replace('j', "mid")
+        .replace('k', "inner");
+    let nest = parse(&renamed).expect("renamed source parses");
+    assert_eq!(fingerprint(&nest), fingerprint(&golden_nest()));
+
+    let plan = golden_compiler().plan(&nest).expect("plan builds");
+    assert_eq!(plan.fingerprint, fingerprint_hex(&golden_nest()));
+}
+
+#[test]
+fn tampered_source_is_rejected_on_load() {
+    let plan = PartitionPlan::from_json_str(GOLDEN_PLAN).expect("golden plan decodes");
+    let tampered = GOLDEN_PLAN.replace("doall (k, 1, 64)", "doall (k, 1, 32)");
+    assert_ne!(tampered, GOLDEN_PLAN, "replacement must hit");
+    let err = PartitionPlan::from_json_str(&tampered)
+        .expect("tampered plan still parses")
+        .nest()
+        .expect_err("fingerprint check must fail");
+    assert!(err.to_string().contains("fingerprint"), "{err}");
+    assert!(plan.nest().is_ok());
+}
+
+#[test]
+fn warm_cache_compile_equals_cold_compile() {
+    let compiler = golden_compiler();
+    let mut cache = PlanCache::new(8);
+
+    let cold = compiler
+        .compile_cached(golden_nest(), &mut cache)
+        .expect("cold compile");
+    let warm = compiler
+        .compile_cached(golden_nest(), &mut cache)
+        .expect("warm compile");
+
+    assert_eq!(cache.stats().misses, 1);
+    assert_eq!(cache.stats().hits, 1);
+    assert_eq!(cold.plan.to_json_string(), warm.plan.to_json_string());
+    assert_eq!(cold.code.clone(), warm.code.clone());
+    assert_eq!(cold.partition.proc_grid, warm.partition.proc_grid);
+
+    // The cached plan and a from-plan compile agree with a fresh one.
+    let fresh = compiler.compile(golden_nest()).expect("fresh compile");
+    assert_eq!(fresh.plan.to_json_string(), warm.plan.to_json_string());
+    let replayed = compiler
+        .compile_from_plan(&warm.plan)
+        .expect("replay from plan");
+    assert_eq!(replayed.code.clone(), fresh.code.clone());
+}
