@@ -17,7 +17,10 @@
 //! prediction — on machines with fewer cores than threads the wall
 //! times cannot show parallel effects, but the footprint ordering
 //! (what the paper's model optimizes) is measured on the real
-//! execution either way.  A final sweep drives `Compiler::compile_cached`
+//! execution either way.  A hardening check re-times Example 8's
+//! optimal tiling with the executor's guards armed (deadline + cancel
+//! token + retry budget) to show the fault-free overhead of the
+//! hardened path stays within noise.  A final sweep drives `Compiler::compile_cached`
 //! over every (nest, P) pair to measure the plan cache: cold compiles
 //! (analysis + partition search) vs warm hits that replay the stored
 //! `PartitionPlan`.  `--json` additionally writes `BENCH_runtime.json`
@@ -51,19 +54,24 @@ fn bench_grid(nest: &LoopNest, grid: &[i128], label: &'static str) -> GridResult
         schedule: Schedule::Static,
         line_size: 1,
         track_touches: false,
+        ..ExecOptions::default()
     };
-    let outcome = exec.verify(42, &timing);
+    let outcome = exec.verify(42, &timing).expect("fault-free run succeeds");
     let mut wall = outcome.report.wall;
     for _ in 1..TRIALS {
         let store = exec.seeded_store(42);
-        wall = wall.min(exec.run(&store, &timing).wall);
+        wall = wall.min(exec.run(&store, &timing).expect("fault-free run").wall);
     }
     let tracked = ExecOptions {
         track_touches: true,
         ..timing
     };
     let store = exec.seeded_store(42);
-    let measured_lines = exec.run(&store, &tracked).max_tile_footprint().unwrap_or(0);
+    let measured_lines = exec
+        .run(&store, &tracked)
+        .expect("fault-free run")
+        .max_tile_footprint()
+        .unwrap_or(0);
     let model_cost = CostModel::from_nest(nest)
         .cost_rect(exec.tile_extents())
         .to_f64();
@@ -113,6 +121,64 @@ fn run_case(
         fastest.label, fastest.wall, leanest.label, leanest.measured_lines
     );
     (name, results)
+}
+
+struct Hardening {
+    plain: Duration,
+    guarded: Duration,
+    overhead_pct: f64,
+}
+
+/// Fault-free overhead of the hardened execution path on one tiling:
+/// identical runs with and without the guards armed (a far-future
+/// deadline, a live cancel token, and a retry budget).  The guards cost
+/// one relaxed atomic load per `POLL_INTERVAL` kernel iterations plus a
+/// clock read at tile boundaries, so best-of-N walls should agree to
+/// within noise (the budget is 3%).
+fn bench_hardening(nest: &LoopNest, grid: &[i128]) -> Hardening {
+    const HARDENING_TRIALS: usize = 7;
+    let exec = Executor::from_grid(nest, grid).expect("executable nest");
+    let plain_opts = ExecOptions {
+        threads: THREADS,
+        schedule: Schedule::Static,
+        line_size: 1,
+        track_touches: false,
+        ..ExecOptions::default()
+    };
+    let guarded_opts = ExecOptions {
+        deadline: Some(Duration::from_secs(3600)),
+        cancel: Some(CancelToken::new()),
+        max_retries: 1,
+        ..plain_opts.clone()
+    };
+    let best = |opts: &ExecOptions| {
+        (0..HARDENING_TRIALS)
+            .map(|_| {
+                let store = exec.seeded_store(42);
+                exec.run(&store, opts).expect("fault-free run").wall
+            })
+            .min()
+            .expect("at least one trial")
+    };
+    // Interleave-resistant: measure plain after guarded so neither side
+    // systematically benefits from cache warm-up.
+    let _warmup = best(&plain_opts);
+    let guarded = best(&guarded_opts);
+    let plain = best(&plain_opts);
+    let overhead_pct = (guarded.as_secs_f64() / plain.as_secs_f64() - 1.0) * 100.0;
+    Hardening {
+        plain,
+        guarded,
+        overhead_pct,
+    }
+}
+
+fn report_hardening(h: &Hardening) {
+    println!("\nhardened-path overhead (example8 optimal tiling, fault-free):");
+    println!(
+        "  plain {:.3?}, guarded (deadline+cancel+retry armed) {:.3?}  ->  {:+.2}%",
+        h.plain, h.guarded, h.overhead_pct
+    );
 }
 
 struct CacheSweep {
@@ -192,7 +258,11 @@ fn json_escape_ms(d: Duration) -> String {
     format!("{:.3}", d.as_secs_f64() * 1e3)
 }
 
-fn write_json(cases: &[(&'static str, Vec<GridResult>)], sweep: &CacheSweep) {
+fn write_json(
+    cases: &[(&'static str, Vec<GridResult>)],
+    hardening: &Hardening,
+    sweep: &CacheSweep,
+) {
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut s = String::from("{\n");
     s.push_str("  \"benchmark\": \"runtime\",\n");
@@ -234,6 +304,13 @@ fn write_json(cases: &[(&'static str, Vec<GridResult>)], sweep: &CacheSweep) {
         ));
     }
     s.push_str("  ],\n");
+    s.push_str(&format!(
+        "  \"hardening\": {{\"case\": \"example8-stencil-64^3/optimal\", \
+         \"plain_wall_ms\": {}, \"guarded_wall_ms\": {}, \"overhead_pct\": {:.2}}},\n",
+        json_escape_ms(hardening.plain),
+        json_escape_ms(hardening.guarded),
+        hardening.overhead_pct
+    ));
     s.push_str(&format!(
         "  \"plan_cache\": {{\"keys\": {}, \"warm_rounds\": {}, \
          \"cold_ms_per_compile\": {:.3}, \"warm_ms_per_compile\": {:.3}, \
@@ -338,6 +415,9 @@ fn main() {
         vec![("strips", vec![1, 16]), ("blocks", vec![4, 4])],
     ));
 
+    let hardening = bench_hardening(&ex8, &optimal);
+    report_hardening(&hardening);
+
     let sweep = bench_plan_cache(&[
         ("example8", &ex8),
         ("accumulate", &acc),
@@ -347,6 +427,6 @@ fn main() {
     report_plan_cache(&sweep);
 
     if json {
-        write_json(&cases, &sweep);
+        write_json(&cases, &hardening, &sweep);
     }
 }

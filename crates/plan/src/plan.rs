@@ -74,6 +74,10 @@ pub struct PartitionPlan {
     /// Modeled cumulative footprint of one tile (the optimizer's
     /// objective value).
     pub cost: Rat,
+    /// Bytes the nest's arrays occupy at execution time (8 bytes per
+    /// f64 element), for pre-flight resource budgeting.  `None` when
+    /// decoding a plan written before the field existed.
+    pub store_bytes: Option<u64>,
     /// Per-class footprint predictions at the chosen tile shape.
     pub class_footprints: Vec<ClassFootprint>,
     /// Communication-free hyperplane normals, if any exist.
@@ -121,6 +125,7 @@ impl PartitionPlan {
             proc_grid: partition.proc_grid,
             tile_extents: partition.tile_extents,
             cost: partition.cost,
+            store_bytes: Some(store_bytes(nest)),
             class_footprints,
             comm_free_normals: communication_free_normals(nest),
             source: nest.display(),
@@ -202,6 +207,9 @@ impl PartitionPlan {
         push_field(&mut out, "proc_grid", int_arr(&self.proc_grid));
         push_field(&mut out, "tile_extents", int_arr(&self.tile_extents));
         push_field(&mut out, "cost", Json::Str(rat_str(&self.cost)));
+        if let Some(bytes) = self.store_bytes {
+            push_field(&mut out, "store_bytes", Json::Int(bytes as i128));
+        }
         if classes.is_empty() {
             out.push_str("  \"class_footprints\": [],\n");
         } else {
@@ -297,6 +305,14 @@ impl PartitionPlan {
             )));
         }
         let cost = parse_rat(&str_field(&v, "cost")?)?;
+        // Optional: absent in plans written before the field existed.
+        let store_bytes =
+            match v.get("store_bytes") {
+                None => None,
+                Some(b) => Some(b.as_int().and_then(|n| u64::try_from(n).ok()).ok_or_else(
+                    || PlanError::Schema("`store_bytes` must be a non-negative integer".into()),
+                )?),
+            };
         let class_footprints = v
             .get("class_footprints")
             .and_then(Json::as_arr)
@@ -351,11 +367,30 @@ impl PartitionPlan {
             proc_grid,
             tile_extents,
             cost,
+            store_bytes,
             class_footprints,
             comm_free_normals,
             source,
         })
     }
+}
+
+/// Execution-time array storage in bytes, mirroring the sizing rule of
+/// the runtime's `ArrayLayout` (per-array Π(hi−lo+1) elements, at least
+/// one element per referenced array, 8 bytes per f64).  Saturates at
+/// `u64::MAX` instead of overflowing on absurd extents.
+fn store_bytes(nest: &LoopNest) -> u64 {
+    let total: u128 = nest
+        .array_extents()
+        .values()
+        .map(|ext| {
+            ext.iter()
+                .map(|&(lo, hi)| u128::try_from((hi - lo + 1).max(0)).unwrap_or(u128::MAX))
+                .fold(1u128, u128::saturating_mul)
+                .max(1)
+        })
+        .fold(0u128, u128::saturating_add);
+    u64::try_from(total.saturating_mul(8)).unwrap_or(u64::MAX)
 }
 
 fn push_field(out: &mut String, key: &str, value: Json) {
@@ -442,6 +477,10 @@ mod tests {
         assert_eq!(plan.tiles(), 64);
         assert_eq!(plan.proc_grid.len(), 3);
         assert_eq!(plan.class_footprints.len(), 2);
+        // A (64³ identity writes) and B (66×67×68 window) at 8 B/elem.
+        let a = 64u64 * 64 * 64;
+        let b = 66u64 * 67 * 68;
+        assert_eq!(plan.store_bytes, Some((a + b) * 8));
         let part = plan.rect_partition();
         assert_eq!(part, partition_rect(&nest, 64));
         // The embedded source reconstructs the very same nest.
@@ -509,6 +548,30 @@ mod tests {
         assert!(matches!(
             tampered.nest(),
             Err(PlanError::FingerprintMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn store_bytes_is_optional_for_old_plans() {
+        let plan = PartitionPlan::build(&example8(), 8, None, LegalityVerdict::Unchecked).unwrap();
+        let text = plan.to_json_string();
+        assert!(text.contains("\"store_bytes\""));
+        // Strip the field, as a plan written before it existed would be.
+        let line = text
+            .lines()
+            .find(|l| l.contains("store_bytes"))
+            .unwrap()
+            .to_string();
+        let old = text.replace(&format!("{line}\n"), "");
+        let back = PartitionPlan::from_json_str(&old).unwrap();
+        assert_eq!(back.store_bytes, None);
+        // Round trip of the old-format plan stays byte-stable too.
+        assert_eq!(back.to_json_string(), old);
+        // A mistyped field is rejected, not ignored.
+        let bad = text.replace(&line, "  \"store_bytes\": \"big\",");
+        assert!(matches!(
+            PartitionPlan::from_json_str(&bad),
+            Err(PlanError::Schema(_))
         ));
     }
 

@@ -40,17 +40,30 @@ impl IterBox {
     /// Visit every iteration in row-major order (outermost dimension
     /// slowest), reusing one scratch vector.
     pub fn for_each_point(&self, mut f: impl FnMut(&[i64])) {
+        self.try_for_each_point(|p| {
+            f(p);
+            true
+        });
+    }
+
+    /// Like [`for_each_point`](IterBox::for_each_point), but stops as
+    /// soon as `f` returns `false` (e.g. on a cooperative cancellation
+    /// poll).  Returns `true` when every point was visited, `false`
+    /// when the walk was stopped early.
+    pub fn try_for_each_point(&self, mut f: impl FnMut(&[i64]) -> bool) -> bool {
         if self.is_empty() {
-            return;
+            return true;
         }
         let l = self.lo.len();
         let mut i = self.lo.clone();
         loop {
-            f(&i);
+            if !f(&i) {
+                return false;
+            }
             let mut k = l;
             loop {
                 if k == 0 {
-                    return;
+                    return true;
                 }
                 k -= 1;
                 i[k] += 1;
@@ -191,6 +204,28 @@ mod tests {
         let mut pts = Vec::new();
         b.for_each_point(|p| pts.push(p.to_vec()));
         assert_eq!(pts, vec![[1, 5], [1, 6], [2, 5], [2, 6]]);
+    }
+
+    #[test]
+    fn try_for_each_point_stops_early() {
+        let b = IterBox {
+            lo: vec![0, 0],
+            hi: vec![9, 9],
+        };
+        let mut seen = 0u64;
+        let completed = b.try_for_each_point(|_| {
+            seen += 1;
+            seen < 7
+        });
+        assert!(!completed);
+        assert_eq!(seen, 7);
+        // An uninterrupted walk reports completion, as does an empty box.
+        assert!(b.try_for_each_point(|_| true));
+        let empty = IterBox {
+            lo: vec![1],
+            hi: vec![0],
+        };
+        assert!(empty.try_for_each_point(|_| false));
     }
 
     proptest! {

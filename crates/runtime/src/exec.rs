@@ -1,22 +1,75 @@
 //! The parallel executor: P OS threads running a compiled kernel over
 //! the tiles of a partition, with a barrier at the end of each outer
 //! sequential repetition.
+//!
+//! # Failure model
+//!
+//! The executor is *hardened*: a misbehaving tile cannot take the run
+//! (or the process) down with it.
+//!
+//! * **Panic containment** — every tile executes under
+//!   `catch_unwind`.  A panicking kernel yields a structured
+//!   [`RuntimeError::TileFailed`] carrying the tile id, repetition, and
+//!   panic payload; the end-of-repetition barrier is a
+//!   [`CancellableBarrier`](crate::CancellableBarrier), so surviving
+//!   workers wake, drain, and join instead of blocking on a cohort
+//!   member that will never arrive.
+//! * **Deadlines & cancellation** — [`ExecOptions::deadline`] arms a
+//!   wall-clock watchdog and [`ExecOptions::cancel`] accepts an external
+//!   [`CancelToken`]; both are polled between tiles and *inside* the
+//!   kernel loop (the cancel flag every [`POLL_INTERVAL`] iterations,
+//!   the deadline clock every `DEADLINE_POLL_STRIDE`-th such poll), so
+//!   even a single runaway tile (e.g. an adversarial explicit-iteration
+//!   list) is interrupted promptly.  The run returns
+//!   [`RuntimeError::DeadlineExceeded`] / [`RuntimeError::Cancelled`].
+//! * **Resource guard** — [`ExecOptions::memory_budget`] bounds the
+//!   bytes a run may allocate (array store + touch-tracking bitsets);
+//!   over-budget runs are refused up front with
+//!   [`RuntimeError::ResourceExceeded`] instead of OOM-ing mid-flight.
+//! * **Bounded retry** — with [`ExecOptions::max_retries`] > 0, a
+//!   contained panic in a *retry-safe* tile is re-executed in place on
+//!   the surviving worker.  Retry safety is deliberately conservative
+//!   (see [`Executor::retry_safe`]): only first-repetition tiles of
+//!   nests whose statements are plain assigns reading only arrays the
+//!   nest never writes.  Everything else fails fast, because a partial
+//!   attempt may already have published state a re-run would observe
+//!   (an accumulate has folded deltas into shared cells; a
+//!   read-after-write nest would feed the second attempt its own
+//!   output).
 
 use crate::kernel::Kernel;
 use crate::report::{RunReport, Schedule, ThreadMetrics, TileMetrics};
 use crate::store::ArrayStore;
+use crate::sync::{CancelToken, CancellableBarrier};
 use crate::tiles::{explicit_tiles, rect_tiles, IterBox};
 use crate::touch::TouchSet;
 use crate::RuntimeError;
 use alp_linalg::IVec;
 use alp_loopir::{AccessKind, LoopNest};
 use alp_machine::ArrayLayout;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Barrier;
-use std::time::Instant;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// How many kernel iterations run between two cooperative cancellation
+/// polls inside a tile.  A poll is one relaxed atomic load, so at this
+/// granularity the fault-free overhead is far below a percent while a
+/// runaway tile is still interrupted within microseconds of a stop flag
+/// or cancel token firing.
+pub const POLL_INTERVAL: u64 = 1024;
+
+/// Of the in-tile polls, how often the (much pricier) deadline clock is
+/// actually read: every `DEADLINE_POLL_STRIDE`-th poll, plus once at
+/// every tile boundary.  `Instant::now()` can cost hundreds of
+/// nanoseconds on kernels without a vDSO fast path, so reading it at
+/// every poll shows up as percent-level overhead on short kernels; at
+/// this stride a deadline is still detected within
+/// `POLL_INTERVAL * DEADLINE_POLL_STRIDE` iterations.
+const DEADLINE_POLL_STRIDE: u64 = 8;
 
 /// Knobs for one run.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct ExecOptions {
     /// OS threads to use; 0 means one per tile (capped at the tile
     /// count either way).
@@ -28,6 +81,39 @@ pub struct ExecOptions {
     /// Record distinct-line touch counts (small overhead, first
     /// repetition only).
     pub track_touches: bool,
+    /// Wall-clock budget for the whole run; exceeded runs are cancelled
+    /// cooperatively and return [`RuntimeError::DeadlineExceeded`].
+    pub deadline: Option<Duration>,
+    /// External cooperative cancellation; when the token fires the run
+    /// winds down and returns [`RuntimeError::Cancelled`].
+    pub cancel: Option<CancelToken>,
+    /// How many times a contained tile panic may be retried in place
+    /// (only on retry-safe nests, see [`Executor::retry_safe`]).
+    pub max_retries: u32,
+    /// Byte budget for the run's allocations (array store plus touch
+    /// bitsets); over-budget runs are refused with
+    /// [`RuntimeError::ResourceExceeded`] before allocating.
+    pub memory_budget: Option<u64>,
+    /// Deterministic fault injection hook (chaos testing only).
+    #[cfg(feature = "chaos")]
+    pub fault_injector: Option<std::sync::Arc<dyn FaultInjector>>,
+}
+
+impl std::fmt::Debug for ExecOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut d = f.debug_struct("ExecOptions");
+        d.field("threads", &self.threads)
+            .field("schedule", &self.schedule)
+            .field("line_size", &self.line_size)
+            .field("track_touches", &self.track_touches)
+            .field("deadline", &self.deadline)
+            .field("cancel", &self.cancel.is_some())
+            .field("max_retries", &self.max_retries)
+            .field("memory_budget", &self.memory_budget);
+        #[cfg(feature = "chaos")]
+        d.field("fault_injector", &self.fault_injector.is_some());
+        d.finish()
+    }
 }
 
 impl Default for ExecOptions {
@@ -37,8 +123,29 @@ impl Default for ExecOptions {
             schedule: Schedule::Static,
             line_size: 1,
             track_touches: true,
+            deadline: None,
+            cancel: None,
+            max_retries: 0,
+            memory_budget: None,
+            #[cfg(feature = "chaos")]
+            fault_injector: None,
         }
     }
+}
+
+/// Deterministic fault-injection hooks, called around every tile
+/// execution when the `chaos` feature is enabled.  Implemented by
+/// `alp-chaos`'s `FaultPlan`; both hooks run *inside* the executor's
+/// panic containment, so an injected panic exercises exactly the
+/// production failure path.
+#[cfg(feature = "chaos")]
+pub trait FaultInjector: Send + Sync + std::fmt::Debug {
+    /// Called before tile `tile` executes in repetition `rep`.  May
+    /// panic (panic fault) or sleep (delay fault).
+    fn before_tile(&self, tile: usize, rep: u64);
+    /// Called after tile `tile` completes in repetition `rep`.  May
+    /// corrupt `store` (silent-fault injection).
+    fn after_tile(&self, tile: usize, rep: u64, store: &ArrayStore);
 }
 
 /// One unit of schedulable work.
@@ -58,15 +165,81 @@ impl Work {
         }
     }
 
-    fn for_each_point(&self, mut f: impl FnMut(&[i64])) {
+    /// Visit points until `f` returns `false`; returns `false` when the
+    /// walk was stopped early.
+    fn try_for_each_point(&self, mut f: impl FnMut(&[i64]) -> bool) -> bool {
         match self {
-            Work::Box(b) => b.for_each_point(f),
+            Work::Box(b) => b.try_for_each_point(f),
             Work::Points(pts) => {
                 for p in pts {
-                    f(p);
+                    if !f(p) {
+                        return false;
+                    }
+                }
+                true
+            }
+        }
+    }
+}
+
+/// Why a run is winding down, recorded once by the first thread that
+/// notices; everyone else just drains.
+struct RunControl<'a> {
+    barrier: CancellableBarrier,
+    stop: AtomicBool,
+    reason: Mutex<Option<RuntimeError>>,
+    external: Option<&'a CancelToken>,
+    deadline: Option<(Instant, Duration)>,
+}
+
+impl RunControl<'_> {
+    /// One cooperative cancellation poll.  Returns `false` when the run
+    /// must stop (and records the reason on the first detection).
+    /// `check_clock` gates the deadline's `Instant::now()` read — the
+    /// stop flag and cancel token are always checked.
+    fn keep_going(&self, check_clock: bool) -> bool {
+        if self.stop.load(Ordering::Relaxed) {
+            return false;
+        }
+        if let Some(tok) = self.external {
+            if tok.is_cancelled() {
+                self.fail(RuntimeError::Cancelled);
+                return false;
+            }
+        }
+        if check_clock {
+            if let Some((at, budget)) = self.deadline {
+                if Instant::now() >= at {
+                    self.fail(RuntimeError::DeadlineExceeded { deadline: budget });
+                    return false;
                 }
             }
         }
+        true
+    }
+
+    /// Record the first failure and wake everyone parked at the
+    /// barrier.  Later failures are dropped: the run already has a
+    /// cause, and surviving workers drain regardless.
+    fn fail(&self, err: RuntimeError) {
+        {
+            let mut slot = self
+                .reason
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            if slot.is_none() {
+                *slot = Some(err);
+            }
+        }
+        self.stop.store(true, Ordering::Relaxed);
+        self.barrier.cancel();
+    }
+
+    fn into_reason(self) -> Option<RuntimeError> {
+        self.reason
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .take()
     }
 }
 
@@ -80,6 +253,7 @@ pub struct Executor {
     /// Interior-tile extents λ (empty for explicit assignments).
     tile_extents: Vec<i128>,
     repetitions: u64,
+    retry_safe: bool,
 }
 
 impl Executor {
@@ -90,6 +264,7 @@ impl Executor {
         let kernel = Kernel::compile(nest, &layout)?;
         let (tiles, chunks) = rect_tiles(nest, grid)?;
         Ok(Executor {
+            retry_safe: retry_safe(nest),
             nest: nest.clone(),
             repetitions: reps(nest)?,
             layout,
@@ -124,6 +299,7 @@ impl Executor {
             .map(Work::Points)
             .collect();
         Ok(Executor {
+            retry_safe: retry_safe(nest),
             nest: nest.clone(),
             repetitions: reps(nest)?,
             layout,
@@ -150,92 +326,143 @@ impl Executor {
         &self.tile_extents
     }
 
+    /// Whether a contained tile panic may be retried (see the module
+    /// docs and [`ExecOptions::max_retries`]): every statement is a
+    /// plain assign and no statement reads an array the nest writes, so
+    /// re-running a partially executed tile recomputes exactly the same
+    /// values.  Accumulate nests are never retry-safe — a partial
+    /// attempt has already folded deltas into shared cells and a re-run
+    /// would double-count them — and neither are read-after-write nests,
+    /// whose second attempt could observe the first attempt's output.
+    pub fn retry_safe(&self) -> bool {
+        self.retry_safe
+    }
+
+    /// Bytes this nest's backing store needs (`total_lines × 8`).
+    pub fn store_bytes(&self) -> u64 {
+        self.layout.total_lines().saturating_mul(8)
+    }
+
+    /// Pre-flight estimate of the bytes `run` will allocate under
+    /// `opts`: the shared f64 store plus, when touch tracking is on,
+    /// two distinct-line sets per worker thread.
+    pub fn estimate_run_bytes(&self, opts: &ExecOptions) -> u64 {
+        let threads = self.resolve_threads(opts) as u64;
+        let touch = if opts.track_touches {
+            let lines = self
+                .layout
+                .total_lines()
+                .div_ceil(opts.line_size.max(1))
+                .max(1);
+            let per_set = if lines <= crate::touch::EXACT_LIMIT_BITS {
+                lines.div_ceil(8)
+            } else {
+                (crate::touch::BLOOM_BITS as u64) / 8
+            };
+            threads.saturating_mul(2).saturating_mul(per_set)
+        } else {
+            0
+        };
+        self.store_bytes().saturating_add(touch)
+    }
+
+    /// Enforce [`ExecOptions::memory_budget`] before allocating
+    /// anything.
+    fn check_budget(&self, opts: &ExecOptions) -> Result<(), RuntimeError> {
+        if let Some(budget) = opts.memory_budget {
+            let required = self.estimate_run_bytes(opts);
+            if required > budget {
+                return Err(RuntimeError::ResourceExceeded { required, budget });
+            }
+        }
+        Ok(())
+    }
+
+    fn resolve_threads(&self, opts: &ExecOptions) -> usize {
+        match opts.threads {
+            0 => self.work.len().max(1),
+            t => t.min(self.work.len().max(1)),
+        }
+    }
+
     /// A store sized for this nest, seeded with integer-valued data.
     pub fn seeded_store(&self, seed: u64) -> ArrayStore {
         ArrayStore::seeded(self.layout.total_lines(), seed)
     }
 
     /// Execute the nest in parallel, mutating `store` in place.
-    pub fn run(&self, store: &ArrayStore, opts: &ExecOptions) -> RunReport {
+    ///
+    /// Fails (with every worker thread joined and the store in an
+    /// unspecified partial state) on a contained tile panic, a missed
+    /// deadline, external cancellation, or an exceeded memory budget —
+    /// see the module docs for the failure model.
+    pub fn run(&self, store: &ArrayStore, opts: &ExecOptions) -> Result<RunReport, RuntimeError> {
+        self.check_budget(opts)?;
         let tiles = self.work.len();
-        let threads = match opts.threads {
-            0 => tiles.max(1),
-            t => t.min(tiles.max(1)),
+        let per_rep: u64 = self.work.iter().map(Work::iterations).sum();
+        if tiles == 0 || self.repetitions == 0 || per_rep == 0 {
+            // Nothing to execute: an empty tile list, a zero-trip nest,
+            // or zero repetitions.  Report the empty run instead of
+            // spawning workers against a zero-party barrier.
+            return Ok(RunReport {
+                threads: 0,
+                tiles,
+                schedule: opts.schedule,
+                line_size: opts.line_size.max(1),
+                repetitions: self.repetitions,
+                total_iterations: 0,
+                wall: Duration::ZERO,
+                touches_exact: true,
+                retries: 0,
+                cancellation_polls: 0,
+                per_thread: Vec::new(),
+                per_tile: Vec::new(),
+            });
+        }
+        let threads = self.resolve_threads(opts);
+        let ctrl = RunControl {
+            barrier: CancellableBarrier::new(threads),
+            stop: AtomicBool::new(false),
+            reason: Mutex::new(None),
+            external: opts.cancel.as_ref(),
+            deadline: opts.deadline.map(|d| (Instant::now() + d, d)),
         };
-        let barrier = Barrier::new(threads);
         let next_tile = AtomicUsize::new(0);
         let total_lines = self.layout.total_lines();
         let wall_start = Instant::now();
 
-        struct ThreadOut {
-            metrics: ThreadMetrics,
-            tiles: Vec<TileMetrics>,
-            exact: bool,
-        }
-
         let mut outs: Vec<ThreadOut> = crossbeam::scope(|scope| {
             let handles: Vec<_> = (0..threads)
                 .map(|t| {
-                    let barrier = &barrier;
+                    let ctrl = &ctrl;
                     let next_tile = &next_tile;
                     scope.spawn(move |_| {
-                        let mut thread_touch = opts
-                            .track_touches
-                            .then(|| TouchSet::new(total_lines, opts.line_size));
-                        let mut scratch = opts
-                            .track_touches
-                            .then(|| TouchSet::new(total_lines, opts.line_size));
-                        let mut tile_metrics: Vec<TileMetrics> = Vec::new();
-                        let mut iterations = 0u64;
-                        let mut busy = std::time::Duration::ZERO;
-                        for rep in 0..self.repetitions {
-                            // Touches repeat identically every rep;
-                            // track only the first.
-                            let track = rep == 0;
-                            let mut run_tile = |tile: usize| {
-                                let t0 = Instant::now();
-                                let work = &self.work[tile];
-                                if track {
-                                    if let Some(sc) = scratch.as_mut() {
-                                        sc.clear();
-                                        work.for_each_point(|i| {
-                                            self.kernel.for_each_access(i, |e, _w| sc.insert(e));
-                                            self.kernel.execute(i, store);
-                                        });
-                                    } else {
-                                        work.for_each_point(|i| self.kernel.execute(i, store));
-                                    }
-                                } else {
-                                    work.for_each_point(|i| self.kernel.execute(i, store));
-                                }
-                                let dt = t0.elapsed();
-                                busy += dt;
-                                iterations += work.iterations();
-                                if track {
-                                    let lines = scratch.as_ref().map(TouchSet::count);
-                                    if let (Some(tt), Some(sc)) =
-                                        (thread_touch.as_mut(), scratch.as_ref())
-                                    {
-                                        tt.merge(sc);
-                                    }
-                                    tile_metrics.push(TileMetrics {
-                                        tile,
-                                        thread: t,
-                                        iterations: work.iterations(),
-                                        distinct_lines: lines,
-                                        busy: dt,
-                                    });
-                                } else if let Some(m) =
-                                    tile_metrics.iter_mut().find(|m| m.tile == tile)
-                                {
-                                    m.busy += dt;
-                                }
-                            };
+                        let mut w = WorkerState {
+                            exec: self,
+                            ctrl,
+                            opts,
+                            store,
+                            thread: t,
+                            thread_touch: opts
+                                .track_touches
+                                .then(|| TouchSet::new(total_lines, opts.line_size)),
+                            scratch: opts
+                                .track_touches
+                                .then(|| TouchSet::new(total_lines, opts.line_size)),
+                            tile_metrics: Vec::new(),
+                            iterations: 0,
+                            busy: Duration::ZERO,
+                            retries: 0,
+                            polls: 0,
+                        };
+                        'reps: for rep in 0..self.repetitions {
                             match opts.schedule {
                                 Schedule::Static => {
                                     let mut tile = t;
                                     while tile < tiles {
-                                        run_tile(tile);
+                                        if !w.run_tile(tile, rep) {
+                                            break 'reps;
+                                        }
                                         tile += threads;
                                     }
                                 }
@@ -244,49 +471,79 @@ impl Executor {
                                     if tile >= tiles {
                                         break;
                                     }
-                                    run_tile(tile);
+                                    if !w.run_tile(tile, rep) {
+                                        break 'reps;
+                                    }
                                 },
                             }
                             // End-of-doall barrier: no thread starts
-                            // repetition r+1 until all finish r.
-                            let res = barrier.wait();
+                            // repetition r+1 until all finish r.  A
+                            // cancelled barrier means the run is being
+                            // torn down — drain with partial metrics.
+                            let Ok(leader) = ctrl.barrier.wait() else {
+                                break 'reps;
+                            };
                             if opts.schedule == Schedule::Dynamic {
-                                if res.is_leader() {
+                                if leader {
                                     next_tile.store(0, Ordering::SeqCst);
                                 }
-                                barrier.wait();
+                                if ctrl.barrier.wait().is_err() {
+                                    break 'reps;
+                                }
                             }
                         }
-                        let exact = thread_touch.as_ref().is_none_or(TouchSet::is_exact);
-                        ThreadOut {
-                            metrics: ThreadMetrics {
-                                thread: t,
-                                tiles_run: tile_metrics.len(),
-                                iterations,
-                                distinct_lines: thread_touch.as_ref().map(TouchSet::count),
-                                busy,
-                            },
-                            tiles: tile_metrics,
-                            exact,
-                        }
+                        w.finish()
                     })
                 })
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("runtime worker panicked"))
+                .filter_map(|h| match h.join() {
+                    Ok(out) => Some(out),
+                    Err(payload) => {
+                        // A worker panicked *outside* the per-tile
+                        // containment (a bug in metrics bookkeeping,
+                        // not in a kernel).  Surface it as a structured
+                        // failure rather than poisoning the caller.
+                        ctrl.fail(RuntimeError::TileFailed {
+                            tile: usize::MAX,
+                            rep: 0,
+                            payload: format!(
+                                "worker panicked outside tile containment: {}",
+                                payload_string(payload.as_ref())
+                            ),
+                        });
+                        None
+                    }
+                })
                 .collect()
         })
-        .expect("runtime thread scope");
+        // The shim's scope only errs when a child panic escaped an
+        // explicit join; every handle above *is* joined, so propagate
+        // as a structured error just in case rather than panicking.
+        .map_err(|payload| RuntimeError::TileFailed {
+            tile: usize::MAX,
+            rep: 0,
+            payload: format!(
+                "executor thread scope failed: {}",
+                payload_string(payload.as_ref())
+            ),
+        })?;
+
+        if let Some(err) = ctrl.into_reason() {
+            return Err(err);
+        }
 
         let wall = wall_start.elapsed();
         outs.sort_by_key(|o| o.metrics.thread);
         let touches_exact = outs.iter().all(|o| o.exact);
+        let retries = outs.iter().map(|o| o.retries).sum();
+        let cancellation_polls = outs.iter().map(|o| o.polls).sum();
         let mut per_tile: Vec<TileMetrics> =
             outs.iter().flat_map(|o| o.tiles.iter().cloned()).collect();
         per_tile.sort_by_key(|m| m.tile);
         let per_thread: Vec<ThreadMetrics> = outs.into_iter().map(|o| o.metrics).collect();
-        RunReport {
+        Ok(RunReport {
             threads,
             tiles,
             schedule: opts.schedule,
@@ -295,9 +552,11 @@ impl Executor {
             total_iterations: per_thread.iter().map(|m| m.iterations).sum(),
             wall,
             touches_exact,
+            retries,
+            cancellation_polls,
             per_thread,
             per_tile,
-        }
+        })
     }
 
     /// Execute the nest *sequentially* from `init`, interpreting the IR
@@ -333,12 +592,22 @@ impl Executor {
         data
     }
 
+    /// Run the nest sequentially on freshly seeded data, without the
+    /// parallel machinery (no threads, no touch bitsets, no snapshot
+    /// copies) — the degraded mode `--fallback-seq` uses when a run is
+    /// over its memory budget.
+    pub fn run_sequential(&self, seed: u64) -> Vec<f64> {
+        let init = crate::store::seeded_values(self.layout.total_lines(), seed);
+        self.run_reference(&init)
+    }
+
     /// Run on a seeded store and check the parallel result against the
     /// sequential reference, bit for bit.
-    pub fn verify(&self, seed: u64, opts: &ExecOptions) -> ExecOutcome {
+    pub fn verify(&self, seed: u64, opts: &ExecOptions) -> Result<ExecOutcome, RuntimeError> {
+        self.check_budget(opts)?;
         let store = self.seeded_store(seed);
         let init = store.snapshot();
-        let report = self.run(&store, opts);
+        let report = self.run(&store, opts)?;
         let reference = self.run_reference(&init);
         let parallel = store.snapshot();
         let matches_reference = parallel.len() == reference.len()
@@ -346,21 +615,208 @@ impl Executor {
                 .iter()
                 .zip(&reference)
                 .all(|(a, b)| a.to_bits() == b.to_bits());
-        ExecOutcome {
+        Ok(ExecOutcome {
             report,
             matches_reference,
-        }
+        })
     }
 
     fn line_of(&self, st: &alp_loopir::Statement, pt: &IVec) -> usize {
+        // Unreachable expect: the layout was built from this same nest,
+        // so every array the body names has an id.
         let id = self.layout.array_id(&st.lhs.array).expect("known array");
         self.layout.line(id, &st.lhs.eval(pt)) as usize
     }
 
     fn line_of_ref(&self, r: &alp_loopir::ArrayRef, pt: &IVec) -> usize {
+        // Unreachable expect: same invariant as `line_of`.
         let id = self.layout.array_id(&r.array).expect("known array");
         self.layout.line(id, &r.eval(pt)) as usize
     }
+}
+
+/// Per-worker mutable state, factored out so the tile loop stays
+/// readable now that it contains containment, retry, and polling.
+struct WorkerState<'a> {
+    exec: &'a Executor,
+    ctrl: &'a RunControl<'a>,
+    opts: &'a ExecOptions,
+    store: &'a ArrayStore,
+    thread: usize,
+    thread_touch: Option<TouchSet>,
+    scratch: Option<TouchSet>,
+    tile_metrics: Vec<TileMetrics>,
+    iterations: u64,
+    busy: Duration,
+    retries: u64,
+    polls: u64,
+}
+
+struct ThreadOut {
+    metrics: ThreadMetrics,
+    tiles: Vec<TileMetrics>,
+    exact: bool,
+    retries: u64,
+    polls: u64,
+}
+
+impl WorkerState<'_> {
+    /// Execute one tile (with containment, polling, and bounded retry).
+    /// Returns `false` when this worker must stop scheduling and drain.
+    fn run_tile(&mut self, tile: usize, rep: u64) -> bool {
+        if !self.ctrl.keep_going(true) {
+            return false;
+        }
+        let mut attempts = 0u32;
+        loop {
+            match catch_unwind(AssertUnwindSafe(|| self.run_tile_once(tile, rep))) {
+                Ok(completed) => return completed,
+                Err(payload) => {
+                    let payload = payload_string(payload.as_ref());
+                    // Retry only when re-execution is provably
+                    // idempotent: first repetition of a retry-safe
+                    // nest (see Executor::retry_safe for why).
+                    let retryable = self.exec.retry_safe && rep == 0;
+                    if retryable && attempts < self.opts.max_retries {
+                        attempts += 1;
+                        self.retries += 1;
+                        continue;
+                    }
+                    self.ctrl
+                        .fail(RuntimeError::TileFailed { tile, rep, payload });
+                    return false;
+                }
+            }
+        }
+    }
+
+    /// One attempt at a tile.  Returns `false` if a cancellation poll
+    /// stopped the kernel loop mid-tile.
+    fn run_tile_once(&mut self, tile: usize, rep: u64) -> bool {
+        let track = rep == 0 && self.scratch.is_some();
+        let t0 = Instant::now();
+        let work = &self.exec.work[tile];
+        let kernel = &self.exec.kernel;
+        let store = self.store;
+        #[cfg(feature = "chaos")]
+        if let Some(inj) = &self.opts.fault_injector {
+            inj.before_tile(tile, rep);
+        }
+        let mut local = 0u64;
+        let mut local_polls = 0u64;
+        let ctrl = self.ctrl;
+        let completed = if track {
+            // Touches repeat identically every rep; track only the
+            // first.
+            let sc = self
+                .scratch
+                .as_mut()
+                .expect("track implies scratch is present");
+            sc.clear();
+            work.try_for_each_point(|i| {
+                kernel.for_each_access(i, |e, _w| sc.insert(e));
+                kernel.execute(i, store);
+                local += 1;
+                if local.is_multiple_of(POLL_INTERVAL) {
+                    local_polls += 1;
+                    ctrl.keep_going(local_polls.is_multiple_of(DEADLINE_POLL_STRIDE))
+                } else {
+                    true
+                }
+            })
+        } else {
+            work.try_for_each_point(|i| {
+                kernel.execute(i, store);
+                local += 1;
+                if local.is_multiple_of(POLL_INTERVAL) {
+                    local_polls += 1;
+                    ctrl.keep_going(local_polls.is_multiple_of(DEADLINE_POLL_STRIDE))
+                } else {
+                    true
+                }
+            })
+        };
+        self.polls += local_polls;
+        let dt = t0.elapsed();
+        self.busy += dt;
+        if !completed {
+            return false;
+        }
+        #[cfg(feature = "chaos")]
+        if let Some(inj) = &self.opts.fault_injector {
+            inj.after_tile(tile, rep, store);
+        }
+        self.iterations += work.iterations();
+        if track {
+            let lines = self.scratch.as_ref().map(TouchSet::count);
+            if let (Some(tt), Some(sc)) = (self.thread_touch.as_mut(), self.scratch.as_ref()) {
+                tt.merge(sc);
+            }
+            self.tile_metrics.push(TileMetrics {
+                tile,
+                thread: self.thread,
+                iterations: work.iterations(),
+                distinct_lines: lines,
+                busy: dt,
+            });
+        } else if rep == 0 {
+            // Touch tracking off: still record the first-rep tile row.
+            self.tile_metrics.push(TileMetrics {
+                tile,
+                thread: self.thread,
+                iterations: work.iterations(),
+                distinct_lines: None,
+                busy: dt,
+            });
+        } else if let Some(m) = self.tile_metrics.iter_mut().find(|m| m.tile == tile) {
+            m.busy += dt;
+        }
+        true
+    }
+
+    fn finish(self) -> ThreadOut {
+        let exact = self.thread_touch.as_ref().is_none_or(TouchSet::is_exact);
+        ThreadOut {
+            metrics: ThreadMetrics {
+                thread: self.thread,
+                tiles_run: self.tile_metrics.len(),
+                iterations: self.iterations,
+                distinct_lines: self.thread_touch.as_ref().map(TouchSet::count),
+                busy: self.busy,
+            },
+            tiles: self.tile_metrics,
+            exact,
+            retries: self.retries,
+            polls: self.polls,
+        }
+    }
+}
+
+/// Best-effort extraction of a panic payload into a printable string.
+fn payload_string(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<opaque panic payload>".to_string()
+    }
+}
+
+/// The conservative idempotence rule behind [`ExecOptions::max_retries`]
+/// (documented in DESIGN.md "Failure model"): every statement is a
+/// plain (non-accumulate) assign, and no right-hand side reads an array
+/// that any statement writes.
+fn retry_safe(nest: &LoopNest) -> bool {
+    let written: std::collections::HashSet<&str> =
+        nest.body.iter().map(|st| st.lhs.array.as_str()).collect();
+    nest.body.iter().all(|st| {
+        st.lhs.kind != AccessKind::Accumulate
+            && st
+                .rhs
+                .iter()
+                .all(|r| r.kind != AccessKind::Accumulate && !written.contains(r.array.as_str()))
+    })
 }
 
 /// Result of [`Executor::verify`].

@@ -24,26 +24,37 @@
 //!     "doall (i, 0, 31) { doall (j, 0, 31) { A[i, j] = B[i, j] + B[i+1, j]; } }",
 //! ).unwrap();
 //! let exec = Executor::from_grid(&nest, &[2, 2]).unwrap();
-//! let outcome = exec.verify(42, &ExecOptions::default());
+//! let outcome = exec.verify(42, &ExecOptions::default()).unwrap();
 //! assert!(outcome.matches_reference);
 //! assert_eq!(outcome.report.total_iterations, 32 * 32);
 //! ```
+//!
+//! The executor is hardened — panics are contained per tile, runs can
+//! carry deadlines, cancellation tokens, memory budgets, and bounded
+//! retry — see the failure model in [`exec`](ExecOptions)'s module docs
+//! and the `sync` primitives ([`CancellableBarrier`], [`CancelToken`]).
 
 mod exec;
 mod kernel;
 mod report;
 mod store;
+mod sync;
 mod tiles;
 mod touch;
 
-pub use exec::{ExecOptions, ExecOutcome, Executor};
+pub use exec::{ExecOptions, ExecOutcome, Executor, POLL_INTERVAL};
 pub use kernel::{CompiledStmt, Kernel, LinRef};
 pub use report::{ModelComparison, RunReport, Schedule, ThreadMetrics, TileMetrics};
 pub use store::ArrayStore;
+pub use sync::{BarrierCancelled, CancelToken, CancellableBarrier};
 pub use tiles::{rect_tiles, IterBox};
 pub use touch::TouchSet;
 
-/// Why a nest could not be compiled for native execution.
+#[cfg(feature = "chaos")]
+pub use exec::FaultInjector;
+
+/// Why a nest could not be compiled for native execution — or why a
+/// run was stopped before completing.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RuntimeError {
     /// A reference names an array the layout does not know.
@@ -61,6 +72,35 @@ pub enum RuntimeError {
     /// A saved plan could not be turned into an executor (corrupt file,
     /// fingerprint mismatch, unsupported schema version).
     BadPlan(alp_plan::PlanError),
+    /// A tile's kernel panicked and the panic was contained; all worker
+    /// threads were joined and the store is in an unspecified partial
+    /// state.  `tile == usize::MAX` marks the rare case of a worker
+    /// failing outside any tile.
+    TileFailed {
+        /// The tile (virtual processor) whose execution failed.
+        tile: usize,
+        /// The outer sequential repetition during which it failed.
+        rep: u64,
+        /// The stringified panic payload.
+        payload: String,
+    },
+    /// The run's wall-clock deadline ([`ExecOptions::deadline`]) passed
+    /// before the run finished; workers were cancelled cooperatively.
+    DeadlineExceeded {
+        /// The deadline that was exceeded.
+        deadline: std::time::Duration,
+    },
+    /// The caller's [`CancelToken`] ([`ExecOptions::cancel`]) fired;
+    /// workers wound down cooperatively.
+    Cancelled,
+    /// The run's estimated allocations exceed the configured memory
+    /// budget ([`ExecOptions::memory_budget`]); nothing was allocated.
+    ResourceExceeded {
+        /// Bytes the run would need.
+        required: u64,
+        /// The configured budget in bytes.
+        budget: u64,
+    },
 }
 
 impl std::fmt::Display for RuntimeError {
@@ -73,6 +113,21 @@ impl std::fmt::Display for RuntimeError {
             }
             RuntimeError::BadGrid(m) => write!(f, "bad processor grid: {m}"),
             RuntimeError::BadPlan(e) => write!(f, "cannot execute plan: {e}"),
+            RuntimeError::TileFailed { tile, rep, payload } if *tile == usize::MAX => {
+                write!(f, "worker failed during repetition {rep}: {payload}")
+            }
+            RuntimeError::TileFailed { tile, rep, payload } => {
+                write!(f, "tile {tile} failed during repetition {rep}: {payload}")
+            }
+            RuntimeError::DeadlineExceeded { deadline } => {
+                write!(f, "run exceeded its {deadline:?} deadline")
+            }
+            RuntimeError::Cancelled => write!(f, "run cancelled by caller"),
+            RuntimeError::ResourceExceeded { required, budget } => write!(
+                f,
+                "run needs {required} bytes of array and touch-tracking storage, \
+                 over the {budget}-byte budget"
+            ),
         }
     }
 }
@@ -114,7 +169,7 @@ mod tests {
     #[test]
     fn parallel_matches_reference_static() {
         let exec = Executor::from_grid(&example2(), &[2, 2]).unwrap();
-        let outcome = exec.verify(1, &ExecOptions::default());
+        let outcome = exec.verify(1, &ExecOptions::default()).unwrap();
         assert!(outcome.matches_reference);
         assert_eq!(outcome.report.total_iterations, 256);
         assert_eq!(outcome.report.threads, 4);
@@ -128,7 +183,7 @@ mod tests {
             ..ExecOptions::default()
         };
         let exec = Executor::from_grid(&example2(), &[4, 2]).unwrap();
-        let outcome = exec.verify(2, &opts);
+        let outcome = exec.verify(2, &opts).unwrap();
         assert!(outcome.matches_reference);
         assert_eq!(outcome.report.threads, 3);
         assert_eq!(outcome.report.tiles, 8);
@@ -146,7 +201,7 @@ mod tests {
         )
         .unwrap();
         let exec = Executor::from_grid(&nest, &[1, 1, 8]).unwrap();
-        let outcome = exec.verify(3, &ExecOptions::default());
+        let outcome = exec.verify(3, &ExecOptions::default()).unwrap();
         assert!(outcome.matches_reference);
     }
 
@@ -161,7 +216,7 @@ mod tests {
         )
         .unwrap();
         let exec = Executor::from_grid(&nest, &[8]).unwrap();
-        let outcome = exec.verify(4, &ExecOptions::default());
+        let outcome = exec.verify(4, &ExecOptions::default()).unwrap();
         assert!(outcome.matches_reference);
         assert_eq!(outcome.report.repetitions, 4);
         assert_eq!(outcome.report.total_iterations, 4 * 64);
@@ -174,7 +229,7 @@ mod tests {
         // cold-miss test).
         let nest = parse("doall (i, 0, 9) { A[i] = B[i] + B[i+1]; }").unwrap();
         let exec = Executor::from_grid(&nest, &[1]).unwrap();
-        let outcome = exec.verify(5, &ExecOptions::default());
+        let outcome = exec.verify(5, &ExecOptions::default()).unwrap();
         assert!(outcome.matches_reference);
         assert!(outcome.report.touches_exact);
         assert_eq!(outcome.report.max_tile_footprint(), Some(21));
@@ -187,12 +242,116 @@ mod tests {
             threads: 2,
             ..ExecOptions::default()
         };
-        let outcome = exec.verify(6, &opts);
+        let outcome = exec.verify(6, &opts).unwrap();
         assert!(outcome.matches_reference);
         assert_eq!(outcome.report.threads, 2);
         assert_eq!(outcome.report.tiles, 16);
         let tiles_run: usize = outcome.report.per_thread.iter().map(|m| m.tiles_run).sum();
         assert_eq!(tiles_run, 16);
+    }
+
+    #[test]
+    fn zero_iteration_tiles_return_empty_report() {
+        // The parser rejects zero-trip source loops, but an explicit
+        // assignment can still hand the executor tiles with no work:
+        // the run must return an empty report, not spawn threads
+        // against a 0-party barrier or divide by zero.
+        let nest = parse("doall (i, 0, 3) { A[i] = A[i]; }").unwrap();
+        let assignment: Vec<Vec<alp_linalg::IVec>> = vec![Vec::new(), Vec::new()];
+        let exec = Executor::from_assignment(&nest, &assignment).unwrap();
+        assert_eq!(exec.tile_count(), 2);
+        let report = exec
+            .run(&exec.seeded_store(0), &ExecOptions::default())
+            .unwrap();
+        assert_eq!(report.threads, 0);
+        assert_eq!(report.total_iterations, 0);
+        assert!(report.per_thread.is_empty());
+        assert!(report.per_tile.is_empty());
+    }
+
+    #[test]
+    fn empty_explicit_assignment_returns_empty_report() {
+        let nest = parse("doall (i, 0, 3) { A[i] = A[i]; }").unwrap();
+        let assignment: Vec<Vec<alp_linalg::IVec>> = Vec::new();
+        let exec = Executor::from_assignment(&nest, &assignment).unwrap();
+        let report = exec
+            .run(&exec.seeded_store(0), &ExecOptions::default())
+            .unwrap();
+        assert_eq!(report.threads, 0);
+        assert_eq!(report.total_iterations, 0);
+    }
+
+    #[test]
+    fn pre_cancelled_token_stops_the_run() {
+        let token = CancelToken::new();
+        token.cancel();
+        let opts = ExecOptions {
+            cancel: Some(token),
+            ..ExecOptions::default()
+        };
+        let exec = Executor::from_grid(&example2(), &[2, 2]).unwrap();
+        let err = exec.run(&exec.seeded_store(0), &opts).unwrap_err();
+        assert_eq!(err, RuntimeError::Cancelled);
+    }
+
+    #[test]
+    fn elapsed_deadline_stops_the_run() {
+        // A zero deadline is already past when the first poll runs; the
+        // run must come back (all threads joined) with the structured
+        // error instead of executing to completion.
+        let deadline = std::time::Duration::ZERO;
+        let opts = ExecOptions {
+            deadline: Some(deadline),
+            ..ExecOptions::default()
+        };
+        let exec = Executor::from_grid(&example2(), &[2, 2]).unwrap();
+        let err = exec.run(&exec.seeded_store(0), &opts).unwrap_err();
+        assert_eq!(err, RuntimeError::DeadlineExceeded { deadline });
+    }
+
+    #[test]
+    fn memory_budget_refuses_oversized_runs() {
+        let exec = Executor::from_grid(&example2(), &[2, 2]).unwrap();
+        let enough = exec.estimate_run_bytes(&ExecOptions::default());
+        // At the estimate the run is admitted; one byte under, refused.
+        let opts = ExecOptions {
+            memory_budget: Some(enough),
+            ..ExecOptions::default()
+        };
+        assert!(exec.verify(9, &opts).unwrap().matches_reference);
+        let opts = ExecOptions {
+            memory_budget: Some(enough - 1),
+            ..ExecOptions::default()
+        };
+        let err = exec.verify(9, &opts).unwrap_err();
+        assert_eq!(
+            err,
+            RuntimeError::ResourceExceeded {
+                required: enough,
+                budget: enough - 1,
+            }
+        );
+    }
+
+    #[test]
+    fn run_sequential_matches_reference_path() {
+        let exec = Executor::from_grid(&example2(), &[2, 2]).unwrap();
+        let store = exec.seeded_store(11);
+        let init = store.snapshot();
+        assert_eq!(exec.run_sequential(11), exec.run_reference(&init));
+    }
+
+    #[test]
+    fn retry_safety_classification() {
+        // Plain assigns reading a disjoint array: safe to re-run.
+        let safe = parse("doall (i, 0, 3) { A[i] = B[i] + B[i+1]; }").unwrap();
+        assert!(Executor::from_grid(&safe, &[2]).unwrap().retry_safe());
+        // Accumulate: a partial attempt already folded deltas in.
+        let acc = parse("doall (i, 0, 3) { l$S[0] = l$S[0] + B[i]; }").unwrap();
+        assert!(!Executor::from_grid(&acc, &[2]).unwrap().retry_safe());
+        // Read-after-write: a re-run could observe its own output.
+        let raw = parse("doall (i, 0, 3) { A[i] = A[i] + B[i]; }").unwrap();
+        assert!(!Executor::from_grid(&raw, &[2]).unwrap().retry_safe());
     }
 
     #[test]
@@ -203,7 +362,7 @@ mod tests {
             nest.iteration_points()[100..].to_vec(),
         ];
         let exec = Executor::from_assignment(&nest, &assignment).unwrap();
-        let outcome = exec.verify(7, &ExecOptions::default());
+        let outcome = exec.verify(7, &ExecOptions::default()).unwrap();
         assert!(outcome.matches_reference);
         assert_eq!(outcome.report.total_iterations, 256);
     }

@@ -78,6 +78,13 @@ pub struct RunReport {
     pub wall: Duration,
     /// Whether touch counts are exact (bitset) or Bloom estimates.
     pub touches_exact: bool,
+    /// Contained tile panics that were successfully retried in place
+    /// (see `ExecOptions::max_retries`); 0 on a fault-free run.
+    pub retries: u64,
+    /// In-kernel cooperative cancellation polls performed (one per
+    /// `POLL_INTERVAL` iterations inside tiles; between-tile polls are
+    /// not counted).  Observability for the hardening overhead.
+    pub cancellation_polls: u64,
     /// Per-thread metrics, indexed by thread.
     pub per_thread: Vec<ThreadMetrics>,
     /// Per-tile metrics, indexed by tile.
@@ -166,6 +173,9 @@ impl RunReport {
             "total iterations {}  max tile footprint {} lines\n",
             self.total_iterations, max_fp
         ));
+        if self.retries > 0 {
+            s.push_str(&format!("tile retries {}\n", self.retries));
+        }
         s
     }
 }

@@ -16,8 +16,35 @@ pub struct ArrayStore {
     cells: Vec<AtomicU64>,
 }
 
+/// The deterministic seed value for element `k` under `seed`: a
+/// SplitMix64-style mix of (seed, index), reduced to 0..=255.
+///
+/// Integer values keep every sum a nest can produce exact in f64 (far
+/// below 2^53), so accumulate results are independent of the order
+/// threads interleave their additions — which is what makes bitwise
+/// parallel-vs-sequential comparison meaningful.  Shared by
+/// [`ArrayStore::seeded`] and the executor's sequential fallback so
+/// both paths start from identical data.
+pub(crate) fn seeded_value(seed: u64, k: u64) -> f64 {
+    let mut z = seed ^ k.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    ((z ^ (z >> 31)) & 0xFF) as f64
+}
+
+/// Seeded initial data as a plain `Vec<f64>` (no atomics), for
+/// sequential execution paths that never share the array.
+pub(crate) fn seeded_values(len: u64, seed: u64) -> Vec<f64> {
+    (0..len).map(|k| seeded_value(seed, k)).collect()
+}
+
 impl ArrayStore {
     /// A store of `len` elements, all 0.0.
+    ///
+    /// # Panics
+    /// Panics if `len` exceeds `usize::MAX` (only reachable on targets
+    /// where `usize` is narrower than `u64`; allocation would fail far
+    /// earlier on 64-bit targets).
     pub fn zeroed(len: u64) -> Self {
         let len = usize::try_from(len).expect("store size exceeds usize");
         let mut cells = Vec::with_capacity(len);
@@ -25,21 +52,14 @@ impl ArrayStore {
         ArrayStore { cells }
     }
 
-    /// A store seeded with small, deterministic, *integer-valued* f64s.
-    ///
-    /// Integer values keep every sum a nest can produce exact in f64
-    /// (far below 2^53), so accumulate results are independent of the
-    /// order threads interleave their additions — which is what makes
-    /// bitwise parallel-vs-sequential comparison meaningful.
+    /// A store seeded with small, deterministic, *integer-valued* f64s
+    /// (integers are exact in `f64`, so summation order cannot change
+    /// results and parallel runs compare bitwise against the sequential
+    /// reference).
     pub fn seeded(len: u64, seed: u64) -> Self {
         let store = ArrayStore::zeroed(len);
         for (k, cell) in store.cells.iter().enumerate() {
-            // SplitMix64-style mix of (seed, index), reduced to 0..=255.
-            let mut z = seed ^ (k as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-            let v = ((z ^ (z >> 31)) & 0xFF) as f64;
-            cell.store(v.to_bits(), Ordering::Relaxed);
+            cell.store(seeded_value(seed, k as u64).to_bits(), Ordering::Relaxed);
         }
         store
     }
@@ -115,6 +135,14 @@ mod tests {
             assert_eq!(v, v.trunc());
             assert!((0.0..=255.0).contains(&v));
         }
+    }
+
+    #[test]
+    fn seeded_values_matches_seeded_store() {
+        // The sequential fallback and the parallel store must start
+        // from identical data.
+        let store = ArrayStore::seeded(97, 41);
+        assert_eq!(store.snapshot(), seeded_values(97, 41));
     }
 
     #[test]

@@ -1,0 +1,207 @@
+//! Panic-safe synchronization for the executor.
+//!
+//! `std::sync::Barrier` is the wrong primitive for a runtime with a
+//! failure model: when one worker dies between two `wait()` calls the
+//! remaining workers block forever — the barrier has no way to learn
+//! that the missing party will never arrive.  [`CancellableBarrier`]
+//! fixes that with a *cancel* operation: any thread (typically one that
+//! caught a panic, hit a deadline, or observed an external
+//! [`CancelToken`]) can cancel the barrier, which wakes every current
+//! waiter and makes every future `wait()` return immediately with
+//! [`BarrierCancelled`].  Workers treat that as "drain now": stop
+//! scheduling tiles, return partial metrics, let the scope join.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// The barrier was cancelled while (or before) waiting; the caller must
+/// stop doing work and drain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BarrierCancelled;
+
+#[derive(Debug)]
+struct BarrierState {
+    /// Threads currently parked in this generation.
+    waiting: usize,
+    /// Incremented each time a full cohort is released.
+    generation: u64,
+    cancelled: bool,
+}
+
+/// A reusable rendezvous for `n` threads that can be torn down safely.
+///
+/// Semantics match `std::sync::Barrier` (the `n`-th waiter releases the
+/// cohort and is told it is the leader) until [`cancel`] is called, at
+/// which point all current waiters wake with `Err(BarrierCancelled)`
+/// and all future waits fail the same way.  Cancellation is permanent
+/// for the life of the barrier — it models "this run is over", not a
+/// transient wake-up.
+///
+/// [`cancel`]: CancellableBarrier::cancel
+#[derive(Debug)]
+pub struct CancellableBarrier {
+    n: usize,
+    state: Mutex<BarrierState>,
+    cvar: Condvar,
+}
+
+impl CancellableBarrier {
+    /// A barrier for `n` threads.  `n` must be at least 1 (a 0-party
+    /// barrier can never release and would deadlock its first waiter,
+    /// which is exactly the footgun `std::sync::Barrier::new(0)` has).
+    pub fn new(n: usize) -> Self {
+        CancellableBarrier {
+            n: n.max(1),
+            state: Mutex::new(BarrierState {
+                waiting: 0,
+                generation: 0,
+                cancelled: false,
+            }),
+            cvar: Condvar::new(),
+        }
+    }
+
+    /// Block until all `n` threads have called `wait` — or the barrier
+    /// is cancelled.  Returns `Ok(true)` for exactly one thread of each
+    /// released cohort (the leader), `Ok(false)` for the rest.
+    pub fn wait(&self) -> Result<bool, BarrierCancelled> {
+        let mut st = lock_unpoisoned(&self.state);
+        if st.cancelled {
+            return Err(BarrierCancelled);
+        }
+        st.waiting += 1;
+        if st.waiting == self.n {
+            st.waiting = 0;
+            st.generation = st.generation.wrapping_add(1);
+            self.cvar.notify_all();
+            return Ok(true);
+        }
+        let gen = st.generation;
+        while st.generation == gen && !st.cancelled {
+            st = self
+                .cvar
+                .wait(st)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        if st.cancelled {
+            Err(BarrierCancelled)
+        } else {
+            Ok(false)
+        }
+    }
+
+    /// Tear the barrier down: wake every waiter with
+    /// [`BarrierCancelled`] and make all future waits fail.  Idempotent.
+    pub fn cancel(&self) {
+        let mut st = lock_unpoisoned(&self.state);
+        st.cancelled = true;
+        self.cvar.notify_all();
+    }
+
+    /// True once [`cancel`](CancellableBarrier::cancel) has been called.
+    pub fn is_cancelled(&self) -> bool {
+        lock_unpoisoned(&self.state).cancelled
+    }
+}
+
+/// Lock a mutex, shrugging off poison: the executor's shared state is
+/// only mutated under short, panic-free critical sections, and the run
+/// is being torn down when poison could appear anyway.
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// A shareable cooperative cancellation flag.
+///
+/// Clone the token and hand one copy to [`ExecOptions::cancel`]; calling
+/// [`cancel`](CancelToken::cancel) from any thread makes the run wind
+/// down at its next cancellation poll (between tiles, and every
+/// [`POLL_INTERVAL`](crate::POLL_INTERVAL) iterations inside the kernel
+/// loop) and return [`RuntimeError::Cancelled`].
+///
+/// [`ExecOptions::cancel`]: crate::ExecOptions::cancel
+/// [`RuntimeError::Cancelled`]: crate::RuntimeError::Cancelled
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request cancellation.  Idempotent, callable from any thread.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// True once [`cancel`](CancelToken::cancel) has been called.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn releases_full_cohort_with_one_leader() {
+        let b = CancellableBarrier::new(4);
+        let leaders: usize = crossbeam::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| s.spawn(|_| b.wait().expect("not cancelled") as usize))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .expect("scope");
+        assert_eq!(leaders, 1);
+    }
+
+    #[test]
+    fn cancel_wakes_current_and_future_waiters() {
+        let b = CancellableBarrier::new(2);
+        crossbeam::scope(|s| {
+            let waiter = s.spawn(|_| b.wait());
+            // Give the waiter time to park, then cancel instead of
+            // joining the barrier.
+            std::thread::sleep(Duration::from_millis(20));
+            b.cancel();
+            assert_eq!(waiter.join().unwrap(), Err(BarrierCancelled));
+        })
+        .expect("scope");
+        // Late arrivals fail fast instead of blocking forever.
+        assert_eq!(b.wait(), Err(BarrierCancelled));
+        assert!(b.is_cancelled());
+    }
+
+    #[test]
+    fn reusable_across_generations() {
+        let b = CancellableBarrier::new(2);
+        for _ in 0..3 {
+            crossbeam::scope(|s| {
+                let h = s.spawn(|_| b.wait());
+                assert!(b.wait().is_ok());
+                assert!(h.join().unwrap().is_ok());
+            })
+            .expect("scope");
+        }
+    }
+
+    #[test]
+    fn zero_party_barrier_is_clamped() {
+        // new(0) acts as new(1): a single waiter releases itself.
+        let b = CancellableBarrier::new(0);
+        assert_eq!(b.wait(), Ok(true));
+    }
+
+    #[test]
+    fn cancel_token_is_shared() {
+        let t = CancelToken::new();
+        let u = t.clone();
+        assert!(!u.is_cancelled());
+        t.cancel();
+        assert!(u.is_cancelled());
+    }
+}

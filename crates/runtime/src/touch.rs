@@ -14,7 +14,9 @@
 /// Largest line-id space tracked exactly (2^24 lines = 2 MiB of bits).
 pub const EXACT_LIMIT_BITS: u64 = 1 << 24;
 
-const BLOOM_BITS: usize = 1 << 20;
+/// Bloom filter size (bits) used beyond the exact limit; exposed to the
+/// executor's pre-flight memory estimate.
+pub(crate) const BLOOM_BITS: usize = 1 << 20;
 const BLOOM_HASHES: u32 = 2;
 
 /// A set of touched line ids.
@@ -34,6 +36,8 @@ impl TouchSet {
         let lines = total_lines.div_ceil(line_size);
         let exact = lines <= EXACT_LIMIT_BITS;
         let bits = if exact {
+            // Unreachable expect: `lines <= EXACT_LIMIT_BITS = 2^24`
+            // here, far below usize::MAX on every supported target.
             usize::try_from(lines)
                 .expect("line count exceeds usize")
                 .max(1)

@@ -113,7 +113,7 @@ proptest! {
             schedule: if dynamic { Schedule::Dynamic } else { Schedule::Static },
             ..ExecOptions::default()
         };
-        let outcome = exec.verify(0xA1E5_EED0, &opts);
+        let outcome = exec.verify(0xA1E5_EED0, &opts).unwrap();
         prop_assert!(outcome.matches_reference, "parallel != sequential for:\n{src}");
 
         let volume: i128 = nest.iteration_count();
@@ -149,9 +149,9 @@ proptest! {
         let opts = ExecOptions::default();
 
         let store_a = by_grid.seeded_store(99);
-        by_grid.run(&store_a, &opts);
+        by_grid.run(&store_a, &opts).unwrap();
         let store_b = by_list.seeded_store(99);
-        by_list.run(&store_b, &opts);
+        by_list.run(&store_b, &opts).unwrap();
         prop_assert_eq!(store_a.snapshot(), store_b.snapshot());
     }
 }

@@ -27,6 +27,14 @@
 //!       --steal             dynamic self-scheduling instead of static
 //!       --seed <N>          array-content seed            [default: 42]
 //!       --from-plan <FILE>  execute a saved plan (no DSL input needed)
+//!       --timeout-ms <N>    wall-clock deadline for the run
+//!       --retry <N>         retries for a panicked tile   [default: 0]
+//!                           (first-repetition tiles of retry-safe
+//!                           nests only; accumulate nests fail fast)
+//!       --max-store-bytes <N>  refuse runs whose arrays + metrics
+//!                           would exceed N bytes
+//!       --fallback-seq      degrade an over-budget run to a sequential
+//!                           interpreted run instead of failing
 //! ```
 //!
 //! The legality analysis (races, lints) runs by default before
@@ -43,7 +51,10 @@
 //! Exit codes: `0` success / clean, `1` I/O, parse, or plan-decode
 //! failure, `2` usage, `3` (`--check` only) warnings but no errors, `4`
 //! legality errors, `5` (`run` only) parallel result differs from the
-//! sequential reference.
+//! sequential reference, `6` (`run` only) deadline exceeded or run
+//! cancelled (`ALP0007`), `7` (`run` only) a tile faulted and retries —
+//! if any — were exhausted (`ALP0008`), `8` (`run` only) over the
+//! `--max-store-bytes` budget without `--fallback-seq` (`ALP0009`).
 //!
 //! Examples:
 //!
@@ -83,6 +94,14 @@ const EXIT_ILLEGAL: u8 = 4;
 /// Exit code when `run` finds the parallel result differs from the
 /// sequential reference.
 const EXIT_MISMATCH: u8 = 5;
+/// Exit code when `run` misses its `--timeout-ms` deadline (or the run
+/// is cancelled) — `ALP0007`.
+const EXIT_TIMEOUT: u8 = 6;
+/// Exit code when a tile faults and retries are exhausted — `ALP0008`.
+const EXIT_FAULT: u8 = 7;
+/// Exit code when the run is over its `--max-store-bytes` budget and
+/// `--fallback-seq` was not given — `ALP0009`.
+const EXIT_BUDGET: u8 = 8;
 
 fn usage() -> ! {
     eprintln!(
@@ -91,7 +110,8 @@ fn usage() -> ! {
          alp-cli plan [-p N] [-m WxH] [--param NAME=VAL]... [--no-check] \
          [--emit FILE|-] <FILE|->\n       \
          alp-cli run [-p N] [--param NAME=VAL]... [--threads N] [--steal] \
-         [--line-size N] [--seed N] [--no-check] [--from-plan FILE] <FILE|->"
+         [--line-size N] [--seed N] [--no-check] [--from-plan FILE] [--timeout-ms N] \
+         [--retry N] [--max-store-bytes N] [--fallback-seq] <FILE|->"
     );
     std::process::exit(2)
 }
@@ -105,6 +125,10 @@ struct RunOptions {
     seed: u64,
     no_check: bool,
     from_plan: Option<String>,
+    timeout_ms: Option<u64>,
+    retry: u32,
+    max_store_bytes: Option<u64>,
+    fallback_seq: bool,
     input: String,
 }
 
@@ -118,6 +142,10 @@ fn parse_run_args(mut args: impl Iterator<Item = String>) -> RunOptions {
         seed: 42,
         no_check: false,
         from_plan: None,
+        timeout_ms: None,
+        retry: 0,
+        max_store_bytes: None,
+        fallback_seq: false,
         input: String::new(),
     };
     let mut input: Option<String> = None;
@@ -158,6 +186,27 @@ fn parse_run_args(mut args: impl Iterator<Item = String>) -> RunOptions {
             "--from-plan" => {
                 opts.from_plan = Some(args.next().unwrap_or_else(|| usage()));
             }
+            "--timeout-ms" => {
+                opts.timeout_ms = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                );
+            }
+            "--retry" => {
+                opts.retry = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--max-store-bytes" => {
+                opts.max_store_bytes = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                );
+            }
+            "--fallback-seq" => opts.fallback_seq = true,
             "-h" | "--help" => usage(),
             other if input.is_none() => input = Some(other.to_string()),
             _ => usage(),
@@ -264,13 +313,44 @@ fn run_main(opts: RunOptions) -> ExitCode {
             Schedule::Static
         },
         line_size: opts.line_size,
-        track_touches: true,
+        deadline: opts.timeout_ms.map(std::time::Duration::from_millis),
+        max_retries: opts.retry,
+        memory_budget: opts.max_store_bytes,
+        ..ExecOptions::default()
     };
     let summary = match compiler.execute(&result, &exec_opts, opts.seed) {
         Ok(s) => s,
+        Err(e @ AlpError::Runtime(RuntimeError::ResourceExceeded { .. })) if opts.fallback_seq => {
+            // Degraded mode: run the interpreted sequential reference
+            // directly (no threads, no touch bitsets, no snapshots).
+            eprintln!("alp-cli: warning[{}]: {e}", e.code());
+            eprintln!("alp-cli: falling back to a sequential interpreted run");
+            let exec = match Executor::from_plan(&result.plan) {
+                Ok(x) => x,
+                Err(e) => {
+                    let e = AlpError::from(e);
+                    eprintln!("alp-cli: error[{}]: {e}", e.code());
+                    return ExitCode::FAILURE;
+                }
+            };
+            let data = exec.run_sequential(opts.seed);
+            println!("\n== run (sequential fallback) ==");
+            println!(
+                "threads 1  tiles {}  elements {}",
+                exec.tile_count(),
+                data.len()
+            );
+            println!("result: sequential fallback completed");
+            return ExitCode::SUCCESS;
+        }
         Err(e) => {
-            eprintln!("alp-cli: {e}");
-            return ExitCode::FAILURE;
+            eprintln!("alp-cli: error[{}]: {e}", e.code());
+            return ExitCode::from(match e.code() {
+                "ALP0007" => EXIT_TIMEOUT,
+                "ALP0008" => EXIT_FAULT,
+                "ALP0009" => EXIT_BUDGET,
+                _ => 1,
+            });
         }
     };
 

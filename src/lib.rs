@@ -90,8 +90,10 @@ pub enum AlpError {
     Illegal(alp_analysis::Report),
     /// The nest cannot be partitioned as requested (`ALP0004`).
     Infeasible(String),
-    /// The nest compiled but cannot be lowered for native execution
-    /// (`ALP0005`).
+    /// The nest cannot be lowered for native execution (`ALP0005`), or a
+    /// run was stopped by the hardened executor: `ALP0007` for a missed
+    /// deadline or caller cancellation, `ALP0008` for a contained tile
+    /// fault, `ALP0009` for an exceeded memory budget.
     Runtime(alp_runtime::RuntimeError),
     /// A saved partition plan could not be decoded or no longer matches
     /// its embedded source (`ALP0006`).
@@ -101,14 +103,20 @@ pub enum AlpError {
 impl AlpError {
     /// The stable error code: `ALP0001` parse, `ALP0002` IR, `ALP0003`
     /// illegal doall, `ALP0004` infeasible, `ALP0005` runtime lowering,
-    /// `ALP0006` plan artifact.  Codes never change meaning across
-    /// releases; new variants get new codes.
+    /// `ALP0006` plan artifact, `ALP0007` deadline exceeded / run
+    /// cancelled, `ALP0008` contained tile fault, `ALP0009` memory
+    /// budget exceeded.  Codes never change meaning across releases;
+    /// new variants get new codes.
     pub fn code(&self) -> &'static str {
+        use alp_runtime::RuntimeError as R;
         match self {
             AlpError::Parse(_) => "ALP0001",
             AlpError::Ir(_) => "ALP0002",
             AlpError::Illegal(_) => "ALP0003",
             AlpError::Infeasible(_) => "ALP0004",
+            AlpError::Runtime(R::DeadlineExceeded { .. } | R::Cancelled) => "ALP0007",
+            AlpError::Runtime(R::TileFailed { .. }) => "ALP0008",
+            AlpError::Runtime(R::ResourceExceeded { .. }) => "ALP0009",
             AlpError::Runtime(_) => "ALP0005",
             AlpError::Plan(_) => "ALP0006",
         }
@@ -418,7 +426,7 @@ impl Compiler {
     ) -> Result<ExecutionSummary, AlpError> {
         let exec = alp_runtime::Executor::from_plan(&result.plan)?;
         let extents = exec.tile_extents().to_vec();
-        let outcome = exec.verify(seed, opts);
+        let outcome = exec.verify(seed, opts)?;
         let model = alp_footprint::CostModel::from_nest(&result.nest);
         let model_comparison = outcome.report.compare_with_model(&model, &extents);
         Ok(ExecutionSummary {
@@ -532,6 +540,7 @@ pub mod prelude {
         PartitionPlan, PlanCache, PlanError, PlanKey,
     };
     pub use alp_runtime::{
-        ExecOptions, ExecOutcome, Executor, ModelComparison, RunReport, Schedule,
+        CancelToken, ExecOptions, ExecOutcome, Executor, ModelComparison, RunReport, RuntimeError,
+        Schedule,
     };
 }

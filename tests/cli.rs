@@ -228,6 +228,58 @@ fn run_mismatch_exits_5() {
 }
 
 #[test]
+fn run_timeout_exits_6_with_alp0007() {
+    // ~200M iterations on one thread cannot finish in 50ms; the
+    // cooperative deadline poll must stop the run and exit 6.
+    let (_, stderr, code) = run_cli(
+        &[
+            "run",
+            "-p",
+            "4",
+            "--threads",
+            "1",
+            "--timeout-ms",
+            "50",
+            "-",
+        ],
+        Some("doseq (t, 0, 200000) { doall (i, 0, 1023) { A[i] = B[i] + B[i+1]; } }"),
+    );
+    assert_eq!(code, Some(6), "stderr: {stderr}");
+    assert!(stderr.contains("ALP0007"), "{stderr}");
+    assert!(stderr.contains("deadline"), "{stderr}");
+}
+
+#[test]
+fn run_over_budget_exits_8_with_alp0009() {
+    let (_, stderr, code) = run_cli(
+        &["run", "-p", "4", "--max-store-bytes", "10", "-"],
+        Some(STENCIL),
+    );
+    assert_eq!(code, Some(8), "stderr: {stderr}");
+    assert!(stderr.contains("ALP0009"), "{stderr}");
+    assert!(stderr.contains("budget"), "{stderr}");
+}
+
+#[test]
+fn run_over_budget_with_fallback_degrades_to_sequential() {
+    let (stdout, stderr, code) = run_cli(
+        &[
+            "run",
+            "-p",
+            "4",
+            "--max-store-bytes",
+            "10",
+            "--fallback-seq",
+            "-",
+        ],
+        Some(STENCIL),
+    );
+    assert_eq!(code, Some(0), "stderr: {stderr}");
+    assert!(stderr.contains("warning[ALP0009]"), "{stderr}");
+    assert!(stdout.contains("sequential fallback"), "{stdout}");
+}
+
+#[test]
 fn check_suggests_reduction_rewrite() {
     let (_, stderr, code) = run_cli(
         &["--check", "-"],

@@ -88,6 +88,29 @@ fn tampered_source_is_rejected_on_load() {
 }
 
 #[test]
+fn malformed_corpus_is_rejected_with_stable_codes() {
+    // Every file in tests/corpus/ is a deliberately broken plan named
+    // `<ALP code>__<defect>.plan.json`; decode (or the post-decode
+    // fingerprint check in `nest()`) must reject it with exactly the
+    // code in its filename — never a panic or a silent partial decode.
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus");
+    let mut checked = 0;
+    for entry in std::fs::read_dir(&dir).expect("corpus dir exists") {
+        let path = entry.expect("corpus entry").path();
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let expected = name.split("__").next().expect("code prefix");
+        let text = std::fs::read_to_string(&path).expect("corpus file reads");
+        let err = PartitionPlan::from_json_str(&text)
+            .and_then(|p| p.nest().map(|_| p))
+            .expect_err(&format!("{name} must be rejected"));
+        assert!(!err.to_string().is_empty(), "{name}: diagnostic is empty");
+        assert_eq!(AlpError::from(err).code(), expected, "{name}");
+        checked += 1;
+    }
+    assert_eq!(checked, 7, "expected all corpus files to be exercised");
+}
+
+#[test]
 fn warm_cache_compile_equals_cold_compile() {
     let compiler = golden_compiler();
     let mut cache = PlanCache::new(8);

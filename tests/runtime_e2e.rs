@@ -28,6 +28,7 @@ fn example8_executes_and_matches_model() {
         schedule: Schedule::Static,
         line_size: 1,
         track_touches: true,
+        ..ExecOptions::default()
     };
     let summary = compiler.execute(&result, &opts, 0xE8).unwrap();
     assert!(
@@ -60,6 +61,7 @@ fn example8_dynamic_schedule_agrees() {
         schedule: Schedule::Dynamic,
         line_size: 4,
         track_touches: false,
+        ..ExecOptions::default()
     };
     let summary = compiler.execute(&result, &opts, 7).unwrap();
     assert!(summary.outcome.matches_reference);
@@ -84,7 +86,7 @@ fn runtime_footprints_agree_with_simulator() {
 
     let exec = Executor::from_grid(&result.nest, &result.partition.proc_grid).unwrap();
     let store = exec.seeded_store(3);
-    let report = exec.run(&store, &ExecOptions::default());
+    let report = exec.run(&store, &ExecOptions::default()).unwrap();
     for (tile, (measured, cold)) in report.compare_with_traffic(&traffic).iter().enumerate() {
         assert_eq!(
             measured, cold,
