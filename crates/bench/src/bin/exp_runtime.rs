@@ -2,52 +2,89 @@
 //! naive baselines at the same thread count, on real threads and real
 //! `f64` arrays (not the simulator).
 //!
-//! Three experiments:
+//! Four experiments:
 //!
 //! * Example 8's 3-D stencil: `partition_rect`'s grid vs naive square
 //!   blocks and row slabs;
 //! * an additive matmul-style accumulate nest: uncontended `i,j` blocks
 //!   vs a naive `k`-split whose tiles all CAS on the same output
 //!   elements;
-//! * Example 2's skewed 2-D nest: strips vs square blocks.
+//! * a row reduction: `i`-split vs square blocks vs a contended
+//!   `j`-split;
+//! * Example 2's skewed 2-D nest: strips (the analytic model's choice)
+//!   vs square blocks.
 //!
 //! Every configuration is validated bitwise against the sequential
-//! reference before timing, and every tiling also reports its
-//! *measured* worst-tile distinct-line footprint next to the model's
-//! prediction — on machines with fewer cores than threads the wall
-//! times cannot show parallel effects, but the footprint ordering
-//! (what the paper's model optimizes) is measured on the real
-//! execution either way.  A hardening check re-times Example 8's
-//! optimal tiling with the executor's guards armed (deadline + cancel
-//! token + retry budget) to show the fault-free overhead of the
-//! hardened path stays within noise.  A final sweep drives `Compiler::compile_cached`
-//! over every (nest, P) pair to measure the plan cache: cold compiles
-//! (analysis + partition search) vs warm hits that replay the stored
-//! `PartitionPlan`.  `--json` additionally writes `BENCH_runtime.json`
-//! with the wall time and footprint per tiling plus the cache figures.
+//! reference before timing.  Timing runs do `WARMUP` untimed passes and
+//! then `TRIALS` timed passes, reporting the minimum (the noise floor)
+//! and the median; touch tracking stays off so the timing measures only
+//! kernel execution.  A separate tracked run measures each tiling's
+//! worst-tile distinct-line footprint next to the model's prediction.
+//!
+//! Before the cases run, the harness calibrates the hybrid latency
+//! model on this machine (`fit_nest` over the same four nests) and
+//! reports three rankings per case — analytic footprint cost,
+//! calibrated hybrid cost, and measured wall time — plus an explicit
+//! `inversion` flag whenever the analytic choice is measurably not the
+//! fastest (the Example-2 defect this flag was built to expose).
+//! Candidates whose walls differ by less than `NOISE_REL` count as
+//! tied, so agreement is judged only on measurably ordered pairs.
+//!
+//! A hardening check re-times Example 8's optimal tiling with the
+//! executor's guards armed (deadline + cancel token + retry budget) to
+//! show the fault-free overhead of the hardened path stays within
+//! noise.  A final sweep drives `Compiler::compile_cached` over every
+//! (nest, P) pair to measure the plan cache.  `--json` additionally
+//! writes `BENCH_runtime.json` with walls, footprints, rankings, the
+//! fitted coefficients, and the cache figures.
 
+use alp::calibrate::grid_features;
 use alp::prelude::*;
 use alp::Compiler;
-use alp_bench::{header, Table};
+use alp_bench::{detected_cores, header, min_median, Table};
 use std::time::{Duration, Instant};
 
 const THREADS: usize = 8;
-const TRIALS: usize = 3;
+const TRIALS: usize = 7;
+const WARMUP: usize = 2;
+/// Walls within this relative distance count as tied: on an
+/// oversubscribed or noisy box, orderings inside the noise band flip
+/// run to run and prove nothing.
+const NOISE_REL: f64 = 0.05;
 
 struct GridResult {
     label: &'static str,
     grid: Vec<i128>,
     wall: Duration,
+    wall_median: Duration,
     model_cost: f64,
+    hybrid_cost: f64,
     measured_lines: u64,
     matches: bool,
 }
 
-/// Best-of-`TRIALS` wall time for one grid, with touch tracking off so
-/// the timing measures only kernel execution.  A separate tracked run
-/// measures the worst tile's distinct-line footprint, and a verified
-/// run checks bitwise equality with the sequential reference.
-fn bench_grid(nest: &LoopNest, grid: &[i128], label: &'static str) -> GridResult {
+struct CaseResult {
+    name: &'static str,
+    results: Vec<GridResult>,
+    analytic_ranking: Vec<&'static str>,
+    calibrated_ranking: Vec<&'static str>,
+    measured_ranking: Vec<&'static str>,
+    inversion: bool,
+    calibrated_agrees: bool,
+    speedup_first_over_fastest: f64,
+}
+
+/// `WARMUP` untimed passes, then best-of-`TRIALS` and median wall time
+/// for one grid, with touch tracking off so the timing measures only
+/// kernel execution.  A separate tracked run measures the worst tile's
+/// distinct-line footprint, and a verified run checks bitwise equality
+/// with the sequential reference.
+fn bench_grid(
+    nest: &LoopNest,
+    grid: &[i128],
+    label: &'static str,
+    latency: &LatencyModel,
+) -> GridResult {
     let exec = Executor::from_grid(nest, grid).expect("executable nest");
     let timing = ExecOptions {
         threads: THREADS,
@@ -57,11 +94,17 @@ fn bench_grid(nest: &LoopNest, grid: &[i128], label: &'static str) -> GridResult
         ..ExecOptions::default()
     };
     let outcome = exec.verify(42, &timing).expect("fault-free run succeeds");
-    let mut wall = outcome.report.wall;
-    for _ in 1..TRIALS {
+    for _ in 0..WARMUP {
         let store = exec.seeded_store(42);
-        wall = wall.min(exec.run(&store, &timing).expect("fault-free run").wall);
+        exec.run(&store, &timing).expect("fault-free run");
     }
+    let walls: Vec<Duration> = (0..TRIALS)
+        .map(|_| {
+            let store = exec.seeded_store(42);
+            exec.run(&store, &timing).expect("fault-free run").wall
+        })
+        .collect();
+    let (wall, wall_median) = min_median(&walls);
     let tracked = ExecOptions {
         track_touches: true,
         ..timing
@@ -72,55 +115,142 @@ fn bench_grid(nest: &LoopNest, grid: &[i128], label: &'static str) -> GridResult
         .expect("fault-free run")
         .max_tile_footprint()
         .unwrap_or(0);
-    let model_cost = CostModel::from_nest(nest)
-        .cost_rect(exec.tile_extents())
-        .to_f64();
+    let model = CostModel::from_nest(nest);
+    let model_cost = model.cost_rect(exec.tile_extents()).to_f64();
+    let features = grid_features(nest, &model, grid, 1).expect("benchmark grid is feasible");
+    let hybrid_cost = latency.hybrid_cost(&features).to_f64();
     GridResult {
         label,
         grid: grid.to_vec(),
         wall,
+        wall_median,
         model_cost,
+        hybrid_cost,
         measured_lines,
         matches: outcome.matches_reference,
     }
+}
+
+/// Labels sorted ascending by a per-result score (stable: the input
+/// order breaks exact ties).
+fn ranking_by(results: &[GridResult], score: impl Fn(&GridResult) -> f64) -> Vec<&'static str> {
+    let mut idx: Vec<usize> = (0..results.len()).collect();
+    idx.sort_by(|&a, &b| {
+        score(&results[a])
+            .partial_cmp(&score(&results[b]))
+            .expect("finite scores")
+    });
+    idx.into_iter().map(|i| results[i].label).collect()
+}
+
+/// True when `a` beats `b` by more than the noise band.
+fn measurably_faster(a: Duration, b: Duration) -> bool {
+    a.as_secs_f64() < b.as_secs_f64() * (1.0 - NOISE_REL)
 }
 
 fn run_case(
     name: &'static str,
     nest: &LoopNest,
     grids: Vec<(&'static str, Vec<i128>)>,
-) -> (&'static str, Vec<GridResult>) {
-    println!("\n{name} ({} threads, best of {TRIALS}):", THREADS);
+    latency: &LatencyModel,
+) -> CaseResult {
+    println!(
+        "\n{name} ({} threads, min/median of {TRIALS} after {WARMUP} warmup):",
+        THREADS
+    );
     let t = Table::new(&[
         ("tiling", 16),
         ("grid", 14),
-        ("wall", 12),
+        ("wall-min", 11),
+        ("wall-med", 11),
         ("model/tile", 10),
+        ("hybrid-ns", 12),
         ("meas/tile", 9),
         ("bitwise", 7),
     ]);
     let results: Vec<GridResult> = grids
         .into_iter()
-        .map(|(label, grid)| bench_grid(nest, &grid, label))
+        .map(|(label, grid)| bench_grid(nest, &grid, label, latency))
         .collect();
     for r in &results {
         t.row(&[
             &r.label,
             &format!("{:?}", r.grid),
             &format!("{:.3?}", r.wall),
+            &format!("{:.3?}", r.wall_median),
             &format!("{:.0}", r.model_cost),
+            &format!("{:.0}", r.hybrid_cost),
             &r.measured_lines,
             &if r.matches { "ok" } else { "FAIL" },
         ]);
         assert!(r.matches, "{name}/{}: parallel != sequential", r.label);
     }
-    let fastest = results.iter().min_by_key(|r| r.wall).unwrap();
+
+    let analytic_ranking = ranking_by(&results, |r| r.model_cost);
+    let calibrated_ranking = ranking_by(&results, |r| r.hybrid_cost);
+    let measured_ranking = ranking_by(&results, |r| r.wall.as_secs_f64());
+
+    // The first listed tiling is the analytic model's choice; an
+    // inversion means some baseline measurably beats it.
+    let first = &results[0];
+    let fastest = results
+        .iter()
+        .min_by_key(|r| r.wall)
+        .expect("at least one tiling");
+    let inversion = results
+        .iter()
+        .any(|r| measurably_faster(r.wall, first.wall));
+    let speedup_first_over_fastest = fastest.wall.as_secs_f64() / first.wall.as_secs_f64();
+    if inversion {
+        eprintln!(
+            "warning: {name}: inversion — model choice `{}` ({:.3?}) is not the \
+             measured fastest; `{}` runs {:.2}x faster",
+            first.label,
+            first.wall,
+            fastest.label,
+            first.wall.as_secs_f64() / fastest.wall.as_secs_f64()
+        );
+    }
+
+    // The calibrated ranking agrees when every measurably ordered pair
+    // of walls is ordered the same way by hybrid cost.
+    let mut calibrated_agrees = true;
+    for a in &results {
+        for b in &results {
+            if measurably_faster(a.wall, b.wall) && a.hybrid_cost >= b.hybrid_cost {
+                calibrated_agrees = false;
+            }
+        }
+    }
+
     let leanest = results.iter().min_by_key(|r| r.measured_lines).unwrap();
     println!(
         "fastest: {} at {:.3?}; smallest measured footprint: {} ({} lines/tile)",
         fastest.label, fastest.wall, leanest.label, leanest.measured_lines
     );
-    (name, results)
+    println!(
+        "rankings  analytic: {analytic_ranking:?}  calibrated: {calibrated_ranking:?}  \
+         measured: {measured_ranking:?}"
+    );
+    println!(
+        "calibrated ranking {} the measured ordering{}",
+        if calibrated_agrees {
+            "agrees with"
+        } else {
+            "DISAGREES with"
+        },
+        if inversion { "  [inversion]" } else { "" }
+    );
+    CaseResult {
+        name,
+        results,
+        analytic_ranking,
+        calibrated_ranking,
+        measured_ranking,
+        inversion,
+        calibrated_agrees,
+        speedup_first_over_fastest,
+    }
 }
 
 struct Hardening {
@@ -258,45 +388,94 @@ fn json_escape_ms(d: Duration) -> String {
     format!("{:.3}", d.as_secs_f64() * 1e3)
 }
 
+fn json_labels(labels: &[&'static str]) -> String {
+    let quoted: Vec<String> = labels.iter().map(|l| format!("\"{l}\"")).collect();
+    format!("[{}]", quoted.join(", "))
+}
+
 fn write_json(
-    cases: &[(&'static str, Vec<GridResult>)],
+    cases: &[CaseResult],
+    latency: &LatencyModel,
     hardening: &Hardening,
     sweep: &CacheSweep,
 ) {
-    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let cores = detected_cores();
     let mut s = String::from("{\n");
     s.push_str("  \"benchmark\": \"runtime\",\n");
     s.push_str(&format!("  \"threads\": {THREADS},\n"));
     s.push_str(&format!("  \"cores\": {cores},\n"));
+    s.push_str(&format!("  \"oversubscribed\": {},\n", THREADS > cores));
     s.push_str(&format!("  \"trials\": {TRIALS},\n"));
+    s.push_str(&format!("  \"warmup\": {WARMUP},\n"));
+    s.push_str(&format!("  \"noise_rel\": {NOISE_REL},\n"));
+    s.push_str("  \"calibration\": {\n");
+    for (key, r) in [
+        ("per_tile_ns", &latency.per_tile_ns),
+        ("per_line_ns", &latency.per_line_ns),
+        ("per_span_line_ns", &latency.per_span_line_ns),
+        ("per_iter_ns", &latency.per_iter_ns),
+        ("per_rep_ns", &latency.per_rep_ns),
+    ] {
+        s.push_str(&format!(
+            "    \"{key}\": \"{}/{}\", \"{key}_f64\": {:.6},\n",
+            r.num(),
+            r.den(),
+            r.to_f64()
+        ));
+    }
+    s.push_str(&format!("    \"samples\": {}\n  }},\n", latency.samples));
     s.push_str("  \"cases\": [\n");
-    for (ci, (name, results)) in cases.iter().enumerate() {
+    for (ci, case) in cases.iter().enumerate() {
         s.push_str("    {\n");
-        s.push_str(&format!("      \"name\": \"{name}\",\n"));
+        s.push_str(&format!("      \"name\": \"{}\",\n", case.name));
         s.push_str("      \"tilings\": [\n");
-        for (ri, r) in results.iter().enumerate() {
+        for (ri, r) in case.results.iter().enumerate() {
             s.push_str(&format!(
                 "        {{\"label\": \"{}\", \"grid\": {:?}, \"wall_ms\": {}, \
-                 \"model_cost_per_tile\": {:.1}, \"measured_max_tile_lines\": {}, \
+                 \"wall_median_ms\": {}, \"model_cost_per_tile\": {:.1}, \
+                 \"hybrid_cost_ns\": {:.1}, \"measured_max_tile_lines\": {}, \
                  \"matches_reference\": {}}}{}\n",
                 r.label,
                 r.grid,
                 json_escape_ms(r.wall),
+                json_escape_ms(r.wall_median),
                 r.model_cost,
+                r.hybrid_cost,
                 r.measured_lines,
                 r.matches,
-                if ri + 1 < results.len() { "," } else { "" }
+                if ri + 1 < case.results.len() { "," } else { "" }
             ));
         }
         s.push_str("      ],\n");
-        let opt = &results[0];
-        let naive = results[1..]
+        s.push_str(&format!(
+            "      \"analytic_ranking\": {},\n",
+            json_labels(&case.analytic_ranking)
+        ));
+        s.push_str(&format!(
+            "      \"calibrated_ranking\": {},\n",
+            json_labels(&case.calibrated_ranking)
+        ));
+        s.push_str(&format!(
+            "      \"measured_ranking\": {},\n",
+            json_labels(&case.measured_ranking)
+        ));
+        s.push_str(&format!("      \"inversion\": {},\n", case.inversion));
+        s.push_str(&format!(
+            "      \"calibrated_agrees_with_measured\": {},\n",
+            case.calibrated_agrees
+        ));
+        s.push_str(&format!(
+            "      \"speedup_first_over_fastest\": {:.3},\n",
+            case.speedup_first_over_fastest
+        ));
+        let opt = &case.results[0];
+        let slowest = case.results[1..]
             .iter()
             .max_by_key(|r| r.wall)
-            .unwrap_or(&results[0]);
+            .unwrap_or(opt);
         s.push_str(&format!(
             "      \"speedup_first_over_slowest\": {:.3}\n",
-            naive.wall.as_secs_f64() / opt.wall.as_secs_f64()
+            slowest.wall.as_secs_f64() / opt.wall.as_secs_f64()
         ));
         s.push_str(&format!(
             "    }}{}\n",
@@ -334,14 +513,13 @@ fn write_json(
 fn main() {
     let json = std::env::args().any(|a| a == "--json");
     header("E-RT", "native runtime: model-optimal vs naive tilings");
-    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let cores = detected_cores();
     if cores < THREADS {
-        println!(
-            "note: {cores} core(s) available for {THREADS} threads — wall times \
-             reflect interleaved execution, not parallel speedup"
+        eprintln!(
+            "warning: oversubscribed: {THREADS} threads on {cores} core(s) — wall \
+             times reflect interleaved execution, not parallel speedup"
         );
     }
-    let mut cases = Vec::new();
 
     // Example 8's stencil.  The first tiling is partition_rect's choice;
     // the baselines get the same processor count.
@@ -351,17 +529,6 @@ fn main() {
          } } }",
     )
     .unwrap();
-    let optimal = partition_rect(&ex8, 16).proc_grid;
-    let square = naive_partition(&ex8, 16, NaiveShape::SquareBlocks)
-        .expect("square blocks")
-        .proc_grid;
-    let mut grids = vec![("optimal", optimal.clone())];
-    if square != optimal {
-        grids.push(("square", square));
-    }
-    grids.push(("row-slabs", vec![16, 1, 1]));
-    cases.push(run_case("example8-stencil-64^3", &ex8, grids));
-
     // Accumulates: every iteration adds into C[i,j].  Blocking over i,j
     // keeps each output element on one thread (uncontended CAS); the
     // naive k-split makes all 16 tiles hammer the same C elements.
@@ -371,12 +538,6 @@ fn main() {
          } } }",
     )
     .unwrap();
-    cases.push(run_case(
-        "accumulate-matmul-128^3",
-        &acc,
-        vec![("ij-blocks", vec![4, 4, 1]), ("k-split", vec![1, 1, 16])],
-    ));
-
     // Row reduction: S[i] += A[i,j].  partition_rect splits the i axis
     // (smallest footprint, and each S element stays on one thread);
     // naive square blocks make 4 threads CAS the same S rows
@@ -387,6 +548,71 @@ fn main() {
          } }",
     )
     .unwrap();
+    // Example 2's skewed references: strips (the paper's partition a)
+    // vs square blocks, scaled up to make the wall time measurable.
+    let ex2 = parse(
+        "doall (i, 101, 612) { doall (j, 1, 512) {
+           A[i,j] = B[i+j,i-j-1] + B[i+j+4,i-j+3];
+         } }",
+    )
+    .unwrap();
+
+    // Calibrate the hybrid latency model on this machine by probing the
+    // same nests the cases measure, so the calibrated ranking is a real
+    // prediction of the walls below (fit on per-tile busy times, then
+    // asked to order whole-grid walls).
+    // Probe at the detected core count, not the benchmark thread count:
+    // on an oversubscribed box per-tile busy times measured under 8:1
+    // interleaving are dominated by scheduler noise and the fit
+    // collapses into its intercept.
+    println!(
+        "\ncalibrating hybrid latency model (probing 4 nests at p=16, {} thread(s))...",
+        cores.min(THREADS)
+    );
+    let probe_cfg = ProbeConfig {
+        threads: cores.min(THREADS),
+        trials: 3,
+        warmup: 1,
+        line_size: 1,
+        seed: 42,
+        max_grids: 8,
+    };
+    let latency = fit_nest(
+        &[(&ex8, 16), (&acc, 16), (&red, 16), (&ex2, 16)],
+        &probe_cfg,
+    )
+    .expect("calibration fit succeeds");
+    println!(
+        "fitted over {} samples: per-tile {:.1} ns, per-line {:.3} ns, \
+         per-span-line {:.3} ns, per-iter {:.3} ns, per-rep {:.1} ns",
+        latency.samples,
+        latency.per_tile_ns.to_f64(),
+        latency.per_line_ns.to_f64(),
+        latency.per_span_line_ns.to_f64(),
+        latency.per_iter_ns.to_f64(),
+        latency.per_rep_ns.to_f64()
+    );
+
+    let mut cases = Vec::new();
+
+    let optimal = partition_rect(&ex8, 16).proc_grid;
+    let square = naive_partition(&ex8, 16, NaiveShape::SquareBlocks)
+        .expect("square blocks")
+        .proc_grid;
+    let mut grids = vec![("optimal", optimal.clone())];
+    if square != optimal {
+        grids.push(("square", square));
+    }
+    grids.push(("row-slabs", vec![16, 1, 1]));
+    cases.push(run_case("example8-stencil-64^3", &ex8, grids, &latency));
+
+    cases.push(run_case(
+        "accumulate-matmul-128^3",
+        &acc,
+        vec![("ij-blocks", vec![4, 4, 1]), ("k-split", vec![1, 1, 16])],
+        &latency,
+    ));
+
     let red_opt = partition_rect(&red, 16).proc_grid;
     let red_square = naive_partition(&red, 16, NaiveShape::SquareBlocks)
         .expect("square blocks")
@@ -399,21 +625,21 @@ fn main() {
             ("square", red_square),
             ("j-split", vec![1, 16]),
         ],
+        &latency,
     ));
 
-    // Example 2's skewed references: strips (the paper's partition a)
-    // vs square blocks, scaled up to make the wall time measurable.
-    let ex2 = parse(
-        "doall (i, 101, 612) { doall (j, 1, 512) {
-           A[i,j] = B[i+j,i-j-1] + B[i+j+4,i-j+3];
-         } }",
-    )
-    .unwrap();
     cases.push(run_case(
         "example2-skewed-512^2",
         &ex2,
         vec![("strips", vec![1, 16]), ("blocks", vec![4, 4])],
+        &latency,
     ));
+
+    let agreeing = cases.iter().filter(|c| c.calibrated_agrees).count();
+    println!(
+        "\ncalibrated ranking agrees with measured ordering on {agreeing}/{} cases",
+        cases.len()
+    );
 
     let hardening = bench_hardening(&ex8, &optimal);
     report_hardening(&hardening);
@@ -427,6 +653,6 @@ fn main() {
     report_plan_cache(&sweep);
 
     if json {
-        write_json(&cases, &hardening, &sweep);
+        write_json(&cases, &latency, &hardening, &sweep);
     }
 }

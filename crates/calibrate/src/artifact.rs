@@ -1,0 +1,192 @@
+//! The calibration artifact: fitted coefficients as a versioned,
+//! byte-deterministic JSON file, reusable across `alp-cli plan` runs on
+//! the same machine.
+
+use crate::{CalibrateError, LatencyModel};
+use alp_linalg::Rat;
+use alp_plan::json::{self, Json};
+
+/// Newest calibration schema version this build reads and writes.
+pub const ARTIFACT_VERSION: u32 = 1;
+
+/// A fitted latency model plus the probe provenance it came from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Calibration {
+    /// The fitted coefficients.
+    pub model: LatencyModel,
+    /// OS threads the probe ran with.
+    pub threads: usize,
+    /// Timed trials per probed grid.
+    pub trials: usize,
+}
+
+fn rat_str(r: &Rat) -> String {
+    format!("{}/{}", r.num(), r.den())
+}
+
+fn parse_rat(s: &str) -> Result<Rat, CalibrateError> {
+    let (num, den) = s
+        .split_once('/')
+        .ok_or_else(|| CalibrateError::Schema(format!("`{s}` is not a num/den rational")))?;
+    let num: i128 = num
+        .parse()
+        .map_err(|_| CalibrateError::Schema(format!("bad rational numerator `{num}`")))?;
+    let den: i128 = den
+        .parse()
+        .map_err(|_| CalibrateError::Schema(format!("bad rational denominator `{den}`")))?;
+    if den == 0 {
+        return Err(CalibrateError::Schema(
+            "rational with zero denominator".into(),
+        ));
+    }
+    Ok(Rat::new(num, den))
+}
+
+fn rat_field(v: &Json, key: &str) -> Result<Rat, CalibrateError> {
+    match v.get(key) {
+        Some(Json::Str(s)) => parse_rat(s),
+        Some(_) => Err(CalibrateError::Schema(format!(
+            "`{key}` must be a num/den rational string"
+        ))),
+        None => Err(CalibrateError::Schema(format!("missing field `{key}`"))),
+    }
+}
+
+fn count_field(v: &Json, key: &str) -> Result<u64, CalibrateError> {
+    v.get(key)
+        .and_then(Json::as_int)
+        .and_then(|n| u64::try_from(n).ok())
+        .ok_or_else(|| CalibrateError::Schema(format!("`{key}` must be a count")))
+}
+
+impl Calibration {
+    /// Canonical encoding — fixed field order, two-space indent, exact
+    /// rationals only; encoding the same calibration twice is
+    /// byte-identical.
+    pub fn to_json_string(&self) -> String {
+        let mut out = String::from("{\n");
+        let mut field = |key: &str, val: String| {
+            out.push_str("  ");
+            json::write_string(&mut out, key);
+            out.push_str(": ");
+            out.push_str(&val);
+            out.push_str(",\n");
+        };
+        field("alp-calibration", ARTIFACT_VERSION.to_string());
+        let mut rat = |key: &str, r: &Rat| {
+            let mut s = String::new();
+            json::write_string(&mut s, &rat_str(r));
+            field(key, s);
+        };
+        rat("per_tile_ns", &self.model.per_tile_ns);
+        rat("per_line_ns", &self.model.per_line_ns);
+        rat("per_span_line_ns", &self.model.per_span_line_ns);
+        rat("per_iter_ns", &self.model.per_iter_ns);
+        rat("per_rep_ns", &self.model.per_rep_ns);
+        field("samples", self.model.samples.to_string());
+        field("threads", self.threads.to_string());
+        field("trials", self.trials.to_string());
+        // Drop the trailing comma, close the object.
+        out.truncate(out.len() - 2);
+        out.push_str("\n}\n");
+        out
+    }
+
+    /// Decode a calibration artifact, rejecting unknown versions and
+    /// malformed coefficients with a diagnostic.
+    pub fn from_json_str(s: &str) -> Result<Calibration, CalibrateError> {
+        let v = json::parse(s)?;
+        let version = v
+            .get("alp-calibration")
+            .and_then(Json::as_int)
+            .ok_or_else(|| {
+                CalibrateError::Schema("missing `alp-calibration` schema version field".into())
+            })?;
+        if version != ARTIFACT_VERSION as i128 {
+            return Err(CalibrateError::UnsupportedVersion {
+                found: version,
+                supported: ARTIFACT_VERSION,
+            });
+        }
+        Ok(Calibration {
+            model: LatencyModel {
+                per_tile_ns: rat_field(&v, "per_tile_ns")?,
+                per_line_ns: rat_field(&v, "per_line_ns")?,
+                per_span_line_ns: rat_field(&v, "per_span_line_ns")?,
+                per_iter_ns: rat_field(&v, "per_iter_ns")?,
+                per_rep_ns: rat_field(&v, "per_rep_ns")?,
+                samples: count_field(&v, "samples")?,
+            },
+            threads: count_field(&v, "threads")? as usize,
+            trials: count_field(&v, "trials")? as usize,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Calibration {
+        Calibration {
+            model: LatencyModel {
+                per_tile_ns: Rat::new(1507, 1000),
+                per_line_ns: Rat::new(21, 1000),
+                per_span_line_ns: Rat::new(3, 1000),
+                per_iter_ns: Rat::new(911, 1000),
+                per_rep_ns: Rat::int(42_000),
+                samples: 36,
+            },
+            threads: 8,
+            trials: 5,
+        }
+    }
+
+    #[test]
+    fn round_trip_is_byte_identical() {
+        let c = sample();
+        let text = c.to_json_string();
+        let back = Calibration::from_json_str(&text).unwrap();
+        assert_eq!(back, c);
+        assert_eq!(back.to_json_string(), text);
+    }
+
+    #[test]
+    fn unknown_version_is_rejected() {
+        let text = sample()
+            .to_json_string()
+            .replace("\"alp-calibration\": 1", "\"alp-calibration\": 9");
+        assert!(matches!(
+            Calibration::from_json_str(&text),
+            Err(CalibrateError::UnsupportedVersion {
+                found: 9,
+                supported: 1
+            })
+        ));
+    }
+
+    #[test]
+    fn malformed_fields_are_rejected() {
+        let good = sample().to_json_string();
+        for (from, to) in [
+            ("\"per_line_ns\": \"21/1000\"", "\"per_line_ns\": \"fast\""),
+            ("\"per_rep_ns\": \"42000/1\"", "\"per_rep_ns\": \"1/0\""),
+            ("\"samples\": 36", "\"samples\": -1"),
+            ("\"per_tile_ns\": \"1507/1000\"", "\"per_tile_ns\": 2"),
+        ] {
+            let bad = good.replace(from, to);
+            assert_ne!(bad, good, "replacement `{from}` did not apply");
+            assert!(
+                matches!(
+                    Calibration::from_json_str(&bad),
+                    Err(CalibrateError::Schema(_))
+                ),
+                "`{to}` was not rejected"
+            );
+        }
+        assert!(matches!(
+            Calibration::from_json_str("{ \"alp-calibration\": "),
+            Err(CalibrateError::Json(_))
+        ));
+    }
+}

@@ -1,0 +1,265 @@
+//! Per-candidate-grid features of the hybrid cost model.
+//!
+//! Everything here is computed *analytically* from the nest — no probe
+//! runs — so the same features score candidates at plan time and label
+//! probe measurements at calibration time.
+
+use crate::CalibrateError;
+use alp_footprint::CostModel;
+use alp_linalg::{IVec, Rat};
+use alp_loopir::LoopNest;
+use alp_partition::rect::factorizations;
+use alp_plan::{rect_tiles, IterBox};
+use std::collections::HashMap;
+
+/// The feature vector the hybrid cost model scores one candidate
+/// processor grid by.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GridFeatures {
+    /// The candidate processor grid (one factor per parallel loop).
+    pub grid: Vec<i128>,
+    /// Interior tile extents `λ_k` (inclusive), as `partition_rect`
+    /// derives them: a tile spans `ceil(n_k / g_k)` iterations.
+    pub tile_extents: Vec<i128>,
+    /// Non-empty tiles in the partition.
+    pub tiles: i128,
+    /// Modeled worst-tile cumulative footprint (Theorem 4 /
+    /// [`CostModel::cost_rect`]) — the analytic objective's own value.
+    pub lines: Rat,
+    /// Worst-tile address envelope in cache lines: per referenced
+    /// array, the span from the lowest to the highest line any
+    /// reference touches anywhere in the tile, summed over arrays.
+    /// Affine subscripts reach their extremes at tile-box corners, so
+    /// the envelope is exact from `2^depth` corner evaluations.
+    pub span_lines: i128,
+    /// Worst-tile iterations per repetition.
+    pub iters: i128,
+    /// Outer sequential repetitions of the nest.
+    pub reps: i128,
+}
+
+/// Row-major layout of one array: per-dimension lower bounds and
+/// strides, for linearizing subscript vectors into addresses.
+struct Layout {
+    lo: Vec<i128>,
+    stride: Vec<i128>,
+}
+
+fn layouts(nest: &LoopNest) -> HashMap<String, Layout> {
+    nest.array_extents()
+        .into_iter()
+        .map(|(name, dims)| {
+            let lo: Vec<i128> = dims.iter().map(|&(l, _)| l).collect();
+            let mut stride = vec![1i128; dims.len()];
+            for k in (0..dims.len().saturating_sub(1)).rev() {
+                let (l, h) = dims[k + 1];
+                stride[k] = stride[k + 1] * (h - l + 1);
+            }
+            (name, Layout { lo, stride })
+        })
+        .collect()
+}
+
+/// The address envelope (in lines) of one tile box: for each array, the
+/// min and max row-major address any reference evaluates to at any
+/// corner of the box, widened to whole lines and summed over arrays.
+fn tile_span_lines(
+    nest: &LoopNest,
+    layouts: &HashMap<String, Layout>,
+    tile: &IterBox,
+    line_size: u64,
+) -> i128 {
+    let depth = tile.lo.len();
+    let line = line_size.max(1) as i128;
+    let mut envelope: HashMap<&str, (i128, i128)> = HashMap::new();
+    for mask in 0u32..(1u32 << depth) {
+        let corner = IVec(
+            (0..depth)
+                .map(|k| {
+                    if mask & (1 << k) != 0 {
+                        tile.hi[k] as i128
+                    } else {
+                        tile.lo[k] as i128
+                    }
+                })
+                .collect(),
+        );
+        for r in nest.all_refs() {
+            let Some(layout) = layouts.get(r.array.as_str()) else {
+                continue;
+            };
+            let subs = r.eval(&corner);
+            let addr: i128 = subs
+                .0
+                .iter()
+                .zip(&layout.lo)
+                .zip(&layout.stride)
+                .map(|((&s, &lo), &st)| (s - lo) * st)
+                .sum();
+            envelope
+                .entry(r.array.as_str())
+                .and_modify(|(mn, mx)| {
+                    *mn = (*mn).min(addr);
+                    *mx = (*mx).max(addr);
+                })
+                .or_insert((addr, addr));
+        }
+    }
+    envelope
+        .values()
+        .map(|&(mn, mx)| mx / line - mn / line + 1)
+        .sum()
+}
+
+/// Every factorization of `p` over the nest's parallel loops that is
+/// feasible (no dimension gets more processors than iterations) — the
+/// same candidate set `partition_rect` searches, in the same order.
+pub fn candidate_grids(nest: &LoopNest, p: i128) -> Vec<Vec<i128>> {
+    let trips: Vec<i128> = nest.loops.iter().map(|l| l.trip_count()).collect();
+    factorizations(p, nest.depth())
+        .into_iter()
+        .filter(|grid| grid.iter().zip(&trips).all(|(&g, &n)| g <= n))
+        .collect()
+}
+
+/// Compute the hybrid-cost features of one candidate grid.
+pub fn grid_features(
+    nest: &LoopNest,
+    model: &CostModel,
+    grid: &[i128],
+    line_size: u64,
+) -> Result<GridFeatures, CalibrateError> {
+    let (tiles, _chunks) = rect_tiles(nest, grid)?;
+    let trips: Vec<i128> = nest.loops.iter().map(|l| l.trip_count()).collect();
+    let tile_extents: Vec<i128> = grid
+        .iter()
+        .zip(&trips)
+        .map(|(&g, &n)| (n + g - 1) / g - 1)
+        .collect();
+    let lines = model.cost_rect(&tile_extents);
+    let lay = layouts(nest);
+    let mut span_lines = 0i128;
+    let mut iters = 0i128;
+    let mut nonempty = 0i128;
+    for t in &tiles {
+        if t.is_empty() {
+            continue;
+        }
+        nonempty += 1;
+        span_lines = span_lines.max(tile_span_lines(nest, &lay, t, line_size));
+        iters = iters.max(t.volume() as i128);
+    }
+    if nonempty == 0 {
+        return Err(CalibrateError::Degenerate(format!(
+            "grid {grid:?} produces no non-empty tiles"
+        )));
+    }
+    Ok(GridFeatures {
+        grid: grid.to_vec(),
+        tile_extents,
+        tiles: nonempty,
+        lines,
+        span_lines,
+        iters,
+        reps: nest.seq_repetitions(),
+    })
+}
+
+/// Per-tile span features for every tile of one grid, indexed like the
+/// executor's tile numbering — the labels probe measurements are fitted
+/// against.
+pub(crate) fn per_tile_features(
+    nest: &LoopNest,
+    grid: &[i128],
+    line_size: u64,
+) -> Result<Vec<Option<(i128, i128)>>, CalibrateError> {
+    let (tiles, _chunks) = rect_tiles(nest, grid)?;
+    let lay = layouts(nest);
+    Ok(tiles
+        .iter()
+        .map(|t| {
+            if t.is_empty() {
+                None
+            } else {
+                Some((
+                    tile_span_lines(nest, &lay, t, line_size),
+                    t.volume() as i128,
+                ))
+            }
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alp_loopir::parse;
+
+    fn example2() -> LoopNest {
+        // The skewed nest whose measured ordering inverts the analytic
+        // one: strips [1,16] minimize lines, blocks [4,4] minimize span.
+        parse(
+            "doall (i, 101, 612) { doall (j, 1, 512) {
+               A[i,j] = B[i+j,i-j-1] + B[i+j+4,i-j+3];
+             } }",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn candidate_grids_match_partition_search() {
+        let nest = example2();
+        let grids = candidate_grids(&nest, 16);
+        assert!(grids.contains(&vec![1, 16]));
+        assert!(grids.contains(&vec![4, 4]));
+        assert!(grids.contains(&vec![16, 1]));
+        // Infeasible factor (more processors than iterations) filtered.
+        let tiny = parse("doall (i, 0, 3) { doall (j, 0, 63) { A[i,j] = A[i,j]; } }").unwrap();
+        assert!(candidate_grids(&tiny, 8).iter().all(|g| g[0] <= 4));
+    }
+
+    #[test]
+    fn strips_have_fewer_lines_but_wider_span_than_blocks() {
+        let nest = example2();
+        let model = CostModel::from_nest(&nest);
+        let strips = grid_features(&nest, &model, &[1, 16], 1).unwrap();
+        let blocks = grid_features(&nest, &model, &[4, 4], 1).unwrap();
+        assert_eq!(strips.tiles, 16);
+        assert_eq!(blocks.tiles, 16);
+        assert_eq!(strips.reps, 1);
+        // The analytic objective prefers strips...
+        assert!(
+            strips.lines < blocks.lines,
+            "{:?} vs {:?}",
+            strips.lines,
+            blocks.lines
+        );
+        // ...but their per-tile address envelope is far wider — the
+        // signal the measured inversion rides on.
+        assert!(
+            strips.span_lines > 2 * blocks.span_lines,
+            "strips span {} vs blocks span {}",
+            strips.span_lines,
+            blocks.span_lines
+        );
+    }
+
+    #[test]
+    fn span_respects_line_size() {
+        let nest = example2();
+        let model = CostModel::from_nest(&nest);
+        let l1 = grid_features(&nest, &model, &[4, 4], 1).unwrap().span_lines;
+        let l8 = grid_features(&nest, &model, &[4, 4], 8).unwrap().span_lines;
+        assert!(l8 < l1 && l8 >= l1 / 8, "1-elem {l1} vs 8-elem {l8}");
+    }
+
+    #[test]
+    fn per_tile_features_align_with_tiles() {
+        let nest = example2();
+        let per = per_tile_features(&nest, &[4, 4], 1).unwrap();
+        assert_eq!(per.len(), 16);
+        assert!(per.iter().all(|f| f.is_some()));
+        // Interior tiles of a 512/4 × 512/4 split: 128×128 iterations.
+        assert_eq!(per[0].unwrap().1, 128 * 128);
+    }
+}

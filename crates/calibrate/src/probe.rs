@@ -1,0 +1,222 @@
+//! Probe runs: execute candidate tilings on the real machine and turn
+//! the executor's reports into fit samples.
+
+use crate::features::per_tile_features;
+use crate::{candidate_grids, fit, CalibrateError, LatencyModel, TileSample};
+use alp_loopir::LoopNest;
+use alp_runtime::{ExecOptions, Executor, Schedule};
+use std::time::Duration;
+
+/// Knobs for a calibration probe.
+#[derive(Debug, Clone)]
+pub struct ProbeConfig {
+    /// OS threads per run (0 = one per tile).
+    pub threads: usize,
+    /// Timed trials per candidate grid; per-tile busy times keep the
+    /// minimum across trials (noise floors, not noise averages).
+    pub trials: usize,
+    /// Untimed warmup runs per candidate grid (page faults, frequency
+    /// ramp).
+    pub warmup: usize,
+    /// Elements per cache line for touch counting and span features.
+    pub line_size: u64,
+    /// Seed for the probe arrays.
+    pub seed: u64,
+    /// Cap on candidate grids probed per nest (evenly subsampled); the
+    /// fit needs diverse shapes, not every factorization.
+    pub max_grids: usize,
+}
+
+impl Default for ProbeConfig {
+    fn default() -> Self {
+        ProbeConfig {
+            threads: 4,
+            trials: 3,
+            warmup: 1,
+            line_size: 1,
+            seed: 42,
+            max_grids: 8,
+        }
+    }
+}
+
+/// What a probe produced: fit samples plus the averaged critical-path
+/// barrier wait.
+#[derive(Debug, Clone, Default)]
+pub struct ProbeReport {
+    /// One sample per (probed grid, non-empty tile).
+    pub samples: Vec<TileSample>,
+    /// Mean per-repetition critical-path barrier wait, nanoseconds.
+    pub barrier_ns: f64,
+    /// Timed runs executed.
+    pub runs: usize,
+}
+
+impl ProbeReport {
+    /// Merge another probe's observations into this one (barrier means
+    /// are combined weighted by run count).
+    pub fn merge(&mut self, other: ProbeReport) {
+        let total = self.runs + other.runs;
+        if total > 0 {
+            self.barrier_ns = (self.barrier_ns * self.runs as f64
+                + other.barrier_ns * other.runs as f64)
+                / total as f64;
+        }
+        self.runs = total;
+        self.samples.extend(other.samples);
+    }
+}
+
+fn runtime_err(e: alp_runtime::RuntimeError) -> CalibrateError {
+    CalibrateError::Runtime(e.to_string())
+}
+
+/// Probe one nest: run up to `max_grids` feasible tilings of `p`
+/// processors and extract per-tile samples.
+pub fn probe_nest(
+    nest: &LoopNest,
+    p: i128,
+    cfg: &ProbeConfig,
+) -> Result<ProbeReport, CalibrateError> {
+    let grids = candidate_grids(nest, p);
+    if grids.is_empty() {
+        return Err(CalibrateError::Plan(alp_plan::PlanError::Infeasible(
+            format!("no feasible factorization of {p} processors for this nest"),
+        )));
+    }
+    // Evenly subsample so the probed set still spans the shape range
+    // (strips at both ends, blocks in the middle).
+    let selected: Vec<&Vec<i128>> = if grids.len() <= cfg.max_grids.max(1) {
+        grids.iter().collect()
+    } else {
+        let n = cfg.max_grids.max(1);
+        (0..n)
+            .map(|k| &grids[k * (grids.len() - 1) / (n - 1).max(1)])
+            .collect()
+    };
+
+    let mut report = ProbeReport::default();
+    for grid in selected {
+        let exec = Executor::from_grid(nest, grid).map_err(runtime_err)?;
+        let store = exec.seeded_store(cfg.seed);
+        let mut opts = ExecOptions {
+            threads: cfg.threads,
+            schedule: Schedule::Static,
+            line_size: cfg.line_size,
+            track_touches: true,
+            ..ExecOptions::default()
+        };
+        // One tracked run for the measured distinct-line counts…
+        let touched = exec.run(&store, &opts).map_err(runtime_err)?;
+        // …then timed runs with tracking off, keeping each tile's
+        // fastest observation.
+        opts.track_touches = false;
+        let tiles = touched.per_tile.len();
+        let mut best_busy: Vec<Option<Duration>> = vec![None; tiles];
+        let mut barrier_ns_sum = 0.0f64;
+        let mut timed = 0usize;
+        for round in 0..cfg.warmup + cfg.trials.max(1) {
+            let run = exec.run(&store, &opts).map_err(runtime_err)?;
+            if round < cfg.warmup {
+                continue;
+            }
+            timed += 1;
+            if let Some(w) = run.mean_barrier_wait() {
+                barrier_ns_sum += w.as_secs_f64() * 1e9;
+            }
+            for t in &run.per_tile {
+                let slot = &mut best_busy[t.tile];
+                *slot = Some(slot.map_or(t.busy, |b| b.min(t.busy)));
+            }
+        }
+        let reps = touched.repetitions.max(1) as f64;
+        let spans = per_tile_features(nest, grid, cfg.line_size)?;
+        for t in &touched.per_tile {
+            let Some(Some((span, iters))) = spans.get(t.tile) else {
+                continue;
+            };
+            let Some(busy) = best_busy[t.tile] else {
+                continue;
+            };
+            if *iters == 0 {
+                continue;
+            }
+            let lines = t.distinct_lines.map(|n| n as f64).unwrap_or(*span as f64);
+            report.samples.push(TileSample {
+                busy_ns: busy.as_secs_f64() * 1e9 / reps,
+                lines,
+                span_lines: *span as f64,
+                iters: *iters as f64,
+            });
+        }
+        report.merge(ProbeReport {
+            samples: Vec::new(),
+            barrier_ns: if timed > 0 {
+                barrier_ns_sum / timed as f64
+            } else {
+                0.0
+            },
+            runs: timed,
+        });
+    }
+    Ok(report)
+}
+
+/// Probe several nests and fit one latency model from the pooled
+/// samples — the one-call entry `alp-cli calibrate` uses.
+pub fn fit_nest(
+    nests: &[(&LoopNest, i128)],
+    cfg: &ProbeConfig,
+) -> Result<LatencyModel, CalibrateError> {
+    let mut pooled = ProbeReport::default();
+    for &(nest, p) in nests {
+        pooled.merge(probe_nest(nest, p, cfg)?);
+    }
+    fit(&pooled.samples, pooled.barrier_ns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alp_loopir::parse;
+
+    fn quick_cfg() -> ProbeConfig {
+        ProbeConfig {
+            threads: 2,
+            trials: 1,
+            warmup: 0,
+            max_grids: 4,
+            ..ProbeConfig::default()
+        }
+    }
+
+    #[test]
+    fn probe_produces_labeled_samples() {
+        let nest =
+            parse("doall (i, 0, 31) { doall (j, 0, 31) { A[i,j] = B[i,j] + B[i+1,j]; } }").unwrap();
+        let report = probe_nest(&nest, 4, &quick_cfg()).unwrap();
+        assert!(report.runs >= 1);
+        assert!(!report.samples.is_empty());
+        for s in &report.samples {
+            assert!(s.busy_ns >= 0.0);
+            assert!(s.lines > 0.0);
+            assert!(s.span_lines > 0.0);
+            assert!(s.iters > 0.0);
+        }
+    }
+
+    #[test]
+    fn fit_nest_yields_a_model_end_to_end() {
+        let a =
+            parse("doall (i, 0, 63) { doall (j, 0, 63) { A[i,j] = B[i,j] + B[i+1,j]; } }").unwrap();
+        let b = parse(
+            "doall (i, 101, 228) { doall (j, 1, 128) {
+               A[i,j] = B[i+j,i-j-1] + B[i+j+4,i-j+3];
+             } }",
+        )
+        .unwrap();
+        let model = fit_nest(&[(&a, 4), (&b, 4)], &quick_cfg()).unwrap();
+        assert!(model.samples >= 8);
+        assert!(model.per_tile_ns >= alp_linalg::Rat::ZERO);
+    }
+}

@@ -1,0 +1,154 @@
+//! Re-ranking the candidate tilings with the hybrid cost model.
+
+use crate::{candidate_grids, grid_features, CalibrateError, GridFeatures, LatencyModel};
+use alp_footprint::CostModel;
+use alp_linalg::Rat;
+use alp_loopir::LoopNest;
+use alp_partition::RectPartition;
+
+/// One candidate tiling scored under both objectives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RankedCandidate {
+    /// The hybrid-cost features (grid, extents, lines, span, …).
+    pub features: GridFeatures,
+    /// The analytic Theorem-4 objective (worst-tile footprint).
+    pub analytic_cost: Rat,
+    /// The calibrated hybrid cost, in model nanoseconds.
+    pub hybrid_cost: Rat,
+}
+
+/// Score every feasible processor-grid factorization of `p` under the
+/// calibrated model, best first.  Ties (and the no-signal case of an
+/// all-zero model) fall back to analytic-cost order, so a degenerate
+/// calibration reproduces the analytic ranking instead of scrambling
+/// it.
+pub fn rank_candidates(
+    nest: &LoopNest,
+    model: &CostModel,
+    latency: &LatencyModel,
+    p: i128,
+    line_size: u64,
+) -> Result<Vec<RankedCandidate>, CalibrateError> {
+    let grids = candidate_grids(nest, p);
+    if grids.is_empty() {
+        return Err(CalibrateError::Plan(alp_plan::PlanError::Infeasible(
+            format!("no feasible factorization of {p} processors for this nest"),
+        )));
+    }
+    let mut out = Vec::with_capacity(grids.len());
+    for grid in grids {
+        let features = grid_features(nest, model, &grid, line_size)?;
+        let analytic_cost = features.lines;
+        let hybrid_cost = latency.hybrid_cost(&features);
+        out.push(RankedCandidate {
+            features,
+            analytic_cost,
+            hybrid_cost,
+        });
+    }
+    out.sort_by(|a, b| {
+        a.hybrid_cost
+            .cmp(&b.hybrid_cost)
+            .then_with(|| a.analytic_cost.cmp(&b.analytic_cost))
+    });
+    Ok(out)
+}
+
+/// The calibrated partitioner: like
+/// [`partition_rect`](alp_partition::partition_rect) but ranked by the
+/// hybrid cost.  The returned partition carries the *analytic* cost of
+/// the chosen grid, so it stays comparable with uncalibrated plans.
+pub fn choose_calibrated(
+    nest: &LoopNest,
+    model: &CostModel,
+    latency: &LatencyModel,
+    p: i128,
+    line_size: u64,
+) -> Result<RectPartition, CalibrateError> {
+    let ranked = rank_candidates(nest, model, latency, p, line_size)?;
+    let best = &ranked[0];
+    Ok(RectPartition {
+        proc_grid: best.features.grid.clone(),
+        tile_extents: best.features.tile_extents.clone(),
+        cost: best.analytic_cost,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alp_loopir::parse;
+    use alp_partition::partition_rect;
+
+    fn example2() -> LoopNest {
+        parse(
+            "doall (i, 101, 612) { doall (j, 1, 512) {
+               A[i,j] = B[i+j,i-j-1] + B[i+j+4,i-j+3];
+             } }",
+        )
+        .unwrap()
+    }
+
+    fn model_with(b: (i128, i128), s: (i128, i128)) -> LatencyModel {
+        LatencyModel {
+            per_tile_ns: Rat::int(1500),
+            per_line_ns: Rat::new(b.0, b.1),
+            per_span_line_ns: Rat::new(s.0, s.1),
+            per_iter_ns: Rat::new(3, 4),
+            per_rep_ns: Rat::int(40_000),
+            samples: 32,
+        }
+    }
+
+    #[test]
+    fn span_term_resolves_the_example2_inversion() {
+        let nest = example2();
+        let cost = CostModel::from_nest(&nest);
+        // The analytic objective picks strips.
+        assert_eq!(partition_rect(&nest, 16).proc_grid, vec![1, 16]);
+        // A calibration with a meaningful span coefficient flips the
+        // choice to blocks — matching what the machine measures.
+        let latency = model_with((2, 1), (1, 10));
+        let part = choose_calibrated(&nest, &cost, &latency, 16, 1).unwrap();
+        assert_eq!(part.proc_grid, vec![4, 4]);
+        // And the recorded cost is the analytic one for that grid.
+        assert_eq!(part.cost, cost.cost_rect(&part.tile_extents));
+    }
+
+    #[test]
+    fn zero_span_coefficient_reproduces_the_analytic_choice() {
+        let nest = example2();
+        let cost = CostModel::from_nest(&nest);
+        let latency = model_with((2, 1), (0, 1));
+        let part = choose_calibrated(&nest, &cost, &latency, 16, 1).unwrap();
+        assert_eq!(part.proc_grid, partition_rect(&nest, 16).proc_grid);
+    }
+
+    #[test]
+    fn all_zero_model_falls_back_to_analytic_order() {
+        let nest = example2();
+        let cost = CostModel::from_nest(&nest);
+        let latency = LatencyModel {
+            per_tile_ns: Rat::ZERO,
+            per_line_ns: Rat::ZERO,
+            per_span_line_ns: Rat::ZERO,
+            per_iter_ns: Rat::ZERO,
+            per_rep_ns: Rat::ZERO,
+            samples: 0,
+        };
+        let ranked = rank_candidates(&nest, &cost, &latency, 16, 1).unwrap();
+        assert_eq!(ranked[0].features.grid, vec![1, 16]);
+    }
+
+    #[test]
+    fn ranking_is_exhaustive_over_feasible_grids() {
+        let nest = example2();
+        let cost = CostModel::from_nest(&nest);
+        let latency = model_with((2, 1), (1, 10));
+        let ranked = rank_candidates(&nest, &cost, &latency, 16, 1).unwrap();
+        assert_eq!(ranked.len(), candidate_grids(&nest, 16).len());
+        for w in ranked.windows(2) {
+            assert!(w[0].hybrid_cost <= w[1].hybrid_cost);
+        }
+    }
+}

@@ -30,6 +30,10 @@ pub struct PlanKey {
     /// Whether legality analysis ran (checked and unchecked plans for
     /// the same nest must not alias).
     pub checked: bool,
+    /// Whether a calibrated latency model drove the tile-shape choice
+    /// (calibrated and analytic plans for the same nest must not
+    /// alias).
+    pub calibrated: bool,
 }
 
 /// Hit/miss/eviction counters, cumulative over the cache's lifetime.
@@ -180,6 +184,7 @@ mod tests {
             processors: 16,
             mesh: None,
             checked: true,
+            calibrated: false,
         }
     }
 
@@ -227,6 +232,12 @@ mod tests {
         assert!(cache
             .get(&PlanKey {
                 mesh: Some((2, 2)),
+                ..key(1)
+            })
+            .is_none());
+        assert!(cache
+            .get(&PlanKey {
+                calibrated: true,
                 ..key(1)
             })
             .is_none());

@@ -35,7 +35,10 @@ pub mod tiles;
 pub use cache::{CacheStats, PlanCache, PlanKey};
 pub use fingerprint::{canonical_source, fingerprint, fingerprint_hex, fnv1a64};
 pub use json::{Json, JsonError};
-pub use plan::{ClassFootprint, LegalityVerdict, PartitionPlan, SCHEMA_VERSION};
+pub use plan::{
+    ChosenBy, ClassFootprint, LatencyCoefficients, LegalityVerdict, PartitionPlan,
+    MIN_SCHEMA_VERSION, SCHEMA_VERSION,
+};
 pub use tiles::{rect_tiles, IterBox};
 
 /// Everything that can go wrong building, encoding, or decoding a plan.

@@ -10,7 +10,21 @@ use alp_partition::{communication_free_normals, partition_rect, RectPartition};
 
 /// Current plan schema version.  Bump when the JSON layout changes;
 /// decoders refuse versions they do not understand (never panic).
-pub const SCHEMA_VERSION: u32 = 1;
+///
+/// Version history:
+/// * **1** — the original schema.
+/// * **2** — adds `chosen_by` (which ranking picked the partition) and
+///   the optional `calibration` provenance block (fitted latency
+///   coefficients as exact rationals).
+///
+/// Decoding accepts [`MIN_SCHEMA_VERSION`]`..=`[`SCHEMA_VERSION`]; a
+/// decoded plan remembers the version it was written with and re-encodes
+/// under that same version, so pre-calibration plans stay byte-stable
+/// through a decode/encode round trip.
+pub const SCHEMA_VERSION: u32 = 2;
+
+/// Oldest plan schema version this build still decodes.
+pub const MIN_SCHEMA_VERSION: u32 = 1;
 
 /// What the legality analysis said about the nest when the plan was
 /// made.
@@ -25,6 +39,51 @@ pub enum LegalityVerdict {
     /// The analysis was skipped (`Compiler::unchecked`); the plan may
     /// describe a racy nest.
     Unchecked,
+}
+
+/// Which cost ranking picked the plan's partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ChosenBy {
+    /// The paper's analytic Theorem-4 footprint ranking (the default,
+    /// and the only option before schema version 2).
+    #[default]
+    Analytic,
+    /// A measured-latency hybrid ranking: the analytic candidate set
+    /// re-ranked under fitted coefficients (see the plan's
+    /// [`calibration`](PartitionPlan::calibration) block).
+    Calibrated,
+}
+
+impl ChosenBy {
+    fn as_str(self) -> &'static str {
+        match self {
+            ChosenBy::Analytic => "analytic",
+            ChosenBy::Calibrated => "calibrated",
+        }
+    }
+}
+
+/// Fitted latency coefficients persisted as plan provenance: the hybrid
+/// cost re-ranking tiles as
+/// `a·tiles + b·lines + s·span + d·iters + c·reps` (all in
+/// nanoseconds, stored as exact rationals so the codec stays
+/// float-free and byte-deterministic).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyCoefficients {
+    /// `a`: fixed overhead per tile visit (scheduling, startup).
+    pub per_tile_ns: Rat,
+    /// `b`: cost per distinct cache line in a tile's footprint.
+    pub per_line_ns: Rat,
+    /// `s`: cost per line of a tile's address *span* (the envelope
+    /// between its lowest and highest touched line, which bounds how
+    /// much reuse the hardware hierarchy can extract).
+    pub per_span_line_ns: Rat,
+    /// `d`: cost per loop iteration (compute).
+    pub per_iter_ns: Rat,
+    /// `c`: synchronization cost per sequential repetition (barrier).
+    pub per_rep_ns: Rat,
+    /// Number of measured tile samples the fit used.
+    pub samples: u64,
 }
 
 /// Predicted Eq.-2 cumulative footprint of one uniformly intersecting
@@ -67,6 +126,12 @@ pub struct PartitionPlan {
     pub legality: LegalityVerdict,
     /// Which optimizer chose the partition (provenance).
     pub optimizer: String,
+    /// Which cost ranking picked the partition (schema ≥ 2; decoded
+    /// v1 plans default to [`ChosenBy::Analytic`]).
+    pub chosen_by: ChosenBy,
+    /// Fitted latency coefficients behind a calibrated choice (absent
+    /// on analytic plans and on plans written before schema 2).
+    pub calibration: Option<LatencyCoefficients>,
     /// Processors along each loop dimension.
     pub proc_grid: Vec<i128>,
     /// Interior tile extent λ per dimension (inclusive convention).
@@ -103,8 +168,43 @@ impl PartitionPlan {
         if processors < 1 {
             return Err(PlanError::Infeasible("need at least one processor".into()));
         }
-        let model = CostModel::from_nest(nest);
         let partition = partition_rect(nest, processors);
+        Self::build_with_partition(
+            nest,
+            processors,
+            mesh,
+            legality,
+            partition,
+            "rect-exhaustive",
+        )
+    }
+
+    /// [`build`](Self::build) with a caller-chosen partition and
+    /// optimizer name — the hook a calibrated (or otherwise external)
+    /// ranker uses to persist its decision with the same footprint
+    /// predictions and provenance as the analytic path.
+    pub fn build_with_partition(
+        nest: &LoopNest,
+        processors: i128,
+        mesh: Option<(usize, usize)>,
+        legality: LegalityVerdict,
+        partition: RectPartition,
+        optimizer: &str,
+    ) -> Result<PartitionPlan, PlanError> {
+        if nest.depth() == 0 {
+            return Err(PlanError::Infeasible("nest has no parallel loops".into()));
+        }
+        if processors < 1 {
+            return Err(PlanError::Infeasible("need at least one processor".into()));
+        }
+        if partition.proc_grid.len() != nest.depth() {
+            return Err(PlanError::BadGrid(format!(
+                "partition rank {} does not match nest depth {}",
+                partition.proc_grid.len(),
+                nest.depth()
+            )));
+        }
+        let model = CostModel::from_nest(nest);
         let class_footprints = model
             .classes()
             .iter()
@@ -121,7 +221,9 @@ impl PartitionPlan {
             processors,
             mesh,
             legality,
-            optimizer: "rect-exhaustive".into(),
+            optimizer: optimizer.into(),
+            chosen_by: ChosenBy::Analytic,
+            calibration: None,
             proc_grid: partition.proc_grid,
             tile_extents: partition.tile_extents,
             cost: partition.cost,
@@ -130,6 +232,14 @@ impl PartitionPlan {
             comm_free_normals: communication_free_normals(nest),
             source: nest.display(),
         })
+    }
+
+    /// Mark the plan as chosen by a calibrated hybrid ranking and
+    /// persist the fitted coefficients as provenance.
+    pub fn with_calibration(mut self, coefficients: LatencyCoefficients) -> Self {
+        self.chosen_by = ChosenBy::Calibrated;
+        self.calibration = Some(coefficients);
+        self
     }
 
     /// The plan's partition in `alp-partition`'s type.
@@ -204,11 +314,34 @@ impl PartitionPlan {
             .render(&mut out, 1);
         out.push_str(",\n");
         push_field(&mut out, "optimizer", Json::Str(self.optimizer.clone()));
+        // Schema-2 fields: a plan decoded from a version-1 file
+        // re-encodes as version 1, without them, byte-stably.
+        if self.schema_version >= 2 {
+            push_field(
+                &mut out,
+                "chosen_by",
+                Json::Str(self.chosen_by.as_str().into()),
+            );
+        }
         push_field(&mut out, "proc_grid", int_arr(&self.proc_grid));
         push_field(&mut out, "tile_extents", int_arr(&self.tile_extents));
         push_field(&mut out, "cost", Json::Str(rat_str(&self.cost)));
         if let Some(bytes) = self.store_bytes {
             push_field(&mut out, "store_bytes", Json::Int(bytes as i128));
+        }
+        if self.schema_version >= 2 {
+            if let Some(c) = &self.calibration {
+                out.push_str("  \"calibration\": ");
+                ObjWriter::new()
+                    .field("per_tile_ns", Json::Str(rat_str(&c.per_tile_ns)))
+                    .field("per_line_ns", Json::Str(rat_str(&c.per_line_ns)))
+                    .field("per_span_line_ns", Json::Str(rat_str(&c.per_span_line_ns)))
+                    .field("per_iter_ns", Json::Str(rat_str(&c.per_iter_ns)))
+                    .field("per_rep_ns", Json::Str(rat_str(&c.per_rep_ns)))
+                    .field("samples", Json::Int(c.samples as i128))
+                    .render(&mut out, 1);
+                out.push_str(",\n");
+            }
         }
         if classes.is_empty() {
             out.push_str("  \"class_footprints\": [],\n");
@@ -250,12 +383,14 @@ impl PartitionPlan {
             .get("alp-plan")
             .and_then(Json::as_int)
             .ok_or_else(|| PlanError::Schema("missing `alp-plan` schema version field".into()))?;
-        if version != SCHEMA_VERSION as i128 {
+        if version < MIN_SCHEMA_VERSION as i128 || version > SCHEMA_VERSION as i128 {
             return Err(PlanError::UnsupportedVersion {
                 found: version,
                 supported: SCHEMA_VERSION,
             });
         }
+        // Unreachable expect: range-checked against the u32 consts above.
+        let schema_version = u32::try_from(version).expect("version fits u32");
         let fingerprint = str_field(&v, "fingerprint")?;
         let processors = int_field(&v, "processors")?;
         let mesh = match v.get("mesh") {
@@ -295,6 +430,38 @@ impl PartitionPlan {
             }
         };
         let optimizer = str_field(&v, "optimizer")?;
+        // Optional (schema ≥ 2): absent in version-1 plans.
+        let chosen_by = match v.get("chosen_by") {
+            None => ChosenBy::Analytic,
+            Some(Json::Str(s)) if s == "analytic" => ChosenBy::Analytic,
+            Some(Json::Str(s)) if s == "calibrated" => ChosenBy::Calibrated,
+            Some(_) => {
+                return Err(PlanError::Schema(
+                    "`chosen_by` must be \"analytic\" or \"calibrated\"".into(),
+                ))
+            }
+        };
+        let calibration = match v.get("calibration") {
+            None | Some(Json::Null) => None,
+            Some(c @ Json::Obj(_)) => Some(LatencyCoefficients {
+                per_tile_ns: parse_rat(&str_field(c, "per_tile_ns")?)?,
+                per_line_ns: parse_rat(&str_field(c, "per_line_ns")?)?,
+                per_span_line_ns: parse_rat(&str_field(c, "per_span_line_ns")?)?,
+                per_iter_ns: parse_rat(&str_field(c, "per_iter_ns")?)?,
+                per_rep_ns: parse_rat(&str_field(c, "per_rep_ns")?)?,
+                samples: int_field(c, "samples")
+                    .ok()
+                    .and_then(|n| u64::try_from(n).ok())
+                    .ok_or_else(|| {
+                        PlanError::Schema("`calibration.samples` must be a count".into())
+                    })?,
+            }),
+            Some(_) => {
+                return Err(PlanError::Schema(
+                    "`calibration` must be null or an object of coefficients".into(),
+                ))
+            }
+        };
         let proc_grid = int_arr_field(&v, "proc_grid")?;
         let tile_extents = int_arr_field(&v, "tile_extents")?;
         if proc_grid.is_empty() || proc_grid.len() != tile_extents.len() {
@@ -358,12 +525,14 @@ impl PartitionPlan {
             .collect::<Result<Vec<_>, PlanError>>()?;
         let source = str_field(&v, "source")?;
         Ok(PartitionPlan {
-            schema_version: SCHEMA_VERSION,
+            schema_version,
             fingerprint,
             processors,
             mesh,
             legality,
             optimizer,
+            chosen_by,
+            calibration,
             proc_grid,
             tile_extents,
             cost,
@@ -496,6 +665,87 @@ mod tests {
         assert_eq!(back.to_json_string(), text, "encoding is canonical");
     }
 
+    fn coefficients() -> LatencyCoefficients {
+        LatencyCoefficients {
+            per_tile_ns: Rat::new(1507, 1000),
+            per_line_ns: Rat::new(21, 1000),
+            per_span_line_ns: Rat::new(3, 1000),
+            per_iter_ns: Rat::new(911, 1000),
+            per_rep_ns: Rat::new(42000, 1),
+            samples: 36,
+        }
+    }
+
+    #[test]
+    fn calibration_provenance_round_trips() {
+        let plan = PartitionPlan::build(&example8(), 16, None, LegalityVerdict::Unchecked)
+            .unwrap()
+            .with_calibration(coefficients());
+        assert_eq!(plan.chosen_by, ChosenBy::Calibrated);
+        let text = plan.to_json_string();
+        assert!(text.contains("\"chosen_by\": \"calibrated\""));
+        assert!(text.contains("\"per_span_line_ns\": \"3/1000\""));
+        let back = PartitionPlan::from_json_str(&text).unwrap();
+        assert_eq!(back, plan);
+        assert_eq!(back.calibration, Some(coefficients()));
+        assert_eq!(back.to_json_string(), text, "encoding is canonical");
+    }
+
+    #[test]
+    fn uncalibrated_plan_round_trips_without_calibration_block() {
+        let plan = PartitionPlan::build(&example8(), 16, None, LegalityVerdict::Unchecked).unwrap();
+        let text = plan.to_json_string();
+        assert!(text.contains("\"chosen_by\": \"analytic\""));
+        assert!(!text.contains("\"calibration\""));
+        let back = PartitionPlan::from_json_str(&text).unwrap();
+        assert_eq!(back.chosen_by, ChosenBy::Analytic);
+        assert_eq!(back.calibration, None);
+        assert_eq!(back.to_json_string(), text);
+    }
+
+    #[test]
+    fn version_1_plan_decodes_and_reencodes_byte_stably() {
+        // Write a version-1 file by hand-downgrading a fresh plan: drop
+        // the schema-2 fields and rewrite the version tag — exactly what
+        // a pre-calibration build would have emitted.
+        let plan = PartitionPlan::build(&example8(), 16, None, LegalityVerdict::Unchecked).unwrap();
+        let v1: String = plan
+            .to_json_string()
+            .replace("\"alp-plan\": 2", "\"alp-plan\": 1")
+            .lines()
+            .filter(|l| !l.contains("\"chosen_by\""))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        let back = PartitionPlan::from_json_str(&v1).unwrap();
+        assert_eq!(back.schema_version, 1);
+        assert_eq!(back.chosen_by, ChosenBy::Analytic);
+        assert_eq!(back.calibration, None);
+        assert_eq!(back.to_json_string(), v1, "v1 re-encode is byte-stable");
+    }
+
+    #[test]
+    fn bad_chosen_by_and_calibration_are_rejected() {
+        let plan = PartitionPlan::build(&example8(), 16, None, LegalityVerdict::Unchecked)
+            .unwrap()
+            .with_calibration(coefficients());
+        let text = plan.to_json_string();
+        let bad = text.replace("\"chosen_by\": \"calibrated\"", "\"chosen_by\": \"vibes\"");
+        assert!(matches!(
+            PartitionPlan::from_json_str(&bad),
+            Err(PlanError::Schema(_))
+        ));
+        let bad = text.replace("\"per_line_ns\": \"21/1000\"", "\"per_line_ns\": \"fast\"");
+        assert!(matches!(
+            PartitionPlan::from_json_str(&bad),
+            Err(PlanError::Schema(_))
+        ));
+        let bad = text.replace("\"samples\": 36", "\"samples\": -3");
+        assert!(matches!(
+            PartitionPlan::from_json_str(&bad),
+            Err(PlanError::Schema(_))
+        ));
+    }
+
     #[test]
     fn mesh_and_warnings_round_trip() {
         let nest = parse("doall (i, 0, 15) { doall (j, 0, 15) { A[i,j] = A[i,j]; } }").unwrap();
@@ -516,7 +766,7 @@ mod tests {
         let plan = PartitionPlan::build(&example8(), 8, None, LegalityVerdict::Unchecked).unwrap();
         let text = plan
             .to_json_string()
-            .replace("\"alp-plan\": 1", "\"alp-plan\": 99");
+            .replace("\"alp-plan\": 2", "\"alp-plan\": 99");
         let err = PartitionPlan::from_json_str(&text).unwrap_err();
         match err {
             PlanError::UnsupportedVersion { found, supported } => {

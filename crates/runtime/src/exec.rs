@@ -417,6 +417,7 @@ impl Executor {
                 cancellation_polls: 0,
                 per_thread: Vec::new(),
                 per_tile: Vec::new(),
+                barrier_waits: Vec::new(),
             });
         }
         let threads = self.resolve_threads(opts);
@@ -452,6 +453,8 @@ impl Executor {
                             tile_metrics: Vec::new(),
                             iterations: 0,
                             busy: Duration::ZERO,
+                            barrier_wait: Duration::ZERO,
+                            rep_waits: Vec::new(),
                             retries: 0,
                             polls: 0,
                         };
@@ -480,17 +483,29 @@ impl Executor {
                             // repetition r+1 until all finish r.  A
                             // cancelled barrier means the run is being
                             // torn down — drain with partial metrics.
+                            // The time parked here is measured per
+                            // repetition: it is the synchronization
+                            // cost (load imbalance + barrier mechanics)
+                            // a latency calibration fits against.
+                            let wait_start = Instant::now();
                             let Ok(leader) = ctrl.barrier.wait() else {
                                 break 'reps;
                             };
+                            let mut waited = wait_start.elapsed();
                             if opts.schedule == Schedule::Dynamic {
                                 if leader {
                                     next_tile.store(0, Ordering::SeqCst);
                                 }
+                                let wait_start = Instant::now();
                                 if ctrl.barrier.wait().is_err() {
+                                    w.barrier_wait += waited;
+                                    w.rep_waits.push(waited);
                                     break 'reps;
                                 }
+                                waited += wait_start.elapsed();
                             }
+                            w.barrier_wait += waited;
+                            w.rep_waits.push(waited);
                         }
                         w.finish()
                     })
@@ -542,6 +557,18 @@ impl Executor {
         let mut per_tile: Vec<TileMetrics> =
             outs.iter().flat_map(|o| o.tiles.iter().cloned()).collect();
         per_tile.sort_by_key(|m| m.tile);
+        // Per-repetition critical-path barrier cost: the slowest wait of
+        // any thread for that repetition (threads that drained early
+        // simply contribute fewer entries).
+        let completed_reps = outs.iter().map(|o| o.rep_waits.len()).max().unwrap_or(0);
+        let barrier_waits: Vec<Duration> = (0..completed_reps)
+            .map(|rep| {
+                outs.iter()
+                    .filter_map(|o| o.rep_waits.get(rep).copied())
+                    .max()
+                    .unwrap_or(Duration::ZERO)
+            })
+            .collect();
         let per_thread: Vec<ThreadMetrics> = outs.into_iter().map(|o| o.metrics).collect();
         Ok(RunReport {
             threads,
@@ -556,6 +583,7 @@ impl Executor {
             cancellation_polls,
             per_thread,
             per_tile,
+            barrier_waits,
         })
     }
 
@@ -648,6 +676,10 @@ struct WorkerState<'a> {
     tile_metrics: Vec<TileMetrics>,
     iterations: u64,
     busy: Duration,
+    barrier_wait: Duration,
+    /// Time parked at the end-of-repetition barrier(s), one entry per
+    /// completed repetition.
+    rep_waits: Vec<Duration>,
     retries: u64,
     polls: u64,
 }
@@ -655,6 +687,7 @@ struct WorkerState<'a> {
 struct ThreadOut {
     metrics: ThreadMetrics,
     tiles: Vec<TileMetrics>,
+    rep_waits: Vec<Duration>,
     exact: bool,
     retries: u64,
     polls: u64,
@@ -783,8 +816,10 @@ impl WorkerState<'_> {
                 iterations: self.iterations,
                 distinct_lines: self.thread_touch.as_ref().map(TouchSet::count),
                 busy: self.busy,
+                barrier_wait: self.barrier_wait,
             },
             tiles: self.tile_metrics,
+            rep_waits: self.rep_waits,
             exact,
             retries: self.retries,
             polls: self.polls,

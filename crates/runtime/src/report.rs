@@ -57,6 +57,9 @@ pub struct ThreadMetrics {
     pub distinct_lines: Option<u64>,
     /// Time spent inside tile execution (excludes barrier waits).
     pub busy: Duration,
+    /// Total time parked at end-of-repetition barriers (load imbalance
+    /// plus barrier mechanics), summed over repetitions.
+    pub barrier_wait: Duration,
 }
 
 /// The result of one parallel execution.
@@ -89,6 +92,11 @@ pub struct RunReport {
     pub per_thread: Vec<ThreadMetrics>,
     /// Per-tile metrics, indexed by tile.
     pub per_tile: Vec<TileMetrics>,
+    /// Per-repetition barrier cost: the longest time any thread spent
+    /// parked at that repetition's end-of-doall barrier(s) — the
+    /// synchronization term a latency calibration fits its per-barrier
+    /// coefficient from.  One entry per completed repetition.
+    pub barrier_waits: Vec<Duration>,
 }
 
 impl RunReport {
@@ -97,6 +105,16 @@ impl RunReport {
     /// tracking was off.
     pub fn max_tile_footprint(&self) -> Option<u64> {
         self.per_tile.iter().filter_map(|t| t.distinct_lines).max()
+    }
+
+    /// Mean per-repetition barrier wait on the critical path, or `None`
+    /// when no repetition completed a barrier (e.g. an empty run).
+    pub fn mean_barrier_wait(&self) -> Option<Duration> {
+        if self.barrier_waits.is_empty() {
+            return None;
+        }
+        let total: Duration = self.barrier_waits.iter().sum();
+        Some(total / self.barrier_waits.len() as u32)
     }
 
     /// Mean distinct-line count over non-empty tiles.
@@ -154,7 +172,7 @@ impl RunReport {
             "threads {}  tiles {}  schedule {}  reps {}  line-size {}  wall {:.3?}\n",
             self.threads, self.tiles, self.schedule, self.repetitions, self.line_size, self.wall
         ));
-        s.push_str("thread   tiles  iterations  distinct-lines        busy\n");
+        s.push_str("thread   tiles  iterations  distinct-lines        busy     barrier\n");
         for t in &self.per_thread {
             let lines = match t.distinct_lines {
                 Some(n) if self.touches_exact => n.to_string(),
@@ -162,8 +180,8 @@ impl RunReport {
                 None => "-".to_string(),
             };
             s.push_str(&format!(
-                "{:>6}  {:>6}  {:>10}  {:>14}  {:>10.3?}\n",
-                t.thread, t.tiles_run, t.iterations, lines, t.busy
+                "{:>6}  {:>6}  {:>10}  {:>14}  {:>10.3?}  {:>10.3?}\n",
+                t.thread, t.tiles_run, t.iterations, lines, t.busy, t.barrier_wait
             ));
         }
         let max_fp = self

@@ -5,6 +5,7 @@
 //! alp-cli [OPTIONS] <FILE|->          # '-' reads the DSL from stdin
 //! alp-cli plan [OPTIONS] <FILE|->     # emit the partition plan as JSON
 //! alp-cli run [OPTIONS] <FILE|->      # partition AND execute on threads
+//! alp-cli calibrate [OPTIONS] [FILE|-]  # fit a latency model from probe runs
 //!
 //! OPTIONS:
 //!   -p, --processors <N>    processors to partition for   [default: 16]
@@ -21,6 +22,20 @@
 //!
 //! PLAN OPTIONS (in addition to -p, -m, --param, --no-check):
 //!       --emit <FILE|->     where to write the plan JSON  [default: -]
+//!       --calibrated <FILE> rank candidate tilings with a fitted latency
+//!                           model (from `alp-cli calibrate --emit`)
+//!                           instead of the pure footprint objective;
+//!                           the plan records `chosen_by: calibrated`
+//!                           and the coefficients
+//!
+//! CALIBRATE OPTIONS (in addition to -p, --param, --line-size, --seed):
+//!       --threads <N>       OS threads per probe run      [default: 4]
+//!       --trials <N>        timed trials per tiling       [default: 3]
+//!       --warmup <N>        untimed warmup runs           [default: 1]
+//!       --emit <FILE|->     where to write the artifact   [default: -]
+//!   With no input file, a built-in corpus of probe nests (stencil,
+//!   skewed, streaming) exercises diverse tile shapes; with a FILE or
+//!   '-', the nests of that program are probed instead.
 //!
 //! RUN OPTIONS (in addition to -p, --param, --line-size, --no-check):
 //!       --threads <N>       OS threads (0 = one per tile)  [default: 0]
@@ -48,8 +63,8 @@
 //! measured-vs-modeled footprint ratio, and checks the parallel result
 //! bitwise against a sequential reference run.
 //!
-//! Exit codes: `0` success / clean, `1` I/O, parse, or plan-decode
-//! failure, `2` usage, `3` (`--check` only) warnings but no errors, `4`
+//! Exit codes: `0` success / clean, `1` I/O, parse, or plan/calibration
+//! decode failure (`ALP0006`/`ALP0010`), `2` usage, `3` (`--check` only) warnings but no errors, `4`
 //! legality errors, `5` (`run` only) parallel result differs from the
 //! sequential reference, `6` (`run` only) deadline exceeded or run
 //! cancelled (`ALP0007`), `7` (`run` only) a tile faulted and retries —
@@ -111,7 +126,9 @@ fn usage() -> ! {
          [--emit FILE|-] <FILE|->\n       \
          alp-cli run [-p N] [--param NAME=VAL]... [--threads N] [--steal] \
          [--line-size N] [--seed N] [--no-check] [--from-plan FILE] [--timeout-ms N] \
-         [--retry N] [--max-store-bytes N] [--fallback-seq] <FILE|->"
+         [--retry N] [--max-store-bytes N] [--fallback-seq] <FILE|->\n       \
+         alp-cli calibrate [-p N] [--param NAME=VAL]... [--threads N] [--trials N] \
+         [--warmup N] [--line-size N] [--seed N] [--emit FILE|-] [FILE|-]"
     );
     std::process::exit(2)
 }
@@ -380,7 +397,18 @@ struct PlanOptions {
     params: HashMap<String, i128>,
     no_check: bool,
     emit: String,
+    calibrated: Option<String>,
     input: String,
+}
+
+/// Load and decode a calibration artifact ('-' reads stdin).
+fn load_calibration(path: &str) -> Result<Calibration, ExitCode> {
+    let text = read_source(path)?;
+    Calibration::from_json_str(&text).map_err(|e| {
+        let e = AlpError::from(e);
+        eprintln!("alp-cli: error[{}]: {e}", e.code());
+        ExitCode::FAILURE
+    })
 }
 
 fn parse_plan_args(mut args: impl Iterator<Item = String>) -> PlanOptions {
@@ -390,6 +418,7 @@ fn parse_plan_args(mut args: impl Iterator<Item = String>) -> PlanOptions {
         params: HashMap::new(),
         no_check: false,
         emit: "-".to_string(),
+        calibrated: None,
         input: String::new(),
     };
     let mut input: Option<String> = None;
@@ -417,6 +446,9 @@ fn parse_plan_args(mut args: impl Iterator<Item = String>) -> PlanOptions {
             }
             "--no-check" => opts.no_check = true,
             "--emit" => opts.emit = args.next().unwrap_or_else(|| usage()),
+            "--calibrated" => {
+                opts.calibrated = Some(args.next().unwrap_or_else(|| usage()));
+            }
             "-h" | "--help" => usage(),
             other if input.is_none() => input = Some(other.to_string()),
             _ => usage(),
@@ -455,6 +487,13 @@ fn plan_main(opts: PlanOptions) -> ExitCode {
     if opts.no_check {
         compiler = compiler.unchecked();
     }
+    if let Some(calib_path) = &opts.calibrated {
+        let calib = match load_calibration(calib_path) {
+            Ok(c) => c,
+            Err(code) => return code,
+        };
+        compiler = compiler.with_calibration(calib.model);
+    }
     let plan = match compiler.plan(&nest) {
         Ok(p) => p,
         Err(AlpError::Illegal(report)) => {
@@ -482,6 +521,179 @@ fn plan_main(opts: PlanOptions) -> ExitCode {
             plan.tiles(),
             opts.emit
         );
+    }
+    ExitCode::SUCCESS
+}
+
+struct CalibrateOptions {
+    processors: i128,
+    params: HashMap<String, i128>,
+    threads: usize,
+    trials: usize,
+    warmup: usize,
+    line_size: u64,
+    seed: u64,
+    emit: String,
+    input: Option<String>,
+}
+
+fn parse_calibrate_args(mut args: impl Iterator<Item = String>) -> CalibrateOptions {
+    let mut opts = CalibrateOptions {
+        processors: 16,
+        params: HashMap::new(),
+        threads: 4,
+        trials: 3,
+        warmup: 1,
+        line_size: 1,
+        seed: 42,
+        emit: "-".to_string(),
+        input: None,
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "-p" | "--processors" => {
+                opts.processors = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--param" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                let (name, val) = v.split_once('=').unwrap_or_else(|| usage());
+                opts.params
+                    .insert(name.to_string(), val.parse().unwrap_or_else(|_| usage()));
+            }
+            "--threads" => {
+                opts.threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--trials" => {
+                opts.trials = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--warmup" => {
+                opts.warmup = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--line-size" => {
+                opts.line_size = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--seed" => {
+                opts.seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--emit" => opts.emit = args.next().unwrap_or_else(|| usage()),
+            "-h" | "--help" => usage(),
+            other if opts.input.is_none() => opts.input = Some(other.to_string()),
+            _ => usage(),
+        }
+    }
+    opts
+}
+
+/// The built-in probe corpus: small nests with deliberately different
+/// footprint/span/iteration profiles, so the fit sees diverse feature
+/// regimes even without a user program.
+const PROBE_CORPUS: &[&str] = &[
+    // 2-D stencil: footprint dominated, modest span.
+    "doall (i, 1, 96) { doall (j, 1, 96) {
+       A[i,j] = B[i-1,j] + B[i,j+1] + B[i+1,j-1];
+     } }",
+    // Skewed references: span and footprint pull candidate shapes in
+    // opposite directions (the Example-2 profile).
+    "doall (i, 101, 292) { doall (j, 1, 192) {
+       A[i,j] = B[i+j,i-j-1] + B[i+j+4,i-j+3];
+     } }",
+    // Streaming row sweep: iteration dominated, minimal reuse.
+    "doall (i, 0, 63) { doall (j, 0, 511) {
+       A[i,j] = B[i,j] + B[i,j+1];
+     } }",
+];
+
+/// The `calibrate` subcommand: probe candidate tilings on this machine,
+/// fit the latency model, and write it as a reusable artifact for
+/// `plan --calibrated`.
+fn calibrate_main(opts: CalibrateOptions) -> ExitCode {
+    let nests: Vec<LoopNest> = if let Some(input) = &opts.input {
+        let src = match read_source(input) {
+            Ok(s) => s,
+            Err(code) => return code,
+        };
+        match alp::loopir::parse_program_with_params(&src, &opts.params) {
+            Ok(n) => n,
+            Err(e) => {
+                eprintln!("alp-cli: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        PROBE_CORPUS
+            .iter()
+            .map(|src| alp::loopir::parse(src).expect("built-in probe nest parses"))
+            .collect()
+    };
+    let cfg = ProbeConfig {
+        threads: opts.threads,
+        trials: opts.trials,
+        warmup: opts.warmup,
+        line_size: opts.line_size,
+        seed: opts.seed,
+        max_grids: 8,
+    };
+    let pairs: Vec<(&LoopNest, i128)> = nests.iter().map(|n| (n, opts.processors)).collect();
+    eprintln!(
+        "alp-cli: probing {} nest{} x {} processors ({} threads, {} trial{} + {} warmup)",
+        pairs.len(),
+        if pairs.len() == 1 { "" } else { "s" },
+        opts.processors,
+        opts.threads,
+        opts.trials,
+        if opts.trials == 1 { "" } else { "s" },
+        opts.warmup
+    );
+    let model = match fit_nest(&pairs, &cfg) {
+        Ok(m) => m,
+        Err(e) => {
+            let e = AlpError::from(e);
+            eprintln!("alp-cli: error[{}]: {e}", e.code());
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "alp-cli: fitted over {} samples: per-tile {} ns, per-line {} ns, per-span-line {} ns, \
+         per-iter {} ns, per-rep {} ns",
+        model.samples,
+        model.per_tile_ns.to_f64(),
+        model.per_line_ns.to_f64(),
+        model.per_span_line_ns.to_f64(),
+        model.per_iter_ns.to_f64(),
+        model.per_rep_ns.to_f64()
+    );
+    let calib = Calibration {
+        model,
+        threads: opts.threads,
+        trials: opts.trials,
+    };
+    let json = calib.to_json_string();
+    if opts.emit == "-" {
+        print!("{json}");
+    } else {
+        if let Err(e) = std::fs::write(&opts.emit, &json) {
+            eprintln!("alp-cli: {}: {e}", opts.emit);
+            return ExitCode::FAILURE;
+        }
+        eprintln!("alp-cli: wrote calibration to {}", opts.emit);
     }
     ExitCode::SUCCESS
 }
@@ -624,6 +836,7 @@ fn main() -> ExitCode {
     match std::env::args().nth(1).as_deref() {
         Some("run") => return run_main(parse_run_args(std::env::args().skip(2))),
         Some("plan") => return plan_main(parse_plan_args(std::env::args().skip(2))),
+        Some("calibrate") => return calibrate_main(parse_calibrate_args(std::env::args().skip(2))),
         _ => {}
     }
     let opts = parse_args();

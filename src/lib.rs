@@ -54,6 +54,7 @@
 //!   validated against the model and the simulator.
 
 pub use alp_analysis as analysis;
+pub use alp_calibrate as calibrate;
 pub use alp_codegen as codegen;
 pub use alp_footprint as footprint;
 pub use alp_lattice as lattice;
@@ -98,6 +99,9 @@ pub enum AlpError {
     /// A saved partition plan could not be decoded or no longer matches
     /// its embedded source (`ALP0006`).
     Plan(PlanError),
+    /// A calibration artifact could not be read, or calibration probing
+    /// / fitting failed (`ALP0010`).
+    Calibration(alp_calibrate::CalibrateError),
 }
 
 impl AlpError {
@@ -105,8 +109,9 @@ impl AlpError {
     /// illegal doall, `ALP0004` infeasible, `ALP0005` runtime lowering,
     /// `ALP0006` plan artifact, `ALP0007` deadline exceeded / run
     /// cancelled, `ALP0008` contained tile fault, `ALP0009` memory
-    /// budget exceeded.  Codes never change meaning across releases;
-    /// new variants get new codes.
+    /// budget exceeded, `ALP0010` calibration artifact / probe failure.
+    /// Codes never change meaning across releases; new variants get new
+    /// codes.
     pub fn code(&self) -> &'static str {
         use alp_runtime::RuntimeError as R;
         match self {
@@ -119,6 +124,7 @@ impl AlpError {
             AlpError::Runtime(R::ResourceExceeded { .. }) => "ALP0009",
             AlpError::Runtime(_) => "ALP0005",
             AlpError::Plan(_) => "ALP0006",
+            AlpError::Calibration(_) => "ALP0010",
         }
     }
 }
@@ -132,6 +138,7 @@ impl std::fmt::Display for AlpError {
             AlpError::Infeasible(m) => write!(f, "infeasible: {m}"),
             AlpError::Runtime(e) => write!(f, "{e}"),
             AlpError::Plan(e) => write!(f, "{e}"),
+            AlpError::Calibration(e) => write!(f, "{e}"),
         }
     }
 }
@@ -143,6 +150,7 @@ impl std::error::Error for AlpError {
             AlpError::Ir(e) => Some(e),
             AlpError::Runtime(e) => Some(e),
             AlpError::Plan(e) => Some(e),
+            AlpError::Calibration(e) => Some(e),
             // A Report is diagnostics, not an error value; Infeasible is
             // a leaf message.
             AlpError::Illegal(_) | AlpError::Infeasible(_) => None,
@@ -179,6 +187,19 @@ impl From<PlanError> for AlpError {
     }
 }
 
+impl From<alp_calibrate::CalibrateError> for AlpError {
+    fn from(e: alp_calibrate::CalibrateError) -> Self {
+        match e {
+            // Infeasibility means the same thing whichever objective
+            // found it.
+            alp_calibrate::CalibrateError::Plan(PlanError::Infeasible(m)) => {
+                AlpError::Infeasible(m)
+            }
+            e => AlpError::Calibration(e),
+        }
+    }
+}
+
 /// The compiler pipeline of §4 (Fig. 10): loop partitioning, data
 /// partitioning & alignment, placement, code generation.
 #[derive(Debug, Clone)]
@@ -191,6 +212,10 @@ pub struct Compiler {
     /// Run the doall legality analysis and refuse racy nests (default
     /// on; [`Compiler::unchecked`] turns it off).
     pub check: bool,
+    /// Measured-latency coefficients for the hybrid tile-shape
+    /// objective ([`Compiler::with_calibration`]); `None` keeps the
+    /// pure analytic Theorem-4 objective.
+    pub calibration: Option<alp_calibrate::LatencyModel>,
 }
 
 /// Everything the pipeline produces for one loop nest.
@@ -241,12 +266,23 @@ impl Compiler {
             processors,
             mesh: None,
             check: true,
+            calibration: None,
         }
     }
 
     /// Configure an Alewife-style 2-D mesh.
     pub fn with_mesh(mut self, w: usize, h: usize) -> Self {
         self.mesh = Some((w, h));
+        self
+    }
+
+    /// Rank candidate tilings with a fitted latency model (the hybrid
+    /// `a·tiles + reps·(b·lines + s·span + d·iters) + c·reps` cost)
+    /// instead of the pure footprint objective.  Plans produced this
+    /// way record `chosen_by: calibrated` and carry the coefficients in
+    /// their provenance.
+    pub fn with_calibration(mut self, model: alp_calibrate::LatencyModel) -> Self {
+        self.calibration = Some(model);
         self
     }
 
@@ -274,6 +310,7 @@ impl Compiler {
             processors: self.processors,
             mesh: self.mesh,
             checked: self.check,
+            calibrated: self.calibration.is_some(),
         }
     }
 
@@ -304,7 +341,23 @@ impl Compiler {
         } else {
             LegalityVerdict::Unchecked
         };
-        let plan = PartitionPlan::build(nest, self.processors, self.mesh, verdict)?;
+        let plan = match &self.calibration {
+            None => PartitionPlan::build(nest, self.processors, self.mesh, verdict)?,
+            Some(latency) => {
+                let model = alp_footprint::CostModel::from_nest(nest);
+                let partition =
+                    alp_calibrate::choose_calibrated(nest, &model, latency, self.processors, 1)?;
+                PartitionPlan::build_with_partition(
+                    nest,
+                    self.processors,
+                    self.mesh,
+                    verdict,
+                    partition,
+                    "rect-exhaustive+latency",
+                )?
+                .with_calibration(latency.clone().into())
+            }
+        };
         Ok((plan, report))
     }
 
@@ -513,6 +566,10 @@ pub fn aligned_home(nest: &LoopNest, partition: &RectPartition) -> alp_machine::
 pub mod prelude {
     pub use crate::{AlpError, CompileResult, Compiler, ExecutionSummary};
     pub use alp_analysis::{analyze, analyze_program, pair_conflict, Report, Witness};
+    pub use alp_calibrate::{
+        choose_calibrated, fit, fit_nest, probe_nest, rank_candidates, CalibrateError, Calibration,
+        GridFeatures, LatencyModel, ProbeConfig, RankedCandidate, TileSample,
+    };
     pub use alp_codegen::{assign_para, assign_rect, assign_slabs, emit_para_code, emit_rect_code};
     pub use alp_footprint::{
         classify, cumulative_footprint_exact, cumulative_footprint_general,
@@ -536,8 +593,8 @@ pub mod prelude {
         ProgramPartition, ProgramStrategy, RectPartition, SpreadKind,
     };
     pub use alp_plan::{
-        fingerprint, fingerprint_hex, rect_tiles, CacheStats, IterBox, LegalityVerdict,
-        PartitionPlan, PlanCache, PlanError, PlanKey,
+        fingerprint, fingerprint_hex, rect_tiles, CacheStats, ChosenBy, IterBox,
+        LatencyCoefficients, LegalityVerdict, PartitionPlan, PlanCache, PlanError, PlanKey,
     };
     pub use alp_runtime::{
         CancelToken, ExecOptions, ExecOutcome, Executor, ModelComparison, RunReport, RuntimeError,

@@ -147,7 +147,7 @@ const STENCIL: &str = "doall (i, 1, 16) { doall (j, 1, 16) { A[i,j] = B[i,j] + B
 fn plan_emits_versioned_json_to_stdout() {
     let (stdout, stderr, code) = run_cli(&["plan", "-p", "4", "-"], Some(STENCIL));
     assert_eq!(code, Some(0), "stderr: {stderr}");
-    assert!(stdout.starts_with("{\n  \"alp-plan\": 1,"), "{stdout}");
+    assert!(stdout.starts_with("{\n  \"alp-plan\": 2,"), "{stdout}");
     assert!(stdout.contains("\"fingerprint\""), "{stdout}");
     assert!(stdout.contains("\"source\""), "{stdout}");
 }
@@ -209,9 +209,80 @@ fn truncated_plan_fails_with_code_and_exit_1() {
 fn unsupported_plan_version_is_rejected() {
     let (stdout, _, code) = run_cli(&["plan", "-p", "4", "-"], Some(STENCIL));
     assert_eq!(code, Some(0));
-    let bumped = stdout.replace("\"alp-plan\": 1", "\"alp-plan\": 99");
+    let bumped = stdout.replace("\"alp-plan\": 2", "\"alp-plan\": 99");
     let (_, stderr, code) = run_cli(&["run", "--from-plan", "-"], Some(&bumped));
     assert_eq!(code, Some(1), "stderr: {stderr}");
+    assert!(stderr.contains("version 99 is not supported"), "{stderr}");
+}
+
+#[test]
+fn calibrate_emits_versioned_artifact_to_stdout() {
+    let (stdout, stderr, code) = run_cli(&["calibrate", "--trials", "1", "--threads", "2"], None);
+    assert_eq!(code, Some(0), "stderr: {stderr}");
+    assert!(
+        stdout.starts_with("{\n  \"alp-calibration\": 1,"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("\"per_span_line_ns\""), "{stdout}");
+    assert!(stderr.contains("fitted over"), "{stderr}");
+}
+
+#[test]
+fn calibrate_then_plan_calibrated_records_provenance() {
+    let calib_path =
+        std::env::temp_dir().join(format!("alp-cli-test-{}.calib.json", std::process::id()));
+    let calib_path = calib_path.to_str().expect("utf-8 temp path").to_string();
+    let (_, stderr, code) = run_cli(
+        &[
+            "calibrate",
+            "--trials",
+            "1",
+            "--threads",
+            "2",
+            "--emit",
+            &calib_path,
+        ],
+        None,
+    );
+    assert_eq!(code, Some(0), "stderr: {stderr}");
+    assert!(stderr.contains("wrote calibration"), "{stderr}");
+
+    let (stdout, stderr, code) = run_cli(
+        &["plan", "-p", "4", "--calibrated", &calib_path, "-"],
+        Some(STENCIL),
+    );
+    std::fs::remove_file(&calib_path).ok();
+    assert_eq!(code, Some(0), "stderr: {stderr}");
+    assert!(
+        stdout.contains("\"optimizer\": \"rect-exhaustive+latency\""),
+        "{stdout}"
+    );
+    assert!(stdout.contains("\"chosen_by\": \"calibrated\""), "{stdout}");
+    assert!(stdout.contains("\"calibration\""), "{stdout}");
+    // The calibrated plan is a valid artifact: run --from-plan accepts it.
+    let (run_out, stderr, code) = run_cli(&["run", "--from-plan", "-"], Some(&stdout));
+    assert_eq!(code, Some(0), "stderr: {stderr}");
+    assert!(
+        run_out.contains("matches the sequential reference bitwise"),
+        "{run_out}"
+    );
+}
+
+#[test]
+fn malformed_calibration_artifact_exits_1_with_alp0010() {
+    let bad_path = std::env::temp_dir().join(format!(
+        "alp-cli-test-{}.bad.calib.json",
+        std::process::id()
+    ));
+    std::fs::write(&bad_path, "{ \"alp-calibration\": 99 }\n").expect("temp file writes");
+    let bad_path = bad_path.to_str().expect("utf-8 temp path").to_string();
+    let (_, stderr, code) = run_cli(
+        &["plan", "-p", "4", "--calibrated", &bad_path, "-"],
+        Some(STENCIL),
+    );
+    std::fs::remove_file(&bad_path).ok();
+    assert_eq!(code, Some(1), "stderr: {stderr}");
+    assert!(stderr.contains("error[ALP0010]"), "{stderr}");
     assert!(stderr.contains("version 99 is not supported"), "{stderr}");
 }
 

@@ -7,6 +7,9 @@ use alp::Compiler;
 
 const GOLDEN_SOURCE: &str = include_str!("golden/example8.alp");
 const GOLDEN_PLAN: &str = include_str!("golden/example8.plan.json");
+/// The exact bytes a pre-calibration (schema-1) build emitted for the
+/// same nest — frozen forever to pin backward compatibility.
+const GOLDEN_PLAN_V1: &str = include_str!("golden/example8.v1.plan.json");
 
 fn golden_compiler() -> Compiler {
     Compiler::new(64).with_mesh(8, 8)
@@ -39,8 +42,49 @@ fn decode_then_encode_round_trips_bytes() {
 }
 
 #[test]
+fn version_1_golden_decodes_and_reencodes_byte_stably() {
+    // Old plan files keep working after the schema-2 calibration
+    // extension: the recorded version is preserved, the new fields
+    // default, and re-encoding reproduces the v1 bytes exactly.
+    let plan = PartitionPlan::from_json_str(GOLDEN_PLAN_V1).expect("v1 plan decodes");
+    assert_eq!(plan.schema_version, 1);
+    assert_eq!(plan.chosen_by, ChosenBy::Analytic);
+    assert_eq!(plan.calibration, None);
+    assert_eq!(plan.to_json_string(), GOLDEN_PLAN_V1);
+    // And the v1/v2 snapshots describe the same decision.
+    let v2 = PartitionPlan::from_json_str(GOLDEN_PLAN).expect("v2 plan decodes");
+    assert_eq!(plan.proc_grid, v2.proc_grid);
+    assert_eq!(plan.fingerprint, v2.fingerprint);
+}
+
+#[test]
+fn calibrated_plan_round_trips_with_provenance() {
+    let latency = LatencyModel {
+        per_tile_ns: Rat::new(1507, 1000),
+        per_line_ns: Rat::new(21, 1000),
+        per_span_line_ns: Rat::new(3, 1000),
+        per_iter_ns: Rat::new(911, 1000),
+        per_rep_ns: Rat::int(42_000),
+        samples: 36,
+    };
+    let plan = golden_compiler()
+        .with_calibration(latency.clone())
+        .plan(&golden_nest())
+        .expect("calibrated plan builds");
+    assert_eq!(plan.chosen_by, ChosenBy::Calibrated);
+    assert_eq!(plan.optimizer, "rect-exhaustive+latency");
+    assert_eq!(plan.calibration, Some(latency.into()));
+    let text = plan.to_json_string();
+    assert!(text.contains("\"chosen_by\": \"calibrated\""), "{text}");
+    assert!(text.contains("\"calibration\""), "{text}");
+    let back = PartitionPlan::from_json_str(&text).expect("calibrated plan decodes");
+    assert_eq!(back, plan);
+    assert_eq!(back.to_json_string(), text);
+}
+
+#[test]
 fn unknown_version_fails_with_diagnostic() {
-    let bumped = GOLDEN_PLAN.replace("\"alp-plan\": 1", "\"alp-plan\": 7");
+    let bumped = GOLDEN_PLAN.replace("\"alp-plan\": 2", "\"alp-plan\": 7");
     let err = PartitionPlan::from_json_str(&bumped).expect_err("must reject");
     let msg = err.to_string();
     assert!(msg.contains("version 7 is not supported"), "{msg}");
@@ -89,10 +133,12 @@ fn tampered_source_is_rejected_on_load() {
 
 #[test]
 fn malformed_corpus_is_rejected_with_stable_codes() {
-    // Every file in tests/corpus/ is a deliberately broken plan named
-    // `<ALP code>__<defect>.plan.json`; decode (or the post-decode
-    // fingerprint check in `nest()`) must reject it with exactly the
-    // code in its filename — never a panic or a silent partial decode.
+    // Every file in tests/corpus/ is a deliberately broken artifact
+    // named `<ALP code>__<defect>.<kind>.json`: `.plan.json` decodes as
+    // a PartitionPlan, `.calib.json` as a Calibration.  Decode (or the
+    // post-decode fingerprint check in `nest()`) must reject each with
+    // exactly the code in its filename — never a panic or a silent
+    // partial decode.
     let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus");
     let mut checked = 0;
     for entry in std::fs::read_dir(&dir).expect("corpus dir exists") {
@@ -100,14 +146,21 @@ fn malformed_corpus_is_rejected_with_stable_codes() {
         let name = path.file_name().unwrap().to_string_lossy().into_owned();
         let expected = name.split("__").next().expect("code prefix");
         let text = std::fs::read_to_string(&path).expect("corpus file reads");
-        let err = PartitionPlan::from_json_str(&text)
-            .and_then(|p| p.nest().map(|_| p))
-            .expect_err(&format!("{name} must be rejected"));
+        let err: AlpError = if name.ends_with(".calib.json") {
+            Calibration::from_json_str(&text)
+                .expect_err(&format!("{name} must be rejected"))
+                .into()
+        } else {
+            PartitionPlan::from_json_str(&text)
+                .and_then(|p| p.nest().map(|_| p))
+                .expect_err(&format!("{name} must be rejected"))
+                .into()
+        };
         assert!(!err.to_string().is_empty(), "{name}: diagnostic is empty");
-        assert_eq!(AlpError::from(err).code(), expected, "{name}");
+        assert_eq!(err.code(), expected, "{name}");
         checked += 1;
     }
-    assert_eq!(checked, 7, "expected all corpus files to be exercised");
+    assert_eq!(checked, 10, "expected all corpus files to be exercised");
 }
 
 #[test]
