@@ -311,6 +311,130 @@ fn report_hardening(h: &Hardening) {
     );
 }
 
+struct CertCase {
+    name: &'static str,
+    grid: Vec<i128>,
+    unlocked: bool,
+    certify_ms: f64,
+    atomic_wall: Duration,
+    relaxed_wall: Option<Duration>,
+    speedup: f64,
+}
+
+/// What the certified fast path is worth: for each accumulate nest ×
+/// grid, prove (or refute) cross-tile write disjointness, then time the
+/// default atomic-CAS accumulate path against the certificate-gated
+/// relaxed-store path on identical tiles.  A grid the certifier refutes
+/// (the contended k-split) records `unlocked: false` and times only the
+/// atomic path — exactly what the executor would do.  Every relaxed run
+/// is validated bitwise against the sequential reference before timing,
+/// and the certify wall itself is recorded as the fast path's one-time
+/// admission cost.
+fn bench_cert_fastpath(nests: &[(&'static str, &LoopNest, Vec<i128>)]) -> Vec<CertCase> {
+    let timing = ExecOptions {
+        threads: THREADS,
+        schedule: Schedule::Static,
+        line_size: 1,
+        track_touches: false,
+        ..ExecOptions::default()
+    };
+    let best = |exec: &Executor| {
+        for _ in 0..WARMUP {
+            let store = exec.seeded_store(42);
+            exec.run(&store, &timing).expect("fault-free run");
+        }
+        (0..TRIALS)
+            .map(|_| {
+                let store = exec.seeded_store(42);
+                exec.run(&store, &timing).expect("fault-free run").wall
+            })
+            .min()
+            .expect("at least one trial")
+    };
+    nests
+        .iter()
+        .map(|(name, nest, grid)| {
+            let (_, chunks) = rect_tiles(nest, grid).expect("benchmark grid is feasible");
+            let partition = RectPartition {
+                tile_extents: chunks.iter().map(|c| c - 1).collect(),
+                proc_grid: grid.clone(),
+                cost: Rat::int(0),
+            };
+            let plan = PartitionPlan::build_with_partition(
+                nest,
+                grid.iter().product(),
+                None,
+                LegalityVerdict::Unchecked,
+                partition,
+                "bench-fixed-grid",
+            )
+            .expect("benchmark plan builds");
+            let t0 = Instant::now();
+            let report = certify(&plan).expect("benchmark plan certifies");
+            let certify_ms = t0.elapsed().as_secs_f64() * 1e3;
+            let unlocked = report.unlocks_fastpath();
+
+            let atomic_exec = Executor::from_grid(nest, grid).expect("executable nest");
+            let atomic_wall = best(&atomic_exec);
+            let (relaxed_wall, speedup) = if unlocked {
+                let mut relaxed_exec = Executor::from_grid(nest, grid).expect("executable nest");
+                relaxed_exec.apply_certificate(true, report.certificate.idempotent);
+                assert!(relaxed_exec.uses_relaxed_stores());
+                let outcome = relaxed_exec
+                    .verify(42, &timing)
+                    .expect("relaxed run succeeds");
+                assert!(
+                    outcome.matches_reference,
+                    "{name}: certified relaxed stores diverge from the sequential \
+                     reference — the certificate proof is wrong"
+                );
+                let w = best(&relaxed_exec);
+                (Some(w), atomic_wall.as_secs_f64() / w.as_secs_f64())
+            } else {
+                (None, 1.0)
+            };
+            CertCase {
+                name,
+                grid: grid.clone(),
+                unlocked,
+                certify_ms,
+                atomic_wall,
+                relaxed_wall,
+                speedup,
+            }
+        })
+        .collect()
+}
+
+fn report_cert_fastpath(cases: &[CertCase]) {
+    println!("\ncertified fast path (relaxed vs atomic accumulate stores):");
+    let t = Table::new(&[
+        ("case", 24),
+        ("grid", 14),
+        ("certified", 9),
+        ("certify-ms", 10),
+        ("atomic", 11),
+        ("relaxed", 11),
+        ("speedup", 8),
+    ]);
+    for c in cases {
+        t.row(&[
+            &c.name,
+            &format!("{:?}", c.grid),
+            &if c.unlocked { "yes" } else { "REFUTED" },
+            &format!("{:.3}", c.certify_ms),
+            &format!("{:.3?}", c.atomic_wall),
+            &c.relaxed_wall
+                .map_or("-".to_string(), |w| format!("{w:.3?}")),
+            &if c.unlocked {
+                format!("{:.2}x", c.speedup)
+            } else {
+                "-".to_string()
+            },
+        ]);
+    }
+}
+
 struct CacheSweep {
     keys: usize,
     warm_rounds: usize,
@@ -397,6 +521,7 @@ fn write_json(
     cases: &[CaseResult],
     latency: &LatencyModel,
     hardening: &Hardening,
+    certs: &[CertCase],
     sweep: &CacheSweep,
 ) {
     let cores = detected_cores();
@@ -490,6 +615,23 @@ fn write_json(
         json_escape_ms(hardening.guarded),
         hardening.overhead_pct
     ));
+    s.push_str("  \"cert_fastpath\": [\n");
+    for (ci, c) in certs.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"case\": \"{}\", \"grid\": {:?}, \"fastpath_unlocked\": {}, \
+             \"certify_ms\": {:.3}, \"atomic_wall_ms\": {}, \"relaxed_wall_ms\": {}, \
+             \"speedup_relaxed_over_atomic\": {:.3}}}{}\n",
+            c.name,
+            c.grid,
+            c.unlocked,
+            c.certify_ms,
+            json_escape_ms(c.atomic_wall),
+            c.relaxed_wall.map_or("null".to_string(), json_escape_ms),
+            c.speedup,
+            if ci + 1 < certs.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n");
     s.push_str(&format!(
         "  \"plan_cache\": {{\"keys\": {}, \"warm_rounds\": {}, \
          \"cold_ms_per_compile\": {:.3}, \"warm_ms_per_compile\": {:.3}, \
@@ -644,6 +786,17 @@ fn main() {
     let hardening = bench_hardening(&ex8, &optimal);
     report_hardening(&hardening);
 
+    // The certified fast path pays off exactly where the default path
+    // pays for atomicity: accumulate nests.  The red i-split and acc
+    // ij-blocks certify write-disjoint (one owner per output element);
+    // the contended k-split is refuted and must stay on the CAS path.
+    let certs = bench_cert_fastpath(&[
+        ("accumulate-ij-blocks", &acc, vec![4, 4, 1]),
+        ("row-reduction-i-split", &red, vec![16, 1]),
+        ("accumulate-k-split", &acc, vec![1, 1, 16]),
+    ]);
+    report_cert_fastpath(&certs);
+
     let sweep = bench_plan_cache(&[
         ("example8", &ex8),
         ("accumulate", &acc),
@@ -653,6 +806,6 @@ fn main() {
     report_plan_cache(&sweep);
 
     if json {
-        write_json(&cases, &latency, &hardening, &sweep);
+        write_json(&cases, &latency, &hardening, &certs, &sweep);
     }
 }

@@ -183,6 +183,82 @@ impl FaultPlan {
     }
 }
 
+/// Which way to corrupt the `certificate` block of an encoded
+/// `PartitionPlan` artifact.
+///
+/// Each kind models a distinct attack surface on the certified fast
+/// path, and each must die at a different layer of the defense:
+///
+/// * [`FlipDisjoint`](CertTamper::FlipDisjoint) is *semantic* tampering
+///   — the JSON stays perfectly well-formed, so decode succeeds and
+///   only the re-checker's recomputation catches the lie.
+/// * [`StaleFingerprint`](CertTamper::StaleFingerprint) grafts a
+///   certificate onto a plan it was never issued for; the decoder's
+///   fingerprint cross-check rejects it before any verdict is trusted.
+/// * [`Truncate`](CertTamper::Truncate) drops a required verdict field;
+///   the decoder rejects the structurally damaged block outright.
+///
+/// All three must surface as the stable `ALP0011` diagnostic — never a
+/// panic, never a silently accepted fast path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CertTamper {
+    /// Flip the `write_disjoint` verdict bit in place.
+    FlipDisjoint,
+    /// Rewrite the certificate's issuing fingerprint to a bogus value.
+    StaleFingerprint,
+    /// Delete the `in_bounds` field from the certificate block.
+    Truncate,
+}
+
+impl CertTamper {
+    /// Every tamper kind, for exhaustive chaos sweeps.
+    pub const ALL: [CertTamper; 3] = [
+        CertTamper::FlipDisjoint,
+        CertTamper::StaleFingerprint,
+        CertTamper::Truncate,
+    ];
+}
+
+/// Apply `kind` to the encoded plan `json`, returning the corrupted
+/// document — or `None` when the input carries no certificate block to
+/// corrupt (an uncertified plan has nothing to tamper with).
+///
+/// The transformation is purely textual so it can forge exactly the
+/// artifacts a hostile (or merely buggy) plan-producing tool could
+/// write; it never goes through the honest encoder.
+pub fn tamper_certificate(json: &str, kind: CertTamper) -> Option<String> {
+    let cert_at = json.find("\"certificate\": {")?;
+    let (head, cert) = json.split_at(cert_at);
+    match kind {
+        CertTamper::FlipDisjoint => {
+            let (from, to) = if cert.contains("\"write_disjoint\": true") {
+                ("\"write_disjoint\": true", "\"write_disjoint\": false")
+            } else {
+                ("\"write_disjoint\": false", "\"write_disjoint\": true")
+            };
+            if !cert.contains(from) {
+                return None;
+            }
+            Some(format!("{head}{}", cert.replacen(from, to, 1)))
+        }
+        CertTamper::StaleFingerprint => {
+            let key = "\"fingerprint\": \"";
+            let start = cert.find(key)? + key.len();
+            let end = start + cert[start..].find('"')?;
+            Some(format!(
+                "{head}{}ffffffffffffffff{}",
+                &cert[..start],
+                &cert[end..]
+            ))
+        }
+        CertTamper::Truncate => {
+            let field_at = cert.find("\"in_bounds\":")?;
+            let line_end = field_at + cert[field_at..].find('\n')? + 1;
+            Some(format!("{head}{}{}", &cert[..field_at], &cert[line_end..]))
+        }
+    }
+}
+
 /// SplitMix64 — the same generator the runtime uses for store seeding.
 fn mix(seed: u64) -> u64 {
     let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -256,6 +332,40 @@ mod tests {
             })
             .collect();
         assert_eq!(kinds.len(), 3, "all three fault kinds appear");
+    }
+
+    #[test]
+    fn tamper_requires_a_certificate_block() {
+        let bare = "{\n  \"alp-plan\": 2,\n  \"fingerprint\": \"abc\"\n}\n";
+        for kind in CertTamper::ALL {
+            assert_eq!(tamper_certificate(bare, kind), None, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn tamper_kinds_produce_distinct_corruptions() {
+        let certified = concat!(
+            "{\n  \"alp-plan\": 3,\n  \"fingerprint\": \"0123456789abcdef\",\n",
+            "  \"certificate\": {\n    \"fingerprint\": \"0123456789abcdef\",\n",
+            "    \"coverage\": true,\n    \"write_disjoint\": true,\n",
+            "    \"in_bounds\": true,\n    \"idempotent\": true\n  },\n",
+            "  \"source\": \"\"\n}\n"
+        );
+        let flipped = tamper_certificate(certified, CertTamper::FlipDisjoint).unwrap();
+        assert!(flipped.contains("\"write_disjoint\": false"), "{flipped}");
+        // Only the certificate block is touched, never the plan header.
+        assert!(flipped.starts_with("{\n  \"alp-plan\": 3"), "{flipped}");
+
+        let stale = tamper_certificate(certified, CertTamper::StaleFingerprint).unwrap();
+        assert!(stale.contains("\"ffffffffffffffff\""), "{stale}");
+        assert!(
+            stale.contains("\"fingerprint\": \"0123456789abcdef\""),
+            "plan-level fingerprint must survive: {stale}"
+        );
+
+        let cut = tamper_certificate(certified, CertTamper::Truncate).unwrap();
+        assert!(!cut.contains("in_bounds"), "{cut}");
+        assert!(cut.contains("\"idempotent\": true"), "{cut}");
     }
 
     #[test]

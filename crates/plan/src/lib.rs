@@ -36,7 +36,7 @@ pub use cache::{CacheStats, PlanCache, PlanKey};
 pub use fingerprint::{canonical_source, fingerprint, fingerprint_hex, fnv1a64};
 pub use json::{Json, JsonError};
 pub use plan::{
-    ChosenBy, ClassFootprint, LatencyCoefficients, LegalityVerdict, PartitionPlan,
+    Certificate, ChosenBy, ClassFootprint, LatencyCoefficients, LegalityVerdict, PartitionPlan,
     MIN_SCHEMA_VERSION, SCHEMA_VERSION,
 };
 pub use tiles::{rect_tiles, IterBox};
@@ -67,6 +67,11 @@ pub enum PlanError {
     },
     /// The nest cannot be partitioned as requested.
     Infeasible(String),
+    /// The plan's embedded certificate block is malformed, truncated,
+    /// or inconsistent with the plan it is attached to.  Kept separate
+    /// from [`Schema`](PlanError::Schema) so tampered certificates map
+    /// to the stable `ALP0011` diagnostic code.
+    Certificate(String),
 }
 
 impl std::fmt::Display for PlanError {
@@ -86,6 +91,7 @@ impl std::fmt::Display for PlanError {
                  (which hashes to {found}); the plan file was edited or corrupted"
             ),
             PlanError::Infeasible(msg) => write!(f, "cannot plan nest: {msg}"),
+            PlanError::Certificate(msg) => write!(f, "invalid plan certificate: {msg}"),
         }
     }
 }

@@ -16,12 +16,15 @@ use alp_partition::{communication_free_normals, partition_rect, RectPartition};
 /// * **2** — adds `chosen_by` (which ranking picked the partition) and
 ///   the optional `calibration` provenance block (fitted latency
 ///   coefficients as exact rationals).
+/// * **3** — adds the optional `certificate` provenance block (the
+///   `alp-certify` verdicts: coverage, write disjointness, in-bounds,
+///   idempotence, bound to the plan's fingerprint).
 ///
 /// Decoding accepts [`MIN_SCHEMA_VERSION`]`..=`[`SCHEMA_VERSION`]; a
 /// decoded plan remembers the version it was written with and re-encodes
-/// under that same version, so pre-calibration plans stay byte-stable
-/// through a decode/encode round trip.
-pub const SCHEMA_VERSION: u32 = 2;
+/// under that same version, so pre-calibration and pre-certificate
+/// plans stay byte-stable through a decode/encode round trip.
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// Oldest plan schema version this build still decodes.
 pub const MIN_SCHEMA_VERSION: u32 = 1;
@@ -86,6 +89,29 @@ pub struct LatencyCoefficients {
     pub samples: u64,
 }
 
+/// The `alp-certify` verdicts embedded in a plan (schema ≥ 3): four
+/// independently proven facts about the plan's tiling, bound to the
+/// plan's structural fingerprint so a certificate cannot be grafted
+/// onto a different nest.  The *semantics* (provers and the re-checker)
+/// live in `alp-certify`; this crate only carries and serializes the
+/// verdicts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Certificate {
+    /// Fingerprint of the nest the certificate was issued for; must
+    /// equal the plan's own fingerprint (enforced at decode).
+    pub fingerprint: String,
+    /// The tiles partition the iteration space with no gap or overlap.
+    pub coverage: bool,
+    /// Per array, write footprints of distinct tiles are disjoint —
+    /// the fact that unlocks the executor's relaxed-store fast path.
+    pub write_disjoint: bool,
+    /// Every affine reference stays inside its array extents.
+    pub in_bounds: bool,
+    /// No read can observe any write: tiles are re-runnable (retry
+    /// eligibility beyond the syntactic rule).
+    pub idempotent: bool,
+}
+
 /// Predicted Eq.-2 cumulative footprint of one uniformly intersecting
 /// class at the plan's tile shape.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -132,6 +158,9 @@ pub struct PartitionPlan {
     /// Fitted latency coefficients behind a calibrated choice (absent
     /// on analytic plans and on plans written before schema 2).
     pub calibration: Option<LatencyCoefficients>,
+    /// The `alp-certify` verdicts (absent on uncertified plans and on
+    /// plans written before schema 3).
+    pub certificate: Option<Certificate>,
     /// Processors along each loop dimension.
     pub proc_grid: Vec<i128>,
     /// Interior tile extent λ per dimension (inclusive convention).
@@ -224,6 +253,7 @@ impl PartitionPlan {
             optimizer: optimizer.into(),
             chosen_by: ChosenBy::Analytic,
             calibration: None,
+            certificate: None,
             proc_grid: partition.proc_grid,
             tile_extents: partition.tile_extents,
             cost: partition.cost,
@@ -239,6 +269,15 @@ impl PartitionPlan {
     pub fn with_calibration(mut self, coefficients: LatencyCoefficients) -> Self {
         self.chosen_by = ChosenBy::Calibrated;
         self.calibration = Some(coefficients);
+        self
+    }
+
+    /// Attach a certificate.  Bumps the plan to schema version 3 when
+    /// necessary — older versions have no field to carry it, and a
+    /// silently dropped certificate would defeat the tamper evidence.
+    pub fn with_certificate(mut self, certificate: Certificate) -> Self {
+        self.certificate = Some(certificate);
+        self.schema_version = self.schema_version.max(3);
         self
     }
 
@@ -339,6 +378,19 @@ impl PartitionPlan {
                     .field("per_iter_ns", Json::Str(rat_str(&c.per_iter_ns)))
                     .field("per_rep_ns", Json::Str(rat_str(&c.per_rep_ns)))
                     .field("samples", Json::Int(c.samples as i128))
+                    .render(&mut out, 1);
+                out.push_str(",\n");
+            }
+        }
+        if self.schema_version >= 3 {
+            if let Some(c) = &self.certificate {
+                out.push_str("  \"certificate\": ");
+                ObjWriter::new()
+                    .field("fingerprint", Json::Str(c.fingerprint.clone()))
+                    .field("coverage", Json::Bool(c.coverage))
+                    .field("write_disjoint", Json::Bool(c.write_disjoint))
+                    .field("in_bounds", Json::Bool(c.in_bounds))
+                    .field("idempotent", Json::Bool(c.idempotent))
                     .render(&mut out, 1);
                 out.push_str(",\n");
             }
@@ -462,6 +514,46 @@ impl PartitionPlan {
                 ))
             }
         };
+        let certificate = match v.get("certificate") {
+            None | Some(Json::Null) => None,
+            Some(c @ Json::Obj(_)) => {
+                let bool_field = |key: &str| {
+                    c.get(key).and_then(Json::as_bool).ok_or_else(|| {
+                        PlanError::Certificate(format!(
+                            "certificate block is missing or mistypes `{key}`"
+                        ))
+                    })
+                };
+                let cert = Certificate {
+                    fingerprint: c
+                        .get("fingerprint")
+                        .and_then(Json::as_str)
+                        .map(str::to_owned)
+                        .ok_or_else(|| {
+                            PlanError::Certificate(
+                                "certificate block is missing or mistypes `fingerprint`".into(),
+                            )
+                        })?,
+                    coverage: bool_field("coverage")?,
+                    write_disjoint: bool_field("write_disjoint")?,
+                    in_bounds: bool_field("in_bounds")?,
+                    idempotent: bool_field("idempotent")?,
+                };
+                if cert.fingerprint != fingerprint {
+                    return Err(PlanError::Certificate(format!(
+                        "certificate was issued for fingerprint {} but the plan's \
+                         fingerprint is {fingerprint}; re-certify with `alp-cli certify`",
+                        cert.fingerprint
+                    )));
+                }
+                Some(cert)
+            }
+            Some(_) => {
+                return Err(PlanError::Certificate(
+                    "certificate must be null or an object of proven facts".into(),
+                ))
+            }
+        };
         let proc_grid = int_arr_field(&v, "proc_grid")?;
         let tile_extents = int_arr_field(&v, "tile_extents")?;
         if proc_grid.is_empty() || proc_grid.len() != tile_extents.len() {
@@ -533,6 +625,7 @@ impl PartitionPlan {
             optimizer,
             chosen_by,
             calibration,
+            certificate,
             proc_grid,
             tile_extents,
             cost,
@@ -711,7 +804,7 @@ mod tests {
         let plan = PartitionPlan::build(&example8(), 16, None, LegalityVerdict::Unchecked).unwrap();
         let v1: String = plan
             .to_json_string()
-            .replace("\"alp-plan\": 2", "\"alp-plan\": 1")
+            .replace("\"alp-plan\": 3", "\"alp-plan\": 1")
             .lines()
             .filter(|l| !l.contains("\"chosen_by\""))
             .map(|l| format!("{l}\n"))
@@ -721,6 +814,91 @@ mod tests {
         assert_eq!(back.chosen_by, ChosenBy::Analytic);
         assert_eq!(back.calibration, None);
         assert_eq!(back.to_json_string(), v1, "v1 re-encode is byte-stable");
+    }
+
+    #[test]
+    fn version_2_plan_decodes_and_reencodes_byte_stably() {
+        // Hand-downgrade a fresh plan to version 2: rewrite the tag.
+        // Schema 2 had every field but `certificate`, and an uncertified
+        // plan emits no certificate block, so the bytes are otherwise
+        // identical to what a pre-certificate build wrote.
+        let plan = PartitionPlan::build(&example8(), 16, None, LegalityVerdict::Unchecked).unwrap();
+        let v2 = plan
+            .to_json_string()
+            .replace("\"alp-plan\": 3", "\"alp-plan\": 2");
+        let back = PartitionPlan::from_json_str(&v2).unwrap();
+        assert_eq!(back.schema_version, 2);
+        assert_eq!(back.certificate, None);
+        assert_eq!(back.to_json_string(), v2, "v2 re-encode is byte-stable");
+    }
+
+    fn certificate_for(plan: &PartitionPlan) -> Certificate {
+        Certificate {
+            fingerprint: plan.fingerprint.clone(),
+            coverage: true,
+            write_disjoint: true,
+            in_bounds: true,
+            idempotent: false,
+        }
+    }
+
+    #[test]
+    fn certificate_round_trips_byte_stably() {
+        let plan = PartitionPlan::build(&example8(), 16, None, LegalityVerdict::Unchecked).unwrap();
+        let cert = certificate_for(&plan);
+        let certified = plan.with_certificate(cert.clone());
+        assert_eq!(certified.schema_version, 3);
+        let text = certified.to_json_string();
+        assert!(text.contains("\"certificate\""));
+        assert!(text.contains("\"write_disjoint\": true"));
+        let back = PartitionPlan::from_json_str(&text).unwrap();
+        assert_eq!(back.certificate, Some(cert));
+        assert_eq!(back.to_json_string(), text);
+    }
+
+    #[test]
+    fn stale_certificate_fingerprint_is_rejected_at_decode() {
+        let plan = PartitionPlan::build(&example8(), 16, None, LegalityVerdict::Unchecked).unwrap();
+        let mut cert = certificate_for(&plan);
+        cert.fingerprint = "fnv1a64:0000000000000000".into();
+        // Bypass the constructor so the stale fingerprint reaches the
+        // serializer — simulating a certificate grafted from another plan.
+        let mut certified = plan;
+        certified.certificate = Some(cert);
+        let err = PartitionPlan::from_json_str(&certified.to_json_string()).unwrap_err();
+        assert!(matches!(err, PlanError::Certificate(_)), "got {err}");
+        assert!(err.to_string().contains("issued for fingerprint"));
+    }
+
+    #[test]
+    fn malformed_certificate_block_is_rejected_at_decode() {
+        let plan = PartitionPlan::build(&example8(), 16, None, LegalityVerdict::Unchecked).unwrap();
+        let certified = plan.clone().with_certificate(certificate_for(&plan));
+        let text = certified.to_json_string();
+        // Truncated block: a proven fact vanished.
+        let truncated: String = text
+            .lines()
+            .filter(|l| !l.contains("\"write_disjoint\""))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        let err = PartitionPlan::from_json_str(&truncated).unwrap_err();
+        assert!(matches!(err, PlanError::Certificate(_)), "got {err}");
+        // Mistyped fact: a verdict that is not a bool.
+        let mistyped = text.replace("\"coverage\": true", "\"coverage\": \"probably\"");
+        assert!(matches!(
+            PartitionPlan::from_json_str(&mistyped),
+            Err(PlanError::Certificate(_))
+        ));
+        // The block itself must be an object.
+        let wrong_shape = {
+            let start = text.find("  \"certificate\": {").unwrap();
+            let end = text[start..].find("},\n").unwrap() + start + 3;
+            format!("{}  \"certificate\": 7,\n{}", &text[..start], &text[end..])
+        };
+        assert!(matches!(
+            PartitionPlan::from_json_str(&wrong_shape),
+            Err(PlanError::Certificate(_))
+        ));
     }
 
     #[test]
@@ -766,7 +944,7 @@ mod tests {
         let plan = PartitionPlan::build(&example8(), 8, None, LegalityVerdict::Unchecked).unwrap();
         let text = plan
             .to_json_string()
-            .replace("\"alp-plan\": 2", "\"alp-plan\": 99");
+            .replace("\"alp-plan\": 3", "\"alp-plan\": 99");
         let err = PartitionPlan::from_json_str(&text).unwrap_err();
         match err {
             PlanError::UnsupportedVersion { found, supported } => {

@@ -243,6 +243,45 @@ impl RunControl<'_> {
     }
 }
 
+/// The single decision point for whether a contained tile panic may be
+/// re-executed in place.  Both the legacy syntactic rule and a
+/// certificate-backed verdict flow through here, so the worker loop
+/// never re-derives idempotence inline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetryPolicy {
+    /// The conservative array-name rule of [`syntactic_retry_safe`]:
+    /// retry only first-repetition tiles of nests it accepts (a later
+    /// repetition may observe the previous repetition's output).
+    Syntactic {
+        /// Whether the rule accepted the nest.
+        safe: bool,
+    },
+    /// An element-precise dataflow verdict from a re-checked plan
+    /// certificate: a certified-idempotent nest reads nothing any tile
+    /// writes, so a re-run at *any* repetition recomputes identical
+    /// values.
+    Certified {
+        /// The certificate's (re-proven) idempotence verdict.
+        idempotent: bool,
+    },
+}
+
+impl RetryPolicy {
+    /// May a tile of repetition `rep` be re-executed after a contained
+    /// panic?
+    pub fn eligible(&self, rep: u64) -> bool {
+        match *self {
+            RetryPolicy::Syntactic { safe } => safe && rep == 0,
+            RetryPolicy::Certified { idempotent } => idempotent,
+        }
+    }
+
+    /// Whether the nest is retryable at all (repetition 0).
+    pub fn retryable(&self) -> bool {
+        self.eligible(0)
+    }
+}
+
 /// A nest compiled and partitioned, ready to run any number of times.
 #[derive(Debug)]
 pub struct Executor {
@@ -253,7 +292,10 @@ pub struct Executor {
     /// Interior-tile extents λ (empty for explicit assignments).
     tile_extents: Vec<i128>,
     repetitions: u64,
-    retry_safe: bool,
+    retry: RetryPolicy,
+    /// Certified fast path: accumulate via plain read-add-store instead
+    /// of atomic CAS.  Set only by [`Executor::apply_certificate`].
+    relaxed_stores: bool,
 }
 
 impl Executor {
@@ -264,7 +306,10 @@ impl Executor {
         let kernel = Kernel::compile(nest, &layout)?;
         let (tiles, chunks) = rect_tiles(nest, grid)?;
         Ok(Executor {
-            retry_safe: retry_safe(nest),
+            retry: RetryPolicy::Syntactic {
+                safe: syntactic_retry_safe(nest),
+            },
+            relaxed_stores: false,
             nest: nest.clone(),
             repetitions: reps(nest)?,
             layout,
@@ -299,7 +344,10 @@ impl Executor {
             .map(Work::Points)
             .collect();
         Ok(Executor {
-            retry_safe: retry_safe(nest),
+            retry: RetryPolicy::Syntactic {
+                safe: syntactic_retry_safe(nest),
+            },
+            relaxed_stores: false,
             nest: nest.clone(),
             repetitions: reps(nest)?,
             layout,
@@ -326,16 +374,47 @@ impl Executor {
         &self.tile_extents
     }
 
-    /// Whether a contained tile panic may be retried (see the module
-    /// docs and [`ExecOptions::max_retries`]): every statement is a
-    /// plain assign and no statement reads an array the nest writes, so
-    /// re-running a partially executed tile recomputes exactly the same
-    /// values.  Accumulate nests are never retry-safe — a partial
+    /// Whether a contained tile panic may be retried at all (see the
+    /// module docs and [`ExecOptions::max_retries`]).  Under the default
+    /// [`RetryPolicy::Syntactic`]: every statement is a plain assign and
+    /// no statement reads an array the nest writes, so re-running a
+    /// partially executed tile recomputes exactly the same values.
+    /// Accumulate nests are never syntactically retry-safe — a partial
     /// attempt has already folded deltas into shared cells and a re-run
     /// would double-count them — and neither are read-after-write nests,
     /// whose second attempt could observe the first attempt's output.
+    /// [`Executor::apply_certificate`] upgrades the policy to an
+    /// element-precise certified verdict.
     pub fn retry_safe(&self) -> bool {
-        self.retry_safe
+        self.retry.retryable()
+    }
+
+    /// The active retry decision point.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
+    }
+
+    /// Consume a *re-checked* plan certificate's verdicts.
+    ///
+    /// `write_disjoint` must be the conjunction of the certificate's
+    /// proven coverage and cross-tile write-disjointness facts — both
+    /// are needed before relaxed accumulate stores are sound (coverage
+    /// rules out one iteration running in two tiles; disjointness rules
+    /// out two tiles writing one element).  `idempotent` is the
+    /// certificate's dataflow idempotence verdict and replaces the
+    /// syntactic retry rule.
+    ///
+    /// Callers must pass verdicts from `alp_certify::recheck`-style recomputation,
+    /// never bits read straight from a plan file — a tampered file would
+    /// otherwise unlock an unsound path.
+    pub fn apply_certificate(&mut self, write_disjoint: bool, idempotent: bool) {
+        self.relaxed_stores = write_disjoint;
+        self.retry = RetryPolicy::Certified { idempotent };
+    }
+
+    /// True when a certificate unlocked the plain-store accumulate path.
+    pub fn uses_relaxed_stores(&self) -> bool {
+        self.relaxed_stores
     }
 
     /// Bytes this nest's backing store needs (`total_lines × 8`).
@@ -707,9 +786,9 @@ impl WorkerState<'_> {
                 Err(payload) => {
                     let payload = payload_string(payload.as_ref());
                     // Retry only when re-execution is provably
-                    // idempotent: first repetition of a retry-safe
-                    // nest (see Executor::retry_safe for why).
-                    let retryable = self.exec.retry_safe && rep == 0;
+                    // idempotent — the policy (syntactic or certified)
+                    // is the single decision point.
+                    let retryable = self.exec.retry.eligible(rep);
                     if retryable && attempts < self.opts.max_retries {
                         attempts += 1;
                         self.retries += 1;
@@ -738,6 +817,7 @@ impl WorkerState<'_> {
         let mut local = 0u64;
         let mut local_polls = 0u64;
         let ctrl = self.ctrl;
+        let relaxed = self.exec.relaxed_stores;
         let completed = if track {
             // Touches repeat identically every rep; track only the
             // first.
@@ -748,7 +828,22 @@ impl WorkerState<'_> {
             sc.clear();
             work.try_for_each_point(|i| {
                 kernel.for_each_access(i, |e, _w| sc.insert(e));
-                kernel.execute(i, store);
+                if relaxed {
+                    kernel.execute_relaxed(i, store);
+                } else {
+                    kernel.execute(i, store);
+                }
+                local += 1;
+                if local.is_multiple_of(POLL_INTERVAL) {
+                    local_polls += 1;
+                    ctrl.keep_going(local_polls.is_multiple_of(DEADLINE_POLL_STRIDE))
+                } else {
+                    true
+                }
+            })
+        } else if relaxed {
+            work.try_for_each_point(|i| {
+                kernel.execute_relaxed(i, store);
                 local += 1;
                 if local.is_multiple_of(POLL_INTERVAL) {
                     local_polls += 1;
@@ -838,11 +933,18 @@ fn payload_string(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-/// The conservative idempotence rule behind [`ExecOptions::max_retries`]
-/// (documented in DESIGN.md "Failure model"): every statement is a
-/// plain (non-accumulate) assign, and no right-hand side reads an array
-/// that any statement writes.
-fn retry_safe(nest: &LoopNest) -> bool {
+/// The conservative *syntactic* idempotence rule behind
+/// [`ExecOptions::max_retries`] (documented in DESIGN.md "Failure
+/// model"): every statement is a plain (non-accumulate) assign, and no
+/// right-hand side reads an array that any statement writes.
+///
+/// Array-name granularity makes this a sound under-approximation of the
+/// certifier's element-precise dataflow idempotence: whenever this rule
+/// accepts a nest, the certifier's verdict is also `idempotent` (the
+/// converse fails on nests like `A[i] = A[i+N]` whose read and write
+/// regions the bounds keep apart).  Public so the property test pinning
+/// that containment can call both sides.
+pub fn syntactic_retry_safe(nest: &LoopNest) -> bool {
     let written: std::collections::HashSet<&str> =
         nest.body.iter().map(|st| st.lhs.array.as_str()).collect();
     nest.body.iter().all(|st| {

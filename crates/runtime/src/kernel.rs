@@ -138,9 +138,25 @@ impl Kernel {
         }
     }
 
-    /// Execute one iteration against the shared store.
+    /// Execute one iteration against the shared store.  Accumulates go
+    /// through the atomic CAS loop — always sound.
     #[inline]
     pub fn execute(&self, i: &[i64], store: &crate::ArrayStore) {
+        self.exec_inner(i, store, false);
+    }
+
+    /// Execute one iteration with *relaxed* accumulate stores (plain
+    /// read-add-store, no CAS).  Sound only under a re-checked
+    /// certificate proving exact coverage and cross-tile write
+    /// disjointness: then exactly one thread ever updates each
+    /// destination element, and the CAS buys nothing.
+    #[inline]
+    pub fn execute_relaxed(&self, i: &[i64], store: &crate::ArrayStore) {
+        self.exec_inner(i, store, true);
+    }
+
+    #[inline(always)]
+    fn exec_inner(&self, i: &[i64], store: &crate::ArrayStore, relaxed: bool) {
         for st in &self.stmts {
             match st {
                 CompiledStmt::Assign { lhs, sources } => {
@@ -155,7 +171,11 @@ impl Kernel {
                     for s in sources {
                         delta += store.get(s.eval(i));
                     }
-                    store.fetch_add(lhs.eval(i), delta);
+                    if relaxed {
+                        store.add_relaxed(lhs.eval(i), delta);
+                    } else {
+                        store.fetch_add(lhs.eval(i), delta);
+                    }
                 }
             }
         }

@@ -42,7 +42,9 @@ mod sync;
 mod tiles;
 mod touch;
 
-pub use exec::{ExecOptions, ExecOutcome, Executor, POLL_INTERVAL};
+pub use exec::{
+    syntactic_retry_safe, ExecOptions, ExecOutcome, Executor, RetryPolicy, POLL_INTERVAL,
+};
 pub use kernel::{CompiledStmt, Kernel, LinRef};
 pub use report::{ModelComparison, RunReport, Schedule, ThreadMetrics, TileMetrics};
 pub use store::ArrayStore;
@@ -352,6 +354,45 @@ mod tests {
         // Read-after-write: a re-run could observe its own output.
         let raw = parse("doall (i, 0, 3) { A[i] = A[i] + B[i]; }").unwrap();
         assert!(!Executor::from_grid(&raw, &[2]).unwrap().retry_safe());
+    }
+
+    #[test]
+    fn certified_relaxed_stores_match_atomic_reference() {
+        // ij-block matmul: each tile owns its C elements, so a
+        // certificate's coverage + write-disjointness verdicts unlock
+        // plain read-add-store accumulates.  Must stay bitwise equal to
+        // the sequential reference (and hence to the CAS path).
+        let nest = parse(
+            "doall (i, 0, 7) { doall (j, 0, 7) { doall (k, 0, 7) {
+               l$C[i,j] = l$C[i,j] + A[i,k] + B[k,j];
+             } } }",
+        )
+        .unwrap();
+        let mut exec = Executor::from_grid(&nest, &[4, 2, 1]).unwrap();
+        assert!(!exec.uses_relaxed_stores());
+        exec.apply_certificate(true, false);
+        assert!(exec.uses_relaxed_stores());
+        let outcome = exec.verify(11, &ExecOptions::default()).unwrap();
+        assert!(outcome.matches_reference);
+    }
+
+    #[test]
+    fn retry_policy_is_the_single_decision_point() {
+        // Syntactic: only first-repetition tiles of accepted nests.
+        let safe = parse("doall (i, 0, 3) { A[i] = B[i]; }").unwrap();
+        let exec = Executor::from_grid(&safe, &[2]).unwrap();
+        assert_eq!(exec.retry_policy(), RetryPolicy::Syntactic { safe: true });
+        assert!(exec.retry_policy().eligible(0));
+        assert!(!exec.retry_policy().eligible(1));
+        // Certified idempotence holds at any repetition; a refuted
+        // verdict blocks retry entirely.
+        let mut exec = Executor::from_grid(&safe, &[2]).unwrap();
+        exec.apply_certificate(true, true);
+        assert!(exec.retry_policy().eligible(0));
+        assert!(exec.retry_policy().eligible(3));
+        exec.apply_certificate(true, false);
+        assert!(!exec.retry_policy().eligible(0));
+        assert!(!exec.retry_safe());
     }
 
     #[test]

@@ -100,6 +100,18 @@ impl ArrayStore {
         }
     }
 
+    /// Add `delta` to one element with a plain read-modify-write (no
+    /// CAS).  Only sound when a certificate proves no other thread can
+    /// touch this element concurrently (coverage + cross-tile write
+    /// disjointness); the executor's relaxed fast path is gated on
+    /// exactly that proof.
+    #[inline]
+    pub fn add_relaxed(&self, idx: usize, delta: f64) {
+        let cell = &self.cells[idx];
+        let cur = f64::from_bits(cell.load(Ordering::Relaxed));
+        cell.store((cur + delta).to_bits(), Ordering::Relaxed);
+    }
+
     /// Copy the current contents out as plain f64s.
     pub fn snapshot(&self) -> Vec<f64> {
         self.cells

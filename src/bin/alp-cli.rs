@@ -5,6 +5,7 @@
 //! alp-cli [OPTIONS] <FILE|->          # '-' reads the DSL from stdin
 //! alp-cli plan [OPTIONS] <FILE|->     # emit the partition plan as JSON
 //! alp-cli run [OPTIONS] <FILE|->      # partition AND execute on threads
+//! alp-cli certify [OPTIONS] <PLAN|->  # prove/re-check a plan's certificate
 //! alp-cli calibrate [OPTIONS] [FILE|-]  # fit a latency model from probe runs
 //!
 //! OPTIONS:
@@ -27,6 +28,14 @@
 //!                           instead of the pure footprint objective;
 //!                           the plan records `chosen_by: calibrated`
 //!                           and the coefficients
+//!       --certify           prove the four certificate facts (coverage,
+//!                           write disjointness, bounds, idempotence) and
+//!                           embed them in the emitted plan (schema v3)
+//!
+//! CERTIFY OPTIONS:
+//!       --emit <FILE|->     write the certified plan JSON (plans that
+//!                           already carry a certificate are re-checked
+//!                           instead; a stale/tampered one exits 9)
 //!
 //! CALIBRATE OPTIONS (in addition to -p, --param, --line-size, --seed):
 //!       --threads <N>       OS threads per probe run      [default: 4]
@@ -50,6 +59,10 @@
 //!                           would exceed N bytes
 //!       --fallback-seq      degrade an over-budget run to a sequential
 //!                           interpreted run instead of failing
+//!       --require-cert      refuse to run without a certificate: a DSL
+//!                           nest is certified in-process, a saved plan
+//!                           must already carry one; re-check failures
+//!                           exit 9 (`ALP0011`)
 //! ```
 //!
 //! The legality analysis (races, lints) runs by default before
@@ -69,7 +82,9 @@
 //! sequential reference, `6` (`run` only) deadline exceeded or run
 //! cancelled (`ALP0007`), `7` (`run` only) a tile faulted and retries —
 //! if any — were exhausted (`ALP0008`), `8` (`run` only) over the
-//! `--max-store-bytes` budget without `--fallback-seq` (`ALP0009`).
+//! `--max-store-bytes` budget without `--fallback-seq` (`ALP0009`),
+//! `9` a plan certificate is missing (under `--require-cert`), stale,
+//! or disagrees with fresh recomputation (`ALP0011`).
 //!
 //! Examples:
 //!
@@ -117,16 +132,20 @@ const EXIT_FAULT: u8 = 7;
 /// Exit code when the run is over its `--max-store-bytes` budget and
 /// `--fallback-seq` was not given — `ALP0009`.
 const EXIT_BUDGET: u8 = 8;
+/// Exit code when a plan certificate is missing (under
+/// `--require-cert`), stale, or disagrees with recomputation — `ALP0011`.
+const EXIT_CERT: u8 = 9;
 
 fn usage() -> ! {
     eprintln!(
         "usage: alp-cli [-p N] [-m WxH] [--param NAME=VAL]... [--simulate] [--para] \
          [--line-size N] [--code] [--check|--no-check] [--from-plan FILE] <FILE|->\n       \
-         alp-cli plan [-p N] [-m WxH] [--param NAME=VAL]... [--no-check] \
+         alp-cli plan [-p N] [-m WxH] [--param NAME=VAL]... [--no-check] [--certify] \
          [--emit FILE|-] <FILE|->\n       \
          alp-cli run [-p N] [--param NAME=VAL]... [--threads N] [--steal] \
          [--line-size N] [--seed N] [--no-check] [--from-plan FILE] [--timeout-ms N] \
-         [--retry N] [--max-store-bytes N] [--fallback-seq] <FILE|->\n       \
+         [--retry N] [--max-store-bytes N] [--fallback-seq] [--require-cert] <FILE|->\n       \
+         alp-cli certify [--emit FILE|-] <PLAN|->\n       \
          alp-cli calibrate [-p N] [--param NAME=VAL]... [--threads N] [--trials N] \
          [--warmup N] [--line-size N] [--seed N] [--emit FILE|-] [FILE|-]"
     );
@@ -146,6 +165,7 @@ struct RunOptions {
     retry: u32,
     max_store_bytes: Option<u64>,
     fallback_seq: bool,
+    require_cert: bool,
     input: String,
 }
 
@@ -163,6 +183,7 @@ fn parse_run_args(mut args: impl Iterator<Item = String>) -> RunOptions {
         retry: 0,
         max_store_bytes: None,
         fallback_seq: false,
+        require_cert: false,
         input: String::new(),
     };
     let mut input: Option<String> = None;
@@ -224,6 +245,7 @@ fn parse_run_args(mut args: impl Iterator<Item = String>) -> RunOptions {
                 );
             }
             "--fallback-seq" => opts.fallback_seq = true,
+            "--require-cert" => opts.require_cert = true,
             "-h" | "--help" => usage(),
             other if input.is_none() => input = Some(other.to_string()),
             _ => usage(),
@@ -253,13 +275,19 @@ fn read_source(input: &str) -> Result<String, ExitCode> {
     }
 }
 
-/// Load and decode a saved plan file ('-' reads stdin).
+/// Load and decode a saved plan file ('-' reads stdin).  Structurally
+/// damaged certificates (truncated block, stale fingerprint) are caught
+/// here by the decoder and exit 9.
 fn load_plan(path: &str) -> Result<PartitionPlan, ExitCode> {
     let text = read_source(path)?;
     PartitionPlan::from_json_str(&text).map_err(|e| {
         let e = AlpError::from(e);
         eprintln!("alp-cli: error[{}]: {e}", e.code());
-        ExitCode::FAILURE
+        if e.code() == "ALP0011" {
+            ExitCode::from(EXIT_CERT)
+        } else {
+            ExitCode::FAILURE
+        }
     })
 }
 
@@ -271,6 +299,11 @@ fn run_main(opts: RunOptions) -> ExitCode {
             Ok(p) => p,
             Err(code) => return code,
         };
+        if opts.require_cert && plan.certificate.is_none() {
+            let e = AlpError::from(CertifyError::Missing);
+            eprintln!("alp-cli: error[{}]: {e}", e.code());
+            return ExitCode::from(EXIT_CERT);
+        }
         let compiler = Compiler::new(plan.processors).unchecked();
         match compiler.compile_from_plan(&plan) {
             Ok(r) => (compiler, r),
@@ -309,18 +342,48 @@ fn run_main(opts: RunOptions) -> ExitCode {
         }
 
         let compiler = Compiler::new(opts.processors).unchecked();
-        match compiler.compile(nest) {
-            Ok(r) => (compiler, r),
+        let result = match compiler.compile(nest) {
+            Ok(r) => r,
             Err(e) => {
                 eprintln!("alp-cli: {e}");
                 return ExitCode::FAILURE;
             }
-        }
+        };
+        // A DSL nest has no saved certificate to demand — certify it in
+        // process and attach the proof, so execute() re-checks the same
+        // path a saved certified plan takes.
+        let result = if opts.require_cert {
+            let report = match alp::certify::certify(&result.plan) {
+                Ok(r) => r,
+                Err(e) => {
+                    let e = AlpError::from(e);
+                    eprintln!("alp-cli: error[{}]: {e}", e.code());
+                    return ExitCode::FAILURE;
+                }
+            };
+            let certified = (*result.plan).clone().with_certificate(report.certificate);
+            match compiler.compile_from_plan(&certified) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("alp-cli: error[{}]: {e}", e.code());
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else {
+            result
+        };
+        (compiler, result)
     };
     println!(
         "partition: grid {:?}, tile λ {:?}, modeled cost {}",
         result.partition.proc_grid, result.partition.tile_extents, result.partition.cost
     );
+    if let Some(cert) = &result.plan.certificate {
+        println!(
+            "certificate: coverage {}, write-disjoint {}, in-bounds {}, idempotent {}",
+            cert.coverage, cert.write_disjoint, cert.in_bounds, cert.idempotent
+        );
+    }
 
     let exec_opts = ExecOptions {
         threads: opts.threads,
@@ -366,12 +429,16 @@ fn run_main(opts: RunOptions) -> ExitCode {
                 "ALP0007" => EXIT_TIMEOUT,
                 "ALP0008" => EXIT_FAULT,
                 "ALP0009" => EXIT_BUDGET,
+                "ALP0011" => EXIT_CERT,
                 _ => 1,
             });
         }
     };
 
     println!("\n== run ==");
+    if summary.certified_fastpath {
+        println!("certified fast path: relaxed (non-atomic) accumulate stores");
+    }
     print!("{}", summary.outcome.report.render());
     if let Some(mc) = &summary.model_comparison {
         println!(
@@ -398,6 +465,7 @@ struct PlanOptions {
     no_check: bool,
     emit: String,
     calibrated: Option<String>,
+    certify: bool,
     input: String,
 }
 
@@ -419,6 +487,7 @@ fn parse_plan_args(mut args: impl Iterator<Item = String>) -> PlanOptions {
         no_check: false,
         emit: "-".to_string(),
         calibrated: None,
+        certify: false,
         input: String::new(),
     };
     let mut input: Option<String> = None;
@@ -449,6 +518,7 @@ fn parse_plan_args(mut args: impl Iterator<Item = String>) -> PlanOptions {
             "--calibrated" => {
                 opts.calibrated = Some(args.next().unwrap_or_else(|| usage()));
             }
+            "--certify" => opts.certify = true,
             "-h" | "--help" => usage(),
             other if input.is_none() => input = Some(other.to_string()),
             _ => usage(),
@@ -506,6 +576,22 @@ fn plan_main(opts: PlanOptions) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let plan = if opts.certify {
+        let report = match alp::certify::certify(&plan) {
+            Ok(r) => r,
+            Err(e) => {
+                let e = AlpError::from(e);
+                eprintln!("alp-cli: error[{}]: {e}", e.code());
+                return ExitCode::FAILURE;
+            }
+        };
+        for note in &report.notes {
+            eprintln!("alp-cli: certify: {note}");
+        }
+        plan.with_certificate(report.certificate)
+    } else {
+        plan
+    };
     let json = plan.to_json_string();
     if opts.emit == "-" {
         print!("{json}");
@@ -521,6 +607,92 @@ fn plan_main(opts: PlanOptions) -> ExitCode {
             plan.tiles(),
             opts.emit
         );
+    }
+    ExitCode::SUCCESS
+}
+
+struct CertifyOptions {
+    emit: Option<String>,
+    input: String,
+}
+
+fn parse_certify_args(mut args: impl Iterator<Item = String>) -> CertifyOptions {
+    let mut opts = CertifyOptions {
+        emit: None,
+        input: String::new(),
+    };
+    let mut input: Option<String> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--emit" => opts.emit = Some(args.next().unwrap_or_else(|| usage())),
+            "-h" | "--help" => usage(),
+            other if input.is_none() => input = Some(other.to_string()),
+            _ => usage(),
+        }
+    }
+    opts.input = input.unwrap_or_else(|| usage());
+    opts
+}
+
+/// The `certify` subcommand: prove the four certificate facts for a
+/// saved plan (or re-check an embedded certificate) and optionally write
+/// the certified plan back out.
+fn certify_main(opts: CertifyOptions) -> ExitCode {
+    let plan = match load_plan(&opts.input) {
+        Ok(p) => p,
+        Err(code) => return code,
+    };
+    let certificate = if plan.certificate.is_some() {
+        // An embedded certificate is *re-checked*: every verdict must
+        // agree with fresh recomputation.
+        match alp::certify::recheck(&plan) {
+            Ok(c) => {
+                println!("certificate: verified against recomputation");
+                c
+            }
+            Err(e) => {
+                let e = AlpError::from(e);
+                eprintln!("alp-cli: error[{}]: {e}", e.code());
+                return ExitCode::from(if e.code() == "ALP0011" { EXIT_CERT } else { 1 });
+            }
+        }
+    } else {
+        match alp::certify::certify(&plan) {
+            Ok(report) => {
+                for note in &report.notes {
+                    eprintln!("alp-cli: certify: {note}");
+                }
+                report.certificate
+            }
+            Err(e) => {
+                let e = AlpError::from(e);
+                eprintln!("alp-cli: error[{}]: {e}", e.code());
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    println!(
+        "plan {} (grid {:?}):\n  coverage       {}\n  write-disjoint {}\n  in-bounds      \
+         {}\n  idempotent     {}",
+        plan.fingerprint,
+        plan.proc_grid,
+        certificate.coverage,
+        certificate.write_disjoint,
+        certificate.in_bounds,
+        certificate.idempotent
+    );
+    if let Some(emit) = &opts.emit {
+        let certified = plan.with_certificate(certificate);
+        let json = certified.to_json_string();
+        if emit == "-" {
+            print!("{json}");
+        } else {
+            if let Err(e) = std::fs::write(emit, &json) {
+                eprintln!("alp-cli: {emit}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("alp-cli: wrote certified plan to {emit}");
+        }
     }
     ExitCode::SUCCESS
 }
@@ -836,6 +1008,7 @@ fn main() -> ExitCode {
     match std::env::args().nth(1).as_deref() {
         Some("run") => return run_main(parse_run_args(std::env::args().skip(2))),
         Some("plan") => return plan_main(parse_plan_args(std::env::args().skip(2))),
+        Some("certify") => return certify_main(parse_certify_args(std::env::args().skip(2))),
         Some("calibrate") => return calibrate_main(parse_calibrate_args(std::env::args().skip(2))),
         _ => {}
     }

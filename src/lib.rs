@@ -55,6 +55,7 @@
 
 pub use alp_analysis as analysis;
 pub use alp_calibrate as calibrate;
+pub use alp_certify as certify;
 pub use alp_codegen as codegen;
 pub use alp_footprint as footprint;
 pub use alp_lattice as lattice;
@@ -102,6 +103,11 @@ pub enum AlpError {
     /// A calibration artifact could not be read, or calibration probing
     /// / fitting failed (`ALP0010`).
     Calibration(alp_calibrate::CalibrateError),
+    /// A plan certificate is missing, stale, or disagrees with fresh
+    /// recomputation (`ALP0011`).  Structural certificate damage caught
+    /// at decode time ([`PlanError::Certificate`]) reports the same
+    /// code.
+    Certify(alp_certify::CertifyError),
 }
 
 impl AlpError {
@@ -109,7 +115,8 @@ impl AlpError {
     /// illegal doall, `ALP0004` infeasible, `ALP0005` runtime lowering,
     /// `ALP0006` plan artifact, `ALP0007` deadline exceeded / run
     /// cancelled, `ALP0008` contained tile fault, `ALP0009` memory
-    /// budget exceeded, `ALP0010` calibration artifact / probe failure.
+    /// budget exceeded, `ALP0010` calibration artifact / probe failure,
+    /// `ALP0011` certificate missing / stale / tampered.
     /// Codes never change meaning across releases; new variants get new
     /// codes.
     pub fn code(&self) -> &'static str {
@@ -123,8 +130,13 @@ impl AlpError {
             AlpError::Runtime(R::TileFailed { .. }) => "ALP0008",
             AlpError::Runtime(R::ResourceExceeded { .. }) => "ALP0009",
             AlpError::Runtime(_) => "ALP0005",
+            // Structural certificate damage caught while decoding the
+            // plan file carries the certificate code, not the generic
+            // plan-artifact one.
+            AlpError::Plan(PlanError::Certificate(_)) => "ALP0011",
             AlpError::Plan(_) => "ALP0006",
             AlpError::Calibration(_) => "ALP0010",
+            AlpError::Certify(_) => "ALP0011",
         }
     }
 }
@@ -139,6 +151,7 @@ impl std::fmt::Display for AlpError {
             AlpError::Runtime(e) => write!(f, "{e}"),
             AlpError::Plan(e) => write!(f, "{e}"),
             AlpError::Calibration(e) => write!(f, "{e}"),
+            AlpError::Certify(e) => write!(f, "{e}"),
         }
     }
 }
@@ -151,6 +164,7 @@ impl std::error::Error for AlpError {
             AlpError::Runtime(e) => Some(e),
             AlpError::Plan(e) => Some(e),
             AlpError::Calibration(e) => Some(e),
+            AlpError::Certify(e) => Some(e),
             // A Report is diagnostics, not an error value; Infeasible is
             // a leaf message.
             AlpError::Illegal(_) | AlpError::Infeasible(_) => None,
@@ -183,6 +197,17 @@ impl From<PlanError> for AlpError {
             // its `infeasible: …` rendering).
             PlanError::Infeasible(m) => AlpError::Infeasible(m),
             e => AlpError::Plan(e),
+        }
+    }
+}
+
+impl From<alp_certify::CertifyError> for AlpError {
+    fn from(e: alp_certify::CertifyError) -> Self {
+        match e {
+            // An uninterpretable plan is a plan problem, whichever layer
+            // noticed it (and Infeasible keeps its own variant/code).
+            alp_certify::CertifyError::Plan(p) => AlpError::from(p),
+            e => AlpError::Certify(e),
         }
     }
 }
@@ -257,6 +282,10 @@ pub struct ExecutionSummary {
     /// cumulative-footprint prediction (`None` when touch tracking was
     /// off or the partition has no rectangular tile extents).
     pub model_comparison: Option<alp_runtime::ModelComparison>,
+    /// True when the plan carried a certificate whose re-proven coverage
+    /// and write-disjointness verdicts unlocked the relaxed (non-atomic)
+    /// accumulate store path for this run.
+    pub certified_fastpath: bool,
 }
 
 impl Compiler {
@@ -471,13 +500,24 @@ impl Compiler {
     /// distinct-cache-line counts — plus a comparison of the measured
     /// per-tile footprint against the cost model's cumulative-footprint
     /// prediction for the chosen tile shape.
+    ///
+    /// A plan carrying a certificate is **re-checked** first
+    /// ([`alp_certify::recheck`]): a stale or tampered certificate
+    /// aborts with [`AlpError::Certify`] (`ALP0011`), and the re-proven
+    /// verdicts — never the stored bits — configure the executor's
+    /// relaxed-store fast path and certified retry policy.
     pub fn execute(
         &self,
         result: &CompileResult,
         opts: &alp_runtime::ExecOptions,
         seed: u64,
     ) -> Result<ExecutionSummary, AlpError> {
-        let exec = alp_runtime::Executor::from_plan(&result.plan)?;
+        let mut exec = alp_runtime::Executor::from_plan(&result.plan)?;
+        if result.plan.certificate.is_some() {
+            let proven = alp_certify::recheck(&result.plan)?;
+            exec.apply_certificate(proven.coverage && proven.write_disjoint, proven.idempotent);
+        }
+        let certified_fastpath = exec.uses_relaxed_stores();
         let extents = exec.tile_extents().to_vec();
         let outcome = exec.verify(seed, opts)?;
         let model = alp_footprint::CostModel::from_nest(&result.nest);
@@ -485,6 +525,7 @@ impl Compiler {
         Ok(ExecutionSummary {
             outcome,
             model_comparison,
+            certified_fastpath,
         })
     }
 
@@ -570,6 +611,7 @@ pub mod prelude {
         choose_calibrated, fit, fit_nest, probe_nest, rank_candidates, CalibrateError, Calibration,
         GridFeatures, LatencyModel, ProbeConfig, RankedCandidate, TileSample,
     };
+    pub use alp_certify::{certify, recheck, CertifyError, CertifyReport};
     pub use alp_codegen::{assign_para, assign_rect, assign_slabs, emit_para_code, emit_rect_code};
     pub use alp_footprint::{
         classify, cumulative_footprint_exact, cumulative_footprint_general,
@@ -593,11 +635,11 @@ pub mod prelude {
         ProgramPartition, ProgramStrategy, RectPartition, SpreadKind,
     };
     pub use alp_plan::{
-        fingerprint, fingerprint_hex, rect_tiles, CacheStats, ChosenBy, IterBox,
+        fingerprint, fingerprint_hex, rect_tiles, CacheStats, Certificate, ChosenBy, IterBox,
         LatencyCoefficients, LegalityVerdict, PartitionPlan, PlanCache, PlanError, PlanKey,
     };
     pub use alp_runtime::{
-        CancelToken, ExecOptions, ExecOutcome, Executor, ModelComparison, RunReport, RuntimeError,
-        Schedule,
+        syntactic_retry_safe, CancelToken, ExecOptions, ExecOutcome, Executor, ModelComparison,
+        RetryPolicy, RunReport, RuntimeError, Schedule,
     };
 }

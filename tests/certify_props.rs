@@ -1,0 +1,217 @@
+//! Differential property tests for the plan certifier.
+//!
+//! The certifier proves its four facts symbolically — Fourier–Motzkin
+//! feasibility and Diophantine lattice solves — so on nests small
+//! enough to enumerate, every verdict can be checked against the ground
+//! truth of brute-force enumeration: walk all iterations, materialize
+//! the written/read element sets, and compare.  Any disagreement in
+//! either direction (a refuted fact that enumeration proves, or a
+//! proven fact that enumeration refutes) is a certifier bug.
+//!
+//! Also here: the executor's legacy syntactic retry rule must be a
+//! *sound under-approximation* of the certified idempotence fact —
+//! whenever the array-name-granularity rule accepts a nest, the
+//! element-precise dataflow proof must accept it too.
+
+use alp::prelude::*;
+use proptest::collection::vec as pvec;
+use proptest::prelude::*;
+use std::collections::{HashMap, HashSet};
+
+/// Render `Σ c_k·name_k + k` as parseable subscript source (the parser
+/// accepts signed terms, so `0 - 2*i + 3` round-trips any small form).
+fn affine_src(coeffs: &[i128], names: &[&str], k: i128) -> String {
+    let mut s = String::from("0");
+    for (c, n) in coeffs.iter().zip(names) {
+        if *c != 0 {
+            let sign = if *c < 0 { '-' } else { '+' };
+            s.push_str(&format!(" {sign} {}*{n}", c.abs()));
+        }
+    }
+    if k != 0 {
+        let sign = if k < 0 { '-' } else { '+' };
+        s.push_str(&format!(" {sign} {}", k.abs()));
+    }
+    s
+}
+
+/// A random small nest (as source text) plus a processor grid for it.
+#[derive(Debug, Clone)]
+struct Case {
+    src: String,
+    grid: Vec<i128>,
+}
+
+/// Depth-1/2 nests with tiny extents, three body shapes (disjoint
+/// arrays, a same-array read, two writes to one array), coefficients
+/// in `[-2, 2]`, offsets in `[-3, 3]`, grid factors in `[1, 3]` —
+/// small enough that every fact is enumerable, varied enough to hit
+/// proven and refuted outcomes of each fact.
+fn cases() -> impl Strategy<Value = Case> {
+    (1usize..=2).prop_flat_map(|depth| {
+        let sub = || (pvec(-2i128..=2, depth), -3i128..=3);
+        (
+            pvec((-2i128..=2, 2i128..=4), depth),
+            pvec(1i128..=3, depth),
+            (0usize..=2, sub(), sub(), sub()),
+        )
+            .prop_map(move |(loops, grid, (kind, w, r1, r2))| {
+                let names: &[&str] = &["i", "j"][..depth];
+                let open: String = loops
+                    .iter()
+                    .enumerate()
+                    .map(|(d, &(lo, n))| format!("doall ({}, {lo}, {}) {{ ", names[d], lo + n - 1))
+                    .collect();
+                let ws = affine_src(&w.0, names, w.1);
+                let r1s = affine_src(&r1.0, names, r1.1);
+                let r2s = affine_src(&r2.0, names, r2.1);
+                let body = match kind {
+                    0 => format!("A[{ws}] = B[{r1s}] + B[{r2s}];"),
+                    1 => format!("A[{ws}] = A[{r1s}] + B[{r2s}];"),
+                    _ => format!("A[{ws}] = B[{r1s}]; A[{r2s}] = B[{ws}];"),
+                };
+                Case {
+                    src: format!("{open}{body} {}", "} ".repeat(depth)),
+                    grid,
+                }
+            })
+    })
+}
+
+fn plan_for(case: &Case) -> (LoopNest, PartitionPlan, Vec<IterBox>) {
+    let nest = parse(&case.src).expect("generated source parses");
+    let (tiles, chunks) = rect_tiles(&nest, &case.grid).expect("grid matches depth");
+    let partition = RectPartition {
+        tile_extents: chunks.iter().map(|c| c - 1).collect(),
+        proc_grid: case.grid.clone(),
+        cost: Rat::int(0),
+    };
+    let plan = PartitionPlan::build_with_partition(
+        &nest,
+        case.grid.iter().product(),
+        None,
+        LegalityVerdict::Unchecked,
+        partition,
+        "prop-fixed-grid",
+    )
+    .expect("plan builds");
+    (nest, plan, tiles)
+}
+
+/// Ground truth by enumeration: (coverage, write_disjoint, in_bounds,
+/// idempotent), each computed from explicit point/element sets.
+fn brute_force(nest: &LoopNest, tiles: &[IterBox]) -> (bool, bool, bool, bool) {
+    let space: HashSet<Vec<i128>> = nest.iteration_points().into_iter().map(|p| p.0).collect();
+
+    // Coverage: the multiset of tile points equals the space exactly.
+    let mut seen: HashMap<Vec<i128>, usize> = HashMap::new();
+    let mut coverage = true;
+    for t in tiles {
+        t.for_each_point(|p| {
+            let p: Vec<i128> = p.iter().map(|&x| i128::from(x)).collect();
+            if !space.contains(&p) {
+                coverage = false;
+            }
+            *seen.entry(p).or_insert(0) += 1;
+        });
+    }
+    if seen.len() != space.len() || seen.values().any(|&c| c != 1) {
+        coverage = false;
+    }
+
+    // Write disjointness: per tile, the set of written elements.
+    let tile_writes: Vec<HashSet<(String, Vec<i128>)>> = tiles
+        .iter()
+        .map(|t| {
+            let mut s = HashSet::new();
+            t.for_each_point(|p| {
+                let iv = IVec(p.iter().map(|&x| i128::from(x)).collect());
+                for st in &nest.body {
+                    s.insert((st.lhs.array.clone(), st.lhs.eval(&iv).0));
+                }
+            });
+            s
+        })
+        .collect();
+    let mut write_disjoint = true;
+    for a in 0..tiles.len() {
+        for b in (a + 1)..tiles.len() {
+            if !tile_writes[a].is_disjoint(&tile_writes[b]) {
+                write_disjoint = false;
+            }
+        }
+    }
+
+    // In-bounds and idempotence over the full iteration box.
+    let extents = nest.array_extents();
+    let mut in_bounds = true;
+    let mut reads: HashSet<(String, Vec<i128>)> = HashSet::new();
+    let mut writes: HashSet<(String, Vec<i128>)> = HashSet::new();
+    for p in nest.iteration_points() {
+        for r in nest.all_refs() {
+            let e = r.eval(&p).0;
+            if let Some(ext) = extents.get(&r.array) {
+                for (d, &v) in e.iter().enumerate() {
+                    if v < ext[d].0 || v > ext[d].1 {
+                        in_bounds = false;
+                    }
+                }
+            }
+        }
+        for st in &nest.body {
+            writes.insert((st.lhs.array.clone(), st.lhs.eval(&p).0));
+            for r in &st.rhs {
+                reads.insert((r.array.clone(), r.eval(&p).0));
+            }
+        }
+    }
+    let idempotent = reads.is_disjoint(&writes);
+
+    (coverage, write_disjoint, in_bounds, idempotent)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn certifier_verdicts_match_brute_force_enumeration(case in cases()) {
+        let (nest, plan, tiles) = plan_for(&case);
+        let report = certify(&plan).expect("well-formed plan certifies");
+        let cert = &report.certificate;
+        let (coverage, write_disjoint, in_bounds, idempotent) = brute_force(&nest, &tiles);
+        prop_assert_eq!(
+            (cert.coverage, cert.write_disjoint, cert.in_bounds, cert.idempotent),
+            (coverage, write_disjoint, in_bounds, idempotent),
+            "certifier disagrees with enumeration on `{}` grid {:?}: {:?}",
+            case.src, case.grid, report.notes
+        );
+    }
+
+    #[test]
+    fn certified_plans_survive_their_own_recheck(case in cases()) {
+        // certify → embed → recheck is the round trip `plan --certify`
+        // followed by `run --require-cert` takes; it must always agree
+        // with itself, whatever the verdicts are.
+        let (_, plan, _) = plan_for(&case);
+        let report = certify(&plan).expect("well-formed plan certifies");
+        let certified = plan.with_certificate(report.certificate.clone());
+        let proven = recheck(&certified).expect("fresh certificate re-verifies");
+        prop_assert_eq!(proven, report.certificate);
+    }
+
+    #[test]
+    fn syntactic_retry_rule_under_approximates_certified_idempotence(case in cases()) {
+        // The legacy array-name-granularity rule may refuse nests the
+        // element-precise proof accepts (e.g. `A[i] = A[i+32]`), but it
+        // must never accept a nest the dataflow proof refutes.
+        let (nest, plan, _) = plan_for(&case);
+        if syntactic_retry_safe(&nest) {
+            let report = certify(&plan).expect("well-formed plan certifies");
+            prop_assert!(
+                report.certificate.idempotent,
+                "syntactic rule accepted `{}` but the dataflow proof refutes it: {:?}",
+                case.src, report.notes
+            );
+        }
+    }
+}

@@ -147,7 +147,7 @@ const STENCIL: &str = "doall (i, 1, 16) { doall (j, 1, 16) { A[i,j] = B[i,j] + B
 fn plan_emits_versioned_json_to_stdout() {
     let (stdout, stderr, code) = run_cli(&["plan", "-p", "4", "-"], Some(STENCIL));
     assert_eq!(code, Some(0), "stderr: {stderr}");
-    assert!(stdout.starts_with("{\n  \"alp-plan\": 2,"), "{stdout}");
+    assert!(stdout.starts_with("{\n  \"alp-plan\": 3,"), "{stdout}");
     assert!(stdout.contains("\"fingerprint\""), "{stdout}");
     assert!(stdout.contains("\"source\""), "{stdout}");
 }
@@ -209,7 +209,7 @@ fn truncated_plan_fails_with_code_and_exit_1() {
 fn unsupported_plan_version_is_rejected() {
     let (stdout, _, code) = run_cli(&["plan", "-p", "4", "-"], Some(STENCIL));
     assert_eq!(code, Some(0));
-    let bumped = stdout.replace("\"alp-plan\": 2", "\"alp-plan\": 99");
+    let bumped = stdout.replace("\"alp-plan\": 3", "\"alp-plan\": 99");
     let (_, stderr, code) = run_cli(&["run", "--from-plan", "-"], Some(&bumped));
     assert_eq!(code, Some(1), "stderr: {stderr}");
     assert!(stderr.contains("version 99 is not supported"), "{stderr}");
@@ -348,6 +348,69 @@ fn run_over_budget_with_fallback_degrades_to_sequential() {
     assert_eq!(code, Some(0), "stderr: {stderr}");
     assert!(stderr.contains("warning[ALP0009]"), "{stderr}");
     assert!(stdout.contains("sequential fallback"), "{stdout}");
+}
+
+#[test]
+fn certify_verifies_honest_plan_and_rejects_tampered_bit_with_exit_9() {
+    // An embedded certificate is re-checked against recomputation: the
+    // honest plan passes, a single flipped verdict bit fails with the
+    // stable ALP0011 code and the dedicated exit status 9.
+    let (plan, stderr, code) = run_cli(&["plan", "-p", "4", "--certify", "-"], Some(STENCIL));
+    assert_eq!(code, Some(0), "stderr: {stderr}");
+    assert!(plan.contains("\"certificate\""), "{plan}");
+
+    let (stdout, stderr, code) = run_cli(&["certify", "-"], Some(&plan));
+    assert_eq!(code, Some(0), "stderr: {stderr}");
+    assert!(
+        stdout.contains("verified against recomputation"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("write-disjoint true"), "{stdout}");
+
+    let flipped = plan.replace("\"write_disjoint\": true", "\"write_disjoint\": false");
+    assert_ne!(flipped, plan, "replacement must hit");
+    let (_, stderr, code) = run_cli(&["certify", "-"], Some(&flipped));
+    assert_eq!(code, Some(9), "stderr: {stderr}");
+    assert!(stderr.contains("error[ALP0011]"), "{stderr}");
+    assert!(stderr.contains("certificate tampered"), "{stderr}");
+}
+
+#[test]
+fn certify_attaches_certificate_to_bare_plan() {
+    let (plan, stderr, code) = run_cli(&["plan", "-p", "4", "-"], Some(STENCIL));
+    assert_eq!(code, Some(0), "stderr: {stderr}");
+    assert!(!plan.contains("\"certificate\""), "{plan}");
+
+    let (stdout, stderr, code) = run_cli(&["certify", "-"], Some(&plan));
+    assert_eq!(code, Some(0), "stderr: {stderr}");
+    assert!(stdout.contains("coverage       true"), "{stdout}");
+    assert!(stdout.contains("in-bounds      true"), "{stdout}");
+}
+
+#[test]
+fn run_require_cert_takes_certified_fast_path() {
+    // A disjoint stencil plan certifies cleanly; --require-cert then
+    // runs accumulate-free stores relaxed and still matches bitwise.
+    let (stdout, stderr, code) = run_cli(
+        &["run", "-p", "4", "--require-cert", "--seed", "3", "-"],
+        Some(STENCIL),
+    );
+    assert_eq!(code, Some(0), "stderr: {stderr}");
+    assert!(stdout.contains("certificate: coverage true"), "{stdout}");
+    assert!(
+        stdout.contains("matches the sequential reference bitwise"),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn run_require_cert_refuses_uncertified_plan_with_exit_9() {
+    let (plan, _, code) = run_cli(&["plan", "-p", "4", "-"], Some(STENCIL));
+    assert_eq!(code, Some(0));
+    let (_, stderr, code) = run_cli(&["run", "--from-plan", "-", "--require-cert"], Some(&plan));
+    assert_eq!(code, Some(9), "stderr: {stderr}");
+    assert!(stderr.contains("ALP0011"), "{stderr}");
+    assert!(stderr.contains("no certificate"), "{stderr}");
 }
 
 #[test]

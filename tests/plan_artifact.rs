@@ -10,6 +10,9 @@ const GOLDEN_PLAN: &str = include_str!("golden/example8.plan.json");
 /// The exact bytes a pre-calibration (schema-1) build emitted for the
 /// same nest — frozen forever to pin backward compatibility.
 const GOLDEN_PLAN_V1: &str = include_str!("golden/example8.v1.plan.json");
+/// The exact bytes a pre-certificate (schema-2) build emitted — frozen
+/// forever, like the v1 snapshot.
+const GOLDEN_PLAN_V2: &str = include_str!("golden/example8.v2.plan.json");
 
 fn golden_compiler() -> Compiler {
     Compiler::new(64).with_mesh(8, 8)
@@ -22,14 +25,27 @@ fn golden_nest() -> LoopNest {
 #[test]
 fn golden_snapshot_is_byte_identical() {
     let plan = golden_compiler().plan(&golden_nest()).expect("plan builds");
+    let report = certify(&plan).expect("golden plan certifies");
+    let certified = plan.with_certificate(report.certificate);
     assert_eq!(
-        plan.to_json_string(),
+        certified.to_json_string(),
         GOLDEN_PLAN,
         "plan encoding drifted from tests/golden/example8.plan.json; \
          if the change is intentional, re-emit the snapshot with \
-         `alp-cli plan -p 64 -m 8x8 --emit tests/golden/example8.plan.json - \
+         `alp-cli plan -p 64 -m 8x8 --certify --emit tests/golden/example8.plan.json - \
          < tests/golden/example8.alp`"
     );
+}
+
+#[test]
+fn golden_certificate_proves_all_four_facts() {
+    // The shipped golden carries a certificate; re-checking it must
+    // succeed and agree that every fact is proven (the example-8 stencil
+    // under a [4,4,4] grid is exactly coverage-, disjointness-, bounds-,
+    // and idempotence-clean).
+    let plan = PartitionPlan::from_json_str(GOLDEN_PLAN).expect("golden plan decodes");
+    let cert = recheck(&plan).expect("golden certificate re-verifies");
+    assert!(cert.coverage && cert.write_disjoint && cert.in_bounds && cert.idempotent);
 }
 
 #[test]
@@ -51,10 +67,24 @@ fn version_1_golden_decodes_and_reencodes_byte_stably() {
     assert_eq!(plan.chosen_by, ChosenBy::Analytic);
     assert_eq!(plan.calibration, None);
     assert_eq!(plan.to_json_string(), GOLDEN_PLAN_V1);
-    // And the v1/v2 snapshots describe the same decision.
-    let v2 = PartitionPlan::from_json_str(GOLDEN_PLAN).expect("v2 plan decodes");
-    assert_eq!(plan.proc_grid, v2.proc_grid);
-    assert_eq!(plan.fingerprint, v2.fingerprint);
+    // And every snapshot generation describes the same decision.
+    let v3 = PartitionPlan::from_json_str(GOLDEN_PLAN).expect("v3 plan decodes");
+    assert_eq!(plan.proc_grid, v3.proc_grid);
+    assert_eq!(plan.fingerprint, v3.fingerprint);
+}
+
+#[test]
+fn version_2_golden_decodes_and_reencodes_byte_stably() {
+    // Pre-certificate plan files keep working after the schema-3
+    // certificate extension: no certificate defaults in, the recorded
+    // version is preserved, and re-encoding reproduces the v2 bytes.
+    let plan = PartitionPlan::from_json_str(GOLDEN_PLAN_V2).expect("v2 plan decodes");
+    assert_eq!(plan.schema_version, 2);
+    assert_eq!(plan.certificate, None);
+    assert_eq!(plan.to_json_string(), GOLDEN_PLAN_V2);
+    let v3 = PartitionPlan::from_json_str(GOLDEN_PLAN).expect("v3 plan decodes");
+    assert_eq!(plan.proc_grid, v3.proc_grid);
+    assert_eq!(plan.fingerprint, v3.fingerprint);
 }
 
 #[test]
@@ -84,7 +114,7 @@ fn calibrated_plan_round_trips_with_provenance() {
 
 #[test]
 fn unknown_version_fails_with_diagnostic() {
-    let bumped = GOLDEN_PLAN.replace("\"alp-plan\": 2", "\"alp-plan\": 7");
+    let bumped = GOLDEN_PLAN.replace("\"alp-plan\": 3", "\"alp-plan\": 7");
     let err = PartitionPlan::from_json_str(&bumped).expect_err("must reject");
     let msg = err.to_string();
     assert!(msg.contains("version 7 is not supported"), "{msg}");
@@ -135,10 +165,10 @@ fn tampered_source_is_rejected_on_load() {
 fn malformed_corpus_is_rejected_with_stable_codes() {
     // Every file in tests/corpus/ is a deliberately broken artifact
     // named `<ALP code>__<defect>.<kind>.json`: `.plan.json` decodes as
-    // a PartitionPlan, `.calib.json` as a Calibration.  Decode (or the
-    // post-decode fingerprint check in `nest()`) must reject each with
-    // exactly the code in its filename — never a panic or a silent
-    // partial decode.
+    // a PartitionPlan, `.calib.json` as a Calibration.  Decode, the
+    // post-decode fingerprint check in `nest()`, or the certificate
+    // re-check must reject each with exactly the code in its filename —
+    // never a panic or a silent partial decode.
     let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus");
     let mut checked = 0;
     for entry in std::fs::read_dir(&dir).expect("corpus dir exists") {
@@ -151,16 +181,21 @@ fn malformed_corpus_is_rejected_with_stable_codes() {
                 .expect_err(&format!("{name} must be rejected"))
                 .into()
         } else {
-            PartitionPlan::from_json_str(&text)
-                .and_then(|p| p.nest().map(|_| p))
-                .expect_err(&format!("{name} must be rejected"))
-                .into()
+            match PartitionPlan::from_json_str(&text).and_then(|p| p.nest().map(|_| p)) {
+                Err(e) => e.into(),
+                // Semantic certificate tampering (a flipped verdict bit)
+                // survives decode by design; the re-checker catches it.
+                Ok(plan) => recheck(&plan)
+                    .map(|_| ())
+                    .expect_err(&format!("{name} must be rejected"))
+                    .into(),
+            }
         };
         assert!(!err.to_string().is_empty(), "{name}: diagnostic is empty");
         assert_eq!(err.code(), expected, "{name}");
         checked += 1;
     }
-    assert_eq!(checked, 10, "expected all corpus files to be exercised");
+    assert_eq!(checked, 13, "expected all corpus files to be exercised");
 }
 
 #[test]
