@@ -71,6 +71,7 @@ struct CaseResult {
     measured_ranking: Vec<&'static str>,
     inversion: bool,
     calibrated_agrees: bool,
+    degenerate_calibration: bool,
     speedup_first_over_fastest: f64,
 }
 
@@ -187,7 +188,20 @@ fn run_case(
     }
 
     let analytic_ranking = ranking_by(&results, |r| r.model_cost);
-    let calibrated_ranking = ranking_by(&results, |r| r.hybrid_cost);
+    // With the per-line and per-span coefficients fitted to zero every
+    // candidate gets the same hybrid cost; a "calibrated" ranking would
+    // just echo the input order.  Detect the tie and fall back to the
+    // analytic order explicitly so the report never presents sort
+    // stability as a prediction.
+    let degenerate_calibration = results.len() > 1
+        && results
+            .windows(2)
+            .all(|w| w[0].hybrid_cost == w[1].hybrid_cost);
+    let calibrated_ranking = if degenerate_calibration {
+        analytic_ranking.clone()
+    } else {
+        ranking_by(&results, |r| r.hybrid_cost)
+    };
     let measured_ranking = ranking_by(&results, |r| r.wall.as_secs_f64());
 
     // The first listed tiling is the analytic model's choice; an
@@ -213,11 +227,21 @@ fn run_case(
     }
 
     // The calibrated ranking agrees when every measurably ordered pair
-    // of walls is ordered the same way by hybrid cost.
+    // of walls is ordered the same way by its score.  Under a
+    // degenerate calibration the score in force is the analytic
+    // fallback — comparing the tied hybrid costs would report `false`
+    // for every ordered pair regardless of what the fallback predicts.
+    let score = |r: &GridResult| {
+        if degenerate_calibration {
+            r.model_cost
+        } else {
+            r.hybrid_cost
+        }
+    };
     let mut calibrated_agrees = true;
     for a in &results {
         for b in &results {
-            if measurably_faster(a.wall, b.wall) && a.hybrid_cost >= b.hybrid_cost {
+            if measurably_faster(a.wall, b.wall) && score(a) >= score(b) {
                 calibrated_agrees = false;
             }
         }
@@ -233,13 +257,18 @@ fn run_case(
          measured: {measured_ranking:?}"
     );
     println!(
-        "calibrated ranking {} the measured ordering{}",
+        "calibrated ranking {} the measured ordering{}{}",
         if calibrated_agrees {
             "agrees with"
         } else {
             "DISAGREES with"
         },
-        if inversion { "  [inversion]" } else { "" }
+        if inversion { "  [inversion]" } else { "" },
+        if degenerate_calibration {
+            "  [degenerate calibration: analytic fallback]"
+        } else {
+            ""
+        }
     );
     CaseResult {
         name,
@@ -249,6 +278,7 @@ fn run_case(
         measured_ranking,
         inversion,
         calibrated_agrees,
+        degenerate_calibration,
         speedup_first_over_fastest,
     }
 }
@@ -588,6 +618,10 @@ fn write_json(
         s.push_str(&format!(
             "      \"calibrated_agrees_with_measured\": {},\n",
             case.calibrated_agrees
+        ));
+        s.push_str(&format!(
+            "      \"degenerate_calibration\": {},\n",
+            case.degenerate_calibration
         ));
         s.push_str(&format!(
             "      \"speedup_first_over_fastest\": {:.3},\n",

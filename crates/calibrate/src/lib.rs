@@ -45,7 +45,7 @@ pub use artifact::{Calibration, ARTIFACT_VERSION};
 pub use features::{candidate_grids, grid_features, GridFeatures};
 pub use fit::{fit, LatencyModel, TileSample};
 pub use probe::{fit_nest, probe_nest, ProbeConfig, ProbeReport};
-pub use rank::{choose_calibrated, rank_candidates, RankedCandidate};
+pub use rank::{choose_calibrated, rank_candidates, ranking_is_degenerate, RankedCandidate};
 
 /// Everything that can go wrong probing, fitting, or (de)serializing a
 /// calibration.

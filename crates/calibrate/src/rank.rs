@@ -17,11 +17,26 @@ pub struct RankedCandidate {
     pub hybrid_cost: Rat,
 }
 
+/// True when the calibration carries no grid-discriminating signal:
+/// every candidate lands on the exact same hybrid cost.  For a fixed
+/// processor count the per-tile/per-iter/per-rep terms are constant
+/// across factorizations, so this happens precisely when the fitted
+/// per-line *and* per-span coefficients are zero — the model then
+/// ranks nothing, and any "calibrated" order out of it is an artifact
+/// of sort stability rather than a prediction.
+pub fn ranking_is_degenerate(ranked: &[RankedCandidate]) -> bool {
+    ranked.len() > 1
+        && ranked
+            .windows(2)
+            .all(|w| w[0].hybrid_cost == w[1].hybrid_cost)
+}
+
 /// Score every feasible processor-grid factorization of `p` under the
-/// calibrated model, best first.  Ties (and the no-signal case of an
-/// all-zero model) fall back to analytic-cost order, so a degenerate
-/// calibration reproduces the analytic ranking instead of scrambling
-/// it.
+/// calibrated model, best first.  A degenerate calibration (all hybrid
+/// costs tied — see [`ranking_is_degenerate`]) falls back to the
+/// analytic Theorem-4 order *explicitly*, and exact hybrid ties within
+/// a live calibration break the same way, so a no-signal model
+/// reproduces the analytic ranking instead of scrambling it.
 pub fn rank_candidates(
     nest: &LoopNest,
     model: &CostModel,
@@ -46,11 +61,15 @@ pub fn rank_candidates(
             hybrid_cost,
         });
     }
-    out.sort_by(|a, b| {
-        a.hybrid_cost
-            .cmp(&b.hybrid_cost)
-            .then_with(|| a.analytic_cost.cmp(&b.analytic_cost))
-    });
+    if ranking_is_degenerate(&out) {
+        out.sort_by_key(|c| c.analytic_cost);
+    } else {
+        out.sort_by(|a, b| {
+            a.hybrid_cost
+                .cmp(&b.hybrid_cost)
+                .then_with(|| a.analytic_cost.cmp(&b.analytic_cost))
+        });
+    }
     Ok(out)
 }
 
@@ -58,6 +77,8 @@ pub fn rank_candidates(
 /// [`partition_rect`](alp_partition::partition_rect) but ranked by the
 /// hybrid cost.  The returned partition carries the *analytic* cost of
 /// the chosen grid, so it stays comparable with uncalibrated plans.
+/// With a degenerate calibration the ranking is the analytic order, so
+/// the choice is exactly the analytic partitioner's.
 pub fn choose_calibrated(
     nest: &LoopNest,
     model: &CostModel,
@@ -138,6 +159,39 @@ mod tests {
         };
         let ranked = rank_candidates(&nest, &cost, &latency, 16, 1).unwrap();
         assert_eq!(ranked[0].features.grid, vec![1, 16]);
+        assert!(
+            ranking_is_degenerate(&ranked),
+            "all-zero model is no-signal"
+        );
+    }
+
+    #[test]
+    fn zero_line_and_span_coefficients_are_detected_as_degenerate() {
+        // Per-tile / per-iter / per-rep terms are constant across the
+        // factorizations of a fixed p, so zeroing just the line and
+        // span coefficients leaves every hybrid cost tied at the same
+        // nonzero value.  The ranking must say so and must equal the
+        // analytic order.
+        let nest = example2();
+        let cost = CostModel::from_nest(&nest);
+        let latency = model_with((0, 1), (0, 1));
+        let ranked = rank_candidates(&nest, &cost, &latency, 16, 1).unwrap();
+        assert!(ranked[0].hybrid_cost > Rat::ZERO, "tied but nonzero");
+        assert!(ranking_is_degenerate(&ranked));
+        for w in ranked.windows(2) {
+            assert_eq!(w[0].hybrid_cost, w[1].hybrid_cost);
+            assert!(w[0].analytic_cost <= w[1].analytic_cost, "analytic order");
+        }
+        let part = choose_calibrated(&nest, &cost, &latency, 16, 1).unwrap();
+        assert_eq!(part.proc_grid, partition_rect(&nest, 16).proc_grid);
+    }
+
+    #[test]
+    fn live_calibration_is_not_degenerate() {
+        let nest = example2();
+        let cost = CostModel::from_nest(&nest);
+        let ranked = rank_candidates(&nest, &cost, &model_with((2, 1), (1, 10)), 16, 1).unwrap();
+        assert!(!ranking_is_degenerate(&ranked));
     }
 
     #[test]

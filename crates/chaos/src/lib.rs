@@ -131,6 +131,20 @@ impl FaultPlan {
         plan
     }
 
+    /// Like [`seeded`](FaultPlan::seeded) but always a **panic** — the
+    /// fault class the serve-path containment tests need (a panic
+    /// exercises abandon/recovery in the coalescing cache and the
+    /// executor's `ALP0008` containment, where a delay or flip would
+    /// not).  Same determinism contract: one `(seed, tiles, reps)`
+    /// always aims at the same `(tile, rep)`.
+    pub fn seeded_panic(seed: u64, tiles: usize, reps: u64) -> Self {
+        let tiles = tiles.max(1) as u64;
+        let reps = reps.max(1);
+        let tile = (mix(seed) % tiles) as usize;
+        let rep = mix(seed.wrapping_add(1)) % reps;
+        FaultPlan::new().with_panic(tile, rep)
+    }
+
     fn push(&mut self, tile: usize, rep: u64, kind: FaultKind) {
         self.faults.push(Fault {
             tile,
@@ -366,6 +380,19 @@ mod tests {
         let cut = tamper_certificate(certified, CertTamper::Truncate).unwrap();
         assert!(!cut.contains("in_bounds"), "{cut}");
         assert!(cut.contains("\"idempotent\": true"), "{cut}");
+    }
+
+    #[test]
+    fn seeded_panic_is_deterministic_and_always_a_panic() {
+        for seed in 0..32u64 {
+            let a = FaultPlan::seeded_panic(seed, 16, 4);
+            let b = FaultPlan::seeded_panic(seed, 16, 4);
+            assert_eq!(a.schedule(), b.schedule(), "seed {seed}");
+            assert_eq!(a.len(), 1);
+            let (tile, rep, kind) = a.schedule().pop().unwrap();
+            assert!(tile < 16 && rep < 4);
+            assert_eq!(kind, FaultKind::Panic, "seed {seed} must panic");
+        }
     }
 
     #[test]

@@ -15,6 +15,7 @@
 
 use crate::{PartitionPlan, PlanError};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// What a cached plan is keyed by: the structural nest fingerprint plus
@@ -64,12 +65,24 @@ struct Entry {
     last_used: u64,
 }
 
+/// Interior hit/miss/eviction counters.  Atomic so a [`CacheStats`]
+/// snapshot can be taken through `&PlanCache` at any time — concurrent
+/// server handlers export stats without exclusive access (the counters
+/// are monotonic, so a torn multi-field read is still a valid
+/// point-in-time view of each counter).
+#[derive(Debug, Default)]
+struct Counters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
 /// An LRU cache of finished partition plans.
 pub struct PlanCache {
     map: HashMap<PlanKey, Entry>,
     capacity: usize,
     tick: u64,
-    stats: CacheStats,
+    stats: Counters,
 }
 
 impl PlanCache {
@@ -82,7 +95,7 @@ impl PlanCache {
             map: HashMap::new(),
             capacity: capacity.max(1),
             tick: 0,
-            stats: CacheStats::default(),
+            stats: Counters::default(),
         }
     }
 
@@ -96,9 +109,15 @@ impl PlanCache {
         self.map.is_empty()
     }
 
-    /// The cumulative counters.
+    /// A point-in-time snapshot of the cumulative counters.  Needs only
+    /// `&self`: the counters are atomic, so concurrent readers (e.g. a
+    /// server's stats endpoint) never block a lookup.
     pub fn stats(&self) -> CacheStats {
-        self.stats
+        CacheStats {
+            hits: self.stats.hits.load(Ordering::Relaxed),
+            misses: self.stats.misses.load(Ordering::Relaxed),
+            evictions: self.stats.evictions.load(Ordering::Relaxed),
+        }
     }
 
     /// Look up a plan, counting a hit or miss and refreshing recency.
@@ -107,14 +126,27 @@ impl PlanCache {
         match self.map.get_mut(key) {
             Some(e) => {
                 e.last_used = self.tick;
-                self.stats.hits += 1;
+                self.stats.hits.fetch_add(1, Ordering::Relaxed);
                 Some(Arc::clone(&e.plan))
             }
             None => {
-                self.stats.misses += 1;
+                self.stats.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
         }
+    }
+
+    /// Like [`get`](PlanCache::get) but without touching the hit/miss
+    /// counters (recency is still refreshed).  The sharded cache uses
+    /// this so its own per-request accounting (hit / miss / coalesced)
+    /// stays the single source of truth and a coalesced waiter is never
+    /// double-counted as a miss.
+    pub fn peek(&mut self, key: &PlanKey) -> Option<Arc<PartitionPlan>> {
+        self.tick += 1;
+        self.map.get_mut(key).map(|e| {
+            e.last_used = self.tick;
+            Arc::clone(&e.plan)
+        })
     }
 
     /// Insert a plan, evicting the least-recently-used entry when full.
@@ -128,7 +160,7 @@ impl PlanCache {
                 .map(|(k, _)| *k)
             {
                 self.map.remove(&victim);
-                self.stats.evictions += 1;
+                self.stats.evictions.fetch_add(1, Ordering::Relaxed);
             }
         }
         self.map.insert(
@@ -167,7 +199,7 @@ impl std::fmt::Debug for PlanCache {
         f.debug_struct("PlanCache")
             .field("len", &self.map.len())
             .field("capacity", &self.capacity)
-            .field("stats", &self.stats)
+            .field("stats", &self.stats())
             .finish()
     }
 }
@@ -242,6 +274,35 @@ mod tests {
             })
             .is_none());
         assert!(cache.get(&key(1)).is_some());
+    }
+
+    #[test]
+    fn stats_snapshot_needs_only_a_shared_reference() {
+        let mut cache = PlanCache::new(4);
+        cache.insert(key(1), Arc::new(plan(63)));
+        cache.get(&key(1));
+        cache.get(&key(2));
+        // Read through &PlanCache while another shared borrow is live —
+        // what a concurrent stats exporter does.
+        let shared: &PlanCache = &cache;
+        let a = shared.stats();
+        let b = shared.stats();
+        assert_eq!(a, b);
+        assert_eq!((a.hits, a.misses), (1, 1));
+    }
+
+    #[test]
+    fn peek_refreshes_recency_without_counting() {
+        let mut cache = PlanCache::new(2);
+        cache.insert(key(1), Arc::new(plan(63)));
+        cache.insert(key(2), Arc::new(plan(127)));
+        assert!(cache.peek(&key(1)).is_some());
+        assert!(cache.peek(&key(9)).is_none());
+        assert_eq!(cache.stats(), CacheStats::default(), "peek never counts");
+        // The peek refreshed key 1, so key 2 is now the LRU victim.
+        cache.insert(key(3), Arc::new(plan(255)));
+        assert!(cache.peek(&key(2)).is_none());
+        assert!(cache.peek(&key(1)).is_some());
     }
 
     #[test]

@@ -30,6 +30,7 @@ pub mod cache;
 pub mod fingerprint;
 pub mod json;
 mod plan;
+pub mod shard;
 pub mod tiles;
 
 pub use cache::{CacheStats, PlanCache, PlanKey};
@@ -39,6 +40,7 @@ pub use plan::{
     Certificate, ChosenBy, ClassFootprint, LatencyCoefficients, LegalityVerdict, PartitionPlan,
     MIN_SCHEMA_VERSION, SCHEMA_VERSION,
 };
+pub use shard::{Fetched, ShardedCacheStats, ShardedPlanCache};
 pub use tiles::{rect_tiles, IterBox};
 
 /// Everything that can go wrong building, encoding, or decoding a plan.

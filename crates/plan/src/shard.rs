@@ -1,0 +1,407 @@
+//! A sharded, coalescing front for the plan cache — the concurrent
+//! heart of `alp-serve`.
+//!
+//! [`PlanCache`] is a single-threaded LRU: correct behind one mutex,
+//! but a server with N handler threads would serialize every lookup on
+//! that one lock.  [`ShardedPlanCache`] splits the key space over
+//! independent shards (each its own mutex around a private
+//! [`PlanCache`]), so lookups for different fingerprints proceed in
+//! parallel and a slow *compile* on one shard never blocks hits on
+//! another — the compile itself always runs **outside** the shard lock.
+//!
+//! The second concurrency problem a server has is the *thundering
+//! herd*: N simultaneous requests for the same cold [`PlanKey`] would
+//! each pay the full compile.  [`ShardedPlanCache::get_or_compute`]
+//! (`PlanCache::get_or_try_insert_with` generalized across threads)
+//! coalesces them: the first requester becomes the **leader** and
+//! compiles; the rest find the in-flight slot and block on its condvar
+//! until the leader publishes.  Exactly one compile runs per in-flight
+//! key, and every waiter receives the same `Arc`'d plan (or the same
+//! error — failures are shared but never cached).
+//!
+//! A leader that *panics* mid-compile publishes an `Abandoned` state
+//! from its drop guard; waiters then re-enter the protocol (one of
+//! them becomes the new leader) instead of deadlocking.  This is what
+//! keeps a chaos-injected tile panic from poisoning a shard.
+
+use crate::{PartitionPlan, PlanCache, PlanError, PlanKey};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// How a [`get_or_compute`](ShardedPlanCache::get_or_compute) call was
+/// satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fetched {
+    /// Served from the shard's cache.
+    Hit,
+    /// Blocked on another thread's in-flight compile of the same key.
+    Coalesced,
+    /// This call ran the compile (it was the leader).
+    Computed,
+}
+
+impl Fetched {
+    /// Stable lower-case label (used by the serve wire protocol).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Fetched::Hit => "hit",
+            Fetched::Coalesced => "coalesced",
+            Fetched::Computed => "computed",
+        }
+    }
+}
+
+/// Cumulative counters for the sharded cache.  `hits`, `misses`, and
+/// `coalesced` are request-level (one per `get_or_compute` /
+/// `get_cached` call); `evictions` is summed from the per-shard LRUs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardedCacheStats {
+    /// Calls answered directly from a shard's cache.
+    pub hits: u64,
+    /// Calls that became compile leaders.
+    pub misses: u64,
+    /// Calls that waited on another thread's in-flight compile.
+    pub coalesced: u64,
+    /// LRU evictions across all shards.
+    pub evictions: u64,
+}
+
+impl ShardedCacheStats {
+    /// Hits as a fraction of all lookups (0 when no lookups yet).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses + self.coalesced;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// State of one in-flight compile slot.
+enum Slot<E> {
+    /// The leader is still compiling.
+    Pending,
+    /// The leader finished; the shared outcome (errors are shared too,
+    /// but only successes were inserted into the cache).
+    Done(Result<Arc<PartitionPlan>, E>),
+    /// The leader panicked before publishing; waiters must retry.
+    Abandoned,
+}
+
+struct InFlight<E> {
+    slot: Mutex<Slot<E>>,
+    cv: Condvar,
+}
+
+struct ShardState<E> {
+    cache: PlanCache,
+    inflight: HashMap<PlanKey, Arc<InFlight<E>>>,
+}
+
+/// Removes the in-flight entry and publishes `Abandoned` unless the
+/// leader defused it by publishing a real outcome first.  Runs during
+/// unwinding, so a panicking compile wakes its waiters instead of
+/// stranding them.
+struct LeaderGuard<'a, E> {
+    shard: &'a Mutex<ShardState<E>>,
+    flight: &'a Arc<InFlight<E>>,
+    key: PlanKey,
+    defused: bool,
+}
+
+impl<E> Drop for LeaderGuard<'_, E> {
+    fn drop(&mut self) {
+        if self.defused {
+            return;
+        }
+        if let Ok(mut st) = self.shard.lock() {
+            st.inflight.remove(&self.key);
+        }
+        if let Ok(mut slot) = self.flight.slot.lock() {
+            *slot = Slot::Abandoned;
+        }
+        self.flight.cv.notify_all();
+    }
+}
+
+/// A sharded LRU plan cache with cross-thread request coalescing.
+///
+/// The error type `E` is generic (default [`PlanError`]) so callers
+/// with richer error currencies — the serve layer shares whole
+/// pipeline failures between coalesced waiters — can use the same
+/// machinery; it only needs to be `Clone + Send`.
+pub struct ShardedPlanCache<E = PlanError> {
+    shards: Vec<Mutex<ShardState<E>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    coalesced: AtomicU64,
+}
+
+impl<E: Clone> ShardedPlanCache<E> {
+    /// Default shard count used by the server.
+    pub const DEFAULT_SHARDS: usize = 16;
+
+    /// A cache of `shards` independent shards holding at most
+    /// `capacity` plans in total (each shard gets an equal slice,
+    /// minimum 1 per shard).
+    pub fn new(shards: usize, capacity: usize) -> Self {
+        let shards = shards.max(1);
+        let per_shard = (capacity / shards).max(1);
+        ShardedPlanCache {
+            shards: (0..shards)
+                .map(|_| {
+                    Mutex::new(ShardState {
+                        cache: PlanCache::new(per_shard),
+                        inflight: HashMap::new(),
+                    })
+                })
+                .collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total cached plans across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().map_or(0, |st| st.cache.len()))
+            .sum()
+    }
+
+    /// True when no shard caches anything.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A point-in-time snapshot of the cumulative counters.  The
+    /// request-level counters are lock-free atomics; evictions take
+    /// each shard lock briefly.
+    pub fn stats(&self) -> ShardedCacheStats {
+        ShardedCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            evictions: self
+                .shards
+                .iter()
+                .map(|s| s.lock().map_or(0, |st| st.cache.stats().evictions))
+                .sum(),
+        }
+    }
+
+    fn shard_for(&self, key: &PlanKey) -> &Mutex<ShardState<E>> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % self.shards.len()]
+    }
+
+    /// Cache-only lookup: a hit counts and refreshes recency; a miss
+    /// counts nothing (the caller decides whether to queue a compute,
+    /// which will do its own accounting).  This is the server's inline
+    /// fast path — under overload, cached plans are still served from
+    /// here without ever touching the admission queue.
+    pub fn get_cached(&self, key: &PlanKey) -> Option<Arc<PartitionPlan>> {
+        let mut st = self.shard_for(key).lock().expect("shard lock");
+        let found = st.cache.peek(key);
+        if found.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        found
+    }
+
+    /// Memoize across threads: return the cached plan for `key`, wait
+    /// on an in-flight compile of the same key, or run `make` as the
+    /// leader, cache a success, and share the outcome with every
+    /// coalesced waiter.  Failed builds are shared with waiters already
+    /// blocked on the slot but cache nothing, so a later call retries.
+    pub fn get_or_compute(
+        &self,
+        key: PlanKey,
+        make: impl FnOnce() -> Result<PartitionPlan, E>,
+    ) -> Result<(Arc<PartitionPlan>, Fetched), E> {
+        let mut make = Some(make);
+        loop {
+            let shard = self.shard_for(&key);
+            let flight = {
+                let mut st = shard.lock().expect("shard lock");
+                // Leader inserts into the cache and removes the
+                // in-flight entry under one lock acquisition, so
+                // "in flight" implies "not yet cached" — check the
+                // in-flight map first and a waiter is never
+                // double-counted as a miss.
+                if let Some(f) = st.inflight.get(&key) {
+                    self.coalesced.fetch_add(1, Ordering::Relaxed);
+                    Arc::clone(f)
+                } else if let Some(plan) = st.cache.peek(&key) {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok((plan, Fetched::Hit));
+                } else {
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    let f = Arc::new(InFlight {
+                        slot: Mutex::new(Slot::Pending),
+                        cv: Condvar::new(),
+                    });
+                    st.inflight.insert(key, Arc::clone(&f));
+                    drop(st);
+                    // Leader path: compile OUTSIDE the shard lock, so
+                    // other keys on this shard stay serviceable.
+                    let mut guard = LeaderGuard {
+                        shard,
+                        flight: &f,
+                        key,
+                        defused: false,
+                    };
+                    let made = make.take().expect("leader runs make exactly once")().map(Arc::new);
+                    {
+                        let mut st = shard.lock().expect("shard lock");
+                        if let Ok(plan) = &made {
+                            st.cache.insert(key, Arc::clone(plan));
+                        }
+                        st.inflight.remove(&key);
+                    }
+                    guard.defused = true;
+                    *f.slot.lock().expect("slot lock") = Slot::Done(made.clone());
+                    f.cv.notify_all();
+                    return made.map(|p| (p, Fetched::Computed));
+                }
+            };
+            // Waiter path: block until the leader publishes.
+            let mut slot = flight.slot.lock().expect("slot lock");
+            loop {
+                match &*slot {
+                    Slot::Pending => {
+                        slot = flight.cv.wait(slot).expect("slot lock");
+                    }
+                    Slot::Done(outcome) => {
+                        return outcome.clone().map(|p| (p, Fetched::Coalesced));
+                    }
+                    Slot::Abandoned => break,
+                }
+            }
+            // The leader died without publishing (panicked compile):
+            // retry from the top.  If this call still holds its `make`
+            // closure it may become the new leader.
+            if make.is_none() {
+                unreachable!("only waiters reach the retry path");
+            }
+        }
+    }
+}
+
+impl<E> std::fmt::Debug for ShardedPlanCache<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedPlanCache")
+            .field("shards", &self.shards.len())
+            .field("hits", &self.hits.load(Ordering::Relaxed))
+            .field("misses", &self.misses.load(Ordering::Relaxed))
+            .field("coalesced", &self.coalesced.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LegalityVerdict;
+    use alp_loopir::parse;
+
+    fn key(fp: u64) -> PlanKey {
+        PlanKey {
+            fingerprint: fp,
+            processors: 16,
+            mesh: None,
+            checked: true,
+            calibrated: false,
+        }
+    }
+
+    fn plan(trip: i128) -> PartitionPlan {
+        let nest = parse(&format!("doall (i, 0, {trip}) {{ A[i] = A[i]; }}")).unwrap();
+        PartitionPlan::build(&nest, 4, None, LegalityVerdict::Unchecked).unwrap()
+    }
+
+    #[test]
+    fn hit_miss_and_stats() {
+        let cache: ShardedPlanCache = ShardedPlanCache::new(4, 16);
+        assert!(cache.is_empty());
+        assert!(cache.get_cached(&key(1)).is_none());
+        let (p, how) = cache.get_or_compute(key(1), || Ok(plan(63))).unwrap();
+        assert_eq!(how, Fetched::Computed);
+        assert_eq!(p.tiles(), 4);
+        let (q, how) = cache.get_or_compute(key(1), || panic!("cached")).unwrap();
+        assert_eq!(how, Fetched::Hit);
+        assert!(Arc::ptr_eq(&p, &q));
+        assert!(cache.get_cached(&key(1)).is_some());
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.coalesced), (2, 1, 0));
+        assert!((s.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn failed_builds_are_not_cached() {
+        let cache: ShardedPlanCache = ShardedPlanCache::new(2, 8);
+        let r = cache.get_or_compute(key(7), || Err(PlanError::Infeasible("boom".into())));
+        assert!(r.is_err());
+        assert!(cache.is_empty());
+        let (_, how) = cache.get_or_compute(key(7), || Ok(plan(63))).unwrap();
+        assert_eq!(how, Fetched::Computed, "error was not cached");
+    }
+
+    #[test]
+    fn distinct_keys_do_not_alias_across_shards() {
+        let cache: ShardedPlanCache = ShardedPlanCache::new(8, 64);
+        for fp in 0..32u64 {
+            cache
+                .get_or_compute(key(fp), || Ok(plan(63)))
+                .expect("builds");
+        }
+        assert_eq!(cache.len(), 32);
+        assert_eq!(cache.stats().misses, 32);
+        for fp in 0..32u64 {
+            assert!(cache.get_cached(&key(fp)).is_some(), "fp {fp}");
+        }
+    }
+
+    #[test]
+    fn abandoned_leader_wakes_waiters() {
+        use std::sync::atomic::AtomicUsize;
+        let cache: Arc<ShardedPlanCache> = Arc::new(ShardedPlanCache::new(1, 8));
+        let built = Arc::new(AtomicUsize::new(0));
+        // Leader panics mid-compile in its own thread.
+        let c = Arc::clone(&cache);
+        let leader = std::thread::spawn(move || {
+            let _ = c.get_or_compute(key(5), || -> Result<PartitionPlan, PlanError> {
+                std::thread::sleep(std::time::Duration::from_millis(30));
+                panic!("injected compile panic");
+            });
+        });
+        // Waiter arrives while the leader is in flight, survives the
+        // abandonment, and becomes the new leader.
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        let c = Arc::clone(&cache);
+        let b = Arc::clone(&built);
+        let waiter = std::thread::spawn(move || {
+            c.get_or_compute(key(5), || {
+                b.fetch_add(1, Ordering::SeqCst);
+                Ok(plan(63))
+            })
+        });
+        assert!(leader.join().is_err(), "leader panicked");
+        let (p, _) = waiter.join().expect("waiter survives").expect("recovers");
+        assert_eq!(p.tiles(), 4);
+        assert_eq!(built.load(Ordering::SeqCst), 1);
+        assert!(cache.get_cached(&key(5)).is_some());
+    }
+}

@@ -1,0 +1,94 @@
+//! # alp-serve — the partition-plan compiler as a long-running service
+//!
+//! The pipeline's economics are "plan once, amortize across many
+//! requests": planning a nest is the expensive end (legality analysis,
+//! reference classification, exhaustive tile-shape search), while a
+//! cached [`PartitionPlan`](alp_plan::PartitionPlan) is an `Arc` clone.
+//! This crate turns that into a daemon:
+//!
+//! * **Wire protocol** ([`protocol`]) — newline-delimited JSON frames
+//!   over a local Unix socket, versioned like the plan codec.  Ops:
+//!   `plan`, `run`, `stats`, `ping`, `shutdown`.
+//! * **Sharded, coalescing cache** — the server fronts
+//!   [`ShardedPlanCache`](alp_plan::ShardedPlanCache): per-shard locks
+//!   keyed by the structural fingerprint, and N concurrent requests
+//!   for the same [`PlanKey`](alp_plan::PlanKey) trigger exactly one
+//!   compile.
+//! * **Admission control** ([`server`]) — a bounded queue in front of
+//!   the worker pool.  Requests that would overflow it are shed with
+//!   the stable `ALP0012` code instead of queueing unboundedly; the
+//!   deadline (`ALP0007`) and memory-budget (`ALP0009`) guards of the
+//!   hardened executor bound each admitted request.
+//! * **Graceful degradation** — `run` requests shed earlier than
+//!   `plan` requests (they cost strictly more), and cache hits are
+//!   served inline from the connection reader, bypassing the queue
+//!   entirely — so a saturated worker pool still answers every request
+//!   whose plan is already cached.
+//! * **Load generator** ([`loadgen`]) — an in-process traffic source
+//!   driving tens of thousands of concurrent requests over a
+//!   hot/warm/cold Zipf fingerprint mix, measuring p50/p99 latency,
+//!   plans/sec, and hit/coalesce/shed counts for `BENCH_serve.json`.
+//!
+//! The crate depends only on the leaf pipeline crates (`alp-loopir`,
+//! `alp-analysis`, `alp-plan`, `alp-runtime`), not on the root `alp`
+//! facade — the facade's CLI links *this* crate, and the error-code
+//! contract (`ALP0001`…`ALP0012`) is small enough to restate at the
+//! boundary ([`ServeError`]).
+
+#![warn(missing_docs)]
+
+pub mod loadgen;
+pub mod pipeline;
+pub mod protocol;
+pub mod server;
+
+pub use loadgen::{run_loadgen, LoadGenConfig, LoadGenReport};
+pub use protocol::{Request, RequestOp, Response, PROTOCOL_VERSION};
+pub use server::{ServeConfig, Server, ServerStats};
+
+/// A serve-layer error: a stable `ALP000x` code plus a rendered
+/// message.  `Clone` so one failed compile can be shared verbatim with
+/// every coalesced waiter (the root `AlpError` owns non-cloneable
+/// diagnostics and cannot cross that boundary).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeError {
+    /// Stable machine-readable code (`ALP0001`…`ALP0012`).
+    pub code: String,
+    /// Human-readable rendering of the underlying failure.
+    pub message: String,
+}
+
+impl ServeError {
+    /// An error with the given code and message.
+    pub fn new(code: &str, message: impl Into<String>) -> Self {
+        ServeError {
+            code: code.to_string(),
+            message: message.into(),
+        }
+    }
+
+    /// The `ALP0012` load-shedding error for a queue observed at
+    /// `depth` of `capacity`.
+    pub fn overloaded(depth: usize, capacity: usize) -> Self {
+        ServeError::new(
+            "ALP0012",
+            format!(
+                "server overloaded: admission queue at depth {depth} of {capacity}; \
+                 request shed — retry later"
+            ),
+        )
+    }
+
+    /// True when this is the `ALP0012` shed error.
+    pub fn is_overloaded(&self) -> bool {
+        self.code == "ALP0012"
+    }
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.code, self.message)
+    }
+}
+
+impl std::error::Error for ServeError {}

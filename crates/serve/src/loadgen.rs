@@ -1,0 +1,394 @@
+//! Synthetic heavy-traffic load generator for the plan service.
+//!
+//! Drives an in-process server over its real Unix socket with many
+//! concurrent pipelined clients.  The fingerprint mix is Zipf-like:
+//! rank r of the corpus is requested with weight 1/(r+1), so a few
+//! plans are hot (mostly cache hits, many coalesced while cold), a
+//! band is warm, and a long tail stays cold — the distribution a
+//! shared compile service actually sees.  The first
+//! [`LoadGenConfig::hot`] specs are prewarmed so "hot" means hot from
+//! the first request.
+//!
+//! Concurrency is real: each client keeps up to
+//! [`LoadGenConfig::window`] requests in flight on its connection
+//! (writer thread + reader loop with a permit semaphore — a client
+//! blocked writing can never deadlock against a server blocked
+//! writing responses).  `clients × window` bounds the instantaneous
+//! in-flight total; the default configuration sustains ≥10k.
+//!
+//! All randomness is `splitmix64` from [`LoadGenConfig::seed`] — runs
+//! are reproducible, with no `rand` dependency.
+
+use crate::pipeline::PlanSpec;
+use crate::protocol::{Request, Response};
+use crate::server::{ServeConfig, Server, ServerStats};
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// Load-generator knobs.
+#[derive(Debug, Clone)]
+pub struct LoadGenConfig {
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// Max in-flight requests per client (pipelined); total
+    /// instantaneous concurrency is `clients × window`.
+    pub window: usize,
+    /// Total requests across all clients.
+    pub requests: usize,
+    /// Distinct nest fingerprints in the corpus.
+    pub corpus: usize,
+    /// Corpus prefix prewarmed into the cache before traffic starts.
+    pub hot: usize,
+    /// Percent of requests that are `run` ops (the rest are `plan`).
+    pub run_percent: u32,
+    /// Deterministic seed for the Zipf sampling and op mix.
+    pub seed: u64,
+    /// Processor count every request targets.
+    pub processors: i128,
+}
+
+impl Default for LoadGenConfig {
+    fn default() -> Self {
+        LoadGenConfig {
+            clients: 64,
+            window: 160,
+            requests: 20_000,
+            corpus: 512,
+            hot: 8,
+            run_percent: 20,
+            seed: 0xa1b2_c3d4,
+            processors: 16,
+        }
+    }
+}
+
+/// What one load-generator run measured.
+#[derive(Debug, Clone)]
+pub struct LoadGenReport {
+    /// Requests sent.
+    pub sent: u64,
+    /// Successful responses.
+    pub ok: u64,
+    /// Failed responses other than sheds.
+    pub errors: u64,
+    /// Responses shed with `ALP0012`.
+    pub shed: u64,
+    /// Successes served from cache.
+    pub hits: u64,
+    /// Successes that waited on another request's compile.
+    pub coalesced: u64,
+    /// Successes that compiled (were the leader).
+    pub computed: u64,
+    /// Latency percentiles over all completed requests, microseconds.
+    pub p50_us: u64,
+    /// 99th percentile latency, microseconds.
+    pub p99_us: u64,
+    /// Worst-case latency, microseconds.
+    pub max_us: u64,
+    /// Wall-clock for the whole run, milliseconds.
+    pub elapsed_ms: u64,
+    /// Successful responses per second (plans served, counting hits).
+    pub plans_per_sec: u64,
+    /// Instantaneous concurrency bound (`clients × window`).
+    pub max_concurrent: usize,
+    /// Detected hardware threads.
+    pub cores: usize,
+    /// True when generator + server threads exceed the hardware —
+    /// latency numbers then measure scheduling, not the server.
+    pub oversubscribed: bool,
+    /// The server's own cumulative counters at the end of the run.
+    pub server: ServerStats,
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The corpus: structurally distinct 2-D nests (distinct trip counts
+/// give distinct fingerprints), all cheap to execute but real to plan.
+fn corpus_source(rank: usize) -> String {
+    let outer = 15 + rank;
+    let inner = 15 + (rank * 7) % 17;
+    format!("doall (i, 0, {outer}) {{ doall (j, 0, {inner}) {{ A[i,j] = B[i,j] + A[i,j]; }} }}")
+}
+
+/// Zipf(1) cumulative table over `n` ranks, scaled to u64 for integer
+/// sampling.
+fn zipf_cdf(n: usize) -> Vec<u64> {
+    let mut acc = 0.0f64;
+    let weights: Vec<f64> = (0..n).map(|r| 1.0 / (r as f64 + 1.0)).collect();
+    let total: f64 = weights.iter().sum();
+    weights
+        .iter()
+        .map(|w| {
+            acc += w / total;
+            (acc * u64::MAX as f64) as u64
+        })
+        .collect()
+}
+
+fn sample_rank(cdf: &[u64], r: u64) -> usize {
+    cdf.partition_point(|&c| c < r).min(cdf.len() - 1)
+}
+
+struct ClientTally {
+    ok: u64,
+    errors: u64,
+    shed: u64,
+    hits: u64,
+    coalesced: u64,
+    computed: u64,
+    latencies_us: Vec<u64>,
+}
+
+/// One pipelined client: a writer thread pushes requests under a
+/// window-permit semaphore; the calling thread reads responses and
+/// releases permits.
+fn client(
+    sock: &Path,
+    cfg: &LoadGenConfig,
+    cdf: Arc<Vec<u64>>,
+    client_idx: usize,
+    n: usize,
+) -> std::io::Result<ClientTally> {
+    let stream = UnixStream::connect(sock)?;
+    let mut writer = stream.try_clone()?;
+    let reader = BufReader::new(stream);
+    let permits = Arc::new((Mutex::new(cfg.window.max(1)), Condvar::new()));
+    let sends: Arc<Mutex<HashMap<i128, Instant>>> = Arc::new(Mutex::new(HashMap::new()));
+
+    let writer_thread = {
+        let permits = Arc::clone(&permits);
+        let sends = Arc::clone(&sends);
+        let cfg = cfg.clone();
+        let cdf = Arc::clone(&cdf);
+        std::thread::spawn(move || -> std::io::Result<()> {
+            let mut rng = cfg.seed ^ ((client_idx as u64 + 1).wrapping_mul(0x9e37_79b9));
+            let mut buf = String::new();
+            for i in 0..n {
+                {
+                    let (m, cv) = &*permits;
+                    let mut p = m.lock().expect("permits");
+                    while *p == 0 {
+                        p = cv.wait(p).expect("permits");
+                    }
+                    *p -= 1;
+                }
+                let rank = sample_rank(&cdf, splitmix64(&mut rng));
+                let id = (client_idx as i128) * 1_000_000_000 + i as i128;
+                let source = corpus_source(rank);
+                let mut req = if splitmix64(&mut rng) % 100 < cfg.run_percent as u64 {
+                    let mut r = Request::run(id, &source);
+                    r.run.threads = 1;
+                    r.run.timeout_ms = Some(30_000);
+                    r
+                } else {
+                    Request::plan(id, &source)
+                };
+                req.plan.processors = cfg.processors;
+                sends.lock().expect("sends").insert(id, Instant::now());
+                buf.clear();
+                buf.push_str(&req.encode());
+                buf.push('\n');
+                writer.write_all(buf.as_bytes())?;
+            }
+            writer.flush()
+        })
+    };
+
+    let mut tally = ClientTally {
+        ok: 0,
+        errors: 0,
+        shed: 0,
+        hits: 0,
+        coalesced: 0,
+        computed: 0,
+        latencies_us: Vec::with_capacity(n),
+    };
+    let mut received = 0usize;
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let Ok(resp) = Response::decode(&line) else {
+            tally.errors += 1;
+            received += 1;
+            continue;
+        };
+        if let Some(t0) = sends.lock().expect("sends").remove(&resp.id) {
+            tally
+                .latencies_us
+                .push(t0.elapsed().as_micros().min(u64::MAX as u128) as u64);
+        }
+        {
+            let (m, cv) = &*permits;
+            *m.lock().expect("permits") += 1;
+            cv.notify_one();
+        }
+        if resp.ok {
+            tally.ok += 1;
+            match resp.cache.as_deref() {
+                Some("hit") => tally.hits += 1,
+                Some("coalesced") => tally.coalesced += 1,
+                Some("computed") => tally.computed += 1,
+                _ => {}
+            }
+        } else if resp.code.as_deref() == Some("ALP0012") {
+            tally.shed += 1;
+        } else {
+            tally.errors += 1;
+        }
+        received += 1;
+        if received == n {
+            break;
+        }
+    }
+    writer_thread
+        .join()
+        .map_err(|_| std::io::Error::other("client writer panicked"))??;
+    Ok(tally)
+}
+
+fn percentile(sorted_us: &[u64], pct: f64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    // Nearest-rank: the smallest value with at least pct% of the
+    // sample at or below it.
+    let idx = (pct / 100.0 * sorted_us.len() as f64).ceil() as usize;
+    sorted_us[idx.clamp(1, sorted_us.len()) - 1]
+}
+
+/// Run the full benchmark: start an in-process server on `sock`,
+/// drive the configured traffic through it, shut it down, and report.
+pub fn run_loadgen(
+    cfg: &LoadGenConfig,
+    mut serve_cfg: ServeConfig,
+    sock: &Path,
+) -> std::io::Result<LoadGenReport> {
+    // Prewarm the hot prefix so "hot" is hot from the first request.
+    for rank in 0..cfg.hot.min(cfg.corpus) {
+        serve_cfg.prewarm.push(PlanSpec {
+            source: corpus_source(rank),
+            processors: cfg.processors,
+            check: true,
+        });
+    }
+    let workers = serve_cfg.workers;
+    let handle = Server::new(serve_cfg).serve(sock)?;
+
+    let cdf = Arc::new(zipf_cdf(cfg.corpus.max(1)));
+    let per_client = cfg.requests / cfg.clients.max(1);
+    let remainder = cfg.requests - per_client * cfg.clients.max(1);
+
+    let t0 = Instant::now();
+    let joins: Vec<_> = (0..cfg.clients.max(1))
+        .map(|c| {
+            let sock = sock.to_path_buf();
+            let cfg = cfg.clone();
+            let cdf = Arc::clone(&cdf);
+            let n = per_client + usize::from(c < remainder);
+            std::thread::spawn(move || client(&sock, &cfg, cdf, c, n))
+        })
+        .collect();
+
+    let mut latencies = Vec::with_capacity(cfg.requests);
+    let mut report = LoadGenReport {
+        sent: 0,
+        ok: 0,
+        errors: 0,
+        shed: 0,
+        hits: 0,
+        coalesced: 0,
+        computed: 0,
+        p50_us: 0,
+        p99_us: 0,
+        max_us: 0,
+        elapsed_ms: 0,
+        plans_per_sec: 0,
+        max_concurrent: cfg.clients.max(1) * cfg.window.max(1),
+        cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        oversubscribed: false,
+        server: ServerStats::default(),
+    };
+    for j in joins {
+        let tally = j
+            .join()
+            .map_err(|_| std::io::Error::other("client panicked"))??;
+        report.sent += tally.latencies_us.len() as u64;
+        report.ok += tally.ok;
+        report.errors += tally.errors;
+        report.shed += tally.shed;
+        report.hits += tally.hits;
+        report.coalesced += tally.coalesced;
+        report.computed += tally.computed;
+        latencies.extend(tally.latencies_us);
+    }
+    let elapsed = t0.elapsed();
+    report.server = handle.shutdown();
+
+    latencies.sort_unstable();
+    report.p50_us = percentile(&latencies, 50.0);
+    report.p99_us = percentile(&latencies, 99.0);
+    report.max_us = latencies.last().copied().unwrap_or(0);
+    report.elapsed_ms = elapsed.as_millis().min(u64::MAX as u128) as u64;
+    report.plans_per_sec = if elapsed.as_secs_f64() > 0.0 {
+        (report.ok as f64 / elapsed.as_secs_f64()) as u64
+    } else {
+        report.ok
+    };
+    // Generator threads (a writer + a reader per client) plus the
+    // server's workers compete for the same cores; past that point the
+    // percentiles measure the scheduler.
+    report.oversubscribed = cfg.clients.max(1) * 2 + workers > report.cores;
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_sources_are_distinct_and_parse() {
+        let mut fps = std::collections::HashSet::new();
+        for rank in 0..64 {
+            let nest = alp_loopir::parse(&corpus_source(rank)).expect("parses");
+            assert!(
+                fps.insert(alp_plan::fingerprint(&nest)),
+                "rank {rank} aliases"
+            );
+        }
+    }
+
+    #[test]
+    fn zipf_is_skewed_and_complete() {
+        let cdf = zipf_cdf(100);
+        assert_eq!(cdf.len(), 100);
+        // Rank 0 carries far more mass than rank 99.
+        let first = cdf[0];
+        let last_gap = cdf[99] - cdf[98];
+        assert!(first > last_gap * 10);
+        // Any draw maps to a valid rank.
+        let mut rng = 7u64;
+        for _ in 0..1000 {
+            assert!(sample_rank(&cdf, splitmix64(&mut rng)) < 100);
+        }
+    }
+
+    #[test]
+    fn percentiles_are_order_statistics() {
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&v, 50.0), 50);
+        assert_eq!(percentile(&v, 99.0), 99);
+        assert_eq!(percentile(&[], 99.0), 0);
+    }
+}

@@ -1,0 +1,135 @@
+//! The thin compile/execute pipeline behind the server, restated from
+//! the root facade on purpose: `alp-serve` must not depend on the root
+//! `alp` crate (whose binary links this crate back), so the two layers
+//! share the leaf crates and the `ALP000x` code contract instead of a
+//! type.  Every failure is folded into the `Clone`-able
+//! [`ServeError`], which is what lets one failed compile be handed to
+//! every coalesced waiter.
+
+use crate::ServeError;
+use alp_plan::{LegalityVerdict, PartitionPlan, PlanError, PlanKey};
+use alp_runtime::{ExecOptions, Executor, RuntimeError};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Parameters of one plan request, normalized.
+#[derive(Debug, Clone)]
+pub struct PlanSpec {
+    /// DSL source of the nest.
+    pub source: String,
+    /// Processors to partition for.
+    pub processors: i128,
+    /// Run the doall legality analysis (default on).
+    pub check: bool,
+}
+
+impl PlanSpec {
+    /// The cache key for this spec: structural fingerprint plus every
+    /// parameter that can change the plan.  Parse errors surface here
+    /// (before admission) so malformed sources never occupy a queue
+    /// slot.
+    pub fn key(&self) -> Result<PlanKey, ServeError> {
+        let nest = alp_loopir::parse(&self.source)
+            .map_err(|e| ServeError::new("ALP0001", e.to_string()))?;
+        Ok(PlanKey {
+            fingerprint: alp_plan::fingerprint(&nest),
+            processors: self.processors,
+            mesh: None,
+            checked: self.check,
+            calibrated: false,
+        })
+    }
+}
+
+/// Analysis + partitioning for one spec — the expensive phase the
+/// sharded cache memoizes.  Error codes match the root facade:
+/// `ALP0001` parse, `ALP0003` illegal doall, `ALP0004` infeasible,
+/// `ALP0006` other plan failures.
+pub fn build_plan(spec: &PlanSpec) -> Result<PartitionPlan, ServeError> {
+    let nest =
+        alp_loopir::parse(&spec.source).map_err(|e| ServeError::new("ALP0001", e.to_string()))?;
+    let verdict = if spec.check {
+        let report = alp_analysis::analyze(&nest);
+        if report.has_errors() {
+            return Err(ServeError::new("ALP0003", report.render("").trim_end()));
+        }
+        LegalityVerdict::Checked {
+            warnings: report.count(alp_analysis::Severity::Warning),
+        }
+    } else {
+        LegalityVerdict::Unchecked
+    };
+    PartitionPlan::build(&nest, spec.processors, None, verdict).map_err(|e| match e {
+        PlanError::Infeasible(m) => ServeError::new("ALP0004", format!("infeasible: {m}")),
+        other => ServeError::new("ALP0006", other.to_string()),
+    })
+}
+
+/// Execution knobs of one run request.
+#[derive(Debug, Clone, Default)]
+pub struct RunSpec {
+    /// OS threads (0 = one per tile).
+    pub threads: usize,
+    /// Store seed for the verified run.
+    pub seed: u64,
+    /// Per-request wall-clock deadline (`ALP0007` when exceeded).
+    pub timeout_ms: Option<u64>,
+    /// Per-request store-byte budget (`ALP0009` when exceeded).
+    pub max_store_bytes: Option<u64>,
+    /// Chaos: panic injection at `(tile, rep)` — honored only when the
+    /// crate is built with the `chaos` feature, ignored otherwise.
+    pub fault_panic: Option<(usize, u64)>,
+}
+
+/// Outcome of a native verified run through the server.
+#[derive(Debug, Clone)]
+pub struct RunSummary {
+    /// Whether the parallel result matched the sequential reference
+    /// bit for bit.
+    pub matches_reference: bool,
+    /// Total iterations executed.
+    pub iterations: u64,
+    /// OS threads the executor actually used.
+    pub threads: usize,
+}
+
+/// Map an executor failure to its stable code: `ALP0007`
+/// deadline/cancel, `ALP0008` contained tile fault, `ALP0009` memory
+/// budget, `ALP0006` bad plan, `ALP0005` other lowering/run failures.
+fn runtime_error(e: RuntimeError) -> ServeError {
+    let code = match &e {
+        RuntimeError::DeadlineExceeded { .. } | RuntimeError::Cancelled => "ALP0007",
+        RuntimeError::TileFailed { .. } => "ALP0008",
+        RuntimeError::ResourceExceeded { .. } => "ALP0009",
+        RuntimeError::BadPlan(_) => "ALP0006",
+        _ => "ALP0005",
+    };
+    ServeError::new(code, e.to_string())
+}
+
+/// Natively execute a plan and check it against the sequential
+/// reference, under the request's deadline and memory budget.
+pub fn run_plan(plan: &Arc<PartitionPlan>, spec: &RunSpec) -> Result<RunSummary, ServeError> {
+    let exec = Executor::from_plan(plan).map_err(runtime_error)?;
+    #[allow(unused_mut)]
+    let mut opts = ExecOptions {
+        threads: spec.threads,
+        deadline: spec.timeout_ms.map(Duration::from_millis),
+        memory_budget: spec.max_store_bytes,
+        ..ExecOptions::default()
+    };
+    #[cfg(feature = "chaos")]
+    if let Some((tile, rep)) = spec.fault_panic {
+        opts.fault_injector = Some(std::sync::Arc::new(
+            alp_chaos::FaultPlan::new().with_panic(tile, rep),
+        ));
+    }
+    #[cfg(not(feature = "chaos"))]
+    let _ = spec.fault_panic;
+    let outcome = exec.verify(spec.seed, &opts).map_err(runtime_error)?;
+    Ok(RunSummary {
+        matches_reference: outcome.matches_reference,
+        iterations: outcome.report.total_iterations,
+        threads: outcome.report.threads,
+    })
+}

@@ -1,0 +1,544 @@
+//! The plan service: admission control, worker pool, and the Unix
+//! socket front end.
+//!
+//! ## Overload-shedding policy
+//!
+//! Three tiers, cheapest first:
+//!
+//! 1. **Inline cache hits** — a `plan` request whose key is already
+//!    cached is answered directly on the connection's reader thread,
+//!    bypassing the admission queue entirely.  Under total overload
+//!    the server still answers every request whose plan it has.
+//! 2. **Bounded queue** — work that needs a worker (compiles, all
+//!    executions) passes admission: the queue never exceeds
+//!    [`ServeConfig::queue_cap`].
+//! 3. **Graceful degradation** — `run` requests cost strictly more
+//!    than `plan` requests (compile *plus* native execution), so they
+//!    shed earlier: at [`ServeConfig::run_high_water`] (default half
+//!    the queue) rather than at full capacity.  Shed requests fail
+//!    fast with the stable `ALP0012` code and were never partially
+//!    executed — retrying is always safe.
+//!
+//! Within an admitted request, the hardened executor's own guards
+//! apply: per-request deadline (`ALP0007`) and memory budget
+//! (`ALP0009`).  A tile panic (chaos-injected or real) is contained by
+//! the executor (`ALP0008`) and, because compiles run outside the
+//! shard locks and publish through the leader-abandon protocol, a
+//! panicking request can never poison a shard or wedge coalesced
+//! waiters of other requests.
+
+use crate::pipeline::{build_plan, run_plan};
+use crate::protocol::{Request, RequestOp, Response};
+use crate::ServeError;
+use alp_plan::json::parse;
+use alp_plan::{Fetched, Json, ShardedPlanCache};
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Shards in the plan cache.
+    pub shards: usize,
+    /// Total cached plans across shards.
+    pub cache_capacity: usize,
+    /// Admission-queue bound; 0 sheds every queue-bound request
+    /// (inline cache hits still serve).
+    pub queue_cap: usize,
+    /// Queue depth at which `run` requests start shedding; `None`
+    /// means half of `queue_cap`.
+    pub run_high_water: Option<usize>,
+    /// Worker threads draining the queue.
+    pub workers: usize,
+    /// Specs to compile before accepting traffic (deterministic warm
+    /// cache for tests and benchmarks).
+    pub prewarm: Vec<crate::pipeline::PlanSpec>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        ServeConfig {
+            shards: ShardedPlanCache::<ServeError>::DEFAULT_SHARDS,
+            cache_capacity: 128,
+            queue_cap: 64,
+            run_high_water: None,
+            workers: cores.clamp(1, 8),
+            prewarm: Vec::new(),
+        }
+    }
+}
+
+impl ServeConfig {
+    fn run_limit(&self) -> usize {
+        self.run_high_water
+            .unwrap_or(self.queue_cap / 2)
+            .min(self.queue_cap)
+    }
+}
+
+/// Cumulative server counters, exposed through the `stats` op and the
+/// load generator.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Cache hits (inline fast path plus worker-path hits).
+    pub hits: u64,
+    /// Compile leaders (each built one plan).
+    pub misses: u64,
+    /// Requests that waited on another request's in-flight compile.
+    pub coalesced: u64,
+    /// LRU evictions across shards.
+    pub evictions: u64,
+    /// Subset of `hits` answered on reader threads without queueing.
+    pub inline_hits: u64,
+    /// `plan` requests shed with `ALP0012`.
+    pub shed_plan: u64,
+    /// `run` requests shed with `ALP0012`.
+    pub shed_run: u64,
+    /// Successful runs.
+    pub runs_ok: u64,
+    /// Requests that failed in the pipeline (any code but `ALP0012`).
+    pub failures: u64,
+    /// Queue depth at snapshot time.
+    pub depth: u64,
+}
+
+impl ServerStats {
+    /// Encode as a single-line JSON object.
+    pub fn encode(&self) -> String {
+        format!(
+            "{{\"hits\": {}, \"misses\": {}, \"coalesced\": {}, \"evictions\": {}, \
+             \"inline_hits\": {}, \"shed_plan\": {}, \"shed_run\": {}, \"runs_ok\": {}, \
+             \"failures\": {}, \"depth\": {}}}",
+            self.hits,
+            self.misses,
+            self.coalesced,
+            self.evictions,
+            self.inline_hits,
+            self.shed_plan,
+            self.shed_run,
+            self.runs_ok,
+            self.failures,
+            self.depth
+        )
+    }
+
+    /// Decode from the JSON value embedded in a `stats` response;
+    /// absent fields read as zero.
+    pub fn decode(v: &Json) -> ServerStats {
+        let f = |key: &str| v.get(key).and_then(Json::as_int).unwrap_or(0).max(0) as u64;
+        ServerStats {
+            hits: f("hits"),
+            misses: f("misses"),
+            coalesced: f("coalesced"),
+            evictions: f("evictions"),
+            inline_hits: f("inline_hits"),
+            shed_plan: f("shed_plan"),
+            shed_run: f("shed_run"),
+            runs_ok: f("runs_ok"),
+            failures: f("failures"),
+            depth: f("depth"),
+        }
+    }
+
+    /// Decode from an encoded stats line.
+    pub fn decode_str(s: &str) -> Result<ServerStats, ServeError> {
+        let v = parse(s).map_err(|e| ServeError::new("ALP0006", e.to_string()))?;
+        Ok(ServerStats::decode(&v))
+    }
+
+    /// Total shed requests.
+    pub fn shed(&self) -> u64 {
+        self.shed_plan + self.shed_run
+    }
+}
+
+struct Job {
+    req: Request,
+    out: Arc<Mutex<UnixStream>>,
+}
+
+struct Inner {
+    cfg: ServeConfig,
+    cache: ShardedPlanCache<ServeError>,
+    queue: Mutex<VecDeque<Job>>,
+    cv: Condvar,
+    depth: AtomicUsize,
+    shutdown: AtomicBool,
+    /// Bound socket path, once serving; lets a protocol `shutdown`
+    /// wake the blocking accept loop with a throwaway connection.
+    sock: Mutex<Option<PathBuf>>,
+    inline_hits: AtomicU64,
+    shed_plan: AtomicU64,
+    shed_run: AtomicU64,
+    runs_ok: AtomicU64,
+    failures: AtomicU64,
+}
+
+impl Inner {
+    /// Process one plan/run request end to end (worker side; admission
+    /// already happened or was bypassed by a direct caller).
+    fn handle_now(&self, req: &Request) -> Response {
+        match req.op {
+            RequestOp::Ping | RequestOp::Shutdown => Response::ok(req.id),
+            RequestOp::Stats => Response::stats(req.id, self.stats()),
+            RequestOp::Plan | RequestOp::Run => {
+                let key = match req.plan.key() {
+                    Ok(k) => k,
+                    Err(e) => {
+                        self.failures.fetch_add(1, Ordering::Relaxed);
+                        return Response::err(req.id, &e);
+                    }
+                };
+                let spec = req.plan.clone();
+                let fetched = self.cache.get_or_compute(key, move || build_plan(&spec));
+                let (plan, how) = match fetched {
+                    Ok(x) => x,
+                    Err(e) => {
+                        self.failures.fetch_add(1, Ordering::Relaxed);
+                        return Response::err(req.id, &e);
+                    }
+                };
+                match req.op {
+                    RequestOp::Plan => Response::plan_ok(
+                        req.id,
+                        how.label(),
+                        &plan.fingerprint,
+                        plan.tiles(),
+                        req.want_plan.then(|| plan.to_json_string()),
+                    ),
+                    _ => match run_plan(&plan, &req.run) {
+                        Ok(run) => {
+                            self.runs_ok.fetch_add(1, Ordering::Relaxed);
+                            Response::run_ok(
+                                req.id,
+                                how.label(),
+                                &plan.fingerprint,
+                                plan.tiles(),
+                                &run,
+                            )
+                        }
+                        Err(e) => {
+                            self.failures.fetch_add(1, Ordering::Relaxed);
+                            Response::err(req.id, &e)
+                        }
+                    },
+                }
+            }
+        }
+    }
+
+    /// Admission: push the job or shed it with `ALP0012`.  The depth
+    /// check and the push are atomic under the queue lock, so the
+    /// bound is exact.
+    fn submit(&self, job: Job) -> Result<(), ServeError> {
+        let limit = match job.req.op {
+            RequestOp::Run => self.cfg.run_limit(),
+            _ => self.cfg.queue_cap,
+        };
+        let mut q = self.queue.lock().expect("queue lock");
+        let depth = q.len();
+        if depth >= limit || self.shutdown.load(Ordering::SeqCst) {
+            drop(q);
+            let ctr = match job.req.op {
+                RequestOp::Run => &self.shed_run,
+                _ => &self.shed_plan,
+            };
+            ctr.fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::overloaded(depth, self.cfg.queue_cap));
+        }
+        q.push_back(job);
+        self.depth.store(q.len(), Ordering::Relaxed);
+        drop(q);
+        self.cv.notify_one();
+        Ok(())
+    }
+
+    fn stats(&self) -> ServerStats {
+        let c = self.cache.stats();
+        ServerStats {
+            hits: c.hits,
+            misses: c.misses,
+            coalesced: c.coalesced,
+            evictions: c.evictions,
+            inline_hits: self.inline_hits.load(Ordering::Relaxed),
+            shed_plan: self.shed_plan.load(Ordering::Relaxed),
+            shed_run: self.shed_run.load(Ordering::Relaxed),
+            runs_ok: self.runs_ok.load(Ordering::Relaxed),
+            failures: self.failures.load(Ordering::Relaxed),
+            depth: self.depth.load(Ordering::Relaxed) as u64,
+        }
+    }
+
+    /// Worker loop: drain the queue; on shutdown, finish what is
+    /// queued, then exit.  Each job runs under panic containment so a
+    /// handler bug drops one response, never a worker.
+    fn worker(&self) {
+        loop {
+            let job = {
+                let mut q = self.queue.lock().expect("queue lock");
+                loop {
+                    if let Some(j) = q.pop_front() {
+                        self.depth.store(q.len(), Ordering::Relaxed);
+                        break j;
+                    }
+                    if self.shutdown.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    q = self.cv.wait(q).expect("queue lock");
+                }
+            };
+            let resp =
+                catch_unwind(AssertUnwindSafe(|| self.handle_now(&job.req))).unwrap_or_else(|_| {
+                    self.failures.fetch_add(1, Ordering::Relaxed);
+                    Response::err(
+                        job.req.id,
+                        &ServeError::new("ALP0008", "request handler panicked; fault contained"),
+                    )
+                });
+            write_line(&job.out, &resp);
+        }
+    }
+
+    /// Per-connection reader: decode frames, answer control ops and
+    /// inline cache hits directly, hand the rest to admission.
+    fn connection(self: &Arc<Self>, stream: UnixStream) {
+        let reader = match stream.try_clone() {
+            Ok(s) => BufReader::new(s),
+            Err(_) => return,
+        };
+        let out = Arc::new(Mutex::new(stream));
+        for line in reader.lines() {
+            let Ok(line) = line else { break };
+            if line.trim().is_empty() {
+                continue;
+            }
+            let req = match Request::decode(&line) {
+                Ok(r) => r,
+                Err(e) => {
+                    write_line(&out, &Response::err(0, &e));
+                    continue;
+                }
+            };
+            match req.op {
+                RequestOp::Ping => write_line(&out, &Response::ok(req.id)),
+                RequestOp::Stats => write_line(&out, &Response::stats(req.id, self.stats())),
+                RequestOp::Shutdown => {
+                    write_line(&out, &Response::ok(req.id));
+                    self.shutdown.store(true, Ordering::SeqCst);
+                    self.cv.notify_all();
+                    // Wake the blocking accept so the loop observes the
+                    // flag and exits.
+                    if let Some(path) = self.sock.lock().expect("sock lock").clone() {
+                        let _ = UnixStream::connect(path);
+                    }
+                    break;
+                }
+                RequestOp::Plan | RequestOp::Run => {
+                    // Tier 1: answer cached plans inline — no queue,
+                    // no admission, works even under total overload.
+                    if req.op == RequestOp::Plan {
+                        if let Ok(key) = req.plan.key() {
+                            if let Some(plan) = self.cache.get_cached(&key) {
+                                self.inline_hits.fetch_add(1, Ordering::Relaxed);
+                                write_line(
+                                    &out,
+                                    &Response::plan_ok(
+                                        req.id,
+                                        Fetched::Hit.label(),
+                                        &plan.fingerprint,
+                                        plan.tiles(),
+                                        req.want_plan.then(|| plan.to_json_string()),
+                                    ),
+                                );
+                                continue;
+                            }
+                        }
+                        // Parse errors fall through to handle_now via a
+                        // worker so the reader thread stays responsive;
+                        // they are cheap to re-derive.
+                    }
+                    // Tiers 2–3: bounded queue with class-based limits.
+                    let id = req.id;
+                    if let Err(e) = self.submit(Job {
+                        req,
+                        out: Arc::clone(&out),
+                    }) {
+                        write_line(&out, &Response::err(id, &e));
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn write_line(out: &Arc<Mutex<UnixStream>>, resp: &Response) {
+    let mut line = resp.encode();
+    line.push('\n');
+    if let Ok(mut s) = out.lock() {
+        // The peer may have hung up mid-flight; a failed write only
+        // affects this connection.
+        let _ = s.write_all(line.as_bytes());
+        let _ = s.flush();
+    }
+}
+
+/// The plan service.  Construct with [`Server::new`], then either call
+/// [`Server::handle_now`] directly (in-process use, tests) or bind a
+/// socket with [`Server::serve`].
+pub struct Server {
+    inner: Arc<Inner>,
+}
+
+impl Server {
+    /// Build a server (prewarming the cache per the config) without
+    /// binding a socket.
+    pub fn new(cfg: ServeConfig) -> Server {
+        let cache = ShardedPlanCache::new(cfg.shards, cfg.cache_capacity);
+        let inner = Arc::new(Inner {
+            cache,
+            queue: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+            depth: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            sock: Mutex::new(None),
+            inline_hits: AtomicU64::new(0),
+            shed_plan: AtomicU64::new(0),
+            shed_run: AtomicU64::new(0),
+            runs_ok: AtomicU64::new(0),
+            failures: AtomicU64::new(0),
+            cfg,
+        });
+        for spec in &inner.cfg.prewarm {
+            if let Ok(key) = spec.key() {
+                let spec = spec.clone();
+                let _ = inner.cache.get_or_compute(key, move || build_plan(&spec));
+            }
+        }
+        Server { inner }
+    }
+
+    /// Process one request synchronously, bypassing admission (the
+    /// caller owns its own thread).  Control ops work too.
+    pub fn handle_now(&self, req: &Request) -> Response {
+        self.inner.handle_now(req)
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> ServerStats {
+        self.inner.stats()
+    }
+
+    /// Would a request of this class be admitted right now?  (Exposed
+    /// for tests; the socket path re-checks atomically at submit.)
+    pub fn would_admit(&self, op: &RequestOp) -> bool {
+        let limit = match op {
+            RequestOp::Run => self.inner.cfg.run_limit(),
+            _ => self.inner.cfg.queue_cap,
+        };
+        self.inner.depth.load(Ordering::Relaxed) < limit
+    }
+
+    /// Bind `path` and serve until a `shutdown` request arrives.
+    /// Returns immediately; the returned handle joins the accept loop
+    /// and worker pool.
+    pub fn serve(self, path: &Path) -> std::io::Result<ServerHandle> {
+        // A stale socket file from a dead server would fail the bind.
+        if path.exists() {
+            std::fs::remove_file(path)?;
+        }
+        let listener = UnixListener::bind(path)?;
+        let inner = self.inner;
+        *inner.sock.lock().expect("sock lock") = Some(path.to_path_buf());
+        let workers: Vec<JoinHandle<()>> = (0..inner.cfg.workers.max(1))
+            .map(|_| {
+                let inner = Arc::clone(&inner);
+                std::thread::spawn(move || inner.worker())
+            })
+            .collect();
+        let accept = {
+            let inner = Arc::clone(&inner);
+            std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if inner.shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { break };
+                    let inner = Arc::clone(&inner);
+                    // Readers exit on EOF or shutdown; they are not
+                    // joined (a daemon outlives any one connection).
+                    std::thread::spawn(move || inner.connection(stream));
+                }
+            })
+        };
+        Ok(ServerHandle {
+            path: path.to_path_buf(),
+            inner,
+            accept: Some(accept),
+            workers,
+        })
+    }
+}
+
+/// A running server bound to a socket.
+pub struct ServerHandle {
+    path: PathBuf,
+    inner: Arc<Inner>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound socket path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> ServerStats {
+        self.inner.stats()
+    }
+
+    /// True once a `shutdown` request was received (or
+    /// [`ServerHandle::shutdown`] was called).
+    pub fn is_shutting_down(&self) -> bool {
+        self.inner.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Stop accepting, drain the queue, join every worker, and remove
+    /// the socket file.
+    pub fn shutdown(mut self) -> ServerStats {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        self.inner.cv.notify_all();
+        // Wake the blocking accept with a throwaway connection.
+        let _ = UnixStream::connect(&self.path);
+        if let Some(a) = self.accept.take() {
+            let _ = a.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        let _ = std::fs::remove_file(&self.path);
+        self.inner.stats()
+    }
+
+    /// Block until the accept loop exits (a client sent `shutdown`),
+    /// then drain and clean up — the daemon's main thread parks here.
+    pub fn wait(mut self) -> ServerStats {
+        if let Some(a) = self.accept.take() {
+            let _ = a.join();
+        }
+        self.inner.cv.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        let _ = std::fs::remove_file(&self.path);
+        self.inner.stats()
+    }
+}

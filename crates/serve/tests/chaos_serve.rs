@@ -1,0 +1,160 @@
+//! Fault containment through the server path (requires the `chaos`
+//! feature): a chaos-injected tile panic or a missed deadline in one
+//! request must fail only that request — the shard it hashed to stays
+//! serviceable, coalesced waiters of *other* keys are unaffected, and
+//! the same fingerprint succeeds on the very next request.
+#![cfg(feature = "chaos")]
+
+use alp_serve::{Request, RequestOp, Response, ServeConfig, Server};
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const SRC: &str = "doall (i, 0, 63) { A[i] = A[i] + B[i]; }";
+
+fn sock_path(tag: &str) -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let n = N.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "alp-serve-chaos-{}-{tag}-{n}.sock",
+        std::process::id()
+    ))
+}
+
+struct Client {
+    writer: UnixStream,
+    reader: BufReader<UnixStream>,
+}
+
+impl Client {
+    fn connect(path: &std::path::Path) -> Client {
+        let stream = UnixStream::connect(path).expect("connect");
+        Client {
+            writer: stream.try_clone().expect("clone"),
+            reader: BufReader::new(stream),
+        }
+    }
+
+    fn round_trip(&mut self, req: &Request) -> Response {
+        let mut line = req.encode();
+        line.push('\n');
+        self.writer.write_all(line.as_bytes()).expect("send");
+        let mut resp = String::new();
+        self.reader.read_line(&mut resp).expect("recv");
+        Response::decode(&resp).expect("decode")
+    }
+}
+
+/// The tile aimed at by `FaultPlan::seeded_panic(seed, tiles, reps)`,
+/// recomputed through the chaos crate so the request fields and the
+/// injector agree on the target.
+fn seeded_target(seed: u64, tiles: usize) -> (usize, u64) {
+    let (tile, rep, _) = alp_chaos::FaultPlan::seeded_panic(seed, tiles, 1)
+        .schedule()
+        .pop()
+        .expect("one fault");
+    (tile, rep)
+}
+
+#[test]
+fn injected_tile_panic_fails_only_its_own_request() {
+    let path = sock_path("panic");
+    let handle = Server::new(ServeConfig {
+        workers: 4,
+        ..ServeConfig::default()
+    })
+    .serve(&path)
+    .unwrap();
+
+    // The faulty request and the healthy ones share a fingerprint:
+    // containment must hold even inside one shard slot.
+    let (tile, rep) = seeded_target(7, 16);
+    let faulty = {
+        let path = path.clone();
+        std::thread::spawn(move || {
+            let mut req = Request::run(100, SRC);
+            req.run.threads = 2;
+            req.run.fault_panic = Some((tile, rep));
+            Client::connect(&path).round_trip(&req)
+        })
+    };
+    let healthy: Vec<_> = (0..6)
+        .map(|i| {
+            let path = path.clone();
+            std::thread::spawn(move || {
+                let mut req = Request::run(i as i128, SRC);
+                req.run.threads = 2;
+                Client::connect(&path).round_trip(&req)
+            })
+        })
+        .collect();
+
+    let bad = faulty.join().expect("client thread");
+    assert!(!bad.ok, "injected panic must fail the request");
+    assert_eq!(bad.code.as_deref(), Some("ALP0008"), "contained tile fault");
+    for h in healthy {
+        let resp = h.join().expect("client thread");
+        assert!(resp.ok, "healthy request failed: {:?}", resp.error);
+        assert_eq!(resp.matches_reference, Some(true));
+    }
+
+    // The shard is not poisoned: the same fingerprint still serves.
+    let mut c = Client::connect(&path);
+    let after = c.round_trip(&Request::run(200, SRC));
+    assert!(
+        after.ok,
+        "shard poisoned by contained fault: {:?}",
+        after.error
+    );
+    assert_eq!(after.cache.as_deref(), Some("hit"), "plan still cached");
+
+    let stats = handle.shutdown();
+    assert_eq!(stats.misses, 1, "one compile despite the faulted run");
+    assert_eq!(stats.failures, 1, "exactly the faulty request failed");
+    assert_eq!(stats.runs_ok, 7);
+}
+
+#[test]
+fn deadline_in_one_request_does_not_drop_others() {
+    let path = sock_path("deadline");
+    let handle = Server::new(ServeConfig {
+        workers: 4,
+        ..ServeConfig::default()
+    })
+    .serve(&path)
+    .unwrap();
+
+    // An impossible deadline: ALP0007 for this request only.
+    let doomed = {
+        let path = path.clone();
+        std::thread::spawn(move || {
+            let mut req = Request::run(1, SRC);
+            req.run.timeout_ms = Some(0);
+            Client::connect(&path).round_trip(&req)
+        })
+    };
+    let fine = {
+        let path = path.clone();
+        std::thread::spawn(move || Client::connect(&path).round_trip(&Request::run(2, SRC)))
+    };
+    let bad = doomed.join().unwrap();
+    assert!(!bad.ok);
+    assert_eq!(bad.code.as_deref(), Some("ALP0007"), "deadline code");
+    let good = fine.join().unwrap();
+    assert!(good.ok, "unrelated request dropped: {:?}", good.error);
+
+    // Server still fully alive.
+    let mut c = Client::connect(&path);
+    assert!(c.round_trip(&Request::control(3, RequestOp::Ping)).ok);
+    assert!(c.round_trip(&Request::run(4, SRC)).ok);
+    handle.shutdown();
+}
+
+#[test]
+fn chaos_fields_round_trip_the_wire() {
+    let mut req = Request::run(5, SRC);
+    req.run.fault_panic = Some((3, 2));
+    let decoded = Request::decode(&req.encode()).unwrap();
+    assert_eq!(decoded.run.fault_panic, Some((3, 2)));
+}

@@ -1,0 +1,290 @@
+//! End-to-end tests of the plan service over its real Unix socket:
+//! protocol round trips, coalescing under concurrency, admission
+//! control and class-based shedding, inline serving of cached plans
+//! under total overload, and graceful shutdown.
+
+use alp_serve::pipeline::PlanSpec;
+use alp_serve::{LoadGenConfig, Request, RequestOp, Response, ServeConfig, Server};
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const SRC: &str = "doall (i, 0, 63) { A[i] = A[i] + B[i]; }";
+
+fn sock_path(tag: &str) -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let n = N.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "alp-serve-test-{}-{tag}-{n}.sock",
+        std::process::id()
+    ))
+}
+
+/// A tiny synchronous protocol client.
+struct Client {
+    writer: UnixStream,
+    reader: BufReader<UnixStream>,
+}
+
+impl Client {
+    fn connect(path: &std::path::Path) -> Client {
+        let stream = UnixStream::connect(path).expect("connect");
+        Client {
+            writer: stream.try_clone().expect("clone"),
+            reader: BufReader::new(stream),
+        }
+    }
+
+    fn send(&mut self, req: &Request) {
+        let mut line = req.encode();
+        line.push('\n');
+        self.writer.write_all(line.as_bytes()).expect("send");
+    }
+
+    fn recv(&mut self) -> Response {
+        let mut line = String::new();
+        self.reader.read_line(&mut line).expect("recv");
+        Response::decode(&line).expect("decode")
+    }
+
+    fn round_trip(&mut self, req: &Request) -> Response {
+        self.send(req);
+        self.recv()
+    }
+}
+
+#[test]
+fn plan_run_stats_ping_over_the_socket() {
+    let path = sock_path("basic");
+    let handle = Server::new(ServeConfig::default()).serve(&path).unwrap();
+    let mut c = Client::connect(&path);
+
+    let pong = c.round_trip(&Request::control(1, RequestOp::Ping));
+    assert!(pong.ok && pong.id == 1);
+
+    let mut plan_req = Request::plan(2, SRC);
+    plan_req.want_plan = true;
+    let planned = c.round_trip(&plan_req);
+    assert!(planned.ok, "plan failed: {:?}", planned.error);
+    assert_eq!(planned.cache.as_deref(), Some("computed"));
+    assert_eq!(planned.tiles, Some(16));
+    let plan_json = planned.plan.expect("want_plan returns the artifact");
+    let decoded = alp_plan::PartitionPlan::from_json_str(&plan_json).expect("valid plan JSON");
+    assert_eq!(Some(decoded.fingerprint), planned.fingerprint);
+
+    // Same nest again: inline cache hit.
+    let again = c.round_trip(&Request::plan(3, SRC));
+    assert!(again.ok);
+    assert_eq!(again.cache.as_deref(), Some("hit"));
+
+    let mut run_req = Request::run(4, SRC);
+    run_req.run.threads = 2;
+    let ran = c.round_trip(&run_req);
+    assert!(ran.ok, "run failed: {:?}", ran.error);
+    assert_eq!(ran.matches_reference, Some(true));
+    assert_eq!(ran.iterations, Some(64));
+    assert_eq!(ran.cache.as_deref(), Some("hit"), "run reused the plan");
+
+    let stats = c.round_trip(&Request::control(5, RequestOp::Stats));
+    let s = stats.stats.expect("stats payload");
+    assert_eq!(s.misses, 1, "one compile total");
+    assert!(s.hits >= 2);
+    assert_eq!(s.runs_ok, 1);
+    assert_eq!(s.inline_hits, 1, "plan #3 was served on the reader thread");
+
+    assert!(c.round_trip(&Request::control(6, RequestOp::Shutdown)).ok);
+    handle.wait();
+    assert!(!path.exists(), "socket file removed on shutdown");
+}
+
+#[test]
+fn errors_map_to_stable_codes() {
+    let path = sock_path("errors");
+    let handle = Server::new(ServeConfig::default()).serve(&path).unwrap();
+    let mut c = Client::connect(&path);
+
+    let bad = c.round_trip(&Request::plan(1, "doall (i, 0"));
+    assert!(!bad.ok);
+    assert_eq!(bad.code.as_deref(), Some("ALP0001"), "parse error");
+
+    let racy = c.round_trip(&Request::plan(2, "doall (i, 0, 31) { A[0] = A[i]; }"));
+    assert!(!racy.ok);
+    assert_eq!(racy.code.as_deref(), Some("ALP0003"), "illegal doall");
+
+    // The same racy nest compiles with no_check.
+    let mut unchecked = Request::plan(3, "doall (i, 0, 31) { A[0] = A[i]; }");
+    unchecked.plan.check = false;
+    let ok = c.round_trip(&unchecked);
+    assert!(ok.ok, "unchecked plan: {:?}", ok.error);
+
+    // Memory budget: ALP0009 through the server path.
+    let mut tiny = Request::run(4, SRC);
+    tiny.run.max_store_bytes = Some(16);
+    let refused = c.round_trip(&tiny);
+    assert!(!refused.ok);
+    assert_eq!(refused.code.as_deref(), Some("ALP0009"));
+
+    handle.shutdown();
+}
+
+impl Client {
+    /// Send a raw line (protocol-violation testing).
+    fn round_trip_raw(&mut self, line: &str) -> Response {
+        self.writer.write_all(line.as_bytes()).expect("send");
+        self.writer.write_all(b"\n").expect("send");
+        self.recv()
+    }
+}
+
+#[test]
+fn malformed_frames_are_answered_not_fatal() {
+    let path = sock_path("frames");
+    let handle = Server::new(ServeConfig::default()).serve(&path).unwrap();
+    let mut c = Client::connect(&path);
+    let r = c.round_trip_raw("this is not json");
+    assert!(!r.ok);
+    assert_eq!(r.code.as_deref(), Some("ALP0006"));
+    let r = c.round_trip_raw("{\"alp-serve\": 1, \"op\": \"nonsense\"}");
+    assert!(!r.ok);
+    // The connection survives protocol violations.
+    assert!(c.round_trip(&Request::control(9, RequestOp::Ping)).ok);
+    handle.shutdown();
+}
+
+#[test]
+fn concurrent_same_key_requests_coalesce_to_one_compile() {
+    const CLIENTS: usize = 12;
+    let path = sock_path("coalesce");
+    let handle = Server::new(ServeConfig {
+        workers: 4,
+        ..ServeConfig::default()
+    })
+    .serve(&path)
+    .unwrap();
+
+    // A nest heavy enough that its compile window is wide.
+    let src = "doall (i, 1, 40) { doall (j, 1, 40) { doall (k, 1, 40) {
+        A[i,j,k] = B[i-1,j,k+1] + B[i,j+1,k] + B[i+1,j-2,k-3]; } } }";
+    let joins: Vec<_> = (0..CLIENTS)
+        .map(|i| {
+            let path = path.clone();
+            let src = src.to_string();
+            std::thread::spawn(move || {
+                Client::connect(&path).round_trip(&Request::plan(i as i128, &src))
+            })
+        })
+        .collect();
+    let mut computed = 0;
+    for j in joins {
+        let resp = j.join().expect("client thread");
+        assert!(resp.ok, "plan failed: {:?}", resp.error);
+        if resp.cache.as_deref() == Some("computed") {
+            computed += 1;
+        }
+    }
+    assert_eq!(computed, 1, "exactly one compile leader");
+    let stats = handle.shutdown();
+    assert_eq!(stats.misses, 1, "server-side: one compile for the key");
+    assert_eq!(
+        stats.hits + stats.coalesced + stats.misses,
+        CLIENTS as u64,
+        "every request accounted for"
+    );
+}
+
+#[test]
+fn overload_sheds_runs_before_plans_and_serves_cached_inline() {
+    let path = sock_path("overload");
+    // queue_cap 0: every queue-bound request sheds.  The prewarmed
+    // plan must still be served inline.
+    let handle = Server::new(ServeConfig {
+        queue_cap: 0,
+        workers: 1,
+        prewarm: vec![PlanSpec {
+            source: SRC.to_string(),
+            processors: 16,
+            check: true,
+        }],
+        ..ServeConfig::default()
+    })
+    .serve(&path)
+    .unwrap();
+    let mut c = Client::connect(&path);
+
+    // Tier 1: cached plan answers even though the queue admits nothing.
+    let cached = c.round_trip(&Request::plan(1, SRC));
+    assert!(cached.ok, "cached plan served under total overload");
+    assert_eq!(cached.cache.as_deref(), Some("hit"));
+
+    // An uncached plan and any run shed with ALP0012.
+    let cold = c.round_trip(&Request::plan(2, "doall (i, 0, 7) { C[i] = C[i]; }"));
+    assert!(!cold.ok);
+    assert_eq!(cold.code.as_deref(), Some("ALP0012"));
+    let run = c.round_trip(&Request::run(3, SRC));
+    assert!(!run.ok);
+    assert_eq!(run.code.as_deref(), Some("ALP0012"), "runs shed too");
+
+    let stats = handle.shutdown();
+    assert_eq!(stats.shed_plan, 1);
+    assert_eq!(stats.shed_run, 1);
+    assert_eq!(stats.inline_hits, 1);
+}
+
+#[test]
+fn run_high_water_sheds_runs_only() {
+    let path = sock_path("highwater");
+    // run_high_water 0 with a roomy queue: runs always shed, plans
+    // always admit.
+    let handle = Server::new(ServeConfig {
+        queue_cap: 64,
+        run_high_water: Some(0),
+        ..ServeConfig::default()
+    })
+    .serve(&path)
+    .unwrap();
+    let mut c = Client::connect(&path);
+    let run = c.round_trip(&Request::run(1, SRC));
+    assert_eq!(run.code.as_deref(), Some("ALP0012"));
+    let plan = c.round_trip(&Request::plan(2, SRC));
+    assert!(plan.ok, "plans still admitted: {:?}", plan.error);
+    let stats = handle.shutdown();
+    assert_eq!(stats.shed_run, 1);
+    assert_eq!(stats.shed_plan, 0);
+}
+
+#[test]
+fn loadgen_smoke_accounts_for_every_request() {
+    let path = sock_path("loadgen");
+    let cfg = LoadGenConfig {
+        clients: 4,
+        window: 16,
+        requests: 200,
+        corpus: 24,
+        hot: 4,
+        run_percent: 10,
+        ..LoadGenConfig::default()
+    };
+    let report = alp_serve::run_loadgen(
+        &cfg,
+        ServeConfig {
+            workers: 2,
+            ..ServeConfig::default()
+        },
+        &path,
+    )
+    .expect("loadgen runs");
+    assert_eq!(report.sent, 200);
+    assert_eq!(report.ok + report.errors + report.shed, 200);
+    assert_eq!(report.hits + report.coalesced + report.computed, report.ok);
+    assert!(
+        report.computed <= 24,
+        "at most one compile per corpus entry"
+    );
+    assert!(report.p50_us <= report.p99_us && report.p99_us <= report.max_us);
+    assert!(report.cores >= 1);
+    assert_eq!(report.max_concurrent, 64);
+    // Server-side and client-side views agree on sheds.
+    assert_eq!(report.server.shed(), report.shed);
+    assert!(!path.exists(), "loadgen cleans up its socket");
+}

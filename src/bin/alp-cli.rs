@@ -84,7 +84,9 @@
 //! if any — were exhausted (`ALP0008`), `8` (`run` only) over the
 //! `--max-store-bytes` budget without `--fallback-seq` (`ALP0009`),
 //! `9` a plan certificate is missing (under `--require-cert`), stale,
-//! or disagrees with fresh recomputation (`ALP0011`).
+//! or disagrees with fresh recomputation (`ALP0011`), `10` (`serve
+//! --connect` only) the plan service shed the request under load
+//! (`ALP0012`).
 //!
 //! Examples:
 //!
@@ -135,6 +137,9 @@ const EXIT_BUDGET: u8 = 8;
 /// Exit code when a plan certificate is missing (under
 /// `--require-cert`), stale, or disagrees with recomputation — `ALP0011`.
 const EXIT_CERT: u8 = 9;
+/// Exit code when the plan service sheds the request under load —
+/// `ALP0012` (`serve --connect` only).
+const EXIT_OVERLOAD: u8 = 10;
 
 fn usage() -> ! {
     eprintln!(
@@ -147,7 +152,15 @@ fn usage() -> ! {
          [--retry N] [--max-store-bytes N] [--fallback-seq] [--require-cert] <FILE|->\n       \
          alp-cli certify [--emit FILE|-] <PLAN|->\n       \
          alp-cli calibrate [-p N] [--param NAME=VAL]... [--threads N] [--trials N] \
-         [--warmup N] [--line-size N] [--seed N] [--emit FILE|-] [FILE|-]"
+         [--warmup N] [--line-size N] [--seed N] [--emit FILE|-] [FILE|-]\n       \
+         alp-cli serve --socket PATH [--shards N] [--capacity N] [--queue N] \
+         [--run-high-water N] [--workers N]\n       \
+         alp-cli serve --socket PATH --connect [--op plan|run|stats|ping|shutdown] \
+         [-p N] [--no-check] [--want-plan] [--threads N] [--seed N] [--timeout-ms N] \
+         [--max-store-bytes N] [FILE|-]\n       \
+         alp-cli bench-serve [--smoke] [--json FILE|-] [--clients N] [--window N] \
+         [--requests N] [--corpus N] [--hot N] [--run-percent N] [--seed N] [-p N] \
+         [--shards N] [--capacity N] [--queue N] [--workers N]"
     );
     std::process::exit(2)
 }
@@ -1004,8 +1017,354 @@ fn parse_args() -> Options {
     opts
 }
 
+// ---------------------------------------------------------------- serve
+
+/// Map a serve-protocol error code to the CLI exit-code contract.
+fn serve_exit(code: &str) -> ExitCode {
+    ExitCode::from(match code {
+        "ALP0003" => EXIT_ILLEGAL,
+        "ALP0007" => EXIT_TIMEOUT,
+        "ALP0008" => EXIT_FAULT,
+        "ALP0009" => EXIT_BUDGET,
+        "ALP0011" => EXIT_CERT,
+        "ALP0012" => EXIT_OVERLOAD,
+        _ => 1,
+    })
+}
+
+struct ServeOptions {
+    socket: String,
+    connect: bool,
+    op: String,
+    processors: i128,
+    no_check: bool,
+    want_plan: bool,
+    threads: usize,
+    seed: u64,
+    timeout_ms: Option<u64>,
+    max_store_bytes: Option<u64>,
+    shards: usize,
+    capacity: usize,
+    queue: usize,
+    run_high_water: Option<usize>,
+    workers: usize,
+    input: Option<String>,
+}
+
+fn parse_serve_args(mut args: impl Iterator<Item = String>) -> ServeOptions {
+    let defaults = alp::serve::ServeConfig::default();
+    let mut opts = ServeOptions {
+        socket: String::new(),
+        connect: false,
+        op: "plan".to_string(),
+        processors: 16,
+        no_check: false,
+        want_plan: false,
+        threads: 0,
+        seed: 42,
+        timeout_ms: None,
+        max_store_bytes: None,
+        shards: defaults.shards,
+        capacity: defaults.cache_capacity,
+        queue: defaults.queue_cap,
+        run_high_water: None,
+        workers: defaults.workers,
+        input: None,
+    };
+    let next = |args: &mut dyn Iterator<Item = String>| args.next().unwrap_or_else(|| usage());
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--socket" => opts.socket = next(&mut args),
+            "--connect" => opts.connect = true,
+            "--op" => opts.op = next(&mut args),
+            "-p" => opts.processors = next(&mut args).parse().unwrap_or_else(|_| usage()),
+            "--no-check" => opts.no_check = true,
+            "--want-plan" => opts.want_plan = true,
+            "--threads" => opts.threads = next(&mut args).parse().unwrap_or_else(|_| usage()),
+            "--seed" => opts.seed = next(&mut args).parse().unwrap_or_else(|_| usage()),
+            "--timeout-ms" => {
+                opts.timeout_ms = Some(next(&mut args).parse().unwrap_or_else(|_| usage()))
+            }
+            "--max-store-bytes" => {
+                opts.max_store_bytes = Some(next(&mut args).parse().unwrap_or_else(|_| usage()))
+            }
+            "--shards" => opts.shards = next(&mut args).parse().unwrap_or_else(|_| usage()),
+            "--capacity" => opts.capacity = next(&mut args).parse().unwrap_or_else(|_| usage()),
+            "--queue" => opts.queue = next(&mut args).parse().unwrap_or_else(|_| usage()),
+            "--run-high-water" => {
+                opts.run_high_water = Some(next(&mut args).parse().unwrap_or_else(|_| usage()))
+            }
+            "--workers" => opts.workers = next(&mut args).parse().unwrap_or_else(|_| usage()),
+            "-h" | "--help" => usage(),
+            other if opts.input.is_none() && (other == "-" || !other.starts_with('-')) => {
+                opts.input = Some(other.to_string())
+            }
+            _ => usage(),
+        }
+    }
+    if opts.socket.is_empty() {
+        usage();
+    }
+    opts
+}
+
+/// `alp-cli serve`: daemon mode binds the socket and parks until a
+/// protocol `shutdown` arrives; `--connect` sends one request to a
+/// running daemon and maps the outcome onto the exit-code contract
+/// (`ALP0012` sheds exit 10).
+fn serve_main(opts: ServeOptions) -> ExitCode {
+    use alp::serve::{Request, RequestOp, Response, ServeConfig, Server};
+    if !opts.connect {
+        let server = Server::new(ServeConfig {
+            shards: opts.shards,
+            cache_capacity: opts.capacity,
+            queue_cap: opts.queue,
+            run_high_water: opts.run_high_water,
+            workers: opts.workers,
+            prewarm: Vec::new(),
+        });
+        let handle = match server.serve(std::path::Path::new(&opts.socket)) {
+            Ok(h) => h,
+            Err(e) => {
+                eprintln!("alp-cli: serve: {}: {e}", opts.socket);
+                return ExitCode::FAILURE;
+            }
+        };
+        eprintln!("alp-cli: serving on {}", opts.socket);
+        let stats = handle.wait();
+        eprintln!(
+            "alp-cli: serve: shut down after {} hits, {} compiles, {} coalesced, {} shed",
+            stats.hits,
+            stats.misses,
+            stats.coalesced,
+            stats.shed()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    // Client mode: one request, one response, one exit code.
+    let op = match opts.op.as_str() {
+        "plan" => RequestOp::Plan,
+        "run" => RequestOp::Run,
+        "stats" => RequestOp::Stats,
+        "ping" => RequestOp::Ping,
+        "shutdown" => RequestOp::Shutdown,
+        _ => usage(),
+    };
+    let req = if matches!(op, RequestOp::Plan | RequestOp::Run) {
+        let source = match read_source(opts.input.as_deref().unwrap_or_else(|| usage())) {
+            Ok(s) => s,
+            Err(code) => return code,
+        };
+        let mut req = Request::plan(1, &source);
+        req.op = op;
+        req.plan.processors = opts.processors;
+        req.plan.check = !opts.no_check;
+        req.want_plan = opts.want_plan;
+        req.run.threads = opts.threads;
+        req.run.seed = opts.seed;
+        req.run.timeout_ms = opts.timeout_ms;
+        req.run.max_store_bytes = opts.max_store_bytes;
+        req
+    } else {
+        Request::control(1, op)
+    };
+    let response = (|| -> std::io::Result<Response> {
+        use std::io::{BufRead, BufReader, Write};
+        let stream = std::os::unix::net::UnixStream::connect(&opts.socket)?;
+        let mut writer = stream.try_clone()?;
+        let mut line = req.encode();
+        line.push('\n');
+        writer.write_all(line.as_bytes())?;
+        writer.flush()?;
+        let mut resp = String::new();
+        BufReader::new(stream).read_line(&mut resp)?;
+        Response::decode(&resp).map_err(|e| std::io::Error::other(e.to_string()))
+    })();
+    match response {
+        Err(e) => {
+            eprintln!("alp-cli: serve: {}: {e}", opts.socket);
+            ExitCode::FAILURE
+        }
+        Ok(resp) if !resp.ok => {
+            let code = resp.code.as_deref().unwrap_or("ALP0006");
+            eprintln!(
+                "alp-cli: error[{code}]: {}",
+                resp.error.as_deref().unwrap_or("request failed")
+            );
+            serve_exit(code)
+        }
+        Ok(resp) => {
+            if let Some(stats) = &resp.stats {
+                println!("{}", stats.encode());
+            } else if let Some(plan) = &resp.plan {
+                println!("{plan}");
+            } else if let Some(fp) = &resp.fingerprint {
+                let extra = match resp.matches_reference {
+                    Some(m) => format!(", matches_reference: {m}"),
+                    None => String::new(),
+                };
+                println!(
+                    "fingerprint {fp}, tiles {}, cache {}{extra}",
+                    resp.tiles.unwrap_or(0),
+                    resp.cache.as_deref().unwrap_or("?")
+                );
+            } else {
+                println!("ok");
+            }
+            ExitCode::SUCCESS
+        }
+    }
+}
+
+struct BenchServeOptions {
+    smoke: bool,
+    json: Option<String>,
+    load: alp::serve::LoadGenConfig,
+    serve: alp::serve::ServeConfig,
+}
+
+fn parse_bench_serve_args(mut args: impl Iterator<Item = String>) -> BenchServeOptions {
+    let mut opts = BenchServeOptions {
+        smoke: false,
+        json: None,
+        load: alp::serve::LoadGenConfig::default(),
+        serve: alp::serve::ServeConfig::default(),
+    };
+    let next = |args: &mut dyn Iterator<Item = String>| args.next().unwrap_or_else(|| usage());
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => opts.smoke = true,
+            "--json" => opts.json = Some(next(&mut args)),
+            "--clients" => opts.load.clients = next(&mut args).parse().unwrap_or_else(|_| usage()),
+            "--window" => opts.load.window = next(&mut args).parse().unwrap_or_else(|_| usage()),
+            "--requests" => {
+                opts.load.requests = next(&mut args).parse().unwrap_or_else(|_| usage())
+            }
+            "--corpus" => opts.load.corpus = next(&mut args).parse().unwrap_or_else(|_| usage()),
+            "--hot" => opts.load.hot = next(&mut args).parse().unwrap_or_else(|_| usage()),
+            "--run-percent" => {
+                opts.load.run_percent = next(&mut args).parse().unwrap_or_else(|_| usage())
+            }
+            "--seed" => opts.load.seed = next(&mut args).parse().unwrap_or_else(|_| usage()),
+            "-p" => opts.load.processors = next(&mut args).parse().unwrap_or_else(|_| usage()),
+            "--shards" => opts.serve.shards = next(&mut args).parse().unwrap_or_else(|_| usage()),
+            "--capacity" => {
+                opts.serve.cache_capacity = next(&mut args).parse().unwrap_or_else(|_| usage())
+            }
+            "--queue" => opts.serve.queue_cap = next(&mut args).parse().unwrap_or_else(|_| usage()),
+            "--workers" => opts.serve.workers = next(&mut args).parse().unwrap_or_else(|_| usage()),
+            "-h" | "--help" => usage(),
+            _ => usage(),
+        }
+    }
+    if opts.smoke {
+        // Seconds, not minutes: a bounded CI-sized traffic burst.
+        opts.load.clients = opts.load.clients.min(8);
+        opts.load.window = opts.load.window.min(16);
+        opts.load.requests = opts.load.requests.min(400);
+        opts.load.corpus = opts.load.corpus.min(48);
+    }
+    opts
+}
+
+/// Render the load-generator report as the `BENCH_serve.json` schema.
+fn bench_serve_json(
+    cfg: &alp::serve::LoadGenConfig,
+    serve: &alp::serve::ServeConfig,
+    r: &alp::serve::LoadGenReport,
+) -> String {
+    let s = &r.server;
+    format!(
+        "{{\n  \"bench\": \"serve\",\n  \"config\": {{\n    \"clients\": {}, \"window\": {}, \
+         \"requests\": {}, \"corpus\": {}, \"hot\": {},\n    \"run_percent\": {}, \
+         \"processors\": {}, \"seed\": {},\n    \"shards\": {}, \"cache_capacity\": {}, \
+         \"queue_cap\": {}, \"workers\": {}\n  }},\n  \"cores\": {},\n  \"oversubscribed\": {},\n  \
+         \"max_concurrent\": {},\n  \"elapsed_ms\": {},\n  \"latency_us\": {{\"p50\": {}, \
+         \"p99\": {}, \"max\": {}}},\n  \"plans_per_sec\": {},\n  \"requests\": {{\"sent\": {}, \
+         \"ok\": {}, \"errors\": {}, \"shed\": {}}},\n  \"cache\": {{\"hit\": {}, \
+         \"coalesced\": {}, \"computed\": {}}},\n  \"server\": {}\n}}\n",
+        cfg.clients,
+        cfg.window,
+        cfg.requests,
+        cfg.corpus,
+        cfg.hot,
+        cfg.run_percent,
+        cfg.processors,
+        cfg.seed,
+        serve.shards,
+        serve.cache_capacity,
+        serve.queue_cap,
+        serve.workers,
+        r.cores,
+        r.oversubscribed,
+        r.max_concurrent,
+        r.elapsed_ms,
+        r.p50_us,
+        r.p99_us,
+        r.max_us,
+        r.plans_per_sec,
+        r.sent,
+        r.ok,
+        r.errors,
+        r.shed,
+        r.hits,
+        r.coalesced,
+        r.computed,
+        s.encode()
+    )
+}
+
+/// `alp-cli bench-serve`: drive the Zipf-mix load generator against an
+/// in-process server and write the `BENCH_serve.json` report.
+fn bench_serve_main(opts: BenchServeOptions) -> ExitCode {
+    let sock = std::env::temp_dir().join(format!("alp-bench-serve-{}.sock", std::process::id()));
+    let report = match alp::serve::run_loadgen(&opts.load, opts.serve.clone(), &sock) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("alp-cli: bench-serve: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "bench-serve: {} requests in {} ms ({} ok/s), p50 {} us, p99 {} us, \
+         {} hit / {} coalesced / {} computed / {} shed, cores {}{}",
+        report.sent,
+        report.elapsed_ms,
+        report.plans_per_sec,
+        report.p50_us,
+        report.p99_us,
+        report.hits,
+        report.coalesced,
+        report.computed,
+        report.shed,
+        report.cores,
+        if report.oversubscribed {
+            " (oversubscribed)"
+        } else {
+            ""
+        }
+    );
+    let json = bench_serve_json(&opts.load, &opts.serve, &report);
+    match opts.json.as_deref() {
+        None => {}
+        Some("-") => print!("{json}"),
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &json) {
+                eprintln!("alp-cli: bench-serve: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     match std::env::args().nth(1).as_deref() {
+        Some("serve") => return serve_main(parse_serve_args(std::env::args().skip(2))),
+        Some("bench-serve") => {
+            return bench_serve_main(parse_bench_serve_args(std::env::args().skip(2)))
+        }
         Some("run") => return run_main(parse_run_args(std::env::args().skip(2))),
         Some("plan") => return plan_main(parse_plan_args(std::env::args().skip(2))),
         Some("certify") => return certify_main(parse_certify_args(std::env::args().skip(2))),

@@ -51,7 +51,10 @@
 //! * [`codegen`] — iteration assignment and per-processor code emission;
 //! * [`runtime`] — a native multithreaded executor that actually runs
 //!   partitioned nests on OS threads, with per-thread footprint metrics
-//!   validated against the model and the simulator.
+//!   validated against the model and the simulator;
+//! * [`serve`] — the pipeline as a long-running service: a Unix-socket
+//!   daemon over a sharded, request-coalescing plan cache with bounded
+//!   admission and `ALP0012` load shedding.
 
 pub use alp_analysis as analysis;
 pub use alp_calibrate as calibrate;
@@ -65,6 +68,7 @@ pub use alp_machine as machine;
 pub use alp_partition as partition;
 pub use alp_plan as plan;
 pub use alp_runtime as runtime;
+pub use alp_serve as serve;
 
 use alp_loopir::{IrError, LoopNest, ParseError};
 use alp_machine::{
@@ -108,6 +112,16 @@ pub enum AlpError {
     /// at decode time ([`PlanError::Certificate`]) reports the same
     /// code.
     Certify(alp_certify::CertifyError),
+    /// The plan service shed this request under load (`ALP0012`): its
+    /// bounded admission queue was beyond the shedding threshold for
+    /// this request class.  Retrying later is always safe — nothing was
+    /// compiled or executed.
+    Overloaded {
+        /// Queue depth observed at admission time.
+        depth: usize,
+        /// Configured queue capacity.
+        capacity: usize,
+    },
 }
 
 impl AlpError {
@@ -116,7 +130,8 @@ impl AlpError {
     /// `ALP0006` plan artifact, `ALP0007` deadline exceeded / run
     /// cancelled, `ALP0008` contained tile fault, `ALP0009` memory
     /// budget exceeded, `ALP0010` calibration artifact / probe failure,
-    /// `ALP0011` certificate missing / stale / tampered.
+    /// `ALP0011` certificate missing / stale / tampered, `ALP0012`
+    /// request shed by an overloaded plan service.
     /// Codes never change meaning across releases; new variants get new
     /// codes.
     pub fn code(&self) -> &'static str {
@@ -137,6 +152,7 @@ impl AlpError {
             AlpError::Plan(_) => "ALP0006",
             AlpError::Calibration(_) => "ALP0010",
             AlpError::Certify(_) => "ALP0011",
+            AlpError::Overloaded { .. } => "ALP0012",
         }
     }
 }
@@ -152,6 +168,11 @@ impl std::fmt::Display for AlpError {
             AlpError::Plan(e) => write!(f, "{e}"),
             AlpError::Calibration(e) => write!(f, "{e}"),
             AlpError::Certify(e) => write!(f, "{e}"),
+            AlpError::Overloaded { depth, capacity } => write!(
+                f,
+                "server overloaded: admission queue at depth {depth} of {capacity}; \
+                 request shed — retry later"
+            ),
         }
     }
 }
@@ -165,9 +186,9 @@ impl std::error::Error for AlpError {
             AlpError::Plan(e) => Some(e),
             AlpError::Calibration(e) => Some(e),
             AlpError::Certify(e) => Some(e),
-            // A Report is diagnostics, not an error value; Infeasible is
-            // a leaf message.
-            AlpError::Illegal(_) | AlpError::Infeasible(_) => None,
+            // A Report is diagnostics, not an error value; Infeasible
+            // and Overloaded are leaf messages.
+            AlpError::Illegal(_) | AlpError::Infeasible(_) | AlpError::Overloaded { .. } => None,
         }
     }
 }
@@ -608,8 +629,9 @@ pub mod prelude {
     pub use crate::{AlpError, CompileResult, Compiler, ExecutionSummary};
     pub use alp_analysis::{analyze, analyze_program, pair_conflict, Report, Witness};
     pub use alp_calibrate::{
-        choose_calibrated, fit, fit_nest, probe_nest, rank_candidates, CalibrateError, Calibration,
-        GridFeatures, LatencyModel, ProbeConfig, RankedCandidate, TileSample,
+        choose_calibrated, fit, fit_nest, probe_nest, rank_candidates, ranking_is_degenerate,
+        CalibrateError, Calibration, GridFeatures, LatencyModel, ProbeConfig, RankedCandidate,
+        TileSample,
     };
     pub use alp_certify::{certify, recheck, CertifyError, CertifyReport};
     pub use alp_codegen::{assign_para, assign_rect, assign_slabs, emit_para_code, emit_rect_code};

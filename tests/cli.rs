@@ -423,3 +423,126 @@ fn check_suggests_reduction_rewrite() {
     assert!(stderr.contains("doall-reduction"), "{stderr}");
     assert!(stderr.contains("+="), "{stderr}");
 }
+
+/// Spawn an `alp-cli serve` daemon on a fresh socket and wait for the
+/// socket file to appear.  Returns the child and the socket path.
+fn spawn_serve(extra: &[&str]) -> (std::process::Child, std::path::PathBuf) {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static N: AtomicU64 = AtomicU64::new(0);
+    let sock = std::env::temp_dir().join(format!(
+        "alp-cli-test-{}-{}.sock",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_alp-cli"));
+    cmd.arg("serve")
+        .arg("--socket")
+        .arg(&sock)
+        .args(extra)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null());
+    let mut child = cmd.spawn().expect("daemon spawns");
+    for _ in 0..200 {
+        if sock.exists() {
+            return (child, sock);
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    let _ = child.kill();
+    let _ = child.wait();
+    panic!("serve daemon never created {}", sock.display());
+}
+
+fn serve_client(
+    sock: &std::path::Path,
+    args: &[&str],
+    stdin: Option<&str>,
+) -> (String, String, Option<i32>) {
+    let mut full = vec!["serve", "--socket", sock.to_str().unwrap(), "--connect"];
+    full.extend_from_slice(args);
+    run_cli(&full, stdin)
+}
+
+#[test]
+fn serve_daemon_plans_runs_and_shuts_down() {
+    let (mut daemon, sock) = spawn_serve(&["--workers", "2"]);
+    let nest = "doall (i, 0, 63) { A[i] = A[i] + B[i]; }";
+
+    let (stdout, stderr, code) = serve_client(&sock, &["--op", "plan", "-"], Some(nest));
+    assert_eq!(code, Some(0), "stderr: {stderr}");
+    assert!(stdout.contains("cache computed"), "{stdout}");
+    assert!(stdout.contains("tiles 16"), "{stdout}");
+
+    // The second plan for the same nest is a cache hit; a run reuses it.
+    let (stdout, _, code) = serve_client(&sock, &["--op", "plan", "-"], Some(nest));
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("cache hit"), "{stdout}");
+    let (stdout, stderr, code) =
+        serve_client(&sock, &["--op", "run", "--threads", "2", "-"], Some(nest));
+    assert_eq!(code, Some(0), "stderr: {stderr}");
+    assert!(stdout.contains("matches_reference: true"), "{stdout}");
+
+    let (stdout, _, code) = serve_client(&sock, &["--op", "stats"], None);
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("\"misses\": 1"), "one compile: {stdout}");
+
+    let (_, _, code) = serve_client(&sock, &["--op", "shutdown"], None);
+    assert_eq!(code, Some(0));
+    let status = daemon.wait().expect("daemon exits");
+    assert_eq!(status.code(), Some(0));
+    assert!(!sock.exists(), "socket removed on shutdown");
+}
+
+#[test]
+fn serve_client_maps_shed_requests_to_exit_10() {
+    // queue_cap 0 sheds everything that is not a cached plan.
+    let (mut daemon, sock) = spawn_serve(&["--queue", "0"]);
+    let (_, stderr, code) = serve_client(
+        &sock,
+        &["--op", "run", "-"],
+        Some("doall (i, 0, 63) { A[i] = A[i] + B[i]; }"),
+    );
+    assert_eq!(code, Some(10), "ALP0012 maps to exit 10: {stderr}");
+    assert!(stderr.contains("error[ALP0012]"), "{stderr}");
+    assert!(stderr.contains("overloaded"), "{stderr}");
+
+    let (_, _, code) = serve_client(&sock, &["--op", "shutdown"], None);
+    assert_eq!(code, Some(0));
+    daemon.wait().expect("daemon exits");
+}
+
+#[test]
+fn serve_client_maps_plan_errors_to_standard_exits() {
+    let (mut daemon, sock) = spawn_serve(&[]);
+    let (_, stderr, code) = serve_client(
+        &sock,
+        &["--op", "plan", "-"],
+        Some("doall (i, 0, 31) { A[0] = A[i]; }"),
+    );
+    assert_eq!(code, Some(4), "illegal doall keeps its exit: {stderr}");
+    assert!(stderr.contains("error[ALP0003]"), "{stderr}");
+    let (_, _, code) = serve_client(&sock, &["--op", "shutdown"], None);
+    assert_eq!(code, Some(0));
+    daemon.wait().expect("daemon exits");
+}
+
+#[test]
+fn bench_serve_smoke_emits_schema_complete_json() {
+    let (stdout, stderr, code) = run_cli(
+        &["bench-serve", "--smoke", "--requests", "120", "--json", "-"],
+        None,
+    );
+    assert_eq!(code, Some(0), "stderr: {stderr}");
+    for field in [
+        "\"bench\": \"serve\"",
+        "\"p50\"",
+        "\"p99\"",
+        "\"plans_per_sec\"",
+        "\"shed\"",
+        "\"coalesced\"",
+        "\"oversubscribed\"",
+        "\"max_concurrent\"",
+    ] {
+        assert!(stdout.contains(field), "missing {field} in {stdout}");
+    }
+}
