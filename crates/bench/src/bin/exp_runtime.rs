@@ -30,6 +30,12 @@
 //! Candidates whose walls differ by less than `NOISE_REL` count as
 //! tied, so agreement is judged only on measurably ordered pairs.
 //!
+//! Two skewed cases (Examples 2 and 10) then time the best
+//! parallelepiped candidate — executed natively as rectangular tiles in
+//! `j = i·U` with `U⁻¹` composed into the kernels — against the
+//! rectangular planner's choice, recording which model (calibrated or
+//! analytic fallback) ranked the skewed candidates.
+//!
 //! A hardening check re-times Example 8's optimal tiling with the
 //! executor's guards armed (deadline + cancel token + retry budget) to
 //! show the fault-free overhead of the hardened path stays within
@@ -280,6 +286,145 @@ fn run_case(
         calibrated_agrees,
         degenerate_calibration,
         speedup_first_over_fastest,
+    }
+}
+
+struct SkewedCase {
+    name: &'static str,
+    /// Rows of the chosen unimodular `U` (j = i·U).
+    u_rows: Vec<Vec<i128>>,
+    /// Which model picked the skewed candidate: `"calibrated"` when the
+    /// hybrid costs separate the candidates, `"analytic"` when the
+    /// calibration is degenerate and the Theorem-2 order decided.
+    ranked_by: &'static str,
+    /// `[0]` = the skewed choice, `[1]` = the rectangular baseline.
+    results: Vec<GridResult>,
+    /// True when the rectangular baseline measurably beats the skewed
+    /// choice — same noise band as the rectangular cases.
+    inversion: bool,
+    speedup_skewed_over_rect: f64,
+}
+
+/// Time the best skewed parallelepiped candidate — executed natively as
+/// rectangular tiles in `j = i·U` with `U⁻¹` composed into the kernels —
+/// against the rectangular planner's choice on the same nest, at the
+/// same thread count and trial protocol as every other case.
+fn bench_skewed_case(
+    name: &'static str,
+    nest: &LoopNest,
+    p: i128,
+    latency: &LatencyModel,
+) -> SkewedCase {
+    let timing = ExecOptions {
+        threads: THREADS,
+        schedule: Schedule::Static,
+        line_size: 1,
+        track_touches: false,
+        ..ExecOptions::default()
+    };
+    let cands = skewed_candidates(nest, p, &ParaSearchConfig::default())
+        .expect("nest has skewed candidates");
+    let ranked = rank_skewed(nest, latency, &cands, 1).expect("skewed ranking");
+    let degenerate = skewed_ranking_is_degenerate(&ranked);
+    let (cand, ranked_by) = if degenerate {
+        (&cands[0], "analytic")
+    } else {
+        (&cands[ranked[0].index], "calibrated")
+    };
+
+    let exec =
+        Executor::from_transformed(nest, &cand.transform, &cand.grid).expect("skewed executable");
+    let outcome = exec.verify(42, &timing).expect("skewed run succeeds");
+    assert!(outcome.matches_reference, "{name}: skewed != sequential");
+    for _ in 0..WARMUP {
+        let store = exec.seeded_store(42);
+        exec.run(&store, &timing).expect("fault-free run");
+    }
+    let walls: Vec<Duration> = (0..TRIALS)
+        .map(|_| {
+            let store = exec.seeded_store(42);
+            exec.run(&store, &timing).expect("fault-free run").wall
+        })
+        .collect();
+    let (wall, wall_median) = min_median(&walls);
+    let tracked = ExecOptions {
+        track_touches: true,
+        ..timing
+    };
+    let store = exec.seeded_store(42);
+    let measured_lines = exec
+        .run(&store, &tracked)
+        .expect("fault-free run")
+        .max_tile_footprint()
+        .unwrap_or(0);
+    let features = skewed_grid_features(nest, cand, 1).expect("skewed features");
+    let skewed_result = GridResult {
+        label: "skewed",
+        grid: cand.grid.clone(),
+        wall,
+        wall_median,
+        model_cost: cand.analytic_cost as f64,
+        hybrid_cost: latency.hybrid_cost(&features).to_f64(),
+        measured_lines,
+        matches: outcome.matches_reference,
+    };
+
+    let rect_grid = partition_rect(nest, p).proc_grid;
+    let rect_result = bench_grid(nest, &rect_grid, "rect-optimal", latency);
+    assert!(rect_result.matches, "{name}: rect != sequential");
+
+    let inversion = measurably_faster(rect_result.wall, skewed_result.wall);
+    let speedup_skewed_over_rect =
+        rect_result.wall.as_secs_f64() / skewed_result.wall.as_secs_f64();
+    let d = cand.transform.depth();
+    let u_rows: Vec<Vec<i128>> = (0..d)
+        .map(|r| (0..d).map(|c| cand.transform.u()[(r, c)]).collect())
+        .collect();
+    SkewedCase {
+        name,
+        u_rows,
+        ranked_by,
+        results: vec![skewed_result, rect_result],
+        inversion,
+        speedup_skewed_over_rect,
+    }
+}
+
+fn report_skewed_cases(cases: &[SkewedCase]) {
+    println!("\nskewed vs rectangular (native transformed execution, {THREADS} threads):");
+    let t = Table::new(&[
+        ("case", 28),
+        ("tiling", 12),
+        ("grid", 12),
+        ("wall-min", 11),
+        ("wall-med", 11),
+        ("meas/tile", 9),
+        ("bitwise", 7),
+    ]);
+    for c in cases {
+        for r in &c.results {
+            t.row(&[
+                &c.name,
+                &r.label,
+                &format!("{:?}", r.grid),
+                &format!("{:.3?}", r.wall),
+                &format!("{:.3?}", r.wall_median),
+                &r.measured_lines,
+                &if r.matches { "ok" } else { "FAIL" },
+            ]);
+        }
+        println!(
+            "  {}: U = {:?} (ranked by {}), skewed/rect speedup {:.2}x{}",
+            c.name,
+            c.u_rows,
+            c.ranked_by,
+            c.speedup_skewed_over_rect,
+            if c.inversion {
+                "  [inversion: rect measurably faster]"
+            } else {
+                ""
+            }
+        );
     }
 }
 
@@ -549,6 +694,7 @@ fn json_labels(labels: &[&'static str]) -> String {
 
 fn write_json(
     cases: &[CaseResult],
+    skewed: &[SkewedCase],
     latency: &LatencyModel,
     hardening: &Hardening,
     certs: &[CertCase],
@@ -639,6 +785,45 @@ fn write_json(
         s.push_str(&format!(
             "    }}{}\n",
             if ci + 1 < cases.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"skewed_cases\": [\n");
+    for (ci, c) in skewed.iter().enumerate() {
+        s.push_str("    {\n");
+        s.push_str(&format!("      \"name\": \"{}\",\n", c.name));
+        s.push_str(&format!("      \"u\": {:?},\n", c.u_rows));
+        s.push_str(&format!(
+            "      \"skewed_ranked_by\": \"{}\",\n",
+            c.ranked_by
+        ));
+        s.push_str("      \"tilings\": [\n");
+        for (ri, r) in c.results.iter().enumerate() {
+            s.push_str(&format!(
+                "        {{\"label\": \"{}\", \"grid\": {:?}, \"wall_ms\": {}, \
+                 \"wall_median_ms\": {}, \"model_cost_per_tile\": {:.1}, \
+                 \"hybrid_cost_ns\": {:.1}, \"measured_max_tile_lines\": {}, \
+                 \"matches_reference\": {}}}{}\n",
+                r.label,
+                r.grid,
+                json_escape_ms(r.wall),
+                json_escape_ms(r.wall_median),
+                r.model_cost,
+                r.hybrid_cost,
+                r.measured_lines,
+                r.matches,
+                if ri + 1 < c.results.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("      ],\n");
+        s.push_str(&format!("      \"inversion\": {},\n", c.inversion));
+        s.push_str(&format!(
+            "      \"speedup_skewed_over_rect\": {:.3}\n",
+            c.speedup_skewed_over_rect
+        ));
+        s.push_str(&format!(
+            "    }}{}\n",
+            if ci + 1 < skewed.len() { "," } else { "" }
         ));
     }
     s.push_str("  ],\n");
@@ -817,6 +1002,22 @@ fn main() {
         cases.len()
     );
 
+    // Example 10's doubly-skewed references (B wants i±j, C wants
+    // i+2j): the parallelepiped search finds a non-identity basis for
+    // both nests, and the runtime executes it natively.
+    let ex10 = parse(
+        "doall (i, 1, 60) { doall (j, 1, 60) {
+           A[i,j] = B[i+j,i-j] + B[i+j+4,i-j+2] + C[i,2*i,i+2*j-1]
+                  + C[i+1,2*i+2,i+2*j+1] + C[i,2*i,i+2*j+1];
+         } }",
+    )
+    .unwrap();
+    let skewed_cases = vec![
+        bench_skewed_case("example2-skewed-vs-rect-512^2", &ex2, 16, &latency),
+        bench_skewed_case("example10-skewed-vs-rect-60^2", &ex10, 16, &latency),
+    ];
+    report_skewed_cases(&skewed_cases);
+
     let hardening = bench_hardening(&ex8, &optimal);
     report_hardening(&hardening);
 
@@ -840,6 +1041,6 @@ fn main() {
     report_plan_cache(&sweep);
 
     if json {
-        write_json(&cases, &latency, &hardening, &certs, &sweep);
+        write_json(&cases, &skewed_cases, &latency, &hardening, &certs, &sweep);
     }
 }

@@ -6,10 +6,10 @@
 
 use crate::CalibrateError;
 use alp_footprint::CostModel;
-use alp_linalg::{IVec, Rat};
+use alp_linalg::{IMat, IVec, Rat};
 use alp_loopir::LoopNest;
 use alp_partition::rect::factorizations;
-use alp_plan::{rect_tiles, IterBox};
+use alp_plan::{rect_tiles, IterBox, SkewedCandidate};
 use std::collections::HashMap;
 
 /// The feature vector the hybrid cost model scores one candidate
@@ -163,6 +163,133 @@ pub fn grid_features(
         iters,
         reps: nest.seq_repetitions(),
     })
+}
+
+/// The address envelope of one *transformed* tile: corners of the
+/// rectangular `j`-space box are mapped back through `V = U⁻¹` before
+/// evaluating the references, so the envelope is taken over the
+/// pre-image parallelepiped.  Affine subscripts composed with a linear
+/// map are still affine in `j`, so corner evaluation stays exact for
+/// the unclipped box (a sound over-approximation of the clipped tile).
+fn skewed_tile_span_lines(
+    nest: &LoopNest,
+    layouts: &HashMap<String, Layout>,
+    tile: &IterBox,
+    v: &IMat,
+    line_size: u64,
+) -> i128 {
+    let depth = tile.lo.len();
+    let line = line_size.max(1) as i128;
+    let mut envelope: HashMap<&str, (i128, i128)> = HashMap::new();
+    for mask in 0u32..(1u32 << depth) {
+        let corner_i = IVec(
+            (0..depth)
+                .map(|d| {
+                    (0..depth)
+                        .map(|k| {
+                            let j = if mask & (1 << k) != 0 {
+                                tile.hi[k] as i128
+                            } else {
+                                tile.lo[k] as i128
+                            };
+                            j * v[(k, d)]
+                        })
+                        .sum()
+                })
+                .collect(),
+        );
+        for r in nest.all_refs() {
+            let Some(layout) = layouts.get(r.array.as_str()) else {
+                continue;
+            };
+            let subs = r.eval(&corner_i);
+            let addr: i128 = subs
+                .0
+                .iter()
+                .zip(&layout.lo)
+                .zip(&layout.stride)
+                .map(|((&s, &lo), &st)| (s - lo) * st)
+                .sum();
+            envelope
+                .entry(r.array.as_str())
+                .and_modify(|(mn, mx)| {
+                    *mn = (*mn).min(addr);
+                    *mx = (*mx).max(addr);
+                })
+                .or_insert((addr, addr));
+        }
+    }
+    envelope
+        .values()
+        .map(|&(mn, mx)| mx / line - mn / line + 1)
+        .sum()
+}
+
+/// Hybrid-cost features of one **skewed** candidate: tiles are
+/// rectangular in the transformed `j = i·U` space, iterations are
+/// counted over the exact clipped domain, and the analytic `lines`
+/// value is the parallelepiped Eq.-2 cost the candidate search already
+/// attached.  The same feature vector shape scores rectangular and
+/// skewed candidates, so one fitted latency model ranks both classes.
+pub fn skewed_grid_features(
+    nest: &LoopNest,
+    cand: &SkewedCandidate,
+    line_size: u64,
+) -> Result<GridFeatures, CalibrateError> {
+    let (tiles, _chunks, domain) = alp_plan::transformed_tiles(nest, &cand.transform, &cand.grid)?;
+    let lay = layouts(nest);
+    let v = cand.transform.v();
+    let mut span_lines = 0i128;
+    let mut iters = 0i128;
+    let mut nonempty = 0i128;
+    for t in &tiles {
+        let points = domain.count(t);
+        if points == 0 {
+            continue;
+        }
+        nonempty += 1;
+        span_lines = span_lines.max(skewed_tile_span_lines(nest, &lay, t, v, line_size));
+        iters = iters.max(points);
+    }
+    if nonempty == 0 {
+        return Err(CalibrateError::Degenerate(format!(
+            "skewed grid {:?} produces no non-empty tiles",
+            cand.grid
+        )));
+    }
+    Ok(GridFeatures {
+        grid: cand.grid.clone(),
+        tile_extents: cand.tile_extents.clone(),
+        tiles: nonempty,
+        lines: Rat::int(cand.analytic_cost),
+        span_lines,
+        iters,
+        reps: nest.seq_repetitions(),
+    })
+}
+
+/// Per-tile `(span, iters)` labels for one skewed candidate, indexed
+/// like the transformed executor's tile numbering (`None` for tiles the
+/// clipping empties) — the skewed analogue of [`per_tile_features`].
+pub(crate) fn per_tile_skewed_features(
+    nest: &LoopNest,
+    cand: &SkewedCandidate,
+    line_size: u64,
+) -> Result<Vec<Option<(i128, i128)>>, CalibrateError> {
+    let (tiles, _chunks, domain) = alp_plan::transformed_tiles(nest, &cand.transform, &cand.grid)?;
+    let lay = layouts(nest);
+    let v = cand.transform.v();
+    Ok(tiles
+        .iter()
+        .map(|t| {
+            let points = domain.count(t);
+            if points == 0 {
+                None
+            } else {
+                Some((skewed_tile_span_lines(nest, &lay, t, v, line_size), points))
+            }
+        })
+        .collect())
 }
 
 /// Per-tile span features for every tile of one grid, indexed like the

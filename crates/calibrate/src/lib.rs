@@ -42,10 +42,13 @@ mod probe;
 mod rank;
 
 pub use artifact::{Calibration, ARTIFACT_VERSION};
-pub use features::{candidate_grids, grid_features, GridFeatures};
+pub use features::{candidate_grids, grid_features, skewed_grid_features, GridFeatures};
 pub use fit::{fit, LatencyModel, TileSample};
-pub use probe::{fit_nest, probe_nest, ProbeConfig, ProbeReport};
-pub use rank::{choose_calibrated, rank_candidates, ranking_is_degenerate, RankedCandidate};
+pub use probe::{fit_nest, probe_nest, probe_skewed, ProbeConfig, ProbeReport};
+pub use rank::{
+    choose_calibrated, rank_candidates, rank_skewed, ranking_is_degenerate,
+    skewed_ranking_is_degenerate, RankedCandidate, RankedSkewed,
+};
 
 /// Everything that can go wrong probing, fitting, or (de)serializing a
 /// calibration.

@@ -162,6 +162,92 @@ pub fn probe_nest(
     Ok(report)
 }
 
+/// Probe one nest's **skewed** candidates: run up to `max_grids`
+/// parallelepiped tilings natively (rectangular tiles in the
+/// transformed `j = i·U` space) and extract per-tile samples labeled
+/// with the skewed span/iteration features.  Pooled with rectangular
+/// probes, these let one fitted model rank both candidate classes.
+pub fn probe_skewed(
+    nest: &LoopNest,
+    p: i128,
+    cfg: &ProbeConfig,
+) -> Result<ProbeReport, CalibrateError> {
+    let candidates =
+        alp_plan::skewed_candidates(nest, p, &alp_partition::ParaSearchConfig::default())
+            .map_err(CalibrateError::Plan)?;
+    if candidates.is_empty() {
+        return Err(CalibrateError::Plan(alp_plan::PlanError::Infeasible(
+            "nest has no skewed candidate bases".into(),
+        )));
+    }
+    let selected: Vec<&alp_plan::SkewedCandidate> =
+        candidates.iter().take(cfg.max_grids.max(1)).collect();
+
+    let mut report = ProbeReport::default();
+    for cand in selected {
+        let exec =
+            Executor::from_transformed(nest, &cand.transform, &cand.grid).map_err(runtime_err)?;
+        let store = exec.seeded_store(cfg.seed);
+        let mut opts = ExecOptions {
+            threads: cfg.threads,
+            schedule: Schedule::Static,
+            line_size: cfg.line_size,
+            track_touches: true,
+            ..ExecOptions::default()
+        };
+        let touched = exec.run(&store, &opts).map_err(runtime_err)?;
+        opts.track_touches = false;
+        let tiles = touched.per_tile.len();
+        let mut best_busy: Vec<Option<Duration>> = vec![None; tiles];
+        let mut barrier_ns_sum = 0.0f64;
+        let mut timed = 0usize;
+        for round in 0..cfg.warmup + cfg.trials.max(1) {
+            let run = exec.run(&store, &opts).map_err(runtime_err)?;
+            if round < cfg.warmup {
+                continue;
+            }
+            timed += 1;
+            if let Some(w) = run.mean_barrier_wait() {
+                barrier_ns_sum += w.as_secs_f64() * 1e9;
+            }
+            for t in &run.per_tile {
+                let slot = &mut best_busy[t.tile];
+                *slot = Some(slot.map_or(t.busy, |b| b.min(t.busy)));
+            }
+        }
+        let reps = touched.repetitions.max(1) as f64;
+        let spans = crate::features::per_tile_skewed_features(nest, cand, cfg.line_size)?;
+        for t in &touched.per_tile {
+            let Some(Some((span, iters))) = spans.get(t.tile) else {
+                continue;
+            };
+            let Some(busy) = best_busy[t.tile] else {
+                continue;
+            };
+            if *iters == 0 {
+                continue;
+            }
+            let lines = t.distinct_lines.map(|n| n as f64).unwrap_or(*span as f64);
+            report.samples.push(TileSample {
+                busy_ns: busy.as_secs_f64() * 1e9 / reps,
+                lines,
+                span_lines: *span as f64,
+                iters: *iters as f64,
+            });
+        }
+        report.merge(ProbeReport {
+            samples: Vec::new(),
+            barrier_ns: if timed > 0 {
+                barrier_ns_sum / timed as f64
+            } else {
+                0.0
+            },
+            runs: timed,
+        });
+    }
+    Ok(report)
+}
+
 /// Probe several nests and fit one latency model from the pooled
 /// samples — the one-call entry `alp-cli calibrate` uses.
 pub fn fit_nest(
@@ -195,6 +281,27 @@ mod tests {
         let nest =
             parse("doall (i, 0, 31) { doall (j, 0, 31) { A[i,j] = B[i,j] + B[i+1,j]; } }").unwrap();
         let report = probe_nest(&nest, 4, &quick_cfg()).unwrap();
+        assert!(report.runs >= 1);
+        assert!(!report.samples.is_empty());
+        for s in &report.samples {
+            assert!(s.busy_ns >= 0.0);
+            assert!(s.lines > 0.0);
+            assert!(s.span_lines > 0.0);
+            assert!(s.iters > 0.0);
+        }
+    }
+
+    #[test]
+    fn skewed_probe_produces_labeled_samples() {
+        // The Example-2 shape at probe scale: skewed candidates exist
+        // and the transformed executor runs them natively.
+        let nest = parse(
+            "doall (i, 101, 164) { doall (j, 1, 64) {
+               A[i,j] = B[i+j,i-j-1] + B[i+j+4,i-j+3];
+             } }",
+        )
+        .unwrap();
+        let report = probe_skewed(&nest, 4, &quick_cfg()).unwrap();
         assert!(report.runs >= 1);
         assert!(!report.samples.is_empty());
         for s in &report.samples {

@@ -1,10 +1,12 @@
 //! Re-ranking the candidate tilings with the hybrid cost model.
 
+use crate::features::skewed_grid_features;
 use crate::{candidate_grids, grid_features, CalibrateError, GridFeatures, LatencyModel};
 use alp_footprint::CostModel;
 use alp_linalg::Rat;
 use alp_loopir::LoopNest;
 use alp_partition::RectPartition;
+use alp_plan::SkewedCandidate;
 
 /// One candidate tiling scored under both objectives.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -68,6 +70,79 @@ pub fn rank_candidates(
             a.hybrid_cost
                 .cmp(&b.hybrid_cost)
                 .then_with(|| a.analytic_cost.cmp(&b.analytic_cost))
+        });
+    }
+    Ok(out)
+}
+
+/// One skewed candidate scored under both objectives, remembering which
+/// entry of the caller's candidate slice it describes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RankedSkewed {
+    /// Index into the candidate slice passed to [`rank_skewed`].
+    pub index: usize,
+    /// The hybrid-cost features over the transformed tiles.
+    pub features: GridFeatures,
+    /// The parallelepiped Eq.-2 analytic cost.
+    pub analytic_cost: Rat,
+    /// The calibrated hybrid cost, in model nanoseconds.
+    pub hybrid_cost: Rat,
+}
+
+/// True when the calibration cannot tell the skewed candidates apart
+/// (all hybrid costs tied) — the skewed analogue of
+/// [`ranking_is_degenerate`].
+pub fn skewed_ranking_is_degenerate(ranked: &[RankedSkewed]) -> bool {
+    ranked.len() > 1
+        && ranked
+            .windows(2)
+            .all(|w| w[0].hybrid_cost == w[1].hybrid_cost)
+}
+
+/// Score skewed parallelepiped candidates under the calibrated hybrid
+/// cost, best first.  Candidates whose feature extraction fails (e.g. a
+/// grid whose clipping empties every tile) are dropped rather than
+/// failing the whole ranking.  A degenerate calibration falls back to
+/// the analytic parallelepiped order, exactly as the rectangular
+/// ranking does, so callers can report *which* model made the choice
+/// via [`skewed_ranking_is_degenerate`].
+pub fn rank_skewed(
+    nest: &LoopNest,
+    latency: &LatencyModel,
+    candidates: &[SkewedCandidate],
+    line_size: u64,
+) -> Result<Vec<RankedSkewed>, CalibrateError> {
+    let mut out = Vec::with_capacity(candidates.len());
+    for (index, cand) in candidates.iter().enumerate() {
+        let Ok(features) = skewed_grid_features(nest, cand, line_size) else {
+            continue;
+        };
+        let analytic_cost = features.lines;
+        let hybrid_cost = latency.hybrid_cost(&features);
+        out.push(RankedSkewed {
+            index,
+            features,
+            analytic_cost,
+            hybrid_cost,
+        });
+    }
+    if out.is_empty() {
+        return Err(CalibrateError::Degenerate(
+            "no skewed candidate produced usable features".into(),
+        ));
+    }
+    if skewed_ranking_is_degenerate(&out) {
+        out.sort_by(|a, b| {
+            a.analytic_cost
+                .cmp(&b.analytic_cost)
+                .then_with(|| a.index.cmp(&b.index))
+        });
+    } else {
+        out.sort_by(|a, b| {
+            a.hybrid_cost
+                .cmp(&b.hybrid_cost)
+                .then_with(|| a.analytic_cost.cmp(&b.analytic_cost))
+                .then_with(|| a.index.cmp(&b.index))
         });
     }
     Ok(out)
@@ -192,6 +267,51 @@ mod tests {
         let cost = CostModel::from_nest(&nest);
         let ranked = rank_candidates(&nest, &cost, &model_with((2, 1), (1, 10)), 16, 1).unwrap();
         assert!(!ranking_is_degenerate(&ranked));
+    }
+
+    #[test]
+    fn skewed_candidates_rank_under_the_hybrid_cost() {
+        let nest = example2();
+        let cands =
+            alp_plan::skewed_candidates(&nest, 16, &alp_partition::ParaSearchConfig::default())
+                .unwrap();
+        assert!(!cands.is_empty());
+        let ranked = rank_skewed(&nest, &model_with((2, 1), (1, 10)), &cands, 1).unwrap();
+        assert!(!skewed_ranking_is_degenerate(&ranked));
+        for w in ranked.windows(2) {
+            assert!(w[0].hybrid_cost <= w[1].hybrid_cost);
+        }
+        // Every ranked entry points back into the candidate slice and
+        // carries that candidate's analytic parallelepiped cost.
+        for r in &ranked {
+            assert!(r.index < cands.len());
+            assert_eq!(r.analytic_cost, Rat::int(cands[r.index].analytic_cost));
+        }
+    }
+
+    #[test]
+    fn degenerate_calibration_ranks_skewed_candidates_analytically() {
+        let nest = example2();
+        let cands =
+            alp_plan::skewed_candidates(&nest, 16, &alp_partition::ParaSearchConfig::default())
+                .unwrap();
+        // Unlike rectangular factorizations of a fixed p, skewed
+        // candidates differ in tile count and worst-tile iterations, so
+        // even the per-tile/per-iter terms discriminate; only the
+        // all-zero model is truly signal-free.
+        let zero = LatencyModel {
+            per_tile_ns: Rat::ZERO,
+            per_line_ns: Rat::ZERO,
+            per_span_line_ns: Rat::ZERO,
+            per_iter_ns: Rat::ZERO,
+            per_rep_ns: Rat::ZERO,
+            samples: 0,
+        };
+        let ranked = rank_skewed(&nest, &zero, &cands, 1).unwrap();
+        assert!(skewed_ranking_is_degenerate(&ranked));
+        for w in ranked.windows(2) {
+            assert!(w[0].analytic_cost <= w[1].analytic_cost);
+        }
     }
 
     #[test]

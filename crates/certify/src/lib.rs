@@ -143,11 +143,39 @@ impl CertifyReport {
 /// does not fit the nest).
 pub fn certify(plan: &PartitionPlan) -> Result<CertifyReport, CertifyError> {
     let nest = plan.nest()?;
-    let (tiles, _) = rect_tiles(&nest, &plan.proc_grid)?;
-    let boxes: Vec<Box128> = tiles.iter().map(box128).collect();
     let mut notes = Vec::new();
-    let coverage = prove_coverage(&nest, &boxes, &mut notes);
-    let write_disjoint = prove_write_disjoint(&nest, &boxes, &mut notes);
+    let (coverage, write_disjoint) = match &plan.transform {
+        None => {
+            let (tiles, _) = rect_tiles(&nest, &plan.proc_grid)?;
+            let boxes: Vec<Box128> = tiles.iter().map(box128).collect();
+            let coverage = prove_coverage(&nest, &boxes, &mut notes);
+            let writes: Vec<ArrayRef> = nest.body.iter().map(|st| st.lhs.clone()).collect();
+            let wd = prove_write_disjoint(&writes, &boxes, &mut notes);
+            (coverage, wd)
+        }
+        Some(t) => {
+            // Skewed plan: coverage and write-disjointness are proven in
+            // the transformed j = i·U coordinates, where the tiles are
+            // rectangular again.  In-bounds and idempotence below stay
+            // in i-space — the transform is a bijection of the
+            // iteration set, so those facts are coordinate-free.
+            let (tiles, _, domain) = alp_plan::transformed_tiles(&nest, t, &plan.proc_grid)?;
+            let jboxes: Vec<Box128> = tiles.iter().map(box128).collect();
+            let coverage = prove_skewed_coverage(&nest, &domain, &tiles, &jboxes, &mut notes);
+            // Write refs composed with V = U⁻¹ address the same
+            // elements from j-points that the originals address from
+            // their pre-images; solving over the *unclipped* j-boxes
+            // over-approximates each tile's iterations, which can only
+            // refute (never spuriously prove) disjointness.
+            let writes: Vec<ArrayRef> = nest
+                .body
+                .iter()
+                .map(|st| transformed_ref(&st.lhs, t.v()))
+                .collect();
+            let wd = prove_write_disjoint(&writes, &jboxes, &mut notes);
+            (coverage, wd)
+        }
+    };
     let in_bounds = prove_in_bounds(&nest, &mut notes);
     let idempotent = prove_idempotent(&nest, &mut notes);
     Ok(CertifyReport {
@@ -282,13 +310,81 @@ fn prove_coverage(nest: &LoopNest, boxes: &[Box128], notes: &mut Vec<String>) ->
     ok
 }
 
+/// Fact 1, skewed form: the rectangular `j`-space tiles, each clipped
+/// against the transformed domain, partition the iteration space
+/// exactly.
+///
+/// * pairwise disjointness of the (unclipped) `j`-boxes is the same FM
+///   feasibility question as the rectangular case — disjoint boxes have
+///   disjoint clippings;
+/// * exactness is an integer count: row clipping is exact
+///   (every emitted row contains precisely the in-domain points, see
+///   [`TransformedDomain`](alp_plan::TransformedDomain)), and `U` is a
+///   bijection, so the clipped counts summing to the `i`-space volume
+///   means no gap and — with disjointness — no overlap.
+fn prove_skewed_coverage(
+    nest: &LoopNest,
+    domain: &alp_plan::TransformedDomain,
+    tiles: &[alp_plan::IterBox],
+    jboxes: &[Box128],
+    notes: &mut Vec<String>,
+) -> bool {
+    let l = nest.depth();
+    let mut ok = true;
+    for a in 0..jboxes.len() {
+        if box_is_empty(&jboxes[a]) {
+            continue;
+        }
+        for b in (a + 1)..jboxes.len() {
+            if box_is_empty(&jboxes[b]) {
+                continue;
+            }
+            let mut sys = System::new(l);
+            constrain_box(&mut sys, &jboxes[a], identity_coeffs(l));
+            constrain_box(&mut sys, &jboxes[b], identity_coeffs(l));
+            if let Some(p) = find_integer_point(&sys) {
+                notes.push(format!(
+                    "coverage: transformed tiles {a} and {b} both contain j-point {p:?}"
+                ));
+                ok = false;
+            }
+        }
+    }
+    let covered: i128 = tiles.iter().map(|t| domain.count(t)).sum();
+    let space = nest.iteration_count();
+    if covered != space {
+        notes.push(format!(
+            "coverage: clipped transformed tiles hold {covered} points but the \
+             iteration space has {space} — the skewed tiling leaves a gap"
+        ));
+        ok = false;
+    }
+    ok
+}
+
+/// Rewrite a reference's subscripts from original coordinates `ī` to
+/// transformed coordinates `j̄ = ī·U` by composing with `V = U⁻¹`
+/// (`ī = j̄·V`): the coefficient on `j_k` becomes `Σ_d V[k][d]·c_d`,
+/// constants unchanged.  `ref'(j̄) = ref(j̄·V)` exactly.
+fn transformed_ref(r: &ArrayRef, v: &IMat) -> ArrayRef {
+    let mut out = r.clone();
+    for sub in &mut out.subscripts {
+        let n = sub.coeffs.len();
+        sub.coeffs = (0..n)
+            .map(|k| (0..n).map(|d| v[(k, d)] * sub.coeffs[d]).sum())
+            .collect();
+    }
+    out
+}
+
 /// Fact 2: per array, the write footprints of distinct tiles are
 /// disjoint.  Every ordered pair of write references is tested across
 /// every unordered pair of non-empty tiles; a cheap exact interval
 /// reject (axis-aligned footprint boxes) filters pairs whose footprints
-/// cannot meet, and the Diophantine solve settles the rest.
-fn prove_write_disjoint(nest: &LoopNest, boxes: &[Box128], notes: &mut Vec<String>) -> bool {
-    let writes: Vec<&ArrayRef> = nest.body.iter().map(|st| &st.lhs).collect();
+/// cannot meet, and the Diophantine solve settles the rest.  `writes`
+/// and `boxes` must share one coordinate system (original `i`-space for
+/// rectangular plans, transformed `j`-space for skewed ones).
+fn prove_write_disjoint(writes: &[ArrayRef], boxes: &[Box128], notes: &mut Vec<String>) -> bool {
     for a in 0..boxes.len() {
         if box_is_empty(&boxes[a]) {
             continue;
@@ -297,8 +393,8 @@ fn prove_write_disjoint(nest: &LoopNest, boxes: &[Box128], notes: &mut Vec<Strin
             if box_is_empty(&boxes[b]) {
                 continue;
             }
-            for w1 in &writes {
-                for w2 in &writes {
+            for w1 in writes {
+                for w2 in writes {
                     if w1.array != w2.array
                         || footprint_boxes_disjoint(w1, &boxes[a], w2, &boxes[b])
                     {
@@ -676,6 +772,73 @@ mod tests {
         let mut plan = plan_for("doall (i, 0, 15) { A[i] = B[i]; }", 4);
         plan.proc_grid = vec![4, 4];
         assert!(matches!(certify(&plan), Err(CertifyError::Plan(_))));
+    }
+
+    fn skewed_plan_for(src: &str, processors: i128) -> PartitionPlan {
+        let nest = parse(src).unwrap();
+        let cands = alp_plan::skewed_candidates(
+            &nest,
+            processors,
+            &alp_partition::ParaSearchConfig::default(),
+        )
+        .unwrap();
+        assert!(!cands.is_empty(), "no skewed candidate for:\n{src}");
+        PartitionPlan::build_skewed(
+            &nest,
+            processors,
+            None,
+            LegalityVerdict::Unchecked,
+            &cands[0],
+            "test-skewed",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn skewed_plan_certifies_in_transformed_coordinates() {
+        // A genuinely skewed (H ≠ I) plan re-proves all four facts:
+        // coverage and write-disjointness over the clipped j-space
+        // tiles, in-bounds and idempotence in the original coordinates.
+        let plan = skewed_plan_for(
+            "doall (i, 0, 15) { doall (j, 0, 15) { A[i,j] = B[i,j] + B[i+1,j+1]; } }",
+            4,
+        );
+        assert!(plan.transform.is_some());
+        assert!(!plan.transform.as_ref().unwrap().is_identity());
+        let report = certify(&plan).unwrap();
+        assert!(report.certificate.coverage, "{:?}", report.notes);
+        assert!(report.certificate.write_disjoint, "{:?}", report.notes);
+        assert!(report.certificate.in_bounds, "{:?}", report.notes);
+        assert!(report.certificate.idempotent, "{:?}", report.notes);
+        assert!(report.unlocks_fastpath());
+
+        // And the certificate survives the embed → recheck round trip.
+        let certified = plan.clone().with_certificate(report.certificate.clone());
+        assert_eq!(recheck(&certified).unwrap(), report.certificate);
+    }
+
+    #[test]
+    fn skewed_k_split_accumulate_is_still_refuted() {
+        // Transform-space reasoning must not weaken the refutation
+        // machinery: an accumulate whose tiles share destination
+        // elements is refuted in j-space exactly as in i-space.
+        let src = "doall (i, 0, 7) { doall (k, 0, 7) {
+                     l$C[i] = l$C[i] + A[i,k];
+                   } }";
+        let nest = parse(src).unwrap();
+        let u = IMat::from_rows(&[&[1, 1], &[0, 1]]);
+        let t = alp_plan::Transform::new(u, alp_plan::fingerprint_hex(&nest)).unwrap();
+        let plan = plan_with_grid(src, vec![1, 4]).with_transform(t);
+        let report = certify(&plan).unwrap();
+        assert!(report.certificate.coverage, "{:?}", report.notes);
+        // Splitting k across tiles makes distinct tiles write the same
+        // C[i] — refuted with a concrete witness.
+        assert!(!report.certificate.write_disjoint);
+        assert!(
+            report.notes.iter().any(|n| n.contains("write-disjoint")),
+            "{:?}",
+            report.notes
+        );
     }
 
     #[test]

@@ -297,6 +297,68 @@ impl IMat {
         self.is_square() && matches!(self.det(), Ok(d) if d != 0)
     }
 
+    /// Determinant of the submatrix with row `skip_r` and column
+    /// `skip_c` removed (a first minor), used by the adjugate.
+    fn minor_det(&self, skip_r: usize, skip_c: usize) -> i128 {
+        let n = self.rows;
+        let mut sub = IMat::zeros(n - 1, n - 1);
+        let mut si = 0;
+        for i in 0..n {
+            if i == skip_r {
+                continue;
+            }
+            let mut sj = 0;
+            for j in 0..n {
+                if j == skip_c {
+                    continue;
+                }
+                sub[(si, sj)] = self[(i, j)];
+                sj += 1;
+            }
+            si += 1;
+        }
+        sub.det().expect("minor of a square matrix is square")
+    }
+
+    /// Exact inverse of a unimodular matrix, via the adjugate:
+    /// `U⁻¹ = adj(U) / det(U)`, which is integral exactly when
+    /// `det(U) = ±1`.  This is the inverse loop transformation of the
+    /// skewed-tile pipeline: with the row-vector convention `j = i·U`,
+    /// the original indices are recovered as `i = j·U⁻¹` without any
+    /// rational arithmetic.
+    ///
+    /// Returns [`LinalgError::NotIntegral`] when the determinant is not
+    /// ±1 (the inverse exists over the rationals but not the integers)
+    /// and [`LinalgError::Singular`] for a singular matrix.
+    pub fn unimodular_inverse(&self) -> Result<IMat> {
+        if !self.is_square() {
+            return Err(LinalgError::ShapeMismatch {
+                left: (self.rows, self.cols),
+                right: (self.rows, self.rows),
+            });
+        }
+        let det = self.det()?;
+        if det == 0 {
+            return Err(LinalgError::Singular);
+        }
+        if det != 1 && det != -1 {
+            return Err(LinalgError::NotIntegral);
+        }
+        let n = self.rows;
+        if n == 0 {
+            return Ok(IMat::zeros(0, 0));
+        }
+        let mut inv = IMat::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                // Cofactor C_ji transposed into (i, j): the adjugate.
+                let sign = if (i + j) % 2 == 0 { 1 } else { -1 };
+                inv[(i, j)] = sign * self.minor_det(j, i) * det;
+            }
+        }
+        Ok(inv)
+    }
+
     /// Keep only the columns listed in `keep`, in order.
     pub fn select_columns(&self, keep: &[usize]) -> IMat {
         let mut m = IMat::zeros(self.rows, keep.len());
@@ -474,6 +536,35 @@ mod tests {
         assert_eq!(m.select_columns(&[]), IMat::zeros(2, 0));
     }
 
+    #[test]
+    fn unimodular_inverse_round_trips() {
+        let u = IMat::from_rows(&[&[1, 1], &[0, 1]]);
+        let v = u.unimodular_inverse().unwrap();
+        assert_eq!(v, IMat::from_rows(&[&[1, -1], &[0, 1]]));
+        assert_eq!(u.mul(&v).unwrap(), IMat::identity(2));
+        assert_eq!(v.mul(&u).unwrap(), IMat::identity(2));
+        // det = -1 also divides exactly.
+        let w = IMat::from_rows(&[&[0, 1], &[1, 0]]);
+        assert_eq!(w.unimodular_inverse().unwrap(), w);
+        // 3-D skew.
+        let u3 = IMat::from_rows(&[&[1, 0, 0], &[2, 1, 0], &[-1, 3, 1]]);
+        let v3 = u3.unimodular_inverse().unwrap();
+        assert_eq!(u3.mul(&v3).unwrap(), IMat::identity(3));
+    }
+
+    #[test]
+    fn unimodular_inverse_rejects_bad_matrices() {
+        assert_eq!(
+            IMat::from_rows(&[&[1, 2], &[2, 4]]).unimodular_inverse(),
+            Err(LinalgError::Singular)
+        );
+        assert_eq!(
+            IMat::from_rows(&[&[2, 0], &[0, 1]]).unimodular_inverse(),
+            Err(LinalgError::NotIntegral)
+        );
+        assert!(IMat::from_rows(&[&[1, 2, 3]]).unimodular_inverse().is_err());
+    }
+
     fn arb_mat(n: usize) -> impl Strategy<Value = IMat> {
         proptest::collection::vec(-6i128..=6, n * n).prop_map(move |v| IMat::from_vec(n, n, v))
     }
@@ -502,6 +593,20 @@ mod tests {
         #[test]
         fn rank_full_iff_nonzero_det(m in arb_mat(3)) {
             prop_assert_eq!(m.rank() == 3, m.det().unwrap() != 0);
+        }
+
+        #[test]
+        fn unimodular_inverse_is_exact(m in arb_mat(3)) {
+            // Whenever the inverse exists it is the exact two-sided
+            // inverse, and it exists precisely for det = ±1.
+            match m.unimodular_inverse() {
+                Ok(inv) => {
+                    prop_assert!(m.is_unimodular());
+                    prop_assert_eq!(m.mul(&inv).unwrap(), IMat::identity(3));
+                    prop_assert_eq!(inv.mul(&m).unwrap(), IMat::identity(3));
+                }
+                Err(_) => prop_assert!(!m.is_unimodular()),
+            }
         }
 
         #[test]

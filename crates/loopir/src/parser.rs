@@ -13,6 +13,12 @@
 //!   accumulate (Fig. 11 / Appendix A).
 //! * Loop bounds are integer literals or named parameters supplied to
 //!   [`parse_with_params`].
+//! * An optional fourth header argument gives a stride: `doall (i, lo,
+//!   hi, s)` visits `lo, lo+s, …`.  The parser normalizes it away by
+//!   substituting `i = lo + s·i′` — bounds become `(0, ⌊(hi−lo)/s⌋)`
+//!   and every subscript absorbs the scale and offset — so downstream
+//!   analyses only ever see the paper's unit-stride canonical form
+//!   (§2.1).
 
 use crate::expr::AffineExpr;
 use crate::nest::{LoopIndex, LoopNest, Statement};
@@ -304,7 +310,9 @@ impl Parser<'_> {
     fn parse_nest(&mut self) -> Result<LoopNest, ParseError> {
         let nest_start = self.offset();
         let mut seq_loops: Vec<LoopIndex> = Vec::new();
+        let mut seq_strides: Vec<i128> = Vec::new();
         let mut loops: Vec<LoopIndex> = Vec::new();
+        let mut strides: Vec<i128> = Vec::new();
         let mut opened = 0usize;
         // Headers: doseq* doall+
         loop {
@@ -314,12 +322,16 @@ impl Parser<'_> {
                         return self.err("doseq must enclose all doall loops");
                     }
                     self.bump();
-                    seq_loops.push(self.parse_header()?);
+                    let (l, s) = self.parse_header()?;
+                    seq_loops.push(l);
+                    seq_strides.push(s);
                     opened += 1;
                 }
                 Some(Tok::Ident(w)) if w == "doall" => {
                     self.bump();
-                    loops.push(self.parse_header()?);
+                    let (l, s) = self.parse_header()?;
+                    loops.push(l);
+                    strides.push(s);
                     opened += 1;
                 }
                 _ => break,
@@ -352,12 +364,68 @@ impl Parser<'_> {
         for _ in 0..opened {
             self.expect_sym('}')?;
         }
+        // Normalize non-unit strides: substituting `i = lo + s·i′` turns
+        // `doall (i, lo, hi, s)` into the unit-stride `i′ ∈ [0,
+        // ⌊(hi−lo)/s⌋]` with each subscript coefficient scaled by `s`
+        // and `coeff·lo` folded into the constant — the touched element
+        // set is unchanged.
+        for (k, s) in strides.iter().copied().enumerate() {
+            if s == 1 {
+                continue;
+            }
+            let l = &mut loops[k];
+            let at = l.span.map_or(nest_start, |sp| sp.start);
+            let lo = l.lower;
+            l.upper = l
+                .upper
+                .checked_sub(lo)
+                .map(|w| w.div_euclid(s))
+                .ok_or_else(|| {
+                    ParseError::at("stride normalization overflows i128", at, self.src)
+                })?;
+            l.lower = 0;
+            for st in &mut body {
+                for r in std::iter::once(&mut st.lhs).chain(st.rhs.iter_mut()) {
+                    let at = r.span.map_or(at, |sp| sp.start);
+                    for sub in &mut r.subscripts {
+                        let c = sub.coeffs[k];
+                        sub.constant = c
+                            .checked_mul(lo)
+                            .and_then(|t| sub.constant.checked_add(t))
+                            .ok_or_else(|| {
+                                ParseError::at("stride normalization overflows i128", at, self.src)
+                            })?;
+                        sub.coeffs[k] = c.checked_mul(s).ok_or_else(|| {
+                            ParseError::at("stride normalization overflows i128", at, self.src)
+                        })?;
+                    }
+                }
+            }
+        }
+        // Sequential indices cannot appear in subscripts, so a strided
+        // doseq only renormalizes its trip count.
+        for (k, s) in seq_strides.iter().copied().enumerate() {
+            if s == 1 {
+                continue;
+            }
+            let l = &mut seq_loops[k];
+            let at = l.span.map_or(nest_start, |sp| sp.start);
+            l.upper = l
+                .upper
+                .checked_sub(l.lower)
+                .map(|w| w.div_euclid(s))
+                .ok_or_else(|| {
+                    ParseError::at("stride normalization overflows i128", at, self.src)
+                })?;
+            l.lower = 0;
+        }
         LoopNest::with_seq(seq_loops, loops, body)
             .map_err(|e| ParseError::at(e.to_string(), nest_start, self.src))
     }
 
-    /// `(name, lo, hi) {`
-    fn parse_header(&mut self) -> Result<LoopIndex, ParseError> {
+    /// `(name, lo, hi[, step]) {` — returns the level plus its stride
+    /// (`1` when the optional fourth argument is omitted).
+    fn parse_header(&mut self) -> Result<(LoopIndex, i128), ParseError> {
         self.expect_sym('(')?;
         let name_start = self.offset();
         let name = match self.bump() {
@@ -372,9 +440,27 @@ impl Parser<'_> {
         let lower = self.parse_bound()?;
         self.expect_sym(',')?;
         let upper = self.parse_bound()?;
+        let stride = if matches!(self.peek(), Some(Tok::Sym(','))) {
+            self.bump();
+            let at = self.offset();
+            let s = self.parse_bound()?;
+            if s < 1 {
+                return Err(ParseError::at(
+                    format!("loop stride must be at least 1, got {s}"),
+                    at,
+                    self.src,
+                ));
+            }
+            s
+        } else {
+            1
+        };
         self.expect_sym(')')?;
         self.expect_sym('{')?;
-        Ok(LoopIndex::new(name, lower, upper).with_span(name_span))
+        Ok((
+            LoopIndex::new(name, lower, upper).with_span(name_span),
+            stride,
+        ))
     }
 
     /// Integer literal, optionally negated, or a named parameter.
@@ -780,6 +866,78 @@ mod tests {
     fn error_on_empty_nest() {
         assert!(parse("").is_err());
         assert!(parse("doseq (t, 0, 3) { }").is_err());
+    }
+
+    #[test]
+    fn strided_doall_normalizes_to_unit_stride() {
+        // i ∈ {1, 4, 7, 10}: four iterations, subscript i ↦ 3·i′ + 1.
+        let n = parse("doall (i, 1, 10, 3) { A[i] = A[i]; }").unwrap();
+        assert_eq!((n.loops[0].lower, n.loops[0].upper), (0, 3));
+        assert_eq!(n.iteration_count(), 4);
+        let manual = parse("doall (i, 0, 3) { A[3*i+1] = A[3*i+1]; }").unwrap();
+        assert_eq!(n, manual);
+    }
+
+    #[test]
+    fn strided_upper_bound_not_hit_exactly() {
+        // i ∈ {2, 6}: 9 is not on the lattice, ⌊(9−2)/4⌋ = 1.
+        let n = parse("doall (i, 2, 9, 4) { A[i] = A[i]; }").unwrap();
+        assert_eq!(n.iteration_count(), 2);
+        assert_eq!(n.body[0].lhs.subscripts[0].coeffs, vec![4]);
+        assert_eq!(n.body[0].lhs.subscripts[0].constant, 2);
+    }
+
+    #[test]
+    fn strided_doseq_renormalizes_trip_count_only() {
+        // t ∈ {1, 5, 9}: three repetitions.
+        let n = parse("doseq (t, 1, 10, 4) { doall (i, 0, 3) { A[i] = A[i]; } }").unwrap();
+        assert_eq!(n.seq_repetitions(), 3);
+        assert_eq!(n.body[0].lhs.subscripts[0].coeffs, vec![1]);
+    }
+
+    #[test]
+    fn unit_stride_argument_is_identity() {
+        let with_s = parse("doall (i, 5, 9, 1) { A[i] = B[i-1]; }").unwrap();
+        let without = parse("doall (i, 5, 9) { A[i] = B[i-1]; }").unwrap();
+        assert_eq!(with_s, without);
+    }
+
+    #[test]
+    fn stride_must_be_positive() {
+        for src in [
+            "doall (i, 0, 9, 0) { A[i] = A[i]; }",
+            "doall (i, 0, 9, -2) { A[i] = A[i]; }",
+        ] {
+            let e = parse(src).unwrap_err();
+            assert!(e.message.contains("stride"), "{e}");
+        }
+    }
+
+    #[test]
+    fn stride_as_named_parameter() {
+        let mut params = HashMap::new();
+        params.insert("S".to_string(), 2i128);
+        let n = parse_with_params("doall (i, 0, 9, S) { A[i] = A[i]; }", &params).unwrap();
+        assert_eq!(n.iteration_count(), 5);
+        assert_eq!(n.body[0].lhs.subscripts[0].coeffs, vec![2]);
+    }
+
+    #[test]
+    fn stride_normalization_overflow_is_error_not_panic() {
+        let big = i128::MAX;
+        let src = format!("doall (i, 0, 7, 2) {{ A[{big}*i] = B[i]; }}");
+        let e = parse(&src).unwrap_err();
+        assert!(e.message.contains("overflow"), "{e}");
+    }
+
+    #[test]
+    fn strided_display_round_trips() {
+        // display() emits the normalized unit-stride form, which must
+        // reparse to the identical nest.
+        let n = parse("doall (i, 3, 17, 2) { doall (j, 1, 10, 3) { A[i, j] = B[i+j, i-j]; } }")
+            .unwrap();
+        let reparsed = parse(&n.display()).unwrap();
+        assert_eq!(n, reparsed);
     }
 
     #[test]

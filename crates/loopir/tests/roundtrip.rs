@@ -75,6 +75,63 @@ proptest! {
     }
 
     #[test]
+    fn strided_parse_matches_manual_substitution(
+        lo in -8i128..=8,
+        s in 1i128..=5,
+        trips in 1i128..=12,
+        c in -4i128..=4,
+        d in -9i128..=9,
+        slack in 0i128..=4,
+    ) {
+        // Upper bound lands `slack` short of the next lattice point, so
+        // the trip count is exactly `trips` regardless.
+        let hi = lo + s * (trips - 1) + slack.min(s - 1);
+        let src = format!("doall (i, {lo}, {hi}, {s}) {{ A[{c}*i + {d}] = A[{c}*i + {d}]; }}");
+        let n = parse(&src).unwrap_or_else(|e| panic!("{src}\n{e}"));
+        prop_assert_eq!(n.iteration_count(), trips);
+        // The normalized subscript touches exactly the strided image.
+        let want: std::collections::BTreeSet<i128> =
+            (0..trips).map(|t| c * (lo + s * t) + d).collect();
+        let sub = &n.body[0].lhs.subscripts[0];
+        let got: std::collections::BTreeSet<i128> = (n.loops[0].lower..=n.loops[0].upper)
+            .map(|i| sub.coeffs[0] * i + sub.constant)
+            .collect();
+        prop_assert_eq!(got, want);
+        // display() emits the unit-stride form, which reparses exactly.
+        let reparsed = parse(&n.display()).unwrap();
+        prop_assert_eq!(n, reparsed);
+    }
+
+    #[test]
+    fn strided_2d_iteration_space_is_the_lattice_product(
+        (lo_i, s_i, trips_i) in (-4i128..=4, 1i128..=4, 1i128..=6),
+        (lo_j, s_j, trips_j) in (-4i128..=4, 1i128..=4, 1i128..=6),
+    ) {
+        let hi_i = lo_i + s_i * (trips_i - 1);
+        let hi_j = lo_j + s_j * (trips_j - 1);
+        let src = format!(
+            "doall (i, {lo_i}, {hi_i}, {s_i}) {{ doall (j, {lo_j}, {hi_j}, {s_j}) {{
+               A[i + j, i - j] = A[i + j, i - j]; }} }}"
+        );
+        let n = parse(&src).unwrap_or_else(|e| panic!("{src}\n{e}"));
+        prop_assert_eq!(n.iteration_count(), trips_i * trips_j);
+        // Every touched (row, col) pair of the original strided space.
+        let want: std::collections::BTreeSet<(i128, i128)> = (0..trips_i)
+            .flat_map(|a| (0..trips_j).map(move |b| {
+                let (i, j) = (lo_i + s_i * a, lo_j + s_j * b);
+                (i + j, i - j)
+            }))
+            .collect();
+        let r = &n.body[0].lhs;
+        let got: std::collections::BTreeSet<(i128, i128)> = n
+            .iteration_points()
+            .iter()
+            .map(|p| { let v = r.eval(p); (v.0[0], v.0[1]) })
+            .collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
     fn array_extents_cover_all_accesses(nest in arb_nest()) {
         let ext = nest.array_extents();
         for i in nest.iteration_points().iter().take(64) {

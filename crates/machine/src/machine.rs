@@ -453,15 +453,37 @@ pub fn run_plan(
     home: &dyn HomeMap,
 ) -> Result<TrafficReport, alp_plan::PlanError> {
     let nest = plan.nest()?;
-    let (tiles, _) = alp_plan::rect_tiles(&nest, &plan.proc_grid)?;
-    let assignment: Vec<Vec<IVec>> = tiles
-        .iter()
-        .map(|tile| {
-            let mut pts = Vec::with_capacity(tile.volume() as usize);
-            tile.for_each_point(|i| pts.push(IVec(i.iter().map(|&x| x as i128).collect())));
-            pts
-        })
-        .collect();
+    let assignment: Vec<Vec<IVec>> = match &plan.transform {
+        None => {
+            let (tiles, _) = alp_plan::rect_tiles(&nest, &plan.proc_grid)?;
+            tiles
+                .iter()
+                .map(|tile| {
+                    let mut pts = Vec::with_capacity(tile.volume() as usize);
+                    tile.for_each_point(|i| pts.push(IVec(i.iter().map(|&x| x as i128).collect())));
+                    pts
+                })
+                .collect()
+        }
+        Some(t) => {
+            // Skewed plan: each processor owns the pre-image of one
+            // clipped j-space tile.  The simulator consumes explicit
+            // i-space point lists, so parallelepiped tiles need no
+            // special handling past this mapping.
+            let (tiles, _, domain) = alp_plan::transformed_tiles(&nest, t, &plan.proc_grid)?;
+            tiles
+                .iter()
+                .map(|tile| {
+                    let mut pts = Vec::new();
+                    domain.for_each_point(tile, |j| {
+                        let i = t.to_i(j).expect("clipped j-point maps back in range");
+                        pts.push(IVec(i.iter().map(|&x| x as i128).collect()));
+                    });
+                    pts
+                })
+                .collect()
+        }
+    };
     config.processors = assignment.len();
     if config.mesh.is_none() {
         config.mesh = plan.mesh;

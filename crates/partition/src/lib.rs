@@ -27,7 +27,7 @@ pub mod rect;
 pub use baselines::{abraham_hudak_rect, naive_partition, NaiveShape};
 pub use commfree::{communication_free_normals, is_communication_free};
 pub use data::{align_arrays, mesh_placement, ArrayPartition, MeshPlacement};
-pub use para::{optimize_parallelepiped, ParaSearchConfig};
+pub use para::{optimize_parallelepiped, para_candidates, ParaPartition, ParaSearchConfig};
 pub use program::{partition_program, ProgramPartition, ProgramStrategy};
 pub use rect::{
     aspect_ratio_with_spread, cache_blocked_extents, optimal_aspect_ratio, partition_rect,

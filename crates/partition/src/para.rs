@@ -42,6 +42,8 @@ pub struct ParaPartition {
     pub cost: i128,
     /// The unscaled basis that won.
     pub basis: IMat,
+    /// The integer edge lengths λ: row `i` of `L` is `λ_i · basis_i`.
+    pub lambda: Vec<i128>,
 }
 
 /// Enumerate unimodular `n×n` integer matrices with entries in
@@ -127,6 +129,25 @@ pub fn optimize_parallelepiped(
     best.expect("identity basis evaluates")
 }
 
+/// Evaluate *every* candidate basis and return the full field, best
+/// first — the hook a downstream ranker (the plan crate's skewed-tile
+/// enumerator, the calibrated hybrid re-ranking) uses to score the
+/// whole `(H, γ, λ)` candidate class instead of just the analytic
+/// winner.  Ties break toward earlier bases (the canonical enumeration
+/// order, which lists the identity first), so the order is
+/// deterministic.
+pub fn para_candidates(nest: &LoopNest, p: i128, config: &ParaSearchConfig) -> Vec<ParaPartition> {
+    assert!(p >= 1, "need at least one processor");
+    let model = CostModel::from_nest(nest);
+    let volume_target = (nest.iteration_count() / p).max(1);
+    let mut out: Vec<ParaPartition> = unimodular_bases(nest.depth(), config.max_entry)
+        .iter()
+        .filter_map(|basis| best_scaling_for_basis(&model, basis, volume_target))
+        .collect();
+    out.sort_by_key(|c| c.cost);
+    out
+}
+
 /// For a fixed basis `U`, choose integer scalings `λ` with
 /// `Π λ ≈ volume` minimizing the Theorem-2 cost of `diag(λ)·U`.
 ///
@@ -206,6 +227,7 @@ fn best_scaling_for_basis(model: &CostModel, basis: &IMat, volume: i128) -> Opti
             tile: Tile::general(lmat),
             cost,
             basis: basis.clone(),
+            lambda: lam.clone(),
         };
         match &best {
             Some(b) if b.cost <= cand.cost => {}

@@ -35,6 +35,9 @@ pub struct PlanKey {
     /// (calibrated and analytic plans for the same nest must not
     /// alias).
     pub calibrated: bool,
+    /// Whether the plan partitions a transformed (skewed) space —
+    /// skewed and rectangular plans for the same nest must not alias.
+    pub skewed: bool,
 }
 
 /// Hit/miss/eviction counters, cumulative over the cache's lifetime.
@@ -217,6 +220,7 @@ mod tests {
             mesh: None,
             checked: true,
             calibrated: false,
+            skewed: false,
         }
     }
 
@@ -270,6 +274,12 @@ mod tests {
         assert!(cache
             .get(&PlanKey {
                 calibrated: true,
+                ..key(1)
+            })
+            .is_none());
+        assert!(cache
+            .get(&PlanKey {
+                skewed: true,
                 ..key(1)
             })
             .is_none());

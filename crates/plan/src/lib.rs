@@ -32,6 +32,7 @@ pub mod json;
 mod plan;
 pub mod shard;
 pub mod tiles;
+pub mod transform;
 
 pub use cache::{CacheStats, PlanCache, PlanKey};
 pub use fingerprint::{canonical_source, fingerprint, fingerprint_hex, fnv1a64};
@@ -42,6 +43,9 @@ pub use plan::{
 };
 pub use shard::{Fetched, ShardedCacheStats, ShardedPlanCache};
 pub use tiles::{rect_tiles, IterBox};
+pub use transform::{
+    skewed_candidates, transformed_tiles, SkewedCandidate, Transform, TransformedDomain,
+};
 
 /// Everything that can go wrong building, encoding, or decoding a plan.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -74,6 +78,12 @@ pub enum PlanError {
     /// from [`Schema`](PlanError::Schema) so tampered certificates map
     /// to the stable `ALP0011` diagnostic code.
     Certificate(String),
+    /// The plan's embedded transform block is invalid: not a square
+    /// unimodular matrix (det ±1), wrong rank for the nest, or bound to
+    /// a different fingerprint.  Kept separate from
+    /// [`Schema`](PlanError::Schema) so tampered transforms map to the
+    /// stable `ALP0013` diagnostic code.
+    Transform(String),
 }
 
 impl std::fmt::Display for PlanError {
@@ -94,6 +104,7 @@ impl std::fmt::Display for PlanError {
             ),
             PlanError::Infeasible(msg) => write!(f, "cannot plan nest: {msg}"),
             PlanError::Certificate(msg) => write!(f, "invalid plan certificate: {msg}"),
+            PlanError::Transform(msg) => write!(f, "invalid plan transform: {msg}"),
         }
     }
 }

@@ -2,9 +2,10 @@
 
 use crate::fingerprint::fingerprint_hex;
 use crate::json::{self, Json, ObjWriter};
+use crate::transform::{SkewedCandidate, Transform};
 use crate::PlanError;
-use alp_footprint::{cumulative_footprint_rect, CostModel};
-use alp_linalg::{IVec, Rat};
+use alp_footprint::{cumulative_footprint_general, cumulative_footprint_rect, CostModel, Tile};
+use alp_linalg::{IMat, IVec, Rat};
 use alp_loopir::LoopNest;
 use alp_partition::{communication_free_normals, partition_rect, RectPartition};
 
@@ -19,12 +20,25 @@ use alp_partition::{communication_free_normals, partition_rect, RectPartition};
 /// * **3** — adds the optional `certificate` provenance block (the
 ///   `alp-certify` verdicts: coverage, write disjointness, in-bounds,
 ///   idempotence, bound to the plan's fingerprint).
+/// * **4** — adds the optional `transform` block (a unimodular loop
+///   transform `U`, bound to the plan's fingerprint): the plan's
+///   `proc_grid`/`tile_extents` then describe the **transformed**
+///   `j = i·U` space, where skewed parallelepiped tiles are
+///   rectangular.
 ///
 /// Decoding accepts [`MIN_SCHEMA_VERSION`]`..=`[`SCHEMA_VERSION`]; a
 /// decoded plan remembers the version it was written with and re-encodes
 /// under that same version, so pre-calibration and pre-certificate
-/// plans stay byte-stable through a decode/encode round trip.
-pub const SCHEMA_VERSION: u32 = 3;
+/// plans stay byte-stable through a decode/encode round trip.  Plans
+/// without a transform are written at version 3 — version 4's only
+/// addition is the transform block, so emitting the lowest
+/// representable version keeps older readers (and golden snapshots)
+/// working.
+pub const SCHEMA_VERSION: u32 = 4;
+
+/// Version untransformed plans are written with (bumped to
+/// [`SCHEMA_VERSION`] by [`PartitionPlan::with_transform`]).
+const BASE_VERSION: u32 = 3;
 
 /// Oldest plan schema version this build still decodes.
 pub const MIN_SCHEMA_VERSION: u32 = 1;
@@ -161,6 +175,11 @@ pub struct PartitionPlan {
     /// The `alp-certify` verdicts (absent on uncertified plans and on
     /// plans written before schema 3).
     pub certificate: Option<Certificate>,
+    /// The unimodular loop transform behind a skewed plan (schema ≥ 4).
+    /// When present, [`proc_grid`](PartitionPlan::proc_grid) and
+    /// [`tile_extents`](PartitionPlan::tile_extents) describe the
+    /// transformed `j = i·U` space.
+    pub transform: Option<Transform>,
     /// Processors along each loop dimension.
     pub proc_grid: Vec<i128>,
     /// Interior tile extent λ per dimension (inclusive convention).
@@ -245,7 +264,7 @@ impl PartitionPlan {
             })
             .collect();
         Ok(PartitionPlan {
-            schema_version: SCHEMA_VERSION,
+            schema_version: BASE_VERSION,
             fingerprint: fingerprint_hex(nest),
             processors,
             mesh,
@@ -254,6 +273,7 @@ impl PartitionPlan {
             chosen_by: ChosenBy::Analytic,
             calibration: None,
             certificate: None,
+            transform: None,
             proc_grid: partition.proc_grid,
             tile_extents: partition.tile_extents,
             cost: partition.cost,
@@ -279,6 +299,85 @@ impl PartitionPlan {
         self.certificate = Some(certificate);
         self.schema_version = self.schema_version.max(3);
         self
+    }
+
+    /// Attach a unimodular transform, re-interpreting `proc_grid` and
+    /// `tile_extents` in the transformed `j = i·U` space.  Bumps the
+    /// plan to schema version 4 — older versions have no field to
+    /// carry it, and a silently dropped transform would change which
+    /// iterations each tile owns.
+    pub fn with_transform(mut self, transform: Transform) -> Self {
+        self.transform = Some(transform);
+        self.schema_version = self.schema_version.max(SCHEMA_VERSION);
+        self
+    }
+
+    /// Build a **skewed** plan from a [`SkewedCandidate`]: the §3.6
+    /// parallelepiped tile realized as a rectangular grid over the
+    /// transformed space, with per-class footprints predicted by the
+    /// general (parallelepiped) Eq.-2 form at the candidate's actual
+    /// chunk sizes.
+    pub fn build_skewed(
+        nest: &LoopNest,
+        processors: i128,
+        mesh: Option<(usize, usize)>,
+        legality: LegalityVerdict,
+        candidate: &SkewedCandidate,
+        optimizer: &str,
+    ) -> Result<PartitionPlan, PlanError> {
+        if nest.depth() == 0 {
+            return Err(PlanError::Infeasible("nest has no parallel loops".into()));
+        }
+        if processors < 1 {
+            return Err(PlanError::Infeasible("need at least one processor".into()));
+        }
+        if candidate.grid.len() != nest.depth() {
+            return Err(PlanError::BadGrid(format!(
+                "candidate rank {} does not match nest depth {}",
+                candidate.grid.len(),
+                nest.depth()
+            )));
+        }
+        // The tile actually executed: edge k is chunk_k · basis_k.
+        let rows: Vec<IVec> = candidate
+            .tile_extents
+            .iter()
+            .enumerate()
+            .map(|(k, &e)| candidate.basis.row(k).scale(e + 1))
+            .collect();
+        let lmat = IMat::from_row_vecs(&rows);
+        let model = CostModel::from_nest(nest);
+        let tile = Tile::general(lmat.clone());
+        let class_footprints = model
+            .classes()
+            .iter()
+            .map(|cc| ClassFootprint {
+                array: cc.class.array.clone(),
+                refs: cc.class.len(),
+                shape_invariant: cc.shape_invariant,
+                footprint: Rat::int(cumulative_footprint_general(&tile, &cc.class)),
+            })
+            .collect();
+        let cost = Rat::int(model.cost_general(&lmat));
+        Ok(PartitionPlan {
+            schema_version: SCHEMA_VERSION,
+            fingerprint: fingerprint_hex(nest),
+            processors,
+            mesh,
+            legality,
+            optimizer: optimizer.into(),
+            chosen_by: ChosenBy::Analytic,
+            calibration: None,
+            certificate: None,
+            transform: Some(candidate.transform.clone()),
+            proc_grid: candidate.grid.clone(),
+            tile_extents: candidate.tile_extents.clone(),
+            cost,
+            store_bytes: Some(store_bytes(nest)),
+            class_footprints,
+            comm_free_normals: communication_free_normals(nest),
+            source: nest.display(),
+        })
     }
 
     /// The plan's partition in `alp-partition`'s type.
@@ -391,6 +490,19 @@ impl PartitionPlan {
                     .field("write_disjoint", Json::Bool(c.write_disjoint))
                     .field("in_bounds", Json::Bool(c.in_bounds))
                     .field("idempotent", Json::Bool(c.idempotent))
+                    .render(&mut out, 1);
+                out.push_str(",\n");
+            }
+        }
+        if self.schema_version >= 4 {
+            if let Some(t) = &self.transform {
+                out.push_str("  \"transform\": ");
+                ObjWriter::new()
+                    .field("fingerprint", Json::Str(t.fingerprint().into()))
+                    .field(
+                        "u",
+                        Json::Arr(t.u().row_vecs().iter().map(|r| int_arr(&r.0)).collect()),
+                    )
                     .render(&mut out, 1);
                 out.push_str(",\n");
             }
@@ -563,6 +675,59 @@ impl PartitionPlan {
                 tile_extents.len()
             )));
         }
+        let transform = match v.get("transform") {
+            None | Some(Json::Null) => None,
+            Some(t @ Json::Obj(_)) => {
+                let fp = t
+                    .get("fingerprint")
+                    .and_then(Json::as_str)
+                    .map(str::to_owned)
+                    .ok_or_else(|| {
+                        PlanError::Transform(
+                            "transform block is missing or mistypes `fingerprint`".into(),
+                        )
+                    })?;
+                let rows = t.get("u").and_then(Json::as_arr).ok_or_else(|| {
+                    PlanError::Transform("transform block is missing or mistypes `u`".into())
+                })?;
+                let n = rows.len();
+                let mut entries = Vec::with_capacity(n * n);
+                for r in rows {
+                    let row = r.as_arr().ok_or_else(|| {
+                        PlanError::Transform("transform matrix row is not an array".into())
+                    })?;
+                    if row.len() != n {
+                        return Err(PlanError::Transform(format!(
+                            "transform matrix is not square: {n} rows but a row of {}",
+                            row.len()
+                        )));
+                    }
+                    for x in row {
+                        entries.push(x.as_int().ok_or_else(|| {
+                            PlanError::Transform("transform matrix entry is not an integer".into())
+                        })?);
+                    }
+                }
+                if n != proc_grid.len() {
+                    return Err(PlanError::Transform(format!(
+                        "transform rank {n} does not match the plan's {}-dimensional grid",
+                        proc_grid.len()
+                    )));
+                }
+                if fp != fingerprint {
+                    return Err(PlanError::Transform(format!(
+                        "transform was derived for fingerprint {fp} but the plan's \
+                         fingerprint is {fingerprint}; re-plan with `alp-cli plan --skewed`"
+                    )));
+                }
+                Some(Transform::new(IMat::from_vec(n, n, entries), fp)?)
+            }
+            Some(_) => {
+                return Err(PlanError::Transform(
+                    "transform must be null or an object".into(),
+                ))
+            }
+        };
         let cost = parse_rat(&str_field(&v, "cost")?)?;
         // Optional: absent in plans written before the field existed.
         let store_bytes =
@@ -626,6 +791,7 @@ impl PartitionPlan {
             chosen_by,
             calibration,
             certificate,
+            transform,
             proc_grid,
             tile_extents,
             cost,
@@ -921,6 +1087,116 @@ mod tests {
         assert!(matches!(
             PartitionPlan::from_json_str(&bad),
             Err(PlanError::Schema(_))
+        ));
+    }
+
+    fn example2() -> LoopNest {
+        parse(
+            "doall (i, 101, 612) { doall (j, 1, 512) {
+               A[i,j] = B[i+j,i-j-1] + B[i+j+4,i-j+3];
+             } }",
+        )
+        .unwrap()
+    }
+
+    fn skew_transform(nest: &LoopNest) -> Transform {
+        Transform::new(
+            alp_linalg::IMat::from_rows(&[&[1, 1], &[0, 1]]),
+            fingerprint_hex(nest),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn untransformed_plans_stay_at_version_3() {
+        // Version 4's only addition is the transform block; a plan
+        // without one writes the lowest representable version so the
+        // pre-skew golden snapshots stay byte-stable.
+        let plan = PartitionPlan::build(&example8(), 16, None, LegalityVerdict::Unchecked).unwrap();
+        assert_eq!(plan.schema_version, 3);
+        let text = plan.to_json_string();
+        assert!(text.contains("\"alp-plan\": 3"));
+        assert!(!text.contains("\"transform\""));
+    }
+
+    #[test]
+    fn transform_round_trips_byte_stably_at_v4() {
+        let nest = example2();
+        let plan = PartitionPlan::build(&nest, 16, None, LegalityVerdict::Unchecked)
+            .unwrap()
+            .with_transform(skew_transform(&nest));
+        assert_eq!(plan.schema_version, 4);
+        let text = plan.to_json_string();
+        assert!(text.contains("\"alp-plan\": 4"), "{text}");
+        assert!(text.contains("\"transform\""), "{text}");
+        let back = PartitionPlan::from_json_str(&text).unwrap();
+        assert_eq!(back, plan);
+        assert_eq!(back.transform, plan.transform);
+        assert_eq!(back.to_json_string(), text, "v4 encoding is canonical");
+    }
+
+    #[test]
+    fn skewed_build_carries_transform_and_general_footprints() {
+        let nest = example2();
+        let cands = crate::transform::skewed_candidates(
+            &nest,
+            16,
+            &alp_partition::ParaSearchConfig::default(),
+        )
+        .unwrap();
+        assert!(!cands.is_empty(), "example 2 has skewed candidates");
+        let plan = PartitionPlan::build_skewed(
+            &nest,
+            16,
+            None,
+            LegalityVerdict::Checked { warnings: 0 },
+            &cands[0],
+            "para-exhaustive",
+        )
+        .unwrap();
+        assert_eq!(plan.schema_version, SCHEMA_VERSION);
+        let t = plan.transform.as_ref().unwrap();
+        assert!(!t.is_identity());
+        assert_eq!(plan.proc_grid, cands[0].grid);
+        let back = PartitionPlan::from_json_str(&plan.to_json_string()).unwrap();
+        assert_eq!(back, plan);
+    }
+
+    #[test]
+    fn malformed_transform_blocks_are_rejected_with_transform_errors() {
+        let nest = example2();
+        let plan = PartitionPlan::build(&nest, 16, None, LegalityVerdict::Unchecked)
+            .unwrap()
+            .with_transform(skew_transform(&nest));
+        let text = plan.to_json_string();
+        // det 2: not unimodular.
+        let det2 = text.replace("[0, 1]", "[0, 2]");
+        let err = PartitionPlan::from_json_str(&det2).unwrap_err();
+        assert!(matches!(err, PlanError::Transform(_)), "got {err}");
+        assert!(err.to_string().contains("det 2"), "{err}");
+        // Singular: duplicate rows.
+        let singular = text.replace("[0, 1]", "[1, 1]");
+        let err = PartitionPlan::from_json_str(&singular).unwrap_err();
+        assert!(err.to_string().contains("singular"), "{err}");
+        // Stale fingerprint: the transform block re-states the plan
+        // fingerprint as its last occurrence in the text.
+        let needle = format!("\"fingerprint\": \"{}\"", plan.fingerprint);
+        let pos = text.rfind(&needle).unwrap();
+        let stale = format!(
+            "{}\"fingerprint\": \"fnv1a64:0000000000000000\"{}",
+            &text[..pos],
+            &text[pos + needle.len()..]
+        );
+        let err = PartitionPlan::from_json_str(&stale).unwrap_err();
+        assert!(matches!(err, PlanError::Transform(_)), "got {err}");
+        assert!(err.to_string().contains("derived for fingerprint"), "{err}");
+        // The block itself must be an object.
+        let start = text.find("  \"transform\": {").unwrap();
+        let end = text[start..].find("},\n").unwrap() + start + 3;
+        let wrong_shape = format!("{}  \"transform\": 7,\n{}", &text[..start], &text[end..]);
+        assert!(matches!(
+            PartitionPlan::from_json_str(&wrong_shape),
+            Err(PlanError::Transform(_))
         ));
     }
 

@@ -323,6 +323,7 @@ mod tests {
             mesh: None,
             checked: true,
             calibrated: false,
+            skewed: false,
         }
     }
 

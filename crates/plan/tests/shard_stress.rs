@@ -19,6 +19,7 @@ fn key(fp: u64) -> PlanKey {
         mesh: None,
         checked: true,
         calibrated: false,
+        skewed: false,
     }
 }
 

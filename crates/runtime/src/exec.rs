@@ -47,9 +47,10 @@ use crate::RuntimeError;
 use alp_linalg::IVec;
 use alp_loopir::{AccessKind, LoopNest};
 use alp_machine::ArrayLayout;
+use alp_plan::{Transform, TransformedDomain};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// How many kernel iterations run between two cooperative cancellation
@@ -155,6 +156,18 @@ enum Work {
     Box(IterBox),
     /// An explicit iteration list (from a codegen `Assignment`).
     Points(Vec<Vec<i64>>),
+    /// A rectangular `j`-space block of a transformed (skewed) plan,
+    /// clipped against the shared transformed domain.  Points handed to
+    /// the kernel are *j-space* coordinates; the kernel must have been
+    /// built by [`Kernel::compile_transformed`].
+    Clipped {
+        /// The unclipped rectangular tile in `j`-space.
+        bx: IterBox,
+        /// The domain every tile of the plan clips against.
+        domain: Arc<TransformedDomain>,
+        /// Exact in-domain point count, precomputed at build time.
+        points: u64,
+    },
 }
 
 impl Work {
@@ -162,6 +175,7 @@ impl Work {
         match self {
             Work::Box(b) => b.volume(),
             Work::Points(p) => p.len() as u64,
+            Work::Clipped { points, .. } => *points,
         }
     }
 
@@ -178,6 +192,16 @@ impl Work {
                 }
                 true
             }
+            Work::Clipped { bx, domain, .. } => domain.for_each_row(bx, |j, lo, hi| {
+                let last = j.len() - 1;
+                for x in lo..=hi {
+                    j[last] = x;
+                    if !f(j) {
+                        return false;
+                    }
+                }
+                true
+            }),
         }
     }
 }
@@ -325,10 +349,63 @@ impl Executor {
     /// Build an executor straight from a saved [`alp_plan::PartitionPlan`]:
     /// the nest is reconstructed from the plan's embedded source (with
     /// its fingerprint re-verified) and tiled on the plan's processor
-    /// grid.
+    /// grid.  A schema-v4 plan carrying a [`Transform`] executes its
+    /// skewed tiles natively via [`Executor::from_transformed`].
     pub fn from_plan(plan: &alp_plan::PartitionPlan) -> Result<Executor, RuntimeError> {
         let nest = plan.nest()?;
-        Executor::from_grid(&nest, &plan.proc_grid)
+        match &plan.transform {
+            None => Executor::from_grid(&nest, &plan.proc_grid),
+            Some(t) => Executor::from_transformed(&nest, t, &plan.proc_grid),
+        }
+    }
+
+    /// Partition the *transformed* space `j = i·U` over a rectangular
+    /// grid: tiles are rectangular in `j`, clipped exactly against the
+    /// image of the nest's bounds, and the kernel's linear forms are
+    /// composed with `U⁻¹` so each `j`-point reads and writes exactly
+    /// the elements its pre-image `i`-point would.  The sequential
+    /// reference ([`Executor::run_reference`]) still interprets the nest
+    /// in original coordinates, so verification stays an independent
+    /// end-to-end differential check.
+    pub fn from_transformed(
+        nest: &LoopNest,
+        transform: &Transform,
+        grid: &[i128],
+    ) -> Result<Executor, RuntimeError> {
+        let fp = alp_plan::fingerprint_hex(nest);
+        if transform.fingerprint() != fp {
+            return Err(RuntimeError::BadPlan(alp_plan::PlanError::Transform(
+                format!(
+                    "transform was derived for fingerprint {} but the nest hashes to {fp}",
+                    transform.fingerprint()
+                ),
+            )));
+        }
+        let layout = ArrayLayout::from_nest(nest);
+        let kernel = Kernel::compile_transformed(nest, &layout, transform.v())?;
+        let (tiles, chunks, domain) =
+            alp_plan::transformed_tiles(nest, transform, grid).map_err(RuntimeError::BadPlan)?;
+        let domain = Arc::new(domain);
+        let work = tiles
+            .into_iter()
+            .map(|bx| Work::Clipped {
+                points: u64::try_from(domain.count(&bx)).expect("tile point count fits u64"),
+                bx,
+                domain: Arc::clone(&domain),
+            })
+            .collect();
+        Ok(Executor {
+            retry: RetryPolicy::Syntactic {
+                safe: syntactic_retry_safe(nest),
+            },
+            relaxed_stores: false,
+            nest: nest.clone(),
+            repetitions: reps(nest)?,
+            layout,
+            kernel,
+            work,
+            tile_extents: chunks.iter().map(|c| c - 1).collect(),
+        })
     }
 
     /// Run an explicit per-processor iteration assignment (e.g. from
@@ -839,6 +916,31 @@ impl WorkerState<'_> {
                     ctrl.keep_going(local_polls.is_multiple_of(DEADLINE_POLL_STRIDE))
                 } else {
                     true
+                }
+            })
+        } else if let Work::Clipped { bx, domain, .. } = work {
+            // Skewed fast path: whole clipped rows at a time, the inner
+            // loop a pointer bump per reference.  Rows are chunked to
+            // POLL_INTERVAL so cancellation latency matches the
+            // point-wise paths.
+            domain.for_each_row(bx, |j, lo, hi| {
+                let mut x = lo;
+                loop {
+                    let end = x.saturating_add(POLL_INTERVAL as i64 - 1).min(hi);
+                    if relaxed {
+                        kernel.execute_row_relaxed(j, x, end, store);
+                    } else {
+                        kernel.execute_row(j, x, end, store);
+                    }
+                    local += (end - x) as u64 + 1;
+                    local_polls += 1;
+                    if !ctrl.keep_going(local_polls.is_multiple_of(DEADLINE_POLL_STRIDE)) {
+                        return false;
+                    }
+                    if end == hi {
+                        return true;
+                    }
+                    x = end + 1;
                 }
             })
         } else if relaxed {

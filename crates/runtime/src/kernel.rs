@@ -8,6 +8,7 @@
 //! plus the f64 arithmetic, with no per-access layout lookups.
 
 use crate::RuntimeError;
+use alp_linalg::IMat;
 use alp_loopir::{AccessKind, ArrayRef, LoopNest};
 use alp_machine::ArrayLayout;
 
@@ -30,6 +31,41 @@ impl LinRef {
         }
         debug_assert!(e >= 0, "element id must be non-negative");
         e as usize
+    }
+
+    /// Element id (signed) at the row point `(j[..last], x)` — the last
+    /// coordinate is taken from `x`, not from `j`.
+    #[inline]
+    fn row_start(&self, j: &[i64], x: i64) -> i64 {
+        let last = self.coeffs.len() - 1;
+        let mut e = self.constant + self.coeffs[last] * x;
+        for (c, y) in self.coeffs[..last].iter().zip(j) {
+            e += c * y;
+        }
+        e
+    }
+
+    /// Rewrite the linear form from original coordinates `ī` to
+    /// transformed coordinates `j̄ = ī·U`: with `V = U⁻¹` and row-vector
+    /// convention `ī = j̄·V`, the coefficient on `j_k` becomes
+    /// `Σ_d V[k][d]·c_d`.  The constant term is unchanged.
+    fn composed(&self, v: &IMat) -> Result<LinRef, RuntimeError> {
+        let n = self.coeffs.len();
+        debug_assert_eq!(v.rows(), n, "transform rank must match nest depth");
+        let mut coeffs = Vec::with_capacity(n);
+        for k in 0..n {
+            let mut c = 0i128;
+            for (d, &cd) in self.coeffs.iter().enumerate() {
+                c += v[(k, d)] * cd as i128;
+            }
+            coeffs.push(i64::try_from(c).map_err(|_| RuntimeError::Overflow {
+                array: String::from("<transformed kernel>"),
+            })?);
+        }
+        Ok(LinRef {
+            coeffs,
+            constant: self.constant,
+        })
     }
 }
 
@@ -111,6 +147,38 @@ impl Kernel {
         Ok(Kernel { stmts })
     }
 
+    /// Lower `nest` as [`compile`](Kernel::compile) does, then rewrite
+    /// every linear form into transformed coordinates `j̄ = ī·U` by
+    /// composing with `V = U⁻¹` (`ī = j̄·V`).  The resulting kernel is
+    /// executed with *j-space* iteration vectors; element ids are
+    /// identical to the original kernel's at the corresponding i-space
+    /// point, so layouts, stores and touch tracking are unchanged.
+    pub fn compile_transformed(
+        nest: &LoopNest,
+        layout: &ArrayLayout,
+        v: &IMat,
+    ) -> Result<Kernel, RuntimeError> {
+        let base = Kernel::compile(nest, layout)?;
+        let map = |r: &LinRef| r.composed(v);
+        let stmts = base
+            .stmts
+            .iter()
+            .map(|st| -> Result<CompiledStmt, RuntimeError> {
+                Ok(match st {
+                    CompiledStmt::Assign { lhs, sources } => CompiledStmt::Assign {
+                        lhs: map(lhs)?,
+                        sources: sources.iter().map(map).collect::<Result<_, _>>()?,
+                    },
+                    CompiledStmt::Accumulate { lhs, sources } => CompiledStmt::Accumulate {
+                        lhs: map(lhs)?,
+                        sources: sources.iter().map(map).collect::<Result<_, _>>()?,
+                    },
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        Ok(Kernel { stmts })
+    }
+
     /// The compiled statements, in source order.
     pub fn stmts(&self) -> &[CompiledStmt] {
         &self.stmts
@@ -153,6 +221,81 @@ impl Kernel {
     #[inline]
     pub fn execute_relaxed(&self, i: &[i64], store: &crate::ArrayStore) {
         self.exec_inner(i, store, true);
+    }
+
+    /// Execute one contiguous row of iterations: the points
+    /// `(j[0..last], x)` for `x` in `lo..=hi`.  Element ids advance by
+    /// each reference's innermost-coordinate stride, so the inner loop
+    /// is a pointer bump per reference plus the f64 arithmetic — no
+    /// per-point dot products.
+    #[inline]
+    pub fn execute_row(&self, j: &[i64], lo: i64, hi: i64, store: &crate::ArrayStore) {
+        self.exec_row_inner(j, lo, hi, store, false);
+    }
+
+    /// Row execution with relaxed accumulate stores; same soundness
+    /// contract as [`execute_relaxed`](Kernel::execute_relaxed).
+    #[inline]
+    pub fn execute_row_relaxed(&self, j: &[i64], lo: i64, hi: i64, store: &crate::ArrayStore) {
+        self.exec_row_inner(j, lo, hi, store, true);
+    }
+
+    fn exec_row_inner(
+        &self,
+        j: &[i64],
+        lo: i64,
+        hi: i64,
+        store: &crate::ArrayStore,
+        relaxed: bool,
+    ) {
+        if hi < lo {
+            return;
+        }
+        let n = (hi - lo) as u64 + 1;
+        for st in &self.stmts {
+            let (lhs, sources, accumulate) = match st {
+                CompiledStmt::Assign { lhs, sources } => (lhs, sources, false),
+                CompiledStmt::Accumulate { lhs, sources } => (lhs, sources, true),
+            };
+            let last = lhs.coeffs.len() - 1;
+            let lhs_step = lhs.coeffs[last];
+            let mut lhs_e = lhs.row_start(j, lo);
+            // (element, step) per source; small inline buffer covers
+            // every realistic statement without allocating per row.
+            let mut buf = [(0i64, 0i64); 8];
+            let mut spill;
+            let srcs: &mut [(i64, i64)] = if sources.len() <= buf.len() {
+                for (slot, s) in buf.iter_mut().zip(sources) {
+                    *slot = (s.row_start(j, lo), s.coeffs[last]);
+                }
+                &mut buf[..sources.len()]
+            } else {
+                spill = sources
+                    .iter()
+                    .map(|s| (s.row_start(j, lo), s.coeffs[last]))
+                    .collect::<Vec<_>>();
+                &mut spill
+            };
+            for _ in 0..n {
+                let mut v = 0.0;
+                for (e, step) in srcs.iter_mut() {
+                    debug_assert!(*e >= 0, "element id must be non-negative");
+                    v += store.get(*e as usize);
+                    *e += *step;
+                }
+                debug_assert!(lhs_e >= 0, "element id must be non-negative");
+                if accumulate {
+                    if relaxed {
+                        store.add_relaxed(lhs_e as usize, v);
+                    } else {
+                        store.fetch_add(lhs_e as usize, v);
+                    }
+                } else {
+                    store.set(lhs_e as usize, v);
+                }
+                lhs_e += lhs_step;
+            }
+        }
     }
 
     #[inline(always)]

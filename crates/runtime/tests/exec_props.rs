@@ -155,3 +155,108 @@ proptest! {
         prop_assert_eq!(store_a.snapshot(), store_b.snapshot());
     }
 }
+
+/// Elementary-operation recipe for a random unimodular matrix: each
+/// `(a, b, c)` with `a != b` adds `c·row_a` to `row_b` (det preserved)
+/// or, when `c == 0`, swaps rows `a` and `b` (det negated).  Starting
+/// from the identity, the product is always unimodular.
+fn unimodular_ops(depth: usize) -> impl Strategy<Value = Vec<(usize, usize, i128)>> {
+    proptest::collection::vec((0..depth, 0..depth, -2i128..=2), 0..=4)
+}
+
+fn build_unimodular(depth: usize, ops: &[(usize, usize, i128)]) -> alp_linalg::IMat {
+    let mut m = alp_linalg::IMat::identity(depth);
+    for &(a, b, c) in ops {
+        if a == b {
+            continue;
+        }
+        for k in 0..depth {
+            if c == 0 {
+                let t = m[(a, k)];
+                m[(a, k)] = m[(b, k)];
+                m[(b, k)] = t;
+            } else {
+                let t = c * m[(a, k)];
+                m[(b, k)] += t;
+            }
+        }
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_unimodular_transforms_execute_exactly(
+        spec in (1usize..=3).prop_flat_map(|d| (
+            bounds_strategy(d),
+            grid_strategy(d),
+            unimodular_ops(d),
+            0usize..3,
+            any::<bool>(),
+            1usize..=4,
+        )),
+    ) {
+        // The skewed executor — rectangular tiles in j = i·U, kernels
+        // composed with U⁻¹, rows clipped exactly — must be bitwise
+        // equal to the i-space sequential reference for EVERY
+        // unimodular U, and must execute each iteration exactly once.
+        let (bounds, grid, ops, template, seq, threads) = spec;
+        let src = nest_source(&bounds, template, seq);
+        let nest = parse(&src).unwrap();
+        let u = build_unimodular(nest.depth(), &ops);
+        let t = alp_plan::Transform::new(u, alp_plan::fingerprint_hex(&nest)).unwrap();
+
+        let exec = Executor::from_transformed(&nest, &t, &grid).unwrap();
+        let opts = ExecOptions { threads, ..ExecOptions::default() };
+        let outcome = exec.verify(0xA1E5_EED0, &opts).unwrap();
+        prop_assert!(outcome.matches_reference, "skewed != sequential for U={:?}\n{src}", t.u());
+
+        let volume: i128 = nest.iteration_count();
+        let reps: i128 = nest.seq_repetitions();
+        prop_assert_eq!(outcome.report.total_iterations as i128, volume * reps);
+        let per_tile: u64 = outcome.report.per_tile.iter().map(|t| t.iterations).sum();
+        prop_assert_eq!(per_tile as i128, volume);
+    }
+
+    #[test]
+    fn strided_nests_execute_exactly(
+        spec in (1usize..=3).prop_flat_map(|d| (
+            bounds_strategy(d),
+            proptest::collection::vec(1i128..=3, d..=d),
+            grid_strategy(d),
+            unimodular_ops(d),
+            1usize..=4,
+        )),
+    ) {
+        // Non-unit strides normalize away in the parser; both the
+        // rectangular and the skewed executor must still match the
+        // sequential reference bitwise on the normalized nest.
+        let (bounds, strides, grid, ops, threads) = spec;
+        let depth = bounds.len();
+        let idx: Vec<String> = (0..depth).map(|k| format!("i{k}")).collect();
+        let mut src = String::new();
+        for (k, (&(lo, trip), &s)) in bounds.iter().zip(&strides).enumerate() {
+            src.push_str(&format!(
+                "doall ({}, {}, {}, {}) {{\n", idx[k], lo, lo + s * (trip - 1), s
+            ));
+        }
+        let ids = idx.join(", ");
+        src.push_str(&format!("A[{ids}] = B[{ids}] + B[{ids}];"));
+        for _ in 0..depth { src.push('}'); }
+        let nest = parse(&src).unwrap();
+        prop_assert_eq!(nest.iteration_count(), bounds.iter().map(|&(_, t)| t).product::<i128>());
+
+        let opts = ExecOptions { threads, ..ExecOptions::default() };
+        let rect = Executor::from_grid(&nest, &grid).unwrap();
+        let outcome = rect.verify(0x57A1_DE00, &opts).unwrap();
+        prop_assert!(outcome.matches_reference, "rect != sequential for:\n{src}");
+
+        let u = build_unimodular(depth, &ops);
+        let t = alp_plan::Transform::new(u, alp_plan::fingerprint_hex(&nest)).unwrap();
+        let skewed = Executor::from_transformed(&nest, &t, &grid).unwrap();
+        let outcome = skewed.verify(0x57A1_DE00, &opts).unwrap();
+        prop_assert!(outcome.matches_reference, "skewed != sequential for U={:?}\n{src}", t.u());
+    }
+}

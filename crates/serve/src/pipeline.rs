@@ -37,6 +37,7 @@ impl PlanSpec {
             mesh: None,
             checked: self.check,
             calibrated: false,
+            skewed: false,
         })
     }
 }

@@ -107,6 +107,11 @@ pub struct ServerStats {
     pub failures: u64,
     /// Queue depth at snapshot time.
     pub depth: u64,
+    /// Jobs drained as the *tail* of a worker-wakeup batch: a waking
+    /// worker takes every queued job with a distinct plan key (up to a
+    /// small cap) instead of one job per wakeup, and this counts the
+    /// extras beyond the first.
+    pub batched: u64,
 }
 
 impl ServerStats {
@@ -115,7 +120,7 @@ impl ServerStats {
         format!(
             "{{\"hits\": {}, \"misses\": {}, \"coalesced\": {}, \"evictions\": {}, \
              \"inline_hits\": {}, \"shed_plan\": {}, \"shed_run\": {}, \"runs_ok\": {}, \
-             \"failures\": {}, \"depth\": {}}}",
+             \"failures\": {}, \"depth\": {}, \"batched\": {}}}",
             self.hits,
             self.misses,
             self.coalesced,
@@ -125,7 +130,8 @@ impl ServerStats {
             self.shed_run,
             self.runs_ok,
             self.failures,
-            self.depth
+            self.depth,
+            self.batched
         )
     }
 
@@ -144,6 +150,7 @@ impl ServerStats {
             runs_ok: f("runs_ok"),
             failures: f("failures"),
             depth: f("depth"),
+            batched: f("batched"),
         }
     }
 
@@ -161,6 +168,11 @@ impl ServerStats {
 
 struct Job {
     req: Request,
+    /// Plan key computed on the reader thread at admission time (None
+    /// when the spec is undecodable); lets the worker's batch drain
+    /// check fingerprint distinctness without re-parsing under the
+    /// queue lock.
+    key: Option<alp_plan::PlanKey>,
     out: Arc<Mutex<UnixStream>>,
 }
 
@@ -179,7 +191,13 @@ struct Inner {
     shed_run: AtomicU64,
     runs_ok: AtomicU64,
     failures: AtomicU64,
+    batched: AtomicU64,
 }
+
+/// Max jobs one worker wakeup drains.  Small enough that a batch never
+/// starves the other workers of queued work, large enough to amortize
+/// the lock/condvar round trip under bursts.
+const WORKER_BATCH: usize = 8;
 
 impl Inner {
     /// Process one plan/run request end to end (worker side; admission
@@ -273,20 +291,44 @@ impl Inner {
             runs_ok: self.runs_ok.load(Ordering::Relaxed),
             failures: self.failures.load(Ordering::Relaxed),
             depth: self.depth.load(Ordering::Relaxed) as u64,
+            batched: self.batched.load(Ordering::Relaxed),
         }
     }
 
-    /// Worker loop: drain the queue; on shutdown, finish what is
-    /// queued, then exit.  Each job runs under panic containment so a
-    /// handler bug drops one response, never a worker.
+    /// Worker loop: each wakeup drains a *batch* of queued jobs with
+    /// pairwise-distinct plan keys (up to [`WORKER_BATCH`]) instead of
+    /// one job per wakeup, amortizing the lock/condvar round trip under
+    /// bursts.  The batch stops at the first job whose key repeats one
+    /// already taken: by the time a later wakeup reaches that job its
+    /// leader has published the plan, so it resolves as a cache hit
+    /// instead of serializing behind an identical compile in the same
+    /// batch.  On shutdown, workers finish what is queued, then exit.
+    /// Each job runs under panic containment so a handler bug drops one
+    /// response, never a worker.
     fn worker(&self) {
         loop {
-            let job = {
+            let batch = {
                 let mut q = self.queue.lock().expect("queue lock");
                 loop {
-                    if let Some(j) = q.pop_front() {
+                    if !q.is_empty() {
+                        let mut batch: Vec<Job> = Vec::new();
+                        while batch.len() < WORKER_BATCH {
+                            let dup = match q.front().and_then(|j| j.key) {
+                                Some(k) => batch.iter().any(|b| b.key == Some(k)),
+                                None => false,
+                            };
+                            if dup {
+                                break;
+                            }
+                            match q.pop_front() {
+                                Some(j) => batch.push(j),
+                                None => break,
+                            }
+                        }
                         self.depth.store(q.len(), Ordering::Relaxed);
-                        break j;
+                        self.batched
+                            .fetch_add((batch.len() - 1) as u64, Ordering::Relaxed);
+                        break batch;
                     }
                     if self.shutdown.load(Ordering::SeqCst) {
                         return;
@@ -294,15 +336,20 @@ impl Inner {
                     q = self.cv.wait(q).expect("queue lock");
                 }
             };
-            let resp =
-                catch_unwind(AssertUnwindSafe(|| self.handle_now(&job.req))).unwrap_or_else(|_| {
-                    self.failures.fetch_add(1, Ordering::Relaxed);
-                    Response::err(
-                        job.req.id,
-                        &ServeError::new("ALP0008", "request handler panicked; fault contained"),
-                    )
-                });
-            write_line(&job.out, &resp);
+            for job in batch {
+                let resp = catch_unwind(AssertUnwindSafe(|| self.handle_now(&job.req)))
+                    .unwrap_or_else(|_| {
+                        self.failures.fetch_add(1, Ordering::Relaxed);
+                        Response::err(
+                            job.req.id,
+                            &ServeError::new(
+                                "ALP0008",
+                                "request handler panicked; fault contained",
+                            ),
+                        )
+                    });
+                write_line(&job.out, &resp);
+            }
         }
     }
 
@@ -341,11 +388,19 @@ impl Inner {
                     break;
                 }
                 RequestOp::Plan | RequestOp::Run => {
+                    // The key is computed once here, on the reader
+                    // thread: the inline fast path needs it, and the
+                    // worker batch drain reuses it for fingerprint
+                    // distinctness without re-parsing.  Parse errors
+                    // (key: None) fall through to handle_now via a
+                    // worker so the reader stays responsive; they are
+                    // cheap to re-derive.
+                    let key = req.plan.key().ok();
                     // Tier 1: answer cached plans inline — no queue,
                     // no admission, works even under total overload.
                     if req.op == RequestOp::Plan {
-                        if let Ok(key) = req.plan.key() {
-                            if let Some(plan) = self.cache.get_cached(&key) {
+                        if let Some(k) = &key {
+                            if let Some(plan) = self.cache.get_cached(k) {
                                 self.inline_hits.fetch_add(1, Ordering::Relaxed);
                                 write_line(
                                     &out,
@@ -360,14 +415,12 @@ impl Inner {
                                 continue;
                             }
                         }
-                        // Parse errors fall through to handle_now via a
-                        // worker so the reader thread stays responsive;
-                        // they are cheap to re-derive.
                     }
                     // Tiers 2–3: bounded queue with class-based limits.
                     let id = req.id;
                     if let Err(e) = self.submit(Job {
                         req,
+                        key,
                         out: Arc::clone(&out),
                     }) {
                         write_line(&out, &Response::err(id, &e));
@@ -413,6 +466,7 @@ impl Server {
             shed_run: AtomicU64::new(0),
             runs_ok: AtomicU64::new(0),
             failures: AtomicU64::new(0),
+            batched: AtomicU64::new(0),
             cfg,
         });
         for spec in &inner.cfg.prewarm {
@@ -540,5 +594,97 @@ impl ServerHandle {
         }
         let _ = std::fs::remove_file(&self.path);
         self.inner.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Preload the queue with plan requests for `sources`, set the
+    /// shutdown flag, and run one worker to completion: every batch the
+    /// worker takes is observable through the `batched` counter, with
+    /// no socket or timing in the loop.
+    fn drain_once(sources: &[&str]) -> (ServerStats, Vec<UnixStream>) {
+        let server = Server::new(ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        });
+        let inner = Arc::clone(&server.inner);
+        let mut readers = Vec::new();
+        {
+            let mut q = inner.queue.lock().expect("queue lock");
+            for (i, src) in sources.iter().enumerate() {
+                let req = Request::plan(i as i128, src);
+                let key = req.plan.key().ok();
+                let (a, b) = UnixStream::pair().expect("socketpair");
+                readers.push(b);
+                q.push_back(Job {
+                    req,
+                    key,
+                    out: Arc::new(Mutex::new(a)),
+                });
+            }
+        }
+        // The worker drains everything queued, then exits on the flag.
+        inner.shutdown.store(true, Ordering::SeqCst);
+        inner.worker();
+        (inner.stats(), readers)
+    }
+
+    fn responses(readers: Vec<UnixStream>) -> usize {
+        let mut answered = 0;
+        for r in readers {
+            // Drop the server-side writer clones first: worker already
+            // ran, so the response (if any) is buffered in the socket.
+            r.set_nonblocking(true).expect("nonblocking");
+            let mut line = String::new();
+            if BufReader::new(r).read_line(&mut line).is_ok() && !line.trim().is_empty() {
+                Response::decode(&line).expect("response decodes");
+                answered += 1;
+            }
+        }
+        answered
+    }
+
+    #[test]
+    fn one_wakeup_drains_all_distinct_fingerprints() {
+        // Four distinct nests queued before the worker wakes: one batch
+        // takes them all, so three are batch tails.
+        let sources: Vec<String> = (0..4)
+            .map(|k| format!("doall (i, 0, {}) {{ A[i] = A[i]; }}", 15 + k))
+            .collect();
+        let refs: Vec<&str> = sources.iter().map(String::as_str).collect();
+        let (stats, readers) = drain_once(&refs);
+        assert_eq!(stats.batched, 3, "one wakeup, four distinct jobs");
+        assert_eq!(stats.misses, 4, "each distinct nest compiled once");
+        assert_eq!(responses(readers), 4, "every job answered");
+    }
+
+    #[test]
+    fn duplicate_fingerprint_splits_the_batch() {
+        // Keys A B A C: the first batch stops at the repeated A (by the
+        // time a later wakeup takes it, its leader has published the
+        // plan), so the drain is [A B] then [A C] — one tail each.
+        let a = "doall (i, 0, 15) { A[i] = A[i]; }";
+        let b = "doall (i, 0, 31) { B[i] = B[i]; }";
+        let c = "doall (i, 0, 63) { C[i] = C[i]; }";
+        let (stats, readers) = drain_once(&[a, b, a, c]);
+        assert_eq!(stats.batched, 2, "two batches of two");
+        assert_eq!(stats.misses, 3, "three distinct nests compiled");
+        assert_eq!(stats.hits, 1, "the repeated key hits the cache");
+        assert_eq!(responses(readers), 4);
+    }
+
+    #[test]
+    fn batch_cap_bounds_a_single_drain() {
+        let sources: Vec<String> = (0..WORKER_BATCH + 3)
+            .map(|k| format!("doall (i, 0, {}) {{ A[i] = A[i]; }}", 7 + k))
+            .collect();
+        let refs: Vec<&str> = sources.iter().map(String::as_str).collect();
+        let (stats, readers) = drain_once(&refs);
+        // Two wakeups: a full batch of WORKER_BATCH, then the 3 left.
+        assert_eq!(stats.batched, (WORKER_BATCH - 1 + 2) as u64);
+        assert_eq!(responses(readers), WORKER_BATCH + 3);
     }
 }

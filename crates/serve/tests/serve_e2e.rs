@@ -286,5 +286,14 @@ fn loadgen_smoke_accounts_for_every_request() {
     assert_eq!(report.max_concurrent, 64);
     // Server-side and client-side views agree on sheds.
     assert_eq!(report.server.shed(), report.shed);
+    // Batch draining never invents or loses work: batch tails are a
+    // subset of the queue-bound jobs (everything sent minus sheds and
+    // inline answers), and at most WORKER_BATCH-1 = 7 of every 8.
+    let queued = report.sent as u64 - report.shed as u64 - report.server.inline_hits;
+    assert!(
+        report.server.batched <= queued.saturating_sub(queued.div_ceil(8)),
+        "batch tails ({}) exceed what {queued} queued jobs can produce",
+        report.server.batched
+    );
     assert!(!path.exists(), "loadgen cleans up its socket");
 }

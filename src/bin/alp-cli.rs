@@ -31,6 +31,10 @@
 //!       --certify           prove the four certificate facts (coverage,
 //!                           write disjointness, bounds, idempotence) and
 //!                           embed them in the emitted plan (schema v3)
+//!       --skewed            partition with skewed parallelepiped tiles:
+//!                           the plan records the unimodular transform
+//!                           (schema v4) and downstream layers execute
+//!                           rectangular tiles in j = i·U space
 //!
 //! CERTIFY OPTIONS:
 //!       --emit <FILE|->     write the certified plan JSON (plans that
@@ -63,6 +67,9 @@
 //!                           nest is certified in-process, a saved plan
 //!                           must already carry one; re-check failures
 //!                           exit 9 (`ALP0011`)
+//!       --skewed            partition the DSL nest with skewed
+//!                           parallelepiped tiles and execute them
+//!                           natively (saved skewed plans need no flag)
 //! ```
 //!
 //! The legality analysis (races, lints) runs by default before
@@ -77,7 +84,8 @@
 //! bitwise against a sequential reference run.
 //!
 //! Exit codes: `0` success / clean, `1` I/O, parse, or plan/calibration
-//! decode failure (`ALP0006`/`ALP0010`), `2` usage, `3` (`--check` only) warnings but no errors, `4`
+//! decode failure (`ALP0006`/`ALP0010`, including structurally invalid
+//! plan transforms — `ALP0013`), `2` usage, `3` (`--check` only) warnings but no errors, `4`
 //! legality errors, `5` (`run` only) parallel result differs from the
 //! sequential reference, `6` (`run` only) deadline exceeded or run
 //! cancelled (`ALP0007`), `7` (`run` only) a tile faulted and retries —
@@ -146,10 +154,11 @@ fn usage() -> ! {
         "usage: alp-cli [-p N] [-m WxH] [--param NAME=VAL]... [--simulate] [--para] \
          [--line-size N] [--code] [--check|--no-check] [--from-plan FILE] <FILE|->\n       \
          alp-cli plan [-p N] [-m WxH] [--param NAME=VAL]... [--no-check] [--certify] \
-         [--emit FILE|-] <FILE|->\n       \
+         [--skewed] [--emit FILE|-] <FILE|->\n       \
          alp-cli run [-p N] [--param NAME=VAL]... [--threads N] [--steal] \
          [--line-size N] [--seed N] [--no-check] [--from-plan FILE] [--timeout-ms N] \
-         [--retry N] [--max-store-bytes N] [--fallback-seq] [--require-cert] <FILE|->\n       \
+         [--retry N] [--max-store-bytes N] [--fallback-seq] [--require-cert] [--skewed] \
+         <FILE|->\n       \
          alp-cli certify [--emit FILE|-] <PLAN|->\n       \
          alp-cli calibrate [-p N] [--param NAME=VAL]... [--threads N] [--trials N] \
          [--warmup N] [--line-size N] [--seed N] [--emit FILE|-] [FILE|-]\n       \
@@ -179,6 +188,7 @@ struct RunOptions {
     max_store_bytes: Option<u64>,
     fallback_seq: bool,
     require_cert: bool,
+    skewed: bool,
     input: String,
 }
 
@@ -197,6 +207,7 @@ fn parse_run_args(mut args: impl Iterator<Item = String>) -> RunOptions {
         max_store_bytes: None,
         fallback_seq: false,
         require_cert: false,
+        skewed: false,
         input: String::new(),
     };
     let mut input: Option<String> = None;
@@ -259,6 +270,7 @@ fn parse_run_args(mut args: impl Iterator<Item = String>) -> RunOptions {
             }
             "--fallback-seq" => opts.fallback_seq = true,
             "--require-cert" => opts.require_cert = true,
+            "--skewed" => opts.skewed = true,
             "-h" | "--help" => usage(),
             other if input.is_none() => input = Some(other.to_string()),
             _ => usage(),
@@ -354,7 +366,10 @@ fn run_main(opts: RunOptions) -> ExitCode {
             }
         }
 
-        let compiler = Compiler::new(opts.processors).unchecked();
+        let mut compiler = Compiler::new(opts.processors).unchecked();
+        if opts.skewed {
+            compiler = compiler.with_skewed_tiles();
+        }
         let result = match compiler.compile(nest) {
             Ok(r) => r,
             Err(e) => {
@@ -391,6 +406,14 @@ fn run_main(opts: RunOptions) -> ExitCode {
         "partition: grid {:?}, tile λ {:?}, modeled cost {}",
         result.partition.proc_grid, result.partition.tile_extents, result.partition.cost
     );
+    if let Some(t) = &result.plan.transform {
+        println!(
+            "transform: skewed tiles, U rows {:?} (grid and λ are j-space)",
+            (0..t.depth())
+                .map(|r| (0..t.depth()).map(|c| t.u()[(r, c)]).collect::<Vec<_>>())
+                .collect::<Vec<_>>()
+        );
+    }
     if let Some(cert) = &result.plan.certificate {
         println!(
             "certificate: coverage {}, write-disjoint {}, in-bounds {}, idempotent {}",
@@ -479,6 +502,7 @@ struct PlanOptions {
     emit: String,
     calibrated: Option<String>,
     certify: bool,
+    skewed: bool,
     input: String,
 }
 
@@ -501,6 +525,7 @@ fn parse_plan_args(mut args: impl Iterator<Item = String>) -> PlanOptions {
         emit: "-".to_string(),
         calibrated: None,
         certify: false,
+        skewed: false,
         input: String::new(),
     };
     let mut input: Option<String> = None;
@@ -532,6 +557,7 @@ fn parse_plan_args(mut args: impl Iterator<Item = String>) -> PlanOptions {
                 opts.calibrated = Some(args.next().unwrap_or_else(|| usage()));
             }
             "--certify" => opts.certify = true,
+            "--skewed" => opts.skewed = true,
             "-h" | "--help" => usage(),
             other if input.is_none() => input = Some(other.to_string()),
             _ => usage(),
@@ -577,6 +603,9 @@ fn plan_main(opts: PlanOptions) -> ExitCode {
         };
         compiler = compiler.with_calibration(calib.model);
     }
+    if opts.skewed {
+        compiler = compiler.with_skewed_tiles();
+    }
     let plan = match compiler.plan(&nest) {
         Ok(p) => p,
         Err(AlpError::Illegal(report)) => {
@@ -614,10 +643,15 @@ fn plan_main(opts: PlanOptions) -> ExitCode {
             return ExitCode::FAILURE;
         }
         eprintln!(
-            "alp-cli: wrote plan (fingerprint {}, grid {:?}, {} tiles) to {}",
+            "alp-cli: wrote plan (fingerprint {}, grid {:?}, {} tiles{}) to {}",
             plan.fingerprint,
             plan.proc_grid,
             plan.tiles(),
+            if plan.transform.is_some() {
+                ", skewed"
+            } else {
+                ""
+            },
             opts.emit
         );
     }

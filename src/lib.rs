@@ -102,7 +102,9 @@ pub enum AlpError {
     /// fault, `ALP0009` for an exceeded memory budget.
     Runtime(alp_runtime::RuntimeError),
     /// A saved partition plan could not be decoded or no longer matches
-    /// its embedded source (`ALP0006`).
+    /// its embedded source (`ALP0006`).  Structural transform damage
+    /// ([`PlanError::Transform`]: non-unimodular matrix, det ≠ ±1,
+    /// wrong rank, stale fingerprint) reports `ALP0013` instead.
     Plan(PlanError),
     /// A calibration artifact could not be read, or calibration probing
     /// / fitting failed (`ALP0010`).
@@ -131,7 +133,9 @@ impl AlpError {
     /// cancelled, `ALP0008` contained tile fault, `ALP0009` memory
     /// budget exceeded, `ALP0010` calibration artifact / probe failure,
     /// `ALP0011` certificate missing / stale / tampered, `ALP0012`
-    /// request shed by an overloaded plan service.
+    /// request shed by an overloaded plan service, `ALP0013` plan
+    /// transform invalid (non-unimodular, wrong rank, or stale
+    /// fingerprint).
     /// Codes never change meaning across releases; new variants get new
     /// codes.
     pub fn code(&self) -> &'static str {
@@ -144,11 +148,15 @@ impl AlpError {
             AlpError::Runtime(R::DeadlineExceeded { .. } | R::Cancelled) => "ALP0007",
             AlpError::Runtime(R::TileFailed { .. }) => "ALP0008",
             AlpError::Runtime(R::ResourceExceeded { .. }) => "ALP0009",
+            AlpError::Runtime(R::BadPlan(PlanError::Transform(_))) => "ALP0013",
             AlpError::Runtime(_) => "ALP0005",
             // Structural certificate damage caught while decoding the
             // plan file carries the certificate code, not the generic
             // plan-artifact one.
             AlpError::Plan(PlanError::Certificate(_)) => "ALP0011",
+            // Likewise, transform damage (non-unimodular `U`, det ≠ ±1,
+            // stale fingerprint) has its own stable code.
+            AlpError::Plan(PlanError::Transform(_)) => "ALP0013",
             AlpError::Plan(_) => "ALP0006",
             AlpError::Calibration(_) => "ALP0010",
             AlpError::Certify(_) => "ALP0011",
@@ -262,6 +270,12 @@ pub struct Compiler {
     /// objective ([`Compiler::with_calibration`]); `None` keeps the
     /// pure analytic Theorem-4 objective.
     pub calibration: Option<alp_calibrate::LatencyModel>,
+    /// Partition the nest's *transformed* space instead of the original
+    /// one ([`Compiler::with_skewed_tiles`]): search the §3.6
+    /// parallelepiped candidates, realize the winner as rectangular
+    /// tiles in `j = i·U`, and record the unimodular transform in the
+    /// plan (schema v4).
+    pub skewed: bool,
 }
 
 /// Everything the pipeline produces for one loop nest.
@@ -301,7 +315,9 @@ pub struct ExecutionSummary {
     pub outcome: alp_runtime::ExecOutcome,
     /// Measured max per-tile distinct-line count versus the cost model's
     /// cumulative-footprint prediction (`None` when touch tracking was
-    /// off or the partition has no rectangular tile extents).
+    /// off, the partition has no rectangular tile extents, or the plan
+    /// partitions a transformed space — skewed tile extents live in
+    /// `j`-coordinates the i-space model does not predict).
     pub model_comparison: Option<alp_runtime::ModelComparison>,
     /// True when the plan carried a certificate whose re-proven coverage
     /// and write-disjointness verdicts unlocked the relaxed (non-atomic)
@@ -317,7 +333,19 @@ impl Compiler {
             mesh: None,
             check: true,
             calibration: None,
+            skewed: false,
         }
+    }
+
+    /// Partition with skewed parallelepiped tiles: the plan carries a
+    /// unimodular [`Transform`](alp_plan::Transform) and every
+    /// downstream layer (runtime, certifier, simulator) works with
+    /// rectangular tiles in the transformed space.  With a calibration
+    /// attached, the hybrid latency cost ranks the skewed candidates;
+    /// otherwise the analytic parallelepiped objective picks.
+    pub fn with_skewed_tiles(mut self) -> Self {
+        self.skewed = true;
+        self
     }
 
     /// Configure an Alewife-style 2-D mesh.
@@ -361,6 +389,7 @@ impl Compiler {
             mesh: self.mesh,
             checked: self.check,
             calibrated: self.calibration.is_some(),
+            skewed: self.skewed,
         }
     }
 
@@ -391,6 +420,9 @@ impl Compiler {
         } else {
             LegalityVerdict::Unchecked
         };
+        if self.skewed {
+            return Ok((self.plan_skewed(nest, verdict)?, report));
+        }
         let plan = match &self.calibration {
             None => PartitionPlan::build(nest, self.processors, self.mesh, verdict)?,
             Some(latency) => {
@@ -409,6 +441,61 @@ impl Compiler {
             }
         };
         Ok((plan, report))
+    }
+
+    /// The skewed planning path: enumerate the §3.6 parallelepiped
+    /// candidates, pick one (hybrid latency cost when calibrated,
+    /// analytic objective otherwise), and record the winner's unimodular
+    /// transform in a schema-v4 plan.
+    fn plan_skewed(
+        &self,
+        nest: &LoopNest,
+        verdict: LegalityVerdict,
+    ) -> Result<PartitionPlan, AlpError> {
+        let cands = alp_plan::skewed_candidates(
+            nest,
+            self.processors,
+            &alp_partition::ParaSearchConfig::default(),
+        )?;
+        if cands.is_empty() {
+            return Err(AlpError::Infeasible(
+                "nest has no skewed parallelepiped candidate bases".into(),
+            ));
+        }
+        match &self.calibration {
+            // Candidates arrive sorted by the analytic parallelepiped
+            // objective; the head is the Theorem-4 winner.
+            None => Ok(PartitionPlan::build_skewed(
+                nest,
+                self.processors,
+                self.mesh,
+                verdict,
+                &cands[0],
+                "para-exhaustive",
+            )?),
+            Some(latency) => {
+                let ranked = alp_calibrate::rank_skewed(nest, latency, &cands, 1)?;
+                // A degenerate (all-tied) ranking falls back to the
+                // analytic order; the provenance string records which
+                // model actually decided.
+                let degenerate = alp_calibrate::skewed_ranking_is_degenerate(&ranked);
+                let best = &cands[ranked[0].index];
+                let optimizer = if degenerate {
+                    "para-exhaustive"
+                } else {
+                    "para-exhaustive+latency"
+                };
+                Ok(PartitionPlan::build_skewed(
+                    nest,
+                    self.processors,
+                    self.mesh,
+                    verdict,
+                    best,
+                    optimizer,
+                )?
+                .with_calibration(latency.clone().into()))
+            }
+        }
     }
 
     /// Run the full pipeline on a nest.
@@ -462,11 +549,20 @@ impl Compiler {
         report: alp_analysis::Report,
     ) -> CompileResult {
         let partition = plan.rect_partition();
-        let data_partitions = align_arrays(&nest, &partition.tile_extents);
+        // For a transformed plan the grid and extents live in `j`-space,
+        // so the rectangular i-space backends (data alignment, SPMD rect
+        // codegen) do not apply: alignment is skipped and the emitted
+        // code is a note pointing at the native transformed executor.
+        let (data_partitions, code) = match &plan.transform {
+            None => (
+                align_arrays(&nest, &partition.tile_extents),
+                alp_codegen::emit_rect_code(&nest, &partition.proc_grid),
+            ),
+            Some(t) => (Vec::new(), transformed_code_note(t, &partition.proc_grid)),
+        };
         let placement = plan
             .mesh
             .map(|mesh| mesh_placement(&partition.proc_grid, mesh));
-        let code = alp_codegen::emit_rect_code(&nest, &partition.proc_grid);
         CompileResult {
             class_count: plan.class_footprints.len(),
             comm_free_normals: plan.comm_free_normals.clone(),
@@ -541,8 +637,15 @@ impl Compiler {
         let certified_fastpath = exec.uses_relaxed_stores();
         let extents = exec.tile_extents().to_vec();
         let outcome = exec.verify(seed, opts)?;
-        let model = alp_footprint::CostModel::from_nest(&result.nest);
-        let model_comparison = outcome.report.compare_with_model(&model, &extents);
+        // A transformed plan's tile extents are `j`-space quantities; the
+        // cost model predicts i-space rectangular footprints, so the
+        // comparison would be apples to oranges.
+        let model_comparison = if result.plan.transform.is_some() {
+            None
+        } else {
+            let model = alp_footprint::CostModel::from_nest(&result.nest);
+            outcome.report.compare_with_model(&model, &extents)
+        };
         Ok(ExecutionSummary {
             outcome,
             model_comparison,
@@ -557,6 +660,29 @@ impl Compiler {
         let home = aligned_home(&result.nest, &result.partition);
         self.simulate_plan(result, &home)
     }
+}
+
+/// The `code` string for a transformed (skewed) plan: rectangular SPMD
+/// emission is an i-space backend, so instead of misrepresenting the
+/// `j`-space grid as loop bounds, describe the transform and point at
+/// the native executor that runs it.
+fn transformed_code_note(t: &alp_plan::Transform, grid: &[i128]) -> String {
+    let rows: Vec<String> = (0..t.depth())
+        .map(|r| {
+            let row: Vec<String> = (0..t.depth()).map(|c| t.u()[(r, c)].to_string()).collect();
+            format!("//   [ {} ]", row.join(" "))
+        })
+        .collect();
+    format!(
+        "// skewed plan: tiles are rectangular in the transformed space j = i*U\n\
+         // U =\n{}\n\
+         // j-space processor grid: {:?}\n\
+         // execute natively with alp-runtime (Executor::from_plan); the\n\
+         // inner loop is a unit-stride row in j-space, clipped per-row to\n\
+         // the image of the original bounds.\n",
+        rows.join("\n"),
+        grid,
+    )
 }
 
 /// Build the aligned data distribution for a rectangular loop partition:
@@ -629,8 +755,9 @@ pub mod prelude {
     pub use crate::{AlpError, CompileResult, Compiler, ExecutionSummary};
     pub use alp_analysis::{analyze, analyze_program, pair_conflict, Report, Witness};
     pub use alp_calibrate::{
-        choose_calibrated, fit, fit_nest, probe_nest, rank_candidates, ranking_is_degenerate,
-        CalibrateError, Calibration, GridFeatures, LatencyModel, ProbeConfig, RankedCandidate,
+        choose_calibrated, fit, fit_nest, probe_nest, probe_skewed, rank_candidates, rank_skewed,
+        ranking_is_degenerate, skewed_grid_features, skewed_ranking_is_degenerate, CalibrateError,
+        Calibration, GridFeatures, LatencyModel, ProbeConfig, RankedCandidate, RankedSkewed,
         TileSample,
     };
     pub use alp_certify::{certify, recheck, CertifyError, CertifyReport};
@@ -657,8 +784,9 @@ pub mod prelude {
         ProgramPartition, ProgramStrategy, RectPartition, SpreadKind,
     };
     pub use alp_plan::{
-        fingerprint, fingerprint_hex, rect_tiles, CacheStats, Certificate, ChosenBy, IterBox,
-        LatencyCoefficients, LegalityVerdict, PartitionPlan, PlanCache, PlanError, PlanKey,
+        fingerprint, fingerprint_hex, rect_tiles, skewed_candidates, transformed_tiles, CacheStats,
+        Certificate, ChosenBy, IterBox, LatencyCoefficients, LegalityVerdict, PartitionPlan,
+        PlanCache, PlanError, PlanKey, SkewedCandidate, Transform, TransformedDomain,
     };
     pub use alp_runtime::{
         syntactic_retry_safe, CancelToken, ExecOptions, ExecOutcome, Executor, ModelComparison,

@@ -13,6 +13,10 @@ const GOLDEN_PLAN_V1: &str = include_str!("golden/example8.v1.plan.json");
 /// The exact bytes a pre-certificate (schema-2) build emitted — frozen
 /// forever, like the v1 snapshot.
 const GOLDEN_PLAN_V2: &str = include_str!("golden/example8.v2.plan.json");
+/// A skewed (schema-4) Example-2 plan: the first artifact generation to
+/// carry a `transform` block.
+const GOLDEN_SOURCE_EX2: &str = include_str!("golden/example2.alp");
+const GOLDEN_PLAN_V4: &str = include_str!("golden/example2.v4.plan.json");
 
 fn golden_compiler() -> Compiler {
     Compiler::new(64).with_mesh(8, 8)
@@ -85,6 +89,41 @@ fn version_2_golden_decodes_and_reencodes_byte_stably() {
     let v3 = PartitionPlan::from_json_str(GOLDEN_PLAN).expect("v3 plan decodes");
     assert_eq!(plan.proc_grid, v3.proc_grid);
     assert_eq!(plan.fingerprint, v3.fingerprint);
+}
+
+#[test]
+fn version_4_skewed_golden_is_byte_identical_and_recompilable() {
+    // The skewed Example-2 snapshot: recompiling with skewed tiles and
+    // re-certifying must reproduce the file byte for byte.
+    let nest = parse(GOLDEN_SOURCE_EX2).expect("example2 parses");
+    let plan = Compiler::new(16)
+        .with_skewed_tiles()
+        .plan(&nest)
+        .expect("skewed plan builds");
+    let report = certify(&plan).expect("skewed plan certifies");
+    let certified = plan.with_certificate(report.certificate);
+    assert_eq!(
+        certified.to_json_string(),
+        GOLDEN_PLAN_V4,
+        "skewed plan encoding drifted from tests/golden/example2.v4.plan.json; \
+         if the change is intentional, re-emit the snapshot with \
+         `alp-cli plan -p 16 --skewed --certify --emit tests/golden/example2.v4.plan.json - \
+         < tests/golden/example2.alp`"
+    );
+}
+
+#[test]
+fn version_4_golden_decodes_round_trips_and_carries_the_transform() {
+    let plan = PartitionPlan::from_json_str(GOLDEN_PLAN_V4).expect("v4 plan decodes");
+    assert_eq!(plan.schema_version, 4);
+    assert_eq!(plan.to_json_string(), GOLDEN_PLAN_V4);
+    let t = plan.transform.as_ref().expect("v4 golden is skewed");
+    assert_eq!(t.fingerprint(), plan.fingerprint);
+    assert_eq!((t.u()[(0, 0)], t.u()[(0, 1)]), (1, 0));
+    assert_eq!((t.u()[(1, 0)], t.u()[(1, 1)]), (1, -1));
+    // The certificate re-proves in transformed coordinates.
+    let cert = recheck(&plan).expect("v4 certificate re-verifies");
+    assert!(cert.coverage && cert.write_disjoint && cert.in_bounds && cert.idempotent);
 }
 
 #[test]
@@ -195,7 +234,7 @@ fn malformed_corpus_is_rejected_with_stable_codes() {
         assert_eq!(err.code(), expected, "{name}");
         checked += 1;
     }
-    assert_eq!(checked, 13, "expected all corpus files to be exercised");
+    assert_eq!(checked, 16, "expected all corpus files to be exercised");
 }
 
 #[test]
