@@ -1,0 +1,231 @@
+//! Seeded fault injection for the I/O layer: the durable plan store's
+//! write path and (via the same claim discipline) socket transports.
+//!
+//! An [`IoFaultPlan`] is the I/O sibling of the executor's
+//! [`FaultPlan`](crate::FaultPlan): a deterministic, one-shot schedule
+//! of faults keyed by a monotone *operation index* — the store numbers
+//! every physical write attempt, a test proxy numbers every accepted
+//! connection.  The same `(seed, span)` always yields the same
+//! schedule, so a failing chaos run reproduces exactly.
+//!
+//! The plan plugs into production code through
+//! [`IoFaultPlan::store_hook`], which adapts it to the plan store's
+//! [`WriteFaultHook`]: short writes
+//! and EINTR/EAGAIN are absorbed by the store's robust-writer loop,
+//! hard resets abort mid-frame and leave exactly the torn tail that
+//! crash recovery must repair.  [`TornFrame`](IoFaultKind::TornFrame)
+//! composes the two — land half a frame, then die — the worst case a
+//! `kill -9` can leave on disk.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+use alp_plan::store::{WriteFault, WriteFaultHook};
+
+/// What an I/O fault does when its operation index comes up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoFaultKind {
+    /// The kernel accepts only `keep` bytes of the buffer (they really
+    /// land); a robust writer resumes with the remainder.
+    ShortWrite {
+        /// Bytes accepted before the write returns.
+        keep: usize,
+    },
+    /// `EINTR` — must be retried transparently.
+    Interrupted,
+    /// `EAGAIN` — must be retried transparently.
+    WouldBlock,
+    /// A hard connection/`write` failure; aborts the operation and, on
+    /// the store path, leaves a torn tail.
+    Reset,
+    /// Half the buffer lands, then the *next* operation hard-fails:
+    /// the canonical mid-frame crash a `kill -9` leaves behind.
+    TornFrame,
+}
+
+/// One scheduled, one-shot I/O fault.
+#[derive(Debug)]
+struct IoFault {
+    op: u64,
+    kind: IoFaultKind,
+    fired: AtomicBool,
+}
+
+/// A deterministic schedule of one-shot I/O faults keyed by operation
+/// index.
+///
+/// ```
+/// use alp_chaos::{IoFaultKind, IoFaultPlan};
+///
+/// let plan = IoFaultPlan::new()
+///     .with(0, IoFaultKind::ShortWrite { keep: 3 })
+///     .with(2, IoFaultKind::Reset);
+/// assert_eq!(plan.claim(0), Some(IoFaultKind::ShortWrite { keep: 3 }));
+/// assert_eq!(plan.claim(0), None, "one-shot");
+/// assert_eq!(plan.claim(1), None, "unscheduled op");
+/// ```
+#[derive(Debug, Default)]
+pub struct IoFaultPlan {
+    faults: Vec<IoFault>,
+    /// Reset ops armed dynamically by a claimed [`IoFaultKind::TornFrame`].
+    armed_resets: Mutex<Vec<u64>>,
+}
+
+impl IoFaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn new() -> Self {
+        IoFaultPlan::default()
+    }
+
+    /// Schedule `kind` at operation `op`.
+    pub fn with(mut self, op: u64, kind: IoFaultKind) -> Self {
+        self.faults.push(IoFault {
+            op,
+            kind,
+            fired: AtomicBool::new(false),
+        });
+        self
+    }
+
+    /// A seeded plan aiming 1–3 faults inside the first `span`
+    /// operations.  Same `(seed, span)`, same schedule; across seeds
+    /// every fault kind appears.
+    pub fn seeded(seed: u64, span: u64) -> Self {
+        let span = span.max(1);
+        let count = 1 + mix(seed) % 3;
+        let mut plan = IoFaultPlan::new();
+        for i in 0..count {
+            let s = seed.wrapping_add(0x9E37 * (i + 1));
+            let op = mix(s) % span;
+            let kind = match mix(s.wrapping_add(1)) % 5 {
+                0 => IoFaultKind::ShortWrite {
+                    keep: 1 + (mix(s.wrapping_add(2)) % 16) as usize,
+                },
+                1 => IoFaultKind::Interrupted,
+                2 => IoFaultKind::WouldBlock,
+                3 => IoFaultKind::Reset,
+                _ => IoFaultKind::TornFrame,
+            };
+            plan = plan.with(op, kind);
+        }
+        plan
+    }
+
+    /// The `(op, kind)` schedule, for asserting determinism.
+    pub fn schedule(&self) -> Vec<(u64, IoFaultKind)> {
+        self.faults.iter().map(|f| (f.op, f.kind)).collect()
+    }
+
+    /// How many scheduled faults have fired.
+    pub fn fired_count(&self) -> usize {
+        self.faults
+            .iter()
+            .filter(|f| f.fired.load(Ordering::Relaxed))
+            .count()
+    }
+
+    /// Claim (at most once) the fault scheduled for `op`.  A claimed
+    /// [`IoFaultKind::TornFrame`] arms a [`IoFaultKind::Reset`] at
+    /// `op + 1`, so the caller sees the short write now and the hard
+    /// failure on its resume attempt.
+    pub fn claim(&self, op: u64) -> Option<IoFaultKind> {
+        {
+            let mut armed = self.armed_resets.lock().expect("armed lock");
+            if let Some(i) = armed.iter().position(|&a| a == op) {
+                armed.swap_remove(i);
+                return Some(IoFaultKind::Reset);
+            }
+        }
+        let kind = self
+            .faults
+            .iter()
+            .find(|f| f.op == op && !f.fired.swap(true, Ordering::SeqCst))
+            .map(|f| f.kind)?;
+        if kind == IoFaultKind::TornFrame {
+            self.armed_resets.lock().expect("armed lock").push(op + 1);
+        }
+        Some(kind)
+    }
+
+    /// Adapt this plan to the plan store's write-fault hook.  The store
+    /// consults the hook with `(op, remaining_len)` before each
+    /// physical write; `TornFrame` turns into "half of what remains
+    /// lands, the resume is reset".
+    pub fn store_hook(self: &Arc<Self>) -> WriteFaultHook {
+        let plan = Arc::clone(self);
+        Arc::new(move |op, len| {
+            plan.claim(op).map(|kind| match kind {
+                IoFaultKind::ShortWrite { keep } => WriteFault::Short(keep.min(len)),
+                IoFaultKind::Interrupted => WriteFault::Err(std::io::ErrorKind::Interrupted),
+                IoFaultKind::WouldBlock => WriteFault::Err(std::io::ErrorKind::WouldBlock),
+                IoFaultKind::Reset => WriteFault::Err(std::io::ErrorKind::ConnectionReset),
+                IoFaultKind::TornFrame => WriteFault::Short((len / 2).max(1)),
+            })
+        })
+    }
+}
+
+/// SplitMix64 (shared with the executor fault plan).
+fn mix(seed: u64) -> u64 {
+    super::mix(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_is_deterministic_and_covers_every_kind() {
+        for seed in 0..8u64 {
+            assert_eq!(
+                IoFaultPlan::seeded(seed, 32).schedule(),
+                IoFaultPlan::seeded(seed, 32).schedule(),
+                "seed {seed}"
+            );
+        }
+        let kinds: std::collections::HashSet<u8> = (0..64u64)
+            .flat_map(|s| {
+                IoFaultPlan::seeded(s, 32)
+                    .schedule()
+                    .into_iter()
+                    .map(|(_, k)| match k {
+                        IoFaultKind::ShortWrite { .. } => 0,
+                        IoFaultKind::Interrupted => 1,
+                        IoFaultKind::WouldBlock => 2,
+                        IoFaultKind::Reset => 3,
+                        IoFaultKind::TornFrame => 4,
+                    })
+            })
+            .collect();
+        assert_eq!(kinds.len(), 5, "all five fault kinds appear across seeds");
+    }
+
+    #[test]
+    fn torn_frame_arms_a_reset_on_the_resume_op() {
+        let plan = IoFaultPlan::new().with(3, IoFaultKind::TornFrame);
+        assert_eq!(plan.claim(3), Some(IoFaultKind::TornFrame));
+        assert_eq!(plan.claim(4), Some(IoFaultKind::Reset), "resume dies");
+        assert_eq!(plan.claim(4), None, "armed reset is one-shot too");
+    }
+
+    #[test]
+    fn store_hook_translates_kinds() {
+        let plan = Arc::new(
+            IoFaultPlan::new()
+                .with(0, IoFaultKind::ShortWrite { keep: 100 })
+                .with(1, IoFaultKind::Interrupted)
+                .with(2, IoFaultKind::Reset),
+        );
+        let hook = plan.store_hook();
+        assert_eq!(hook(0, 8), Some(WriteFault::Short(8)), "clamped to len");
+        assert_eq!(
+            hook(1, 8),
+            Some(WriteFault::Err(std::io::ErrorKind::Interrupted))
+        );
+        assert_eq!(
+            hook(2, 8),
+            Some(WriteFault::Err(std::io::ErrorKind::ConnectionReset))
+        );
+        assert_eq!(hook(3, 8), None);
+    }
+}

@@ -20,6 +20,10 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 
+pub mod io;
+
+pub use io::{IoFaultKind, IoFaultPlan};
+
 /// What a scheduled fault does when it fires.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum FaultKind {
@@ -274,7 +278,7 @@ pub fn tamper_certificate(json: &str, kind: CertTamper) -> Option<String> {
 }
 
 /// SplitMix64 — the same generator the runtime uses for store seeding.
-fn mix(seed: u64) -> u64 {
+pub(crate) fn mix(seed: u64) -> u64 {
     let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);

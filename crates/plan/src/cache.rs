@@ -38,6 +38,11 @@ pub struct PlanKey {
     /// Whether the plan partitions a transformed (skewed) space —
     /// skewed and rectangular plans for the same nest must not alias.
     pub skewed: bool,
+    /// Whether the plan carries an embedded certificate (certified and
+    /// uncertified plans for the same nest must not alias: the
+    /// certificate changes the artifact bytes and widens the client's
+    /// retry policy).
+    pub certified: bool,
 }
 
 /// Hit/miss/eviction counters, cumulative over the cache's lifetime.
@@ -110,6 +115,22 @@ impl PlanCache {
     /// True when nothing is cached.
     pub fn is_empty(&self) -> bool {
         self.map.is_empty()
+    }
+
+    /// Maximum number of plans this cache will hold.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Snapshot of every cached entry, most-recently-used last.  The
+    /// durable store uses this to compact a live cache into a fresh
+    /// journal segment without holding the lock across I/O.
+    pub fn entries(&self) -> Vec<(PlanKey, Arc<PartitionPlan>)> {
+        let mut all: Vec<(&PlanKey, &Entry)> = self.map.iter().collect();
+        all.sort_by_key(|(_, e)| e.last_used);
+        all.into_iter()
+            .map(|(k, e)| (*k, Arc::clone(&e.plan)))
+            .collect()
     }
 
     /// A point-in-time snapshot of the cumulative counters.  Needs only
@@ -221,6 +242,7 @@ mod tests {
             checked: true,
             calibrated: false,
             skewed: false,
+            certified: false,
         }
     }
 
@@ -280,6 +302,12 @@ mod tests {
         assert!(cache
             .get(&PlanKey {
                 skewed: true,
+                ..key(1)
+            })
+            .is_none());
+        assert!(cache
+            .get(&PlanKey {
+                certified: true,
                 ..key(1)
             })
             .is_none());

@@ -31,6 +31,7 @@ pub mod fingerprint;
 pub mod json;
 mod plan;
 pub mod shard;
+pub mod store;
 pub mod tiles;
 pub mod transform;
 
@@ -41,7 +42,8 @@ pub use plan::{
     Certificate, ChosenBy, ClassFootprint, LatencyCoefficients, LegalityVerdict, PartitionPlan,
     MIN_SCHEMA_VERSION, SCHEMA_VERSION,
 };
-pub use shard::{Fetched, ShardedCacheStats, ShardedPlanCache};
+pub use shard::{Fetched, ShardOccupancy, ShardedCacheStats, ShardedPlanCache};
+pub use store::{PlanStore, RecoveryReport, StoreConfig, StoredEntry};
 pub use tiles::{rect_tiles, IterBox};
 pub use transform::{
     skewed_candidates, transformed_tiles, SkewedCandidate, Transform, TransformedDomain,

@@ -28,7 +28,6 @@ use crate::{PartitionPlan, PlanCache, PlanError, PlanKey};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
 /// How a [`get_or_compute`](ShardedPlanCache::get_or_compute) call was
@@ -100,6 +99,28 @@ struct InFlight<E> {
 struct ShardState<E> {
     cache: PlanCache,
     inflight: HashMap<PlanKey, Arc<InFlight<E>>>,
+    // Request-level counters live per shard, under the same lock the
+    // lookup already holds — no extra synchronization, and the stats
+    // endpoint can expose per-shard hit rates for live capacity tuning.
+    hits: u64,
+    misses: u64,
+    coalesced: u64,
+}
+
+/// A point-in-time view of one shard, for live capacity tuning: is the
+/// shard full, and is it earning its keep?
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardOccupancy {
+    /// Plans currently cached in this shard.
+    pub len: usize,
+    /// The shard's LRU capacity.
+    pub capacity: usize,
+    /// Lookups this shard answered from cache.
+    pub hits: u64,
+    /// Lookups that became compile leaders on this shard.
+    pub misses: u64,
+    /// Lookups that waited on this shard's in-flight compiles.
+    pub coalesced: u64,
 }
 
 /// Removes the in-flight entry and publishes `Abandoned` unless the
@@ -136,9 +157,6 @@ impl<E> Drop for LeaderGuard<'_, E> {
 /// machinery; it only needs to be `Clone + Send`.
 pub struct ShardedPlanCache<E = PlanError> {
     shards: Vec<Mutex<ShardState<E>>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    coalesced: AtomicU64,
 }
 
 impl<E: Clone> ShardedPlanCache<E> {
@@ -157,12 +175,12 @@ impl<E: Clone> ShardedPlanCache<E> {
                     Mutex::new(ShardState {
                         cache: PlanCache::new(per_shard),
                         inflight: HashMap::new(),
+                        hits: 0,
+                        misses: 0,
+                        coalesced: 0,
                     })
                 })
                 .collect(),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            coalesced: AtomicU64::new(0),
         }
     }
 
@@ -184,20 +202,60 @@ impl<E: Clone> ShardedPlanCache<E> {
         self.len() == 0
     }
 
-    /// A point-in-time snapshot of the cumulative counters.  The
-    /// request-level counters are lock-free atomics; evictions take
-    /// each shard lock briefly.
+    /// A point-in-time snapshot of the cumulative counters, summed
+    /// over shards (each shard lock is taken briefly).
     pub fn stats(&self) -> ShardedCacheStats {
-        ShardedCacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            coalesced: self.coalesced.load(Ordering::Relaxed),
-            evictions: self
-                .shards
-                .iter()
-                .map(|s| s.lock().map_or(0, |st| st.cache.stats().evictions))
-                .sum(),
+        let mut total = ShardedCacheStats::default();
+        for s in &self.shards {
+            if let Ok(st) = s.lock() {
+                total.hits += st.hits;
+                total.misses += st.misses;
+                total.coalesced += st.coalesced;
+                total.evictions += st.cache.stats().evictions;
+            }
         }
+        total
+    }
+
+    /// Per-shard occupancy and counters — the observable that makes
+    /// `--cache-capacity` tunable from live traffic instead of
+    /// guesswork.
+    pub fn per_shard(&self) -> Vec<ShardOccupancy> {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .map_or(ShardOccupancy::default(), |st| ShardOccupancy {
+                        len: st.cache.len(),
+                        capacity: st.cache.capacity(),
+                        hits: st.hits,
+                        misses: st.misses,
+                        coalesced: st.coalesced,
+                    })
+            })
+            .collect()
+    }
+
+    /// Insert a plan without touching the request counters: the replay
+    /// path of the durable store, which re-warms the cache before any
+    /// request has been seen.  Returns `false` when the key was already
+    /// present (the existing entry is kept).
+    pub fn warm(&self, key: PlanKey, plan: Arc<PartitionPlan>) -> bool {
+        let mut st = self.shard_for(&key).lock().expect("shard lock");
+        if st.cache.peek(&key).is_some() {
+            return false;
+        }
+        st.cache.insert(key, plan);
+        true
+    }
+
+    /// Snapshot of every cached plan across all shards — what the
+    /// store compactor persists as the live set.
+    pub fn entries(&self) -> Vec<(PlanKey, Arc<PartitionPlan>)> {
+        self.shards
+            .iter()
+            .flat_map(|s| s.lock().map_or(Vec::new(), |st| st.cache.entries()))
+            .collect()
     }
 
     fn shard_for(&self, key: &PlanKey) -> &Mutex<ShardState<E>> {
@@ -215,7 +273,7 @@ impl<E: Clone> ShardedPlanCache<E> {
         let mut st = self.shard_for(key).lock().expect("shard lock");
         let found = st.cache.peek(key);
         if found.is_some() {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            st.hits += 1;
         }
         found
     }
@@ -240,14 +298,14 @@ impl<E: Clone> ShardedPlanCache<E> {
                 // "in flight" implies "not yet cached" — check the
                 // in-flight map first and a waiter is never
                 // double-counted as a miss.
-                if let Some(f) = st.inflight.get(&key) {
-                    self.coalesced.fetch_add(1, Ordering::Relaxed);
-                    Arc::clone(f)
+                if let Some(f) = st.inflight.get(&key).map(Arc::clone) {
+                    st.coalesced += 1;
+                    f
                 } else if let Some(plan) = st.cache.peek(&key) {
-                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    st.hits += 1;
                     return Ok((plan, Fetched::Hit));
                 } else {
-                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    st.misses += 1;
                     let f = Arc::new(InFlight {
                         slot: Mutex::new(Slot::Pending),
                         cv: Condvar::new(),
@@ -299,13 +357,14 @@ impl<E: Clone> ShardedPlanCache<E> {
     }
 }
 
-impl<E> std::fmt::Debug for ShardedPlanCache<E> {
+impl<E: Clone> std::fmt::Debug for ShardedPlanCache<E> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.stats();
         f.debug_struct("ShardedPlanCache")
             .field("shards", &self.shards.len())
-            .field("hits", &self.hits.load(Ordering::Relaxed))
-            .field("misses", &self.misses.load(Ordering::Relaxed))
-            .field("coalesced", &self.coalesced.load(Ordering::Relaxed))
+            .field("hits", &s.hits)
+            .field("misses", &s.misses)
+            .field("coalesced", &s.coalesced)
             .finish()
     }
 }
@@ -324,6 +383,7 @@ mod tests {
             checked: true,
             calibrated: false,
             skewed: false,
+            certified: false,
         }
     }
 
@@ -377,7 +437,7 @@ mod tests {
 
     #[test]
     fn abandoned_leader_wakes_waiters() {
-        use std::sync::atomic::AtomicUsize;
+        use std::sync::atomic::{AtomicUsize, Ordering};
         let cache: Arc<ShardedPlanCache> = Arc::new(ShardedPlanCache::new(1, 8));
         let built = Arc::new(AtomicUsize::new(0));
         // Leader panics mid-compile in its own thread.

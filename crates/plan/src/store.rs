@@ -1,0 +1,863 @@
+//! A durable, crash-safe journal of partition-plan artifacts — what
+//! lets `alp-serve` survive a restart without a recompile storm.
+//!
+//! The paper's premise is that partitioning decisions are expensive to
+//! derive and cheap to reuse; the serve layer memoizes them in a
+//! [`ShardedPlanCache`](crate::ShardedPlanCache), but that cache dies
+//! with the process.  [`PlanStore`] is the persistence layer beneath
+//! it: an append-only journal of `(key, plan)` records that a daemon
+//! replays on startup to re-warm its cache.
+//!
+//! # Frame format
+//!
+//! A store is a directory of numbered segment files
+//! (`segment-NNNNNN.alpj`).  Each segment opens with the 10-byte magic
+//! `ALPSTORE1\n` followed by frames:
+//!
+//! ```text
+//! [u32 LE payload length][u64 LE FNV-1a checksum][payload bytes]
+//! ```
+//!
+//! The checksum is [`fnv1a64`] over the length prefix *and* the
+//! payload, so a frame whose length field was torn fails the checksum
+//! even when the bytes at the (wrong) payload boundary happen to look
+//! plausible.  The payload is a single-line integer-only JSON envelope
+//! carrying the journal sequence number, every [`PlanKey`] field, and
+//! the canonical plan artifact itself.
+//!
+//! # Crash safety
+//!
+//! Appends are single buffered `write` calls with **no** fsync: a
+//! `kill -9` after `append` returns can lose at most the frames still
+//! in the page cache, and a kill *during* the write leaves at most one
+//! torn frame at the tail.  Recovery ([`PlanStore::open`]) walks every
+//! segment frame by frame; the first bad frame (short header, oversized
+//! or truncated length, checksum mismatch, undecodable payload) ends
+//! that segment: the offending tail bytes are copied to a
+//! `quarantine/` sidecar for post-mortem, the segment is truncated back
+//! to its last good frame, and replay continues — corruption is
+//! diagnosed (`ALP0014`) but **never fatal**.  [`PlanStore::sync`]
+//! exists for the graceful-drain path, where the daemon wants the
+//! journal on stable storage before exiting 0.
+//!
+//! # Rotation and compaction
+//!
+//! When the active segment exceeds [`StoreConfig::segment_bytes`] the
+//! store rotates to a fresh segment.  [`PlanStore::compact`] rewrites
+//! the live set into a brand-new segment via tempfile + fsync +
+//! atomic rename, then deletes every older segment — a crash at any
+//! point leaves either the old segments or the complete new one, never
+//! a half-state.  Within and across segments, a later sequence number
+//! for the same key supersedes earlier frames, so re-planning a nest
+//! (e.g. after calibration) simply appends.
+
+use crate::fingerprint::fnv1a64;
+use crate::json::{self, Json};
+use crate::{PartitionPlan, PlanKey};
+use std::collections::HashMap;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Stable diagnostic code for quarantined store corruption.  Never
+/// fatal: recovery repairs the store and keeps serving.
+pub const CORRUPT_CODE: &str = "ALP0014";
+
+/// Envelope schema version inside each frame payload.
+pub const STORE_VERSION: i128 = 1;
+
+/// Per-segment magic header.
+const MAGIC: &[u8] = b"ALPSTORE1\n";
+
+/// Frame header bytes: u32 length + u64 checksum.
+const HEADER: usize = 12;
+
+/// Upper bound on one frame's payload — anything larger is corruption,
+/// not a plan.
+const MAX_FRAME_BYTES: u32 = 64 << 20;
+
+/// A fault the write hook can inject into one store `write` operation.
+/// This is how the chaos crate reaches inside the journal without the
+/// journal depending on it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteFault {
+    /// The kernel accepted only the first `n` bytes (they really are
+    /// written); the store must resume with the remainder.
+    Short(usize),
+    /// The write failed with this error kind.  `Interrupted` (EINTR)
+    /// and `WouldBlock` (EAGAIN) must be retried transparently; hard
+    /// kinds abort the append and leave a torn tail for recovery.
+    Err(io::ErrorKind),
+}
+
+/// Hook consulted before every store write operation, keyed by a
+/// monotone operation index.  Returning `None` lets the write proceed.
+pub type WriteFaultHook = Arc<dyn Fn(u64, usize) -> Option<WriteFault> + Send + Sync>;
+
+/// Tunables for a [`PlanStore`].
+#[derive(Debug, Clone, Copy)]
+pub struct StoreConfig {
+    /// Rotate to a fresh segment once the active one exceeds this many
+    /// bytes (checked before each append).
+    pub segment_bytes: u64,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            segment_bytes: 4 << 20,
+        }
+    }
+}
+
+/// One live record replayed from the journal.
+#[derive(Debug, Clone)]
+pub struct StoredEntry {
+    /// Journal sequence number (later supersedes earlier per key).
+    pub seq: u64,
+    /// The cache key the plan was stored under.
+    pub key: PlanKey,
+    /// The decoded plan artifact.
+    pub plan: Arc<PartitionPlan>,
+}
+
+/// One corrupt region found (and, under [`PlanStore::open`], repaired)
+/// during recovery.
+#[derive(Debug, Clone)]
+pub struct QuarantineEvent {
+    /// Segment index the corruption was found in.
+    pub segment: u64,
+    /// Byte offset of the first bad byte.
+    pub offset: u64,
+    /// Number of bytes quarantined (bad byte to end of segment).
+    pub bytes: u64,
+    /// What failed: header, length bound, checksum, or payload decode.
+    pub reason: String,
+}
+
+impl std::fmt::Display for QuarantineEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "warning[{CORRUPT_CODE}]: store segment {:06} byte {}: {} ({} bytes quarantined)",
+            self.segment, self.offset, self.reason, self.bytes
+        )
+    }
+}
+
+/// What [`PlanStore::open`] / [`PlanStore::scan`] found.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryReport {
+    /// Segments examined.
+    pub segments: usize,
+    /// Valid frames decoded across all segments (including superseded
+    /// ones).
+    pub frames: u64,
+    /// Total valid bytes scanned.
+    pub bytes: u64,
+    /// The live set: latest frame per key, ordered by sequence number.
+    pub live: Vec<StoredEntry>,
+    /// Corrupt regions found; empty for a clean store.
+    pub quarantined: Vec<QuarantineEvent>,
+}
+
+impl RecoveryReport {
+    /// True when any corruption was found (`ALP0014`).
+    pub fn corrupt(&self) -> bool {
+        !self.quarantined.is_empty()
+    }
+
+    /// Number of live plans replayed.
+    pub fn replayed(&self) -> usize {
+        self.live.len()
+    }
+}
+
+/// Outcome of one [`PlanStore::compact`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactReport {
+    /// Segments deleted after the rewrite.
+    pub segments_removed: usize,
+    /// Frames written into the fresh segment (the live set size).
+    pub frames: usize,
+    /// Journal bytes before compaction.
+    pub bytes_before: u64,
+    /// Journal bytes after compaction.
+    pub bytes_after: u64,
+}
+
+fn seg_name(index: u64) -> String {
+    format!("segment-{index:06}.alpj")
+}
+
+fn seg_path(dir: &Path, index: u64) -> PathBuf {
+    dir.join(seg_name(index))
+}
+
+fn retriable(kind: io::ErrorKind) -> bool {
+    matches!(kind, io::ErrorKind::Interrupted | io::ErrorKind::WouldBlock)
+}
+
+/// Encode one record's frame payload (single-line envelope JSON).
+fn encode_payload(seq: u64, key: &PlanKey, plan: &PartitionPlan) -> Vec<u8> {
+    let (mesh_rows, mesh_cols) = match key.mesh {
+        Some((r, c)) => (r as i128, c as i128),
+        None => (-1, -1),
+    };
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\"alp-store\": {STORE_VERSION}, \"seq\": {seq}, \"fingerprint\": {}, \
+         \"processors\": {}, \"mesh_rows\": {mesh_rows}, \"mesh_cols\": {mesh_cols}, \
+         \"checked\": {}, \"calibrated\": {}, \"skewed\": {}, \"certified\": {}, \"plan\": ",
+        key.fingerprint, key.processors, key.checked, key.calibrated, key.skewed, key.certified,
+    ));
+    json::write_string(&mut out, &plan.to_json_string());
+    out.push('}');
+    out.into_bytes()
+}
+
+/// Frame a payload: length, checksum over length + payload, payload.
+fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    let len = payload.len() as u32;
+    let mut sum_input = Vec::with_capacity(4 + payload.len());
+    sum_input.extend_from_slice(&len.to_le_bytes());
+    sum_input.extend_from_slice(payload);
+    let checksum = fnv1a64(&sum_input);
+    let mut frame = Vec::with_capacity(HEADER + payload.len());
+    frame.extend_from_slice(&len.to_le_bytes());
+    frame.extend_from_slice(&checksum.to_le_bytes());
+    frame.extend_from_slice(payload);
+    frame
+}
+
+fn decode_payload(payload: &[u8]) -> Result<(u64, PlanKey, PartitionPlan), String> {
+    let text = std::str::from_utf8(payload).map_err(|_| "payload is not UTF-8".to_string())?;
+    let j = json::parse(text).map_err(|e| format!("payload is not JSON: {e}"))?;
+    let version = j
+        .get("alp-store")
+        .and_then(Json::as_int)
+        .ok_or("missing alp-store version")?;
+    if version != STORE_VERSION {
+        return Err(format!("unsupported store version {version}"));
+    }
+    let int = |field: &str| {
+        j.get(field)
+            .and_then(Json::as_int)
+            .ok_or(format!("missing integer field {field:?}"))
+    };
+    let flag = |field: &str| {
+        j.get(field)
+            .and_then(Json::as_bool)
+            .ok_or(format!("missing bool field {field:?}"))
+    };
+    let seq = int("seq")? as u64;
+    let mesh = match (int("mesh_rows")?, int("mesh_cols")?) {
+        (r, c) if r >= 0 && c >= 0 => Some((r as usize, c as usize)),
+        _ => None,
+    };
+    let key = PlanKey {
+        fingerprint: int("fingerprint")? as u64,
+        processors: int("processors")?,
+        mesh,
+        checked: flag("checked")?,
+        calibrated: flag("calibrated")?,
+        skewed: flag("skewed")?,
+        certified: flag("certified")?,
+    };
+    let plan_text = j
+        .get("plan")
+        .and_then(Json::as_str)
+        .ok_or("missing plan field")?;
+    let plan =
+        PartitionPlan::from_json_str(plan_text).map_err(|e| format!("embedded plan: {e}"))?;
+    Ok((seq, key, plan))
+}
+
+struct SegmentScan {
+    /// Valid frames, in file order.
+    entries: Vec<StoredEntry>,
+    /// Offset just past the last valid frame.
+    good_len: u64,
+    /// Why the scan stopped early, if it did.
+    bad: Option<String>,
+}
+
+/// Walk one segment's bytes; never fails, just stops at the first bad
+/// frame.
+fn scan_segment(buf: &[u8]) -> SegmentScan {
+    let mut entries = Vec::new();
+    if buf.len() < MAGIC.len() || &buf[..MAGIC.len()] != MAGIC {
+        return SegmentScan {
+            entries,
+            good_len: 0,
+            bad: Some("bad segment header".to_string()),
+        };
+    }
+    let mut pos = MAGIC.len();
+    loop {
+        if pos == buf.len() {
+            return SegmentScan {
+                entries,
+                good_len: pos as u64,
+                bad: None,
+            };
+        }
+        let bad = |reason: String| SegmentScan {
+            entries: Vec::new(),
+            good_len: pos as u64,
+            bad: Some(reason),
+        };
+        if buf.len() - pos < HEADER {
+            let mut s = bad(format!(
+                "truncated frame header ({} of {HEADER} bytes)",
+                buf.len() - pos
+            ));
+            s.entries = entries;
+            return s;
+        }
+        let len = u32::from_le_bytes(buf[pos..pos + 4].try_into().expect("4 bytes"));
+        if len > MAX_FRAME_BYTES {
+            let mut s = bad(format!("implausible frame length {len}"));
+            s.entries = entries;
+            return s;
+        }
+        let end = pos + HEADER + len as usize;
+        if end > buf.len() {
+            let mut s = bad(format!(
+                "truncated frame payload ({} of {len} bytes)",
+                buf.len() - pos - HEADER
+            ));
+            s.entries = entries;
+            return s;
+        }
+        let stored = u64::from_le_bytes(buf[pos + 4..pos + HEADER].try_into().expect("8 bytes"));
+        let mut sum_input = Vec::with_capacity(4 + len as usize);
+        sum_input.extend_from_slice(&buf[pos..pos + 4]);
+        sum_input.extend_from_slice(&buf[pos + HEADER..end]);
+        if fnv1a64(&sum_input) != stored {
+            let mut s = bad("frame checksum mismatch".to_string());
+            s.entries = entries;
+            return s;
+        }
+        match decode_payload(&buf[pos + HEADER..end]) {
+            Ok((seq, key, plan)) => entries.push(StoredEntry {
+                seq,
+                key,
+                plan: Arc::new(plan),
+            }),
+            Err(reason) => {
+                let mut s = bad(format!("undecodable frame payload: {reason}"));
+                s.entries = entries;
+                return s;
+            }
+        }
+        pos = end;
+    }
+}
+
+fn segment_indices(dir: &Path) -> io::Result<Vec<u64>> {
+    let mut indices = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let name = entry?.file_name();
+        let name = name.to_string_lossy();
+        if let Some(num) = name
+            .strip_prefix("segment-")
+            .and_then(|s| s.strip_suffix(".alpj"))
+        {
+            if let Ok(n) = num.parse::<u64>() {
+                indices.push(n);
+            }
+        }
+    }
+    indices.sort_unstable();
+    Ok(indices)
+}
+
+/// Resolve the raw frame stream into the live set (latest seq per key).
+fn resolve_live(all: Vec<StoredEntry>) -> Vec<StoredEntry> {
+    let mut latest: HashMap<PlanKey, StoredEntry> = HashMap::new();
+    for e in all {
+        match latest.get(&e.key) {
+            Some(prev) if prev.seq >= e.seq => {}
+            _ => {
+                latest.insert(e.key, e);
+            }
+        }
+    }
+    let mut live: Vec<StoredEntry> = latest.into_values().collect();
+    live.sort_by_key(|e| e.seq);
+    live
+}
+
+/// The append handle over a store directory.  Not internally
+/// synchronized — the server wraps it in a mutex, and appends are
+/// off the request fast path (journaling happens only on a computed
+/// plan, which already paid a compile).
+pub struct PlanStore {
+    dir: PathBuf,
+    cfg: StoreConfig,
+    active: File,
+    active_index: u64,
+    /// Bytes physically in the active segment (including any torn tail
+    /// from a failed append).
+    active_len: u64,
+    /// Bytes up to the last fully acknowledged frame; a failed append
+    /// is rolled back to this watermark before the next one.
+    committed_len: u64,
+    next_seq: u64,
+    ops: u64,
+    appended: u64,
+    hook: Option<WriteFaultHook>,
+}
+
+impl std::fmt::Debug for PlanStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PlanStore")
+            .field("dir", &self.dir)
+            .field("active_index", &self.active_index)
+            .field("committed_len", &self.committed_len)
+            .field("next_seq", &self.next_seq)
+            .finish()
+    }
+}
+
+impl PlanStore {
+    /// Open (creating if needed) the store at `dir` with default
+    /// tunables, repairing and reporting any corruption found.
+    pub fn open(dir: &Path) -> io::Result<(PlanStore, RecoveryReport)> {
+        Self::open_with(dir, StoreConfig::default())
+    }
+
+    /// [`open`](PlanStore::open) with explicit tunables.
+    pub fn open_with(dir: &Path, cfg: StoreConfig) -> io::Result<(PlanStore, RecoveryReport)> {
+        fs::create_dir_all(dir)?;
+        let report = recover(dir, true)?;
+        let next_seq = report.live.iter().map(|e| e.seq + 1).max().unwrap_or(0);
+        let indices = segment_indices(dir)?;
+        let (active_index, active, active_len) = match indices.last() {
+            Some(&last) => {
+                let path = seg_path(dir, last);
+                let len = fs::metadata(&path)?.len();
+                let file = OpenOptions::new().append(true).open(&path)?;
+                (last, file, len)
+            }
+            None => new_segment(dir, 1)?,
+        };
+        Ok((
+            PlanStore {
+                dir: dir.to_path_buf(),
+                cfg,
+                active,
+                active_index,
+                active_len,
+                committed_len: active_len,
+                next_seq,
+                ops: 0,
+                appended: 0,
+                hook: None,
+            },
+            report,
+        ))
+    }
+
+    /// Read-only integrity scan: decode every segment without
+    /// repairing anything.  What `alp-cli store verify` runs.
+    pub fn scan(dir: &Path) -> io::Result<RecoveryReport> {
+        recover(dir, false)
+    }
+
+    /// The directory this store journals into.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Frames appended through this handle (not counting replay).
+    pub fn appended(&self) -> u64 {
+        self.appended
+    }
+
+    /// Install a write-fault hook (chaos injection).
+    pub fn set_write_fault(&mut self, hook: WriteFaultHook) {
+        self.hook = Some(hook);
+    }
+
+    /// Journal one plan.  Returns the record's sequence number.  On
+    /// error the frame may be partially on disk; the next append (or
+    /// the next recovery) rolls the tail back to the last committed
+    /// frame, so a failed append never corrupts its successors.
+    pub fn append(&mut self, key: &PlanKey, plan: &PartitionPlan) -> io::Result<u64> {
+        self.repair_tail()?;
+        let seq = self.next_seq;
+        let frame = encode_frame(&encode_payload(seq, key, plan));
+        if self.committed_len + frame.len() as u64 > self.cfg.segment_bytes
+            && self.committed_len > MAGIC.len() as u64
+        {
+            self.rotate()?;
+        }
+        self.write_faulty(&frame)?;
+        self.committed_len = self.active_len;
+        self.next_seq += 1;
+        self.appended += 1;
+        Ok(seq)
+    }
+
+    /// Flush the active segment to stable storage (fsync).  Appends
+    /// deliberately skip this — a process crash cannot lose buffered
+    /// `write`s, only power loss can — so the daemon calls it once, on
+    /// graceful drain.
+    pub fn sync(&self) -> io::Result<()> {
+        self.active.sync_all()
+    }
+
+    /// Rewrite the live set into one fresh segment (tempfile + fsync +
+    /// atomic rename), then delete every older segment.
+    pub fn compact(&mut self, live: &[(PlanKey, Arc<PartitionPlan>)]) -> io::Result<CompactReport> {
+        let bytes_before = segment_indices(&self.dir)?
+            .iter()
+            .map(|&i| fs::metadata(seg_path(&self.dir, i)).map(|m| m.len()))
+            .sum::<io::Result<u64>>()?;
+        let next_index = self.active_index + 1;
+        let tmp = self.dir.join("compact.tmp");
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(MAGIC)?;
+            for (key, plan) in live {
+                let seq = self.next_seq;
+                self.next_seq += 1;
+                f.write_all(&encode_frame(&encode_payload(seq, key, plan)))?;
+            }
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, seg_path(&self.dir, next_index))?;
+        // Make the rename itself durable before deleting the old
+        // segments (best effort: not every filesystem lets you fsync a
+        // directory handle).
+        if let Ok(d) = File::open(&self.dir) {
+            let _ = d.sync_all();
+        }
+        let mut removed = 0;
+        for i in segment_indices(&self.dir)? {
+            if i < next_index {
+                fs::remove_file(seg_path(&self.dir, i))?;
+                removed += 1;
+            }
+        }
+        let path = seg_path(&self.dir, next_index);
+        self.active_len = fs::metadata(&path)?.len();
+        self.committed_len = self.active_len;
+        self.active = OpenOptions::new().append(true).open(&path)?;
+        self.active_index = next_index;
+        Ok(CompactReport {
+            segments_removed: removed,
+            frames: live.len(),
+            bytes_before,
+            bytes_after: self.active_len,
+        })
+    }
+
+    /// Roll a torn tail (from a previously failed append) back to the
+    /// last committed frame.
+    fn repair_tail(&mut self) -> io::Result<()> {
+        if self.active_len != self.committed_len {
+            self.active.set_len(self.committed_len)?;
+            self.active_len = self.committed_len;
+        }
+        Ok(())
+    }
+
+    fn rotate(&mut self) -> io::Result<()> {
+        let (index, file, len) = new_segment(&self.dir, self.active_index + 1)?;
+        self.active = file;
+        self.active_index = index;
+        self.active_len = len;
+        self.committed_len = len;
+        Ok(())
+    }
+
+    /// One `write` call with transparent EINTR/EAGAIN retry; tracks
+    /// how far the physical file has advanced.
+    fn write_some(&mut self, chunk: &[u8]) -> io::Result<usize> {
+        loop {
+            match self.active.write(chunk) {
+                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                Ok(n) => {
+                    self.active_len += n as u64;
+                    return Ok(n);
+                }
+                Err(e) if retriable(e.kind()) => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Write a whole frame, consulting the fault hook before every
+    /// operation.  Injected short writes and EINTR/EAGAIN are absorbed
+    /// the way a robust writer absorbs the real thing; injected hard
+    /// errors abort mid-frame, leaving the torn tail recovery handles.
+    fn write_faulty(&mut self, frame: &[u8]) -> io::Result<()> {
+        let hook = self.hook.clone();
+        let mut buf = frame;
+        while !buf.is_empty() {
+            let op = self.ops;
+            self.ops += 1;
+            let fault = hook.as_ref().and_then(|h| h(op, buf.len()));
+            match fault {
+                Some(WriteFault::Short(keep)) => {
+                    let keep = keep.min(buf.len());
+                    if keep > 0 {
+                        let n = self.write_some(&buf[..keep])?;
+                        buf = &buf[n..];
+                    }
+                }
+                Some(WriteFault::Err(kind)) if retriable(kind) => {}
+                Some(WriteFault::Err(kind)) => {
+                    return Err(io::Error::new(kind, "injected store write fault"))
+                }
+                None => {
+                    let n = self.write_some(buf)?;
+                    buf = &buf[n..];
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+fn new_segment(dir: &Path, index: u64) -> io::Result<(u64, File, u64)> {
+    let path = seg_path(dir, index);
+    let mut file = OpenOptions::new()
+        .create_new(true)
+        .append(true)
+        .open(&path)?;
+    file.write_all(MAGIC)?;
+    Ok((index, file, MAGIC.len() as u64))
+}
+
+/// Scan every segment; with `repair` also quarantine bad tails and
+/// truncate segments back to their last good frame.
+fn recover(dir: &Path, repair: bool) -> io::Result<RecoveryReport> {
+    let mut report = RecoveryReport::default();
+    if !dir.exists() {
+        return Ok(report);
+    }
+    let mut all = Vec::new();
+    for index in segment_indices(dir)? {
+        report.segments += 1;
+        let path = seg_path(dir, index);
+        let buf = fs::read(&path)?;
+        let scan = scan_segment(&buf);
+        report.frames += scan.entries.len() as u64;
+        report.bytes += scan.good_len;
+        all.extend(scan.entries);
+        if let Some(reason) = scan.bad {
+            let event = QuarantineEvent {
+                segment: index,
+                offset: scan.good_len,
+                bytes: buf.len() as u64 - scan.good_len,
+                reason,
+            };
+            if repair {
+                quarantine(dir, &path, index, &buf, scan.good_len)?;
+            }
+            report.quarantined.push(event);
+        }
+    }
+    report.live = resolve_live(all);
+    Ok(report)
+}
+
+/// Copy a segment's bad tail to a sidecar for post-mortem, then
+/// truncate the segment back to its last good frame.  A segment whose
+/// header itself is bad (good_len 0) is moved aside wholesale.
+fn quarantine(dir: &Path, path: &Path, index: u64, buf: &[u8], good_len: u64) -> io::Result<()> {
+    let qdir = dir.join("quarantine");
+    fs::create_dir_all(&qdir)?;
+    let sidecar = qdir.join(format!("segment-{index:06}-at-{good_len}.bad"));
+    fs::write(&sidecar, &buf[good_len as usize..])?;
+    if good_len == 0 {
+        fs::remove_file(path)?;
+    } else {
+        OpenOptions::new()
+            .write(true)
+            .open(path)?
+            .set_len(good_len)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LegalityVerdict;
+    use alp_loopir::parse;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let d = std::env::temp_dir().join(format!(
+            "alp-store-unit-{}-{tag}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    fn key(fp: u64) -> PlanKey {
+        PlanKey {
+            fingerprint: fp,
+            processors: 16,
+            mesh: None,
+            checked: true,
+            calibrated: false,
+            skewed: false,
+            certified: false,
+        }
+    }
+
+    fn plan(trip: i128) -> PartitionPlan {
+        let nest = parse(&format!("doall (i, 0, {trip}) {{ A[i] = A[i]; }}")).unwrap();
+        PartitionPlan::build(&nest, 4, None, LegalityVerdict::Unchecked).unwrap()
+    }
+
+    #[test]
+    fn append_and_replay_round_trips_byte_stably() {
+        let dir = tmp_dir("roundtrip");
+        let (mut store, report) = PlanStore::open(&dir).unwrap();
+        assert_eq!(report.replayed(), 0);
+        let plans: Vec<PartitionPlan> = (0..4).map(|i| plan(31 + i)).collect();
+        for (i, p) in plans.iter().enumerate() {
+            store.append(&key(i as u64), p).unwrap();
+        }
+        drop(store);
+        let (_, report) = PlanStore::open(&dir).unwrap();
+        assert!(!report.corrupt());
+        assert_eq!(report.replayed(), 4);
+        for (i, entry) in report.live.iter().enumerate() {
+            assert_eq!(entry.key, key(i as u64));
+            assert_eq!(
+                entry.plan.to_json_string(),
+                plans[i].to_json_string(),
+                "replayed plan re-encodes to the exact bytes that were stored"
+            );
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn later_seq_supersedes_earlier_for_the_same_key() {
+        let dir = tmp_dir("supersede");
+        let (mut store, _) = PlanStore::open(&dir).unwrap();
+        store.append(&key(9), &plan(63)).unwrap();
+        store.append(&key(9), &plan(127)).unwrap();
+        drop(store);
+        let (_, report) = PlanStore::open(&dir).unwrap();
+        assert_eq!(report.frames, 2);
+        assert_eq!(report.replayed(), 1);
+        assert_eq!(
+            report.live[0].plan.to_json_string(),
+            plan(127).to_json_string()
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rotation_splits_segments_and_replay_sees_all() {
+        let dir = tmp_dir("rotate");
+        let cfg = StoreConfig { segment_bytes: 1 };
+        let (mut store, _) = PlanStore::open_with(&dir, cfg).unwrap();
+        for fp in 0..5u64 {
+            store.append(&key(fp), &plan(63)).unwrap();
+        }
+        drop(store);
+        assert!(
+            segment_indices(&dir).unwrap().len() >= 5,
+            "1-byte budget forces one frame per segment"
+        );
+        let (_, report) = PlanStore::open(&dir).unwrap();
+        assert!(!report.corrupt());
+        assert_eq!(report.replayed(), 5);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compaction_collapses_to_one_segment_and_preserves_live_bytes() {
+        let dir = tmp_dir("compact");
+        let cfg = StoreConfig { segment_bytes: 1 };
+        let (mut store, _) = PlanStore::open_with(&dir, cfg).unwrap();
+        for fp in 0..4u64 {
+            store.append(&key(fp), &plan(63)).unwrap();
+        }
+        // Two superseded rewrites bloat the journal.
+        store.append(&key(0), &plan(127)).unwrap();
+        store.append(&key(0), &plan(255)).unwrap();
+        let live: Vec<(PlanKey, Arc<PartitionPlan>)> = PlanStore::scan(&dir)
+            .unwrap()
+            .live
+            .into_iter()
+            .map(|e| (e.key, e.plan))
+            .collect();
+        let report = store.compact(&live).unwrap();
+        assert_eq!(report.frames, 4);
+        assert!(report.bytes_after < report.bytes_before);
+        assert_eq!(segment_indices(&dir).unwrap().len(), 1);
+        // Appends continue into the compacted segment; replay agrees.
+        store.append(&key(40), &plan(63)).unwrap();
+        drop(store);
+        let (_, after) = PlanStore::open(&dir).unwrap();
+        assert!(!after.corrupt());
+        assert_eq!(after.replayed(), 5);
+        let k0 = after.live.iter().find(|e| e.key == key(0)).unwrap();
+        assert_eq!(k0.plan.to_json_string(), plan(255).to_json_string());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_short_writes_and_eintr_are_absorbed() {
+        let dir = tmp_dir("softfaults");
+        let (mut store, _) = PlanStore::open(&dir).unwrap();
+        let fired = Arc::new(AtomicU64::new(0));
+        let f = Arc::clone(&fired);
+        store.set_write_fault(Arc::new(move |op, _| {
+            f.fetch_add(1, Ordering::Relaxed);
+            match op {
+                0 => Some(WriteFault::Short(3)),
+                1 => Some(WriteFault::Err(io::ErrorKind::Interrupted)),
+                2 => Some(WriteFault::Err(io::ErrorKind::WouldBlock)),
+                3 => Some(WriteFault::Short(1)),
+                _ => None,
+            }
+        }));
+        store.append(&key(1), &plan(63)).unwrap();
+        assert!(fired.load(Ordering::Relaxed) >= 5, "hook consulted per op");
+        drop(store);
+        let (_, report) = PlanStore::open(&dir).unwrap();
+        assert!(!report.corrupt());
+        assert_eq!(report.replayed(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn hard_write_fault_leaves_a_torn_tail_that_the_next_append_repairs() {
+        let dir = tmp_dir("hardfault");
+        let (mut store, _) = PlanStore::open(&dir).unwrap();
+        store.append(&key(1), &plan(63)).unwrap();
+        store.set_write_fault(Arc::new(|op, _| match op {
+            // Land a partial prefix, then die: a torn frame on disk.
+            0 => Some(WriteFault::Short(7)),
+            1 => Some(WriteFault::Err(io::ErrorKind::ConnectionReset)),
+            _ => None,
+        }));
+        let err = store.append(&key(2), &plan(127)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::ConnectionReset);
+        // The next append rolls the tail back and succeeds.
+        store.append(&key(3), &plan(255)).unwrap();
+        drop(store);
+        let (_, report) = PlanStore::open(&dir).unwrap();
+        assert!(!report.corrupt(), "torn tail was repaired in-process");
+        assert_eq!(report.replayed(), 2);
+        assert!(report.live.iter().all(|e| e.key != key(2)));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

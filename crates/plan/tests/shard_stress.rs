@@ -20,6 +20,7 @@ fn key(fp: u64) -> PlanKey {
         checked: true,
         calibrated: false,
         skewed: false,
+        certified: false,
     }
 }
 

@@ -37,14 +37,16 @@
 
 #![warn(missing_docs)]
 
+pub mod client;
 pub mod loadgen;
 pub mod pipeline;
 pub mod protocol;
 pub mod server;
 
+pub use client::{Client, ClientConfig, ClientError};
 pub use loadgen::{run_loadgen, LoadGenConfig, LoadGenReport};
 pub use protocol::{Request, RequestOp, Response, PROTOCOL_VERSION};
-pub use server::{ServeConfig, Server, ServerStats};
+pub use server::{DrainOutcome, ServeConfig, Server, ServerStats};
 
 /// A serve-layer error: a stable `ALP000x` code plus a rendered
 /// message.  `Clone` so one failed compile can be shared verbatim with
@@ -79,9 +81,24 @@ impl ServeError {
         )
     }
 
+    /// The `ALP0015` refusal sent while the server is draining: the
+    /// request was never admitted, so retrying (against a replacement
+    /// instance) is always safe.
+    pub fn draining() -> Self {
+        ServeError::new(
+            "ALP0015",
+            "server draining: new work refused; retry against a live instance",
+        )
+    }
+
     /// True when this is the `ALP0012` shed error.
     pub fn is_overloaded(&self) -> bool {
         self.code == "ALP0012"
+    }
+
+    /// True when this is the `ALP0015` draining refusal.
+    pub fn is_draining(&self) -> bool {
+        self.code == "ALP0015"
     }
 }
 

@@ -26,6 +26,7 @@ use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::os::unix::net::UnixStream;
 use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
@@ -49,6 +50,11 @@ pub struct LoadGenConfig {
     pub seed: u64,
     /// Processor count every request targets.
     pub processors: i128,
+    /// Cooperative stop flag (e.g. wired to SIGINT by the CLI): once
+    /// set, clients stop sending, drain what is in flight, and the
+    /// report carries `interrupted: true` with the counters collected
+    /// so far.
+    pub stop: Option<Arc<AtomicBool>>,
 }
 
 impl Default for LoadGenConfig {
@@ -62,6 +68,7 @@ impl Default for LoadGenConfig {
             run_percent: 20,
             seed: 0xa1b2_c3d4,
             processors: 16,
+            stop: None,
         }
     }
 }
@@ -100,6 +107,9 @@ pub struct LoadGenReport {
     /// True when generator + server threads exceed the hardware —
     /// latency numbers then measure scheduling, not the server.
     pub oversubscribed: bool,
+    /// True when the run was cut short by [`LoadGenConfig::stop`]; the
+    /// counters cover everything sent and answered before the cut.
+    pub interrupted: bool,
     /// The server's own cumulative counters at the end of the run.
     pub server: ServerStats,
 }
@@ -114,7 +124,9 @@ fn splitmix64(state: &mut u64) -> u64 {
 
 /// The corpus: structurally distinct 2-D nests (distinct trip counts
 /// give distinct fingerprints), all cheap to execute but real to plan.
-fn corpus_source(rank: usize) -> String {
+/// Public so the CLI's recovery probe can replay the same hot set
+/// against a restarted server.
+pub fn corpus_source(rank: usize) -> String {
     let outer = 15 + rank;
     let inner = 15 + (rank * 7) % 17;
     format!("doall (i, 0, {outer}) {{ doall (j, 0, {inner}) {{ A[i,j] = B[i,j] + A[i,j]; }} }}")
@@ -173,7 +185,12 @@ fn client(
         std::thread::spawn(move || -> std::io::Result<()> {
             let mut rng = cfg.seed ^ ((client_idx as u64 + 1).wrapping_mul(0x9e37_79b9));
             let mut buf = String::new();
+            let mut cut_short = false;
             for i in 0..n {
+                if cfg.stop.as_ref().is_some_and(|s| s.load(Ordering::Relaxed)) {
+                    cut_short = true;
+                    break;
+                }
                 {
                     let (m, cv) = &*permits;
                     let mut p = m.lock().expect("permits");
@@ -200,7 +217,15 @@ fn client(
                 buf.push('\n');
                 writer.write_all(buf.as_bytes())?;
             }
-            writer.flush()
+            writer.flush()?;
+            if cut_short {
+                // Half-close so the server sees EOF after answering the
+                // in-flight prefix; the reader then terminates on EOF
+                // instead of waiting for the `n` responses that will
+                // never be sent.
+                let _ = writer.shutdown(std::net::Shutdown::Write);
+            }
+            Ok(())
         })
     };
 
@@ -281,6 +306,7 @@ pub fn run_loadgen(
             source: corpus_source(rank),
             processors: cfg.processors,
             check: true,
+            certify: false,
         });
     }
     let workers = serve_cfg.workers;
@@ -318,6 +344,7 @@ pub fn run_loadgen(
         max_concurrent: cfg.clients.max(1) * cfg.window.max(1),
         cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
         oversubscribed: false,
+        interrupted: false,
         server: ServerStats::default(),
     };
     for j in joins {
@@ -334,6 +361,7 @@ pub fn run_loadgen(
         latencies.extend(tally.latencies_us);
     }
     let elapsed = t0.elapsed();
+    report.interrupted = cfg.stop.as_ref().is_some_and(|s| s.load(Ordering::SeqCst));
     report.server = handle.shutdown();
 
     latencies.sort_unstable();

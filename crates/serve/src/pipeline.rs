@@ -21,6 +21,11 @@ pub struct PlanSpec {
     pub processors: i128,
     /// Run the doall legality analysis (default on).
     pub check: bool,
+    /// Embed a freshly proven certificate in the plan (`ALP0011` when
+    /// the plan cannot be interpreted by the certifier).  Certified
+    /// plans widen the client's retry policy and survive restarts with
+    /// their proofs attached.
+    pub certify: bool,
 }
 
 impl PlanSpec {
@@ -38,6 +43,7 @@ impl PlanSpec {
             checked: self.check,
             calibrated: false,
             skewed: false,
+            certified: self.certify,
         })
     }
 }
@@ -60,10 +66,17 @@ pub fn build_plan(spec: &PlanSpec) -> Result<PartitionPlan, ServeError> {
     } else {
         LegalityVerdict::Unchecked
     };
-    PartitionPlan::build(&nest, spec.processors, None, verdict).map_err(|e| match e {
-        PlanError::Infeasible(m) => ServeError::new("ALP0004", format!("infeasible: {m}")),
-        other => ServeError::new("ALP0006", other.to_string()),
-    })
+    let plan =
+        PartitionPlan::build(&nest, spec.processors, None, verdict).map_err(|e| match e {
+            PlanError::Infeasible(m) => ServeError::new("ALP0004", format!("infeasible: {m}")),
+            other => ServeError::new("ALP0006", other.to_string()),
+        })?;
+    if spec.certify {
+        let report = alp_certify::certify(&plan)
+            .map_err(|e| ServeError::new("ALP0011", format!("certification failed: {e}")))?;
+        return Ok(plan.with_certificate(report.certificate));
+    }
+    Ok(plan)
 }
 
 /// Execution knobs of one run request.

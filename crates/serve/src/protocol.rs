@@ -71,6 +71,10 @@ pub struct Request {
     pub run: RunSpec,
     /// Include the full plan JSON (as a string field) in the response.
     pub want_plan: bool,
+    /// Client deadline in milliseconds from receipt.  A queued job
+    /// whose deadline has already passed is shed unexecuted — the
+    /// client has abandoned it, so the server should too.
+    pub deadline_ms: Option<u64>,
 }
 
 /// Default processor count when a request does not specify one.
@@ -86,9 +90,11 @@ impl Request {
                 source: source.to_string(),
                 processors: DEFAULT_PROCESSORS,
                 check: true,
+                certify: false,
             },
             run: RunSpec::default(),
             want_plan: false,
+            deadline_ms: None,
         }
     }
 
@@ -147,6 +153,7 @@ impl Request {
                 source: source.to_string(),
                 processors: int("processors").unwrap_or(DEFAULT_PROCESSORS),
                 check: !v.get("no_check").and_then(Json::as_bool).unwrap_or(false),
+                certify: v.get("certify").and_then(Json::as_bool).unwrap_or(false),
             },
             run: RunSpec {
                 threads: int("threads").unwrap_or(0).max(0) as usize,
@@ -156,6 +163,7 @@ impl Request {
                 fault_panic,
             },
             want_plan: v.get("want_plan").and_then(Json::as_bool).unwrap_or(false),
+            deadline_ms: int("deadline_ms").map(|d| d.max(0) as u64),
         })
     }
 
@@ -181,8 +189,14 @@ impl Request {
             if !self.plan.check {
                 out.push_str(", \"no_check\": true");
             }
+            if self.plan.certify {
+                out.push_str(", \"certify\": true");
+            }
             if self.want_plan {
                 out.push_str(", \"want_plan\": true");
+            }
+            if let Some(d) = self.deadline_ms {
+                out.push_str(&format!(", \"deadline_ms\": {d}"));
             }
         }
         if self.op == RequestOp::Run {
@@ -229,10 +243,31 @@ pub struct Response {
     pub iterations: Option<u64>,
     /// Server counters (`stats` op).
     pub stats: Option<ServerStats>,
+    /// Per-shard cache occupancy and hit counters (`stats` op) — the
+    /// observable behind `--cache-capacity` tuning.
+    pub shards: Option<Vec<alp_plan::ShardOccupancy>>,
     /// Stable error code on failure.
     pub code: Option<String>,
     /// Error message on failure.
     pub error: Option<String>,
+}
+
+fn encode_shard(out: &mut String, s: &alp_plan::ShardOccupancy) {
+    out.push_str(&format!(
+        "{{\"len\": {}, \"capacity\": {}, \"hits\": {}, \"misses\": {}, \"coalesced\": {}}}",
+        s.len, s.capacity, s.hits, s.misses, s.coalesced
+    ));
+}
+
+fn decode_shard(v: &Json) -> alp_plan::ShardOccupancy {
+    let int = |key: &str| v.get(key).and_then(Json::as_int).unwrap_or(0);
+    alp_plan::ShardOccupancy {
+        len: int("len").max(0) as usize,
+        capacity: int("capacity").max(0) as usize,
+        hits: int("hits").max(0) as u64,
+        misses: int("misses").max(0) as u64,
+        coalesced: int("coalesced").max(0) as u64,
+    }
 }
 
 impl Response {
@@ -247,6 +282,7 @@ impl Response {
             matches_reference: None,
             iterations: None,
             stats: None,
+            shards: None,
             code: None,
             error: None,
         }
@@ -306,6 +342,18 @@ impl Response {
         }
     }
 
+    /// A stats snapshot carrying the per-shard breakdown.
+    pub fn stats_with_shards(
+        id: i128,
+        stats: ServerStats,
+        shards: Vec<alp_plan::ShardOccupancy>,
+    ) -> Response {
+        Response {
+            shards: Some(shards),
+            ..Response::stats(id, stats)
+        }
+    }
+
     /// Encode this response as one wire line (no trailing newline).
     pub fn encode(&self) -> String {
         let mut out = format!("{{\"id\": {}, \"ok\": {}", self.id, self.ok);
@@ -328,6 +376,16 @@ impl Response {
         }
         if let Some(s) = &self.stats {
             out.push_str(&format!(", \"stats\": {}", s.encode()));
+        }
+        if let Some(shards) = &self.shards {
+            out.push_str(", \"shards\": [");
+            for (i, s) in shards.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                encode_shard(&mut out, s);
+            }
+            out.push(']');
         }
         if let Some(p) = &self.plan {
             out.push_str(", \"plan\": ");
@@ -366,6 +424,10 @@ impl Response {
                 .and_then(Json::as_int)
                 .map(|i| i.max(0) as u64),
             stats: v.get("stats").map(ServerStats::decode),
+            shards: v
+                .get("shards")
+                .and_then(Json::as_arr)
+                .map(|arr| arr.iter().map(decode_shard).collect()),
             code: str_field("code"),
             error: str_field("error"),
         })
@@ -416,6 +478,52 @@ mod tests {
         assert_eq!(d.cache.as_deref(), Some("hit"));
         assert_eq!(d.tiles, Some(16));
         assert_eq!(d.plan.as_deref(), Some("{\"v\": 1}"));
+    }
+
+    #[test]
+    fn certify_and_deadline_round_trip() {
+        let mut r = Request::plan(7, SRC);
+        r.plan.certify = true;
+        r.deadline_ms = Some(2500);
+        let d = Request::decode(&r.encode()).expect("round trip");
+        assert!(d.plan.certify);
+        assert_eq!(d.deadline_ms, Some(2500));
+        // Absent fields decode to their defaults, not to stale values.
+        let d = Request::decode(&Request::plan(8, SRC).encode()).unwrap();
+        assert!(!d.plan.certify);
+        assert_eq!(d.deadline_ms, None);
+    }
+
+    #[test]
+    fn shard_occupancy_round_trips() {
+        let shards = vec![
+            alp_plan::ShardOccupancy {
+                len: 3,
+                capacity: 64,
+                hits: 10,
+                misses: 2,
+                coalesced: 1,
+            },
+            alp_plan::ShardOccupancy {
+                len: 0,
+                capacity: 64,
+                hits: 0,
+                misses: 0,
+                coalesced: 0,
+            },
+        ];
+        let resp = Response::stats_with_shards(4, ServerStats::default(), shards);
+        let d = Response::decode(&resp.encode()).unwrap();
+        let got = d.shards.expect("shards present");
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].len, 3);
+        assert_eq!(got[0].capacity, 64);
+        assert_eq!(got[0].hits, 10);
+        assert_eq!(got[0].misses, 2);
+        assert_eq!(got[0].coalesced, 1);
+        // Plain stats responses carry no shard block.
+        let plain = Response::decode(&Response::stats(1, ServerStats::default()).encode()).unwrap();
+        assert!(plain.shards.is_none());
     }
 
     #[test]

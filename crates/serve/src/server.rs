@@ -26,12 +26,30 @@
 //! shard locks and publish through the leader-abandon protocol, a
 //! panicking request can never poison a shard or wedge coalesced
 //! waiters of other requests.
+//!
+//! ## Durability and graceful drain
+//!
+//! With [`ServeConfig::store_dir`] set, every *computed* plan is also
+//! appended to a crash-safe [`PlanStore`] journal, and startup replays
+//! the journal into the sharded cache before the first request —
+//! a restarted daemon keeps its hot set instead of paying a recompile
+//! storm (`replayed` counter; corrupt tail frames are quarantined with
+//! `ALP0014`, never fatal).
+//!
+//! Shutdown is a two-phase drain rather than a cliff: a protocol
+//! `shutdown` (or the daemon's SIGTERM) flips the server to
+//! **draining** — new `plan`/`run` requests are refused with
+//! `ALP0015` (`stats`/`ping` still answer) while workers finish
+//! everything already admitted.  [`ServerHandle::finish`] bounds the
+//! drain with a deadline; past it, still-queued jobs are answered with
+//! `ALP0015` *unexecuted* and the journal is fsynced before the
+//! process exits.
 
 use crate::pipeline::{build_plan, run_plan};
 use crate::protocol::{Request, RequestOp, Response};
 use crate::ServeError;
 use alp_plan::json::parse;
-use alp_plan::{Fetched, Json, ShardedPlanCache};
+use alp_plan::{Fetched, Json, PlanStore, RecoveryReport, ShardedPlanCache};
 use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
@@ -40,6 +58,7 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -59,6 +78,12 @@ pub struct ServeConfig {
     /// Specs to compile before accepting traffic (deterministic warm
     /// cache for tests and benchmarks).
     pub prewarm: Vec<crate::pipeline::PlanSpec>,
+    /// Directory of the durable plan journal; `None` disables
+    /// persistence.  Computed plans are appended, startup replays.
+    pub store_dir: Option<PathBuf>,
+    /// Default bound on the graceful drain, in milliseconds; past it,
+    /// still-queued jobs are refused unexecuted.
+    pub drain_deadline_ms: u64,
 }
 
 impl Default for ServeConfig {
@@ -71,6 +96,8 @@ impl Default for ServeConfig {
             run_high_water: None,
             workers: cores.clamp(1, 8),
             prewarm: Vec::new(),
+            store_dir: None,
+            drain_deadline_ms: 5_000,
         }
     }
 }
@@ -112,6 +139,18 @@ pub struct ServerStats {
     /// small cap) instead of one job per wakeup, and this counts the
     /// extras beyond the first.
     pub batched: u64,
+    /// Malformed or oversized request frames (undecodable JSON, bad
+    /// version, frames past the size limit) — answered with `ALP0006`
+    /// but counted here so an operator can see protocol abuse.
+    pub malformed: u64,
+    /// Queued jobs shed unexecuted because the client's propagated
+    /// deadline passed before a worker reached them (`ALP0007`).
+    pub expired: u64,
+    /// Requests refused with `ALP0015` while draining (including jobs
+    /// abandoned past the drain deadline).
+    pub refused: u64,
+    /// Plans re-warmed from the durable journal at startup.
+    pub replayed: u64,
 }
 
 impl ServerStats {
@@ -120,7 +159,8 @@ impl ServerStats {
         format!(
             "{{\"hits\": {}, \"misses\": {}, \"coalesced\": {}, \"evictions\": {}, \
              \"inline_hits\": {}, \"shed_plan\": {}, \"shed_run\": {}, \"runs_ok\": {}, \
-             \"failures\": {}, \"depth\": {}, \"batched\": {}}}",
+             \"failures\": {}, \"depth\": {}, \"batched\": {}, \"malformed\": {}, \
+             \"expired\": {}, \"refused\": {}, \"replayed\": {}}}",
             self.hits,
             self.misses,
             self.coalesced,
@@ -131,7 +171,11 @@ impl ServerStats {
             self.runs_ok,
             self.failures,
             self.depth,
-            self.batched
+            self.batched,
+            self.malformed,
+            self.expired,
+            self.refused,
+            self.replayed
         )
     }
 
@@ -151,6 +195,10 @@ impl ServerStats {
             failures: f("failures"),
             depth: f("depth"),
             batched: f("batched"),
+            malformed: f("malformed"),
+            expired: f("expired"),
+            refused: f("refused"),
+            replayed: f("replayed"),
         }
     }
 
@@ -173,8 +221,22 @@ struct Job {
     /// check fingerprint distinctness without re-parsing under the
     /// queue lock.
     key: Option<alp_plan::PlanKey>,
+    /// Absolute expiry derived from the client's `deadline_ms` at
+    /// admission; a worker sheds the job unexecuted once past it.
+    expires: Option<Instant>,
     out: Arc<Mutex<UnixStream>>,
 }
+
+impl Job {
+    fn expired(&self) -> bool {
+        self.expires.is_some_and(|t| Instant::now() > t)
+    }
+}
+
+/// Request frames longer than this are counted as malformed and
+/// refused without parsing — a corrupt or hostile peer cannot make the
+/// reader buffer unbounded JSON.
+const MAX_REQUEST_BYTES: usize = 1 << 20;
 
 struct Inner {
     cfg: ServeConfig,
@@ -183,6 +245,20 @@ struct Inner {
     cv: Condvar,
     depth: AtomicUsize,
     shutdown: AtomicBool,
+    /// Drain phase: refuse new plan/run work (`ALP0015`) while workers
+    /// finish what was already admitted.
+    draining: AtomicBool,
+    /// Set when the drain deadline passed: workers answer remaining
+    /// queued jobs with `ALP0015` instead of executing them.
+    abort: AtomicBool,
+    /// Workers currently executing a batch (drain completion is
+    /// "queue empty AND busy == 0", not just an empty queue).
+    busy: AtomicUsize,
+    /// Parked `wait()` callers; notified when draining begins.
+    drain_mx: Mutex<()>,
+    drain_cv: Condvar,
+    /// Durable journal of computed plans, when configured.
+    store: Option<Mutex<PlanStore>>,
     /// Bound socket path, once serving; lets a protocol `shutdown`
     /// wake the blocking accept loop with a throwaway connection.
     sock: Mutex<Option<PathBuf>>,
@@ -192,6 +268,12 @@ struct Inner {
     runs_ok: AtomicU64,
     failures: AtomicU64,
     batched: AtomicU64,
+    malformed: AtomicU64,
+    expired: AtomicU64,
+    refused: AtomicU64,
+    /// Journal entries re-warmed into the cache at startup (fixed at
+    /// construction).
+    replayed: u64,
 }
 
 /// Max jobs one worker wakeup drains.  Small enough that a batch never
@@ -205,7 +287,9 @@ impl Inner {
     fn handle_now(&self, req: &Request) -> Response {
         match req.op {
             RequestOp::Ping | RequestOp::Shutdown => Response::ok(req.id),
-            RequestOp::Stats => Response::stats(req.id, self.stats()),
+            RequestOp::Stats => {
+                Response::stats_with_shards(req.id, self.stats(), self.cache.per_shard())
+            }
             RequestOp::Plan | RequestOp::Run => {
                 let key = match req.plan.key() {
                     Ok(k) => k,
@@ -223,6 +307,9 @@ impl Inner {
                         return Response::err(req.id, &e);
                     }
                 };
+                if how == Fetched::Computed {
+                    self.journal(&key, &plan);
+                }
                 match req.op {
                     RequestOp::Plan => Response::plan_ok(
                         req.id,
@@ -252,15 +339,50 @@ impl Inner {
         }
     }
 
-    /// Admission: push the job or shed it with `ALP0012`.  The depth
-    /// check and the push are atomic under the queue lock, so the
-    /// bound is exact.
+    /// Append a freshly computed plan to the durable journal, if one is
+    /// configured.  Journaling is best-effort: the serving path never
+    /// fails because the disk did — the plan is already cached and the
+    /// response already correct — but each incident is logged.
+    fn journal(&self, key: &alp_plan::PlanKey, plan: &Arc<alp_plan::PartitionPlan>) {
+        if let Some(store) = &self.store {
+            if let Ok(mut s) = store.lock() {
+                if let Err(e) = s.append(key, plan) {
+                    eprintln!("alp-serve: warning: journal append failed: {e}");
+                }
+            }
+        }
+    }
+
+    /// Flip to the draining phase: refuse new plan/run work, wake
+    /// workers (so idle ones observe the flag) and any parked `wait()`.
+    fn begin_drain(&self) {
+        let _g = self.drain_mx.lock().expect("drain lock");
+        self.draining.store(true, Ordering::SeqCst);
+        self.cv.notify_all();
+        self.drain_cv.notify_all();
+    }
+
+    /// True when no admitted work remains: nothing queued and no worker
+    /// mid-batch.
+    fn queue_idle(&self) -> bool {
+        let q = self.queue.lock().expect("queue lock");
+        q.is_empty() && self.busy.load(Ordering::SeqCst) == 0
+    }
+
+    /// Admission: push the job or shed it with `ALP0012` (or refuse it
+    /// with `ALP0015` once draining).  The depth check and the push are
+    /// atomic under the queue lock, so the bound is exact.
     fn submit(&self, job: Job) -> Result<(), ServeError> {
         let limit = match job.req.op {
             RequestOp::Run => self.cfg.run_limit(),
             _ => self.cfg.queue_cap,
         };
         let mut q = self.queue.lock().expect("queue lock");
+        if self.draining.load(Ordering::SeqCst) {
+            drop(q);
+            self.refused.fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::draining());
+        }
         let depth = q.len();
         if depth >= limit || self.shutdown.load(Ordering::SeqCst) {
             drop(q);
@@ -292,6 +414,10 @@ impl Inner {
             failures: self.failures.load(Ordering::Relaxed),
             depth: self.depth.load(Ordering::Relaxed) as u64,
             batched: self.batched.load(Ordering::Relaxed),
+            malformed: self.malformed.load(Ordering::Relaxed),
+            expired: self.expired.load(Ordering::Relaxed),
+            refused: self.refused.load(Ordering::Relaxed),
+            replayed: self.replayed,
         }
     }
 
@@ -328,27 +454,54 @@ impl Inner {
                         self.depth.store(q.len(), Ordering::Relaxed);
                         self.batched
                             .fetch_add((batch.len() - 1) as u64, Ordering::Relaxed);
+                        // Claimed under the queue lock, so a drain
+                        // observer never sees "queue empty" between a
+                        // pop and the busy increment.
+                        self.busy.fetch_add(1, Ordering::SeqCst);
                         break batch;
                     }
-                    if self.shutdown.load(Ordering::SeqCst) {
+                    if self.shutdown.load(Ordering::SeqCst) || self.draining.load(Ordering::SeqCst)
+                    {
                         return;
                     }
                     q = self.cv.wait(q).expect("queue lock");
                 }
             };
             for job in batch {
-                let resp = catch_unwind(AssertUnwindSafe(|| self.handle_now(&job.req)))
-                    .unwrap_or_else(|_| {
-                        self.failures.fetch_add(1, Ordering::Relaxed);
-                        Response::err(
-                            job.req.id,
-                            &ServeError::new(
-                                "ALP0008",
-                                "request handler panicked; fault contained",
-                            ),
-                        )
-                    });
+                let resp = if self.abort.load(Ordering::SeqCst) {
+                    // Drain deadline passed: answer fast, execute
+                    // nothing.  The job never started, so the client's
+                    // retry policy treats it like a shed.
+                    self.refused.fetch_add(1, Ordering::Relaxed);
+                    Response::err(job.req.id, &ServeError::draining())
+                } else if job.expired() {
+                    self.expired.fetch_add(1, Ordering::Relaxed);
+                    Response::err(
+                        job.req.id,
+                        &ServeError::new(
+                            "ALP0007",
+                            "client deadline passed while queued; shed unexecuted",
+                        ),
+                    )
+                } else {
+                    catch_unwind(AssertUnwindSafe(|| self.handle_now(&job.req))).unwrap_or_else(
+                        |_| {
+                            self.failures.fetch_add(1, Ordering::Relaxed);
+                            Response::err(
+                                job.req.id,
+                                &ServeError::new(
+                                    "ALP0008",
+                                    "request handler panicked; fault contained",
+                                ),
+                            )
+                        },
+                    )
+                };
                 write_line(&job.out, &resp);
+            }
+            self.busy.fetch_sub(1, Ordering::SeqCst);
+            if self.draining.load(Ordering::SeqCst) {
+                self.drain_cv.notify_all();
             }
         }
     }
@@ -366,28 +519,56 @@ impl Inner {
             if line.trim().is_empty() {
                 continue;
             }
+            if line.len() > MAX_REQUEST_BYTES {
+                self.malformed.fetch_add(1, Ordering::Relaxed);
+                write_line(
+                    &out,
+                    &Response::err(
+                        0,
+                        &ServeError::new(
+                            "ALP0006",
+                            format!(
+                                "request frame of {} bytes exceeds the {} byte limit",
+                                line.len(),
+                                MAX_REQUEST_BYTES
+                            ),
+                        ),
+                    ),
+                );
+                continue;
+            }
             let req = match Request::decode(&line) {
                 Ok(r) => r,
                 Err(e) => {
+                    self.malformed.fetch_add(1, Ordering::Relaxed);
                     write_line(&out, &Response::err(0, &e));
                     continue;
                 }
             };
             match req.op {
                 RequestOp::Ping => write_line(&out, &Response::ok(req.id)),
-                RequestOp::Stats => write_line(&out, &Response::stats(req.id, self.stats())),
+                RequestOp::Stats => write_line(
+                    &out,
+                    &Response::stats_with_shards(req.id, self.stats(), self.cache.per_shard()),
+                ),
                 RequestOp::Shutdown => {
+                    // Drain first, ack second: once the client reads
+                    // the ack, refusal of new work is already in
+                    // force.  The accept loop keeps running (stats/
+                    // ping still answer; plan/run get `ALP0015`) while
+                    // the daemon's `wait()`/`finish()` bounds the
+                    // drain and performs the actual stop.
+                    self.begin_drain();
                     write_line(&out, &Response::ok(req.id));
-                    self.shutdown.store(true, Ordering::SeqCst);
-                    self.cv.notify_all();
-                    // Wake the blocking accept so the loop observes the
-                    // flag and exits.
-                    if let Some(path) = self.sock.lock().expect("sock lock").clone() {
-                        let _ = UnixStream::connect(path);
-                    }
                     break;
                 }
                 RequestOp::Plan | RequestOp::Run => {
+                    if self.draining.load(Ordering::SeqCst) || self.shutdown.load(Ordering::SeqCst)
+                    {
+                        self.refused.fetch_add(1, Ordering::Relaxed);
+                        write_line(&out, &Response::err(req.id, &ServeError::draining()));
+                        continue;
+                    }
                     // The key is computed once here, on the reader
                     // thread: the inline fast path needs it, and the
                     // worker batch drain reuses it for fingerprint
@@ -418,9 +599,13 @@ impl Inner {
                     }
                     // Tiers 2–3: bounded queue with class-based limits.
                     let id = req.id;
+                    let expires = req
+                        .deadline_ms
+                        .map(|d| Instant::now() + Duration::from_millis(d));
                     if let Err(e) = self.submit(Job {
                         req,
                         key,
+                        expires,
                         out: Arc::clone(&out),
                     }) {
                         write_line(&out, &Response::err(id, &e));
@@ -451,15 +636,49 @@ pub struct Server {
 
 impl Server {
     /// Build a server (prewarming the cache per the config) without
-    /// binding a socket.
+    /// binding a socket.  Panics when the configured plan store cannot
+    /// be opened — use [`Server::try_new`] to handle that and to see
+    /// the recovery report.
     pub fn new(cfg: ServeConfig) -> Server {
+        Server::try_new(cfg).expect("plan store opens").0
+    }
+
+    /// Build a server, opening (and replaying) the durable plan store
+    /// when [`ServeConfig::store_dir`] is set.  Corrupt journal frames
+    /// are quarantined inside the returned [`RecoveryReport`]
+    /// (`ALP0014` warnings), never an error; `Err` is reserved for real
+    /// I/O failures (permissions, full disk) opening the store.
+    pub fn try_new(cfg: ServeConfig) -> std::io::Result<(Server, Option<RecoveryReport>)> {
         let cache = ShardedPlanCache::new(cfg.shards, cfg.cache_capacity);
+        let (store, report) = match &cfg.store_dir {
+            Some(dir) => {
+                let (store, report) = PlanStore::open(dir)?;
+                (Some(Mutex::new(store)), Some(report))
+            }
+            None => (None, None),
+        };
+        let mut replayed = 0u64;
+        if let Some(r) = &report {
+            // Later journal entries supersede earlier ones per key (the
+            // store already resolved that); warm every survivor.
+            for e in &r.live {
+                if cache.warm(e.key, Arc::clone(&e.plan)) {
+                    replayed += 1;
+                }
+            }
+        }
         let inner = Arc::new(Inner {
             cache,
             queue: Mutex::new(VecDeque::new()),
             cv: Condvar::new(),
             depth: AtomicUsize::new(0),
             shutdown: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
+            abort: AtomicBool::new(false),
+            busy: AtomicUsize::new(0),
+            drain_mx: Mutex::new(()),
+            drain_cv: Condvar::new(),
+            store,
             sock: Mutex::new(None),
             inline_hits: AtomicU64::new(0),
             shed_plan: AtomicU64::new(0),
@@ -467,15 +686,27 @@ impl Server {
             runs_ok: AtomicU64::new(0),
             failures: AtomicU64::new(0),
             batched: AtomicU64::new(0),
+            malformed: AtomicU64::new(0),
+            expired: AtomicU64::new(0),
+            refused: AtomicU64::new(0),
+            replayed,
             cfg,
         });
         for spec in &inner.cfg.prewarm {
             if let Ok(key) = spec.key() {
                 let spec = spec.clone();
-                let _ = inner.cache.get_or_compute(key, move || build_plan(&spec));
+                // Prewarmed plans are journaled like any other compute:
+                // the store must cover the hot set, or a restart would
+                // cold-start exactly the plans that matter most.
+                if let Ok((plan, how)) = inner.cache.get_or_compute(key, move || build_plan(&spec))
+                {
+                    if how == Fetched::Computed {
+                        inner.journal(&key, &plan);
+                    }
+                }
             }
         }
-        Server { inner }
+        Ok((Server { inner }, report))
     }
 
     /// Process one request synchronously, bypassing admission (the
@@ -540,6 +771,19 @@ impl Server {
     }
 }
 
+/// Outcome of a bounded graceful drain ([`ServerHandle::finish`]).
+#[derive(Debug, Clone, Copy)]
+pub struct DrainOutcome {
+    /// Final counters at stop time.
+    pub stats: ServerStats,
+    /// True when every admitted job completed inside the deadline;
+    /// false when the drain was cut short.
+    pub drained: bool,
+    /// Jobs still queued when the deadline passed — each was answered
+    /// `ALP0015` without being executed.
+    pub abandoned: usize,
+}
+
 /// A running server bound to a socket.
 pub struct ServerHandle {
     path: PathBuf,
@@ -559,15 +803,60 @@ impl ServerHandle {
         self.inner.stats()
     }
 
-    /// True once a `shutdown` request was received (or
-    /// [`ServerHandle::shutdown`] was called).
+    /// True once the server stopped admitting new plan/run work — a
+    /// `shutdown` request arrived, a drain began, or
+    /// [`ServerHandle::shutdown`] was called.
     pub fn is_shutting_down(&self) -> bool {
-        self.inner.shutdown.load(Ordering::SeqCst)
+        self.inner.shutdown.load(Ordering::SeqCst) || self.inner.draining.load(Ordering::SeqCst)
     }
 
-    /// Stop accepting, drain the queue, join every worker, and remove
-    /// the socket file.
-    pub fn shutdown(mut self) -> ServerStats {
+    /// True once the graceful drain has begun.
+    pub fn is_draining(&self) -> bool {
+        self.inner.draining.load(Ordering::SeqCst)
+    }
+
+    /// Begin the graceful drain without blocking: new plan/run work is
+    /// refused with `ALP0015` while admitted jobs keep executing.
+    /// Idempotent.  Call [`ServerHandle::finish`] (or
+    /// [`ServerHandle::shutdown`]) to bound the drain and stop.
+    pub fn begin_drain(&self) {
+        self.inner.begin_drain();
+    }
+
+    /// Bounded graceful stop: begin the drain (idempotent), wait up to
+    /// `deadline` for every admitted job to finish, then stop the
+    /// accept loop, join workers, fsync the journal, and remove the
+    /// socket file.  Past the deadline, still-queued jobs are answered
+    /// `ALP0015` unexecuted and counted as `abandoned`.
+    pub fn finish(mut self, deadline: Duration) -> DrainOutcome {
+        let start = Instant::now();
+        self.inner.begin_drain();
+        let mut drained = true;
+        {
+            let mut g = self.inner.drain_mx.lock().expect("drain lock");
+            while !self.inner.queue_idle() {
+                let elapsed = start.elapsed();
+                if elapsed >= deadline {
+                    drained = false;
+                    break;
+                }
+                let (ng, _) = self
+                    .inner
+                    .drain_cv
+                    .wait_timeout(g, (deadline - elapsed).min(Duration::from_millis(20)))
+                    .expect("drain lock");
+                g = ng;
+            }
+        }
+        let abandoned = if drained {
+            0
+        } else {
+            let n = self.inner.queue.lock().expect("queue lock").len();
+            // Workers answer the leftovers with `ALP0015` on their way
+            // out instead of executing them.
+            self.inner.abort.store(true, Ordering::SeqCst);
+            n
+        };
         self.inner.shutdown.store(true, Ordering::SeqCst);
         self.inner.cv.notify_all();
         // Wake the blocking accept with a throwaway connection.
@@ -578,22 +867,43 @@ impl ServerHandle {
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
+        if let Some(store) = &self.inner.store {
+            if let Ok(s) = store.lock() {
+                if let Err(e) = s.sync() {
+                    eprintln!("alp-serve: warning: journal fsync failed: {e}");
+                }
+            }
+        }
         let _ = std::fs::remove_file(&self.path);
-        self.inner.stats()
+        DrainOutcome {
+            stats: self.inner.stats(),
+            drained,
+            abandoned,
+        }
     }
 
-    /// Block until the accept loop exits (a client sent `shutdown`),
-    /// then drain and clean up — the daemon's main thread parks here.
-    pub fn wait(mut self) -> ServerStats {
-        if let Some(a) = self.accept.take() {
-            let _ = a.join();
+    /// Stop accepting, drain the queue (bounded by the config's drain
+    /// deadline), join every worker, and remove the socket file.
+    pub fn shutdown(self) -> ServerStats {
+        let deadline = Duration::from_millis(self.inner.cfg.drain_deadline_ms);
+        self.finish(deadline).stats
+    }
+
+    /// Block until a drain begins (a client sent `shutdown`, a signal
+    /// handler called [`ServerHandle::begin_drain`], or someone set the
+    /// shutdown flag), then run the bounded drain and clean up — the
+    /// daemon's main thread parks here.
+    pub fn wait(self) -> ServerStats {
+        {
+            let mut g = self.inner.drain_mx.lock().expect("drain lock");
+            while !self.inner.draining.load(Ordering::SeqCst)
+                && !self.inner.shutdown.load(Ordering::SeqCst)
+            {
+                g = self.inner.drain_cv.wait(g).expect("drain lock");
+            }
         }
-        self.inner.cv.notify_all();
-        for w in self.workers.drain(..) {
-            let _ = w.join();
-        }
-        let _ = std::fs::remove_file(&self.path);
-        self.inner.stats()
+        let deadline = Duration::from_millis(self.inner.cfg.drain_deadline_ms);
+        self.finish(deadline).stats
     }
 }
 
@@ -622,6 +932,7 @@ mod tests {
                 q.push_back(Job {
                     req,
                     key,
+                    expires: None,
                     out: Arc::new(Mutex::new(a)),
                 });
             }
@@ -674,6 +985,39 @@ mod tests {
         assert_eq!(stats.misses, 3, "three distinct nests compiled");
         assert_eq!(stats.hits, 1, "the repeated key hits the cache");
         assert_eq!(responses(readers), 4);
+    }
+
+    #[test]
+    fn abandoned_leader_is_re_elected_during_drain() {
+        // A compile leader that dies mid-flight marks its shard slot
+        // Abandoned; the drain phase must not prevent a successor from
+        // claiming the slot and finishing the admitted work — drain
+        // refuses *new* requests at the door, it never wedges work
+        // already inside.
+        let server = Server::new(ServeConfig::default());
+        let inner = Arc::clone(&server.inner);
+        inner.begin_drain();
+        let req = Request::plan(1, "doall (i, 0, 63) { A[i] = A[i]; }");
+        let key = req.plan.key().expect("key");
+        {
+            let inner = Arc::clone(&inner);
+            std::thread::spawn(move || {
+                let _ = catch_unwind(AssertUnwindSafe(|| {
+                    inner
+                        .cache
+                        .get_or_compute(key, || -> Result<_, ServeError> {
+                            panic!("injected leader death")
+                        })
+                }));
+            })
+            .join()
+            .expect("leader thread joins");
+        }
+        // The successor — an admitted job a worker is draining — takes
+        // over the abandoned slot and completes.
+        let resp = inner.handle_now(&req);
+        assert!(resp.ok, "{resp:?}");
+        assert_eq!(resp.cache.as_deref(), Some("computed"), "{resp:?}");
     }
 
     #[test]

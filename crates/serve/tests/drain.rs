@@ -1,0 +1,189 @@
+//! Shutdown-race and graceful-drain tests over the real socket.
+//!
+//! The drain contract: a `shutdown` request (or `begin_drain`) flips
+//! the server to refusing new plan/run work with `ALP0015` while
+//! `stats`/`ping` still answer and everything already admitted keeps
+//! executing; `finish` bounds the drain with a deadline and answers
+//! whatever is still queued past it with `ALP0015` *unexecuted*.  None
+//! of it may deadlock, no matter how shutdown races in-flight traffic.
+
+use alp_serve::{Request, RequestOp, Response, ServeConfig, Server};
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+fn sock_path(tag: &str) -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    std::env::temp_dir().join(format!(
+        "alp-drain-{}-{tag}-{}.sock",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// One request over a fresh connection; panics on transport failure
+/// (these tests assert liveness — a hung call is the bug).
+fn call(path: &PathBuf, req: &Request) -> Response {
+    let mut stream = UnixStream::connect(path).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut line = req.encode();
+    line.push('\n');
+    stream.write_all(line.as_bytes()).expect("write");
+    let mut resp = String::new();
+    BufReader::new(stream).read_line(&mut resp).expect("read");
+    Response::decode(&resp).expect("decode")
+}
+
+const SRC: &str = "doall (i, 0, 63) { A[i] = A[i] + B[i]; }";
+
+#[test]
+fn draining_refuses_new_work_but_still_answers_stats_and_ping() {
+    let path = sock_path("refuse");
+    let handle = Server::new(ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    })
+    .serve(&path)
+    .expect("serve");
+
+    // Warm one plan, then ask for the drain over the wire.
+    let ok = call(&path, &Request::plan(1, SRC));
+    assert!(ok.ok, "{ok:?}");
+    let ack = call(&path, &Request::control(2, RequestOp::Shutdown));
+    assert!(ack.ok, "shutdown is acknowledged");
+    assert!(handle.is_draining());
+
+    // Control plane stays up; the work plane refuses with ALP0015 —
+    // even for the plan that is sitting in the cache.
+    assert!(call(&path, &Request::control(3, RequestOp::Ping)).ok);
+    let stats = call(&path, &Request::control(4, RequestOp::Stats));
+    assert!(stats.ok && stats.stats.is_some(), "{stats:?}");
+    let refused = call(&path, &Request::plan(5, SRC));
+    assert!(!refused.ok);
+    assert_eq!(refused.code.as_deref(), Some("ALP0015"), "{refused:?}");
+    let refused_run = call(&path, &Request::run(6, SRC));
+    assert_eq!(refused_run.code.as_deref(), Some("ALP0015"));
+
+    let out = handle.finish(Duration::from_secs(5));
+    assert!(out.drained, "nothing was queued");
+    assert_eq!(out.abandoned, 0);
+    assert!(out.stats.refused >= 2, "refusals counted: {:?}", out.stats);
+    assert!(!path.exists(), "socket file removed");
+}
+
+#[test]
+fn double_shutdown_is_idempotent() {
+    let path = sock_path("double");
+    let handle = Server::new(ServeConfig::default())
+        .serve(&path)
+        .expect("serve");
+    assert!(call(&path, &Request::control(1, RequestOp::Shutdown)).ok);
+    assert!(call(&path, &Request::control(2, RequestOp::Shutdown)).ok);
+    handle.begin_drain();
+    handle.begin_drain();
+    let out = handle.finish(Duration::from_secs(5));
+    assert!(out.drained);
+    assert_eq!(out.abandoned, 0);
+}
+
+#[test]
+fn concurrent_shutdown_and_inflight_traffic_never_deadlocks() {
+    let path = sock_path("race");
+    let handle = Server::new(ServeConfig {
+        workers: 2,
+        ..ServeConfig::default()
+    })
+    .serve(&path)
+    .expect("serve");
+
+    // Clients hammer plan/run while the drain begins underneath them.
+    // Every request must get *some* answer: ok, ALP0012 (shed),
+    // ALP0015 (draining) — never a hang.
+    let clients: Vec<_> = (0..8)
+        .map(|c| {
+            let path = path.clone();
+            std::thread::spawn(move || {
+                let mut answered = 0;
+                for i in 0..24 {
+                    let src = format!(
+                        "doall (i, 0, {}) {{ A[i] = A[i]; }}",
+                        15 + (c * 24 + i) % 40
+                    );
+                    let req = if i % 3 == 0 {
+                        Request::run(i as i128, &src)
+                    } else {
+                        Request::plan(i as i128, &src)
+                    };
+                    let resp = call(&path, &req);
+                    assert!(
+                        resp.ok
+                            || matches!(resp.code.as_deref(), Some("ALP0012") | Some("ALP0015")),
+                        "unexpected failure: {resp:?}"
+                    );
+                    answered += 1;
+                }
+                answered
+            })
+        })
+        .collect();
+    // Let traffic get in flight, then drain.
+    std::thread::sleep(Duration::from_millis(10));
+    handle.begin_drain();
+    let mut total = 0;
+    for c in clients {
+        total += c.join().expect("client thread");
+    }
+    assert_eq!(total, 8 * 24, "every request answered");
+    let out = handle.finish(Duration::from_secs(10));
+    assert!(out.drained, "admitted work finished inside the deadline");
+}
+
+#[test]
+fn drain_deadline_abandons_queued_work_with_alp0015() {
+    let path = sock_path("deadline");
+    // One worker and a corpus of genuinely slow `run` requests (1M-2M
+    // iterations each): the queue cannot drain inside a ~zero deadline.
+    let handle = Server::new(ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    })
+    .serve(&path)
+    .expect("serve");
+
+    let clients: Vec<_> = (0..6)
+        .map(|c| {
+            let path = path.clone();
+            std::thread::spawn(move || {
+                let src = format!(
+                    "doall (i, 0, {}) {{ doall (j, 0, 1023) {{ A[i,j] = A[i,j] + B[i,j]; }} }}",
+                    1023 + c
+                );
+                call(&path, &Request::run(c as i128, &src))
+            })
+        })
+        .collect();
+    // Give the requests time to be admitted, then drain with a
+    // deadline far shorter than the queued work.
+    std::thread::sleep(Duration::from_millis(50));
+    let out = handle.finish(Duration::from_millis(1));
+    let mut codes = Vec::new();
+    for c in clients {
+        let resp = c.join().expect("client thread");
+        codes.push(resp.code.clone());
+        assert!(
+            resp.ok || matches!(resp.code.as_deref(), Some("ALP0012") | Some("ALP0015")),
+            "every client answered, never hung: {resp:?}"
+        );
+    }
+    if out.abandoned > 0 {
+        assert!(!out.drained);
+        assert!(
+            codes.iter().flatten().any(|c| c == "ALP0015"),
+            "abandoned jobs were answered with ALP0015: {codes:?} ({out:?})"
+        );
+    }
+}

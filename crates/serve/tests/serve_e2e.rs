@@ -205,6 +205,7 @@ fn overload_sheds_runs_before_plans_and_serves_cached_inline() {
             source: SRC.to_string(),
             processors: 16,
             check: true,
+            certify: false,
         }],
         ..ServeConfig::default()
     })

@@ -35,6 +35,9 @@
 //!                           the plan records the unimodular transform
 //!                           (schema v4) and downstream layers execute
 //!                           rectangular tiles in j = i·U space
+//!       --via-server <SOCK> delegate planning to a running `serve`
+//!                           daemon through the resilient retrying
+//!                           client (hot nests return as cache hits)
 //!
 //! CERTIFY OPTIONS:
 //!       --emit <FILE|->     write the certified plan JSON (plans that
@@ -94,7 +97,17 @@
 //! `9` a plan certificate is missing (under `--require-cert`), stale,
 //! or disagrees with fresh recomputation (`ALP0011`), `10` (`serve
 //! --connect` only) the plan service shed the request under load
-//! (`ALP0012`).
+//! (`ALP0012`), `11` (`store verify` only) the plan store has corrupt
+//! frames (`ALP0014`), `12` the service was draining — a `--connect`
+//! request refused with `ALP0015`, or the daemon was forced down by a
+//! second termination signal before the drain finished.
+//!
+//! The `serve` daemon drains gracefully: the first `SIGTERM`/`SIGINT`
+//! (or a protocol `shutdown`) stops admitting work (`ALP0015`),
+//! finishes what is queued within `--drain-deadline-ms`, flushes the
+//! `--store` journal, and exits 0; a second signal aborts the drain
+//! and exits 12.  With `--store DIR` every computed plan is journaled
+//! crash-safely and replayed into the cache on restart.
 //!
 //! Examples:
 //!
@@ -148,13 +161,21 @@ const EXIT_CERT: u8 = 9;
 /// Exit code when the plan service sheds the request under load —
 /// `ALP0012` (`serve --connect` only).
 const EXIT_OVERLOAD: u8 = 10;
+/// Exit code when the durable plan store holds corrupt frames —
+/// `ALP0014` (`store verify` only; the daemon itself quarantines and
+/// keeps going).
+const EXIT_STORE: u8 = 11;
+/// Exit code when the service is draining: a `--connect` request was
+/// refused with `ALP0015`, or a second termination signal aborted the
+/// daemon's graceful drain.
+const EXIT_DRAINING: u8 = 12;
 
 fn usage() -> ! {
     eprintln!(
         "usage: alp-cli [-p N] [-m WxH] [--param NAME=VAL]... [--simulate] [--para] \
          [--line-size N] [--code] [--check|--no-check] [--from-plan FILE] <FILE|->\n       \
          alp-cli plan [-p N] [-m WxH] [--param NAME=VAL]... [--no-check] [--certify] \
-         [--skewed] [--emit FILE|-] <FILE|->\n       \
+         [--skewed] [--via-server SOCK] [--emit FILE|-] <FILE|->\n       \
          alp-cli run [-p N] [--param NAME=VAL]... [--threads N] [--steal] \
          [--line-size N] [--seed N] [--no-check] [--from-plan FILE] [--timeout-ms N] \
          [--retry N] [--max-store-bytes N] [--fallback-seq] [--require-cert] [--skewed] \
@@ -162,14 +183,16 @@ fn usage() -> ! {
          alp-cli certify [--emit FILE|-] <PLAN|->\n       \
          alp-cli calibrate [-p N] [--param NAME=VAL]... [--threads N] [--trials N] \
          [--warmup N] [--line-size N] [--seed N] [--emit FILE|-] [FILE|-]\n       \
-         alp-cli serve --socket PATH [--shards N] [--capacity N] [--queue N] \
-         [--run-high-water N] [--workers N]\n       \
+         alp-cli serve --socket PATH [--shards N] [--cache-capacity N] [--queue N] \
+         [--run-high-water N] [--workers N] [--store DIR] [--drain-deadline-ms N]\n       \
          alp-cli serve --socket PATH --connect [--op plan|run|stats|ping|shutdown] \
-         [-p N] [--no-check] [--want-plan] [--threads N] [--seed N] [--timeout-ms N] \
-         [--max-store-bytes N] [FILE|-]\n       \
+         [-p N] [--no-check] [--want-plan] [--certify] [--threads N] [--seed N] \
+         [--timeout-ms N] [--max-store-bytes N] [--retries N] [--deadline-ms N] \
+         [FILE|-]\n       \
+         alp-cli store verify|stats|compact DIR\n       \
          alp-cli bench-serve [--smoke] [--json FILE|-] [--clients N] [--window N] \
          [--requests N] [--corpus N] [--hot N] [--run-percent N] [--seed N] [-p N] \
-         [--shards N] [--capacity N] [--queue N] [--workers N]"
+         [--shards N] [--cache-capacity N] [--queue N] [--workers N] [--store DIR]"
     );
     std::process::exit(2)
 }
@@ -503,6 +526,7 @@ struct PlanOptions {
     calibrated: Option<String>,
     certify: bool,
     skewed: bool,
+    via_server: Option<String>,
     input: String,
 }
 
@@ -526,6 +550,7 @@ fn parse_plan_args(mut args: impl Iterator<Item = String>) -> PlanOptions {
         calibrated: None,
         certify: false,
         skewed: false,
+        via_server: None,
         input: String::new(),
     };
     let mut input: Option<String> = None;
@@ -558,6 +583,9 @@ fn parse_plan_args(mut args: impl Iterator<Item = String>) -> PlanOptions {
             }
             "--certify" => opts.certify = true,
             "--skewed" => opts.skewed = true,
+            "--via-server" => {
+                opts.via_server = Some(args.next().unwrap_or_else(|| usage()));
+            }
             "-h" | "--help" => usage(),
             other if input.is_none() => input = Some(other.to_string()),
             _ => usage(),
@@ -567,9 +595,74 @@ fn parse_plan_args(mut args: impl Iterator<Item = String>) -> PlanOptions {
     opts
 }
 
+/// `plan --via-server SOCK`: delegate planning to a running `alp-cli
+/// serve` daemon through the resilient client instead of compiling in
+/// process — hot nests come back as cache hits without paying the
+/// optimizer.  Local-only features (`--mesh`, `--calibrated`,
+/// `--skewed`, `--param`) are not in the wire protocol and are refused.
+fn plan_via_server(opts: &PlanOptions, sock: &str) -> ExitCode {
+    use alp::serve::client::RetryPolicy;
+    use alp::serve::{Client, ClientConfig, Request};
+    if opts.mesh.is_some() || opts.calibrated.is_some() || opts.skewed || !opts.params.is_empty() {
+        eprintln!(
+            "alp-cli: plan --via-server supports -p/--no-check/--certify/--emit only \
+             (--mesh, --calibrated, --skewed, --param plan locally)"
+        );
+        return ExitCode::from(2);
+    }
+    let src = match read_source(&opts.input) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    let mut req = Request::plan(1, &src);
+    req.plan.processors = opts.processors;
+    req.plan.check = !opts.no_check;
+    req.plan.certify = opts.certify;
+    req.want_plan = true;
+    let mut client = Client::new(std::path::Path::new(sock), ClientConfig::default());
+    let resp = match client.call(&req, RetryPolicy::Idempotent) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("alp-cli: plan: {sock}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if !resp.ok {
+        let code = resp.code.as_deref().unwrap_or("ALP0006");
+        eprintln!(
+            "alp-cli: error[{code}]: {}",
+            resp.error.as_deref().unwrap_or("request failed")
+        );
+        return serve_exit(code);
+    }
+    let Some(json) = &resp.plan else {
+        eprintln!("alp-cli: plan: server answered without a plan artifact");
+        return ExitCode::FAILURE;
+    };
+    if opts.emit == "-" {
+        print!("{json}");
+    } else {
+        if let Err(e) = std::fs::write(&opts.emit, json) {
+            eprintln!("alp-cli: {}: {e}", opts.emit);
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "alp-cli: wrote plan (fingerprint {}, tiles {}, cache {}) to {}",
+            resp.fingerprint.as_deref().unwrap_or("?"),
+            resp.tiles.unwrap_or(0),
+            resp.cache.as_deref().unwrap_or("?"),
+            opts.emit
+        );
+    }
+    ExitCode::SUCCESS
+}
+
 /// The `plan` subcommand: run analysis + partitioning only and write the
 /// decision as the versioned JSON plan artifact.
 fn plan_main(opts: PlanOptions) -> ExitCode {
+    if let Some(sock) = opts.via_server.clone() {
+        return plan_via_server(&opts, &sock);
+    }
     let src = match read_source(&opts.input) {
         Ok(s) => s,
         Err(code) => return code,
@@ -1062,8 +1155,41 @@ fn serve_exit(code: &str) -> ExitCode {
         "ALP0009" => EXIT_BUDGET,
         "ALP0011" => EXIT_CERT,
         "ALP0012" => EXIT_OVERLOAD,
+        "ALP0014" => EXIT_STORE,
+        "ALP0015" => EXIT_DRAINING,
         _ => 1,
     })
+}
+
+// ------------------------------------------------------------- signals
+//
+// The daemon and the benchmark want graceful-drain semantics for
+// SIGTERM/SIGINT without a libc crate: the handler (async-signal-safe —
+// it only touches an atomic) counts deliveries, and the main thread
+// polls.  First signal: begin the drain.  Second: abort it (exit 12).
+
+static SIGNALS: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+
+extern "C" fn note_signal(_sig: i32) {
+    SIGNALS.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+}
+
+extern "C" {
+    fn signal(signum: i32, handler: usize) -> usize;
+}
+
+const SIGINT: i32 = 2;
+const SIGTERM: i32 = 15;
+
+fn install_drain_signals() {
+    unsafe {
+        signal(SIGINT, note_signal as extern "C" fn(i32) as usize);
+        signal(SIGTERM, note_signal as extern "C" fn(i32) as usize);
+    }
+}
+
+fn signals_seen() -> usize {
+    SIGNALS.load(std::sync::atomic::Ordering::SeqCst)
 }
 
 struct ServeOptions {
@@ -1073,15 +1199,20 @@ struct ServeOptions {
     processors: i128,
     no_check: bool,
     want_plan: bool,
+    certify: bool,
     threads: usize,
     seed: u64,
     timeout_ms: Option<u64>,
     max_store_bytes: Option<u64>,
+    retries: Option<u32>,
+    deadline_ms: Option<u64>,
     shards: usize,
     capacity: usize,
     queue: usize,
     run_high_water: Option<usize>,
     workers: usize,
+    store: Option<String>,
+    drain_deadline_ms: u64,
     input: Option<String>,
 }
 
@@ -1094,15 +1225,20 @@ fn parse_serve_args(mut args: impl Iterator<Item = String>) -> ServeOptions {
         processors: 16,
         no_check: false,
         want_plan: false,
+        certify: false,
         threads: 0,
         seed: 42,
         timeout_ms: None,
         max_store_bytes: None,
+        retries: None,
+        deadline_ms: None,
         shards: defaults.shards,
         capacity: defaults.cache_capacity,
         queue: defaults.queue_cap,
         run_high_water: None,
         workers: defaults.workers,
+        store: None,
+        drain_deadline_ms: defaults.drain_deadline_ms,
         input: None,
     };
     let next = |args: &mut dyn Iterator<Item = String>| args.next().unwrap_or_else(|| usage());
@@ -1114,6 +1250,7 @@ fn parse_serve_args(mut args: impl Iterator<Item = String>) -> ServeOptions {
             "-p" => opts.processors = next(&mut args).parse().unwrap_or_else(|_| usage()),
             "--no-check" => opts.no_check = true,
             "--want-plan" => opts.want_plan = true,
+            "--certify" => opts.certify = true,
             "--threads" => opts.threads = next(&mut args).parse().unwrap_or_else(|_| usage()),
             "--seed" => opts.seed = next(&mut args).parse().unwrap_or_else(|_| usage()),
             "--timeout-ms" => {
@@ -1122,13 +1259,23 @@ fn parse_serve_args(mut args: impl Iterator<Item = String>) -> ServeOptions {
             "--max-store-bytes" => {
                 opts.max_store_bytes = Some(next(&mut args).parse().unwrap_or_else(|_| usage()))
             }
+            "--retries" => opts.retries = Some(next(&mut args).parse().unwrap_or_else(|_| usage())),
+            "--deadline-ms" => {
+                opts.deadline_ms = Some(next(&mut args).parse().unwrap_or_else(|_| usage()))
+            }
             "--shards" => opts.shards = next(&mut args).parse().unwrap_or_else(|_| usage()),
-            "--capacity" => opts.capacity = next(&mut args).parse().unwrap_or_else(|_| usage()),
+            "--capacity" | "--cache-capacity" => {
+                opts.capacity = next(&mut args).parse().unwrap_or_else(|_| usage())
+            }
             "--queue" => opts.queue = next(&mut args).parse().unwrap_or_else(|_| usage()),
             "--run-high-water" => {
                 opts.run_high_water = Some(next(&mut args).parse().unwrap_or_else(|_| usage()))
             }
             "--workers" => opts.workers = next(&mut args).parse().unwrap_or_else(|_| usage()),
+            "--store" => opts.store = Some(next(&mut args)),
+            "--drain-deadline-ms" => {
+                opts.drain_deadline_ms = next(&mut args).parse().unwrap_or_else(|_| usage())
+            }
             "-h" | "--help" => usage(),
             other if opts.input.is_none() && (other == "-" || !other.starts_with('-')) => {
                 opts.input = Some(other.to_string())
@@ -1142,21 +1289,60 @@ fn parse_serve_args(mut args: impl Iterator<Item = String>) -> ServeOptions {
     opts
 }
 
-/// `alp-cli serve`: daemon mode binds the socket and parks until a
-/// protocol `shutdown` arrives; `--connect` sends one request to a
-/// running daemon and maps the outcome onto the exit-code contract
-/// (`ALP0012` sheds exit 10).
+/// Print a recovery report's quarantine warnings (`ALP0014` — never
+/// fatal) and the replay summary the way the daemon announces them.
+fn report_recovery(report: &alp::plan::RecoveryReport) {
+    for q in &report.quarantined {
+        eprintln!(
+            "alp-cli: serve: warning[ALP0014]: segment {:06} offset {}: {} \
+             ({} bytes quarantined)",
+            q.segment, q.offset, q.reason, q.bytes
+        );
+    }
+    eprintln!(
+        "alp-cli: serve: store replayed {} plan{} from {} frame{} in {} segment{}",
+        report.live.len(),
+        if report.live.len() == 1 { "" } else { "s" },
+        report.frames,
+        if report.frames == 1 { "" } else { "s" },
+        report.segments,
+        if report.segments == 1 { "" } else { "s" }
+    );
+}
+
+/// `alp-cli serve`: daemon mode binds the socket and runs until a
+/// protocol `shutdown` or a termination signal starts the graceful
+/// drain (second signal aborts it, exit 12); `--connect` sends one
+/// request through the resilient retrying client and maps the outcome
+/// onto the exit-code contract (`ALP0012` sheds exit 10, `ALP0015`
+/// drain refusals exit 12).
 fn serve_main(opts: ServeOptions) -> ExitCode {
-    use alp::serve::{Request, RequestOp, Response, ServeConfig, Server};
+    use alp::serve::client::RetryPolicy;
+    use alp::serve::{Client, ClientConfig, Request, RequestOp, ServeConfig, Server};
     if !opts.connect {
-        let server = Server::new(ServeConfig {
+        install_drain_signals();
+        let (server, recovery) = match Server::try_new(ServeConfig {
             shards: opts.shards,
             cache_capacity: opts.capacity,
             queue_cap: opts.queue,
             run_high_water: opts.run_high_water,
             workers: opts.workers,
             prewarm: Vec::new(),
-        });
+            store_dir: opts.store.as_ref().map(std::path::PathBuf::from),
+            drain_deadline_ms: opts.drain_deadline_ms,
+        }) {
+            Ok(pair) => pair,
+            Err(e) => {
+                eprintln!(
+                    "alp-cli: serve: {}: {e}",
+                    opts.store.as_deref().unwrap_or("store")
+                );
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Some(report) = &recovery {
+            report_recovery(report);
+        }
         let handle = match server.serve(std::path::Path::new(&opts.socket)) {
             Ok(h) => h,
             Err(e) => {
@@ -1165,18 +1351,54 @@ fn serve_main(opts: ServeOptions) -> ExitCode {
             }
         };
         eprintln!("alp-cli: serving on {}", opts.socket);
-        let stats = handle.wait();
+        // A second signal must cut the drain short even while `finish`
+        // blocks below, so the escalation watcher is its own thread.
+        std::thread::spawn(|| loop {
+            if signals_seen() >= 2 {
+                eprintln!("alp-cli: serve: second signal — aborting drain (exit 12)");
+                std::process::exit(EXIT_DRAINING as i32);
+            }
+            std::thread::sleep(std::time::Duration::from_millis(25));
+        });
+        while signals_seen() == 0 && !handle.is_shutting_down() {
+            std::thread::sleep(std::time::Duration::from_millis(25));
+        }
+        if signals_seen() > 0 {
+            eprintln!(
+                "alp-cli: serve: signal received — draining (deadline {} ms)",
+                opts.drain_deadline_ms
+            );
+        }
+        let out = handle.finish(std::time::Duration::from_millis(opts.drain_deadline_ms));
+        let stats = out.stats;
         eprintln!(
-            "alp-cli: serve: shut down after {} hits, {} compiles, {} coalesced, {} shed",
+            "alp-cli: serve: {} after {} hits, {} compiles, {} coalesced, {} shed, \
+             {} refused{}",
+            if out.drained {
+                "drained cleanly".to_string()
+            } else {
+                format!(
+                    "drain deadline hit ({} job(s) answered ALP0015)",
+                    out.abandoned
+                )
+            },
             stats.hits,
             stats.misses,
             stats.coalesced,
-            stats.shed()
+            stats.shed(),
+            stats.refused,
+            if stats.replayed > 0 {
+                format!(", {} replayed", stats.replayed)
+            } else {
+                String::new()
+            }
         );
         return ExitCode::SUCCESS;
     }
 
-    // Client mode: one request, one response, one exit code.
+    // Client mode: one request through the resilient client — per-
+    // attempt timeouts, jittered backoff, retry budget gated on
+    // idempotence — then one exit code.
     let op = match opts.op.as_str() {
         "plan" => RequestOp::Plan,
         "run" => RequestOp::Run,
@@ -1194,6 +1416,7 @@ fn serve_main(opts: ServeOptions) -> ExitCode {
         req.op = op;
         req.plan.processors = opts.processors;
         req.plan.check = !opts.no_check;
+        req.plan.certify = opts.certify;
         req.want_plan = opts.want_plan;
         req.run.threads = opts.threads;
         req.run.seed = opts.seed;
@@ -1203,20 +1426,34 @@ fn serve_main(opts: ServeOptions) -> ExitCode {
     } else {
         Request::control(1, op)
     };
-    let response = (|| -> std::io::Result<Response> {
-        use std::io::{BufRead, BufReader, Write};
-        let stream = std::os::unix::net::UnixStream::connect(&opts.socket)?;
-        let mut writer = stream.try_clone()?;
-        let mut line = req.encode();
-        line.push('\n');
-        writer.write_all(line.as_bytes())?;
-        writer.flush()?;
-        let mut resp = String::new();
-        BufReader::new(stream).read_line(&mut resp)?;
-        Response::decode(&resp).map_err(|e| std::io::Error::other(e.to_string()))
-    })();
-    match response {
+    // A certified run is provably idempotent, so its retry budget
+    // survives ambiguous transport failures; an uncertified run stops
+    // at the first failure that may have executed.
+    let policy = if opts.certify && req.op == RequestOp::Run {
+        RetryPolicy::Certified
+    } else {
+        Client::default_policy(&req)
+    };
+    let cfg = ClientConfig {
+        max_attempts: opts
+            .retries
+            .map_or(ClientConfig::default().max_attempts, |r| r + 1),
+        deadline_ms: opts.deadline_ms,
+        ..ClientConfig::default()
+    };
+    let mut client = Client::new(std::path::Path::new(&opts.socket), cfg);
+    match client.call(&req, policy) {
         Err(e) => {
+            // A budget exhausted on shed (ALP0012) or drain (ALP0015)
+            // refusals is, in the end, the server's answer: keep the
+            // `error[CODE]` rendering and that code's exit mapping.
+            let rendered = e.to_string();
+            for code in ["ALP0012", "ALP0015"] {
+                if rendered.contains(code) {
+                    eprintln!("alp-cli: error[{code}]: {rendered}");
+                    return serve_exit(code);
+                }
+            }
             eprintln!("alp-cli: serve: {}: {e}", opts.socket);
             ExitCode::FAILURE
         }
@@ -1231,6 +1468,25 @@ fn serve_main(opts: ServeOptions) -> ExitCode {
         Ok(resp) => {
             if let Some(stats) = &resp.stats {
                 println!("{}", stats.encode());
+                if let Some(shards) = &resp.shards {
+                    for (i, s) in shards.iter().enumerate() {
+                        let lookups = s.hits + s.misses + s.coalesced;
+                        println!(
+                            "shard {i:>3}: {}/{} plans, {} hits / {} misses / {} coalesced \
+                             (hit rate {:.3})",
+                            s.len,
+                            s.capacity,
+                            s.hits,
+                            s.misses,
+                            s.coalesced,
+                            if lookups == 0 {
+                                0.0
+                            } else {
+                                s.hits as f64 / lookups as f64
+                            }
+                        );
+                    }
+                }
             } else if let Some(plan) = &resp.plan {
                 println!("{plan}");
             } else if let Some(fp) = &resp.fingerprint {
@@ -1251,9 +1507,99 @@ fn serve_main(opts: ServeOptions) -> ExitCode {
     }
 }
 
+// ---------------------------------------------------------------- store
+
+struct StoreOptions {
+    action: String,
+    dir: String,
+}
+
+fn parse_store_args(mut args: impl Iterator<Item = String>) -> StoreOptions {
+    let action = args.next().unwrap_or_else(|| usage());
+    if !matches!(action.as_str(), "verify" | "stats" | "compact") {
+        usage();
+    }
+    let dir = args.next().unwrap_or_else(|| usage());
+    if args.next().is_some() {
+        usage();
+    }
+    StoreOptions { action, dir }
+}
+
+/// `alp-cli store`: offline plan-store maintenance.  `verify` scans the
+/// journal read-only and exits 11 (`ALP0014`) when any frame is
+/// corrupt; `stats` prints the same summary but always exits 0;
+/// `compact` rewrites the live set into one fresh segment.
+fn store_main(opts: StoreOptions) -> ExitCode {
+    use alp::plan::PlanStore;
+    let dir = std::path::Path::new(&opts.dir);
+    match opts.action.as_str() {
+        "verify" | "stats" => {
+            let report = match PlanStore::scan(dir) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("alp-cli: store: {}: {e}", opts.dir);
+                    return ExitCode::FAILURE;
+                }
+            };
+            println!(
+                "store {}: {} segment(s), {} frame(s), {} bytes, {} live plan(s), \
+                 {} quarantined",
+                opts.dir,
+                report.segments,
+                report.frames,
+                report.bytes,
+                report.live.len(),
+                report.quarantined.len()
+            );
+            for q in &report.quarantined {
+                eprintln!(
+                    "alp-cli: store: warning[ALP0014]: segment {:06} offset {}: {} \
+                     ({} bytes)",
+                    q.segment, q.offset, q.reason, q.bytes
+                );
+            }
+            if opts.action == "verify" && report.corrupt() {
+                eprintln!("alp-cli: error[ALP0014]: store has corrupt frames");
+                return ExitCode::from(EXIT_STORE);
+            }
+            ExitCode::SUCCESS
+        }
+        "compact" => {
+            let (mut store, report) = match PlanStore::open(dir) {
+                Ok(pair) => pair,
+                Err(e) => {
+                    eprintln!("alp-cli: store: {}: {e}", opts.dir);
+                    return ExitCode::FAILURE;
+                }
+            };
+            let live: Vec<_> = report
+                .live
+                .iter()
+                .map(|e| (e.key, std::sync::Arc::clone(&e.plan)))
+                .collect();
+            match store.compact(&live) {
+                Ok(c) => {
+                    println!(
+                        "compacted {}: {} -> {} bytes, {} frame(s) kept, {} segment(s) removed",
+                        opts.dir, c.bytes_before, c.bytes_after, c.frames, c.segments_removed
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("alp-cli: store: compact {}: {e}", opts.dir);
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        _ => usage(),
+    }
+}
+
 struct BenchServeOptions {
     smoke: bool,
     json: Option<String>,
+    store: Option<String>,
     load: alp::serve::LoadGenConfig,
     serve: alp::serve::ServeConfig,
 }
@@ -1262,6 +1608,7 @@ fn parse_bench_serve_args(mut args: impl Iterator<Item = String>) -> BenchServeO
     let mut opts = BenchServeOptions {
         smoke: false,
         json: None,
+        store: None,
         load: alp::serve::LoadGenConfig::default(),
         serve: alp::serve::ServeConfig::default(),
     };
@@ -1283,11 +1630,12 @@ fn parse_bench_serve_args(mut args: impl Iterator<Item = String>) -> BenchServeO
             "--seed" => opts.load.seed = next(&mut args).parse().unwrap_or_else(|_| usage()),
             "-p" => opts.load.processors = next(&mut args).parse().unwrap_or_else(|_| usage()),
             "--shards" => opts.serve.shards = next(&mut args).parse().unwrap_or_else(|_| usage()),
-            "--capacity" => {
+            "--capacity" | "--cache-capacity" => {
                 opts.serve.cache_capacity = next(&mut args).parse().unwrap_or_else(|_| usage())
             }
             "--queue" => opts.serve.queue_cap = next(&mut args).parse().unwrap_or_else(|_| usage()),
             "--workers" => opts.serve.workers = next(&mut args).parse().unwrap_or_else(|_| usage()),
+            "--store" => opts.store = Some(next(&mut args)),
             "-h" | "--help" => usage(),
             _ => usage(),
         }
@@ -1302,22 +1650,47 @@ fn parse_bench_serve_args(mut args: impl Iterator<Item = String>) -> BenchServeO
     opts
 }
 
+/// What the post-crash warm-start probe measured: the benchmark's
+/// journal is reopened by a fresh server and the hot set is replayed —
+/// `warm_hits` of `hot_set` come back as cache hits without a compile.
+struct RecoveryProbe {
+    replayed: usize,
+    hot_set: usize,
+    warm_hits: usize,
+}
+
 /// Render the load-generator report as the `BENCH_serve.json` schema.
 fn bench_serve_json(
     cfg: &alp::serve::LoadGenConfig,
     serve: &alp::serve::ServeConfig,
     r: &alp::serve::LoadGenReport,
+    recovery: Option<&RecoveryProbe>,
 ) -> String {
     let s = &r.server;
+    let recovery = match recovery {
+        Some(p) => format!(
+            "{{\"replayed\": {}, \"hot_set\": {}, \"warm_hits\": {}, \"warm_rate\": {:.4}}}",
+            p.replayed,
+            p.hot_set,
+            p.warm_hits,
+            if p.hot_set == 0 {
+                0.0
+            } else {
+                p.warm_hits as f64 / p.hot_set as f64
+            }
+        ),
+        None => "null".to_string(),
+    };
     format!(
         "{{\n  \"bench\": \"serve\",\n  \"config\": {{\n    \"clients\": {}, \"window\": {}, \
          \"requests\": {}, \"corpus\": {}, \"hot\": {},\n    \"run_percent\": {}, \
          \"processors\": {}, \"seed\": {},\n    \"shards\": {}, \"cache_capacity\": {}, \
          \"queue_cap\": {}, \"workers\": {}\n  }},\n  \"cores\": {},\n  \"oversubscribed\": {},\n  \
+         \"interrupted\": {},\n  \
          \"max_concurrent\": {},\n  \"elapsed_ms\": {},\n  \"latency_us\": {{\"p50\": {}, \
          \"p99\": {}, \"max\": {}}},\n  \"plans_per_sec\": {},\n  \"requests\": {{\"sent\": {}, \
          \"ok\": {}, \"errors\": {}, \"shed\": {}}},\n  \"cache\": {{\"hit\": {}, \
-         \"coalesced\": {}, \"computed\": {}}},\n  \"server\": {}\n}}\n",
+         \"coalesced\": {}, \"computed\": {}}},\n  \"recovery\": {},\n  \"server\": {}\n}}\n",
         cfg.clients,
         cfg.window,
         cfg.requests,
@@ -1332,6 +1705,7 @@ fn bench_serve_json(
         serve.workers,
         r.cores,
         r.oversubscribed,
+        r.interrupted,
         r.max_concurrent,
         r.elapsed_ms,
         r.p50_us,
@@ -1345,14 +1719,81 @@ fn bench_serve_json(
         r.hits,
         r.coalesced,
         r.computed,
+        recovery,
         s.encode()
     )
 }
 
+/// Reopen the benchmark's plan-store journal with a fresh server (the
+/// "post-crash restart") and replay the hot corpus prefix against it,
+/// counting how many come back as warm cache hits.
+fn bench_recovery_probe(
+    load: &alp::serve::LoadGenConfig,
+    serve: &alp::serve::ServeConfig,
+    store_dir: &std::path::Path,
+) -> std::io::Result<RecoveryProbe> {
+    use alp::serve::{Request, Server};
+    let (server, report) = Server::try_new(alp::serve::ServeConfig {
+        store_dir: Some(store_dir.to_path_buf()),
+        prewarm: Vec::new(),
+        ..serve.clone()
+    })?;
+    let hot_set = load.hot.min(load.corpus);
+    let mut warm_hits = 0usize;
+    for rank in 0..hot_set {
+        let mut req = Request::plan(rank as i128, &alp::serve::loadgen::corpus_source(rank));
+        req.plan.processors = load.processors;
+        let resp = server.handle_now(&req);
+        if resp.ok && resp.cache.as_deref() == Some("hit") {
+            warm_hits += 1;
+        }
+    }
+    Ok(RecoveryProbe {
+        replayed: report.map_or(0, |r| r.live.len()),
+        hot_set,
+        warm_hits,
+    })
+}
+
 /// `alp-cli bench-serve`: drive the Zipf-mix load generator against an
-/// in-process server and write the `BENCH_serve.json` report.
-fn bench_serve_main(opts: BenchServeOptions) -> ExitCode {
+/// in-process server and write the `BENCH_serve.json` report.  The
+/// server journals to `--store` (default: a temp dir) so the report's
+/// `recovery` block can measure warm-restart behavior; Ctrl-C stops
+/// traffic cooperatively and the final drained counters still print.
+fn bench_serve_main(mut opts: BenchServeOptions) -> ExitCode {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
     let sock = std::env::temp_dir().join(format!("alp-bench-serve-{}.sock", std::process::id()));
+    let (store_dir, ephemeral_store) = match &opts.store {
+        Some(dir) => (std::path::PathBuf::from(dir), false),
+        None => {
+            let d = std::env::temp_dir().join(format!("alp-bench-store-{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&d);
+            (d, true)
+        }
+    };
+    opts.serve.store_dir = Some(store_dir.clone());
+
+    // First SIGINT/SIGTERM: stop sending, drain in-flight traffic, and
+    // report what completed.  Second: give up immediately.
+    install_drain_signals();
+    let stop = Arc::new(AtomicBool::new(false));
+    {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || loop {
+            let n = signals_seen();
+            if n >= 2 {
+                eprintln!("alp-cli: bench-serve: second signal — aborting (exit 12)");
+                std::process::exit(EXIT_DRAINING as i32);
+            }
+            if n >= 1 {
+                stop.store(true, Ordering::SeqCst);
+            }
+            std::thread::sleep(std::time::Duration::from_millis(25));
+        });
+    }
+    opts.load.stop = Some(Arc::clone(&stop));
+
     let report = match alp::serve::run_loadgen(&opts.load, opts.serve.clone(), &sock) {
         Ok(r) => r,
         Err(e) => {
@@ -1360,6 +1801,12 @@ fn bench_serve_main(opts: BenchServeOptions) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if report.interrupted {
+        eprintln!(
+            "bench-serve: interrupted — traffic stopped early, counters below cover \
+             everything sent and drained"
+        );
+    }
     eprintln!(
         "bench-serve: {} requests in {} ms ({} ok/s), p50 {} us, p99 {} us, \
          {} hit / {} coalesced / {} computed / {} shed, cores {}{}",
@@ -1379,7 +1826,34 @@ fn bench_serve_main(opts: BenchServeOptions) -> ExitCode {
             ""
         }
     );
-    let json = bench_serve_json(&opts.load, &opts.serve, &report);
+    if report.interrupted {
+        eprintln!(
+            "bench-serve: final drained server counters: {}",
+            report.server.encode()
+        );
+    }
+
+    // Warm-restart probe: reopen the journal like a post-crash restart
+    // and replay the hot set against the fresh server.
+    let recovery = match bench_recovery_probe(&opts.load, &opts.serve, &store_dir) {
+        Ok(p) => {
+            eprintln!(
+                "bench-serve: recovery: {} plan(s) replayed from the journal, hot-set warm \
+                 hits {}/{}",
+                p.replayed, p.warm_hits, p.hot_set
+            );
+            Some(p)
+        }
+        Err(e) => {
+            eprintln!("alp-cli: bench-serve: warning: recovery probe failed: {e}");
+            None
+        }
+    };
+    if ephemeral_store {
+        let _ = std::fs::remove_dir_all(&store_dir);
+    }
+
+    let json = bench_serve_json(&opts.load, &opts.serve, &report, recovery.as_ref());
     match opts.json.as_deref() {
         None => {}
         Some("-") => print!("{json}"),
@@ -1396,6 +1870,7 @@ fn bench_serve_main(opts: BenchServeOptions) -> ExitCode {
 fn main() -> ExitCode {
     match std::env::args().nth(1).as_deref() {
         Some("serve") => return serve_main(parse_serve_args(std::env::args().skip(2))),
+        Some("store") => return store_main(parse_store_args(std::env::args().skip(2))),
         Some("bench-serve") => {
             return bench_serve_main(parse_bench_serve_args(std::env::args().skip(2)))
         }

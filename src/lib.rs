@@ -390,6 +390,10 @@ impl Compiler {
             checked: self.check,
             calibrated: self.calibration.is_some(),
             skewed: self.skewed,
+            // The facade certifies *after* compilation (certify is a
+            // plan-to-certificate pass, not a compile parameter), so
+            // its cache stores uncertified artifacts.
+            certified: false,
         }
     }
 

@@ -546,3 +546,159 @@ fn bench_serve_smoke_emits_schema_complete_json() {
         assert!(stdout.contains(field), "missing {field} in {stdout}");
     }
 }
+
+/// Send `sig` to a child process by PID (no libc crate in the test
+/// either — the system `kill` is everywhere we run).
+fn send_signal(child: &std::process::Child, sig: &str) {
+    let status = Command::new("kill")
+        .arg(sig)
+        .arg(child.id().to_string())
+        .status()
+        .expect("kill runs");
+    assert!(status.success(), "kill {sig} delivered");
+}
+
+#[test]
+fn sigterm_drains_the_daemon_and_exits_zero() {
+    let store = std::env::temp_dir().join(format!("alp-cli-drain-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store);
+    let (mut daemon, sock) = spawn_serve(&["--workers", "2", "--store", store.to_str().unwrap()]);
+    let nest = "doall (i, 0, 63) { A[i] = A[i] + B[i]; }";
+    let (_, stderr, code) = serve_client(&sock, &["--op", "plan", "-"], Some(nest));
+    assert_eq!(code, Some(0), "stderr: {stderr}");
+
+    send_signal(&daemon, "-TERM");
+    let status = daemon.wait().expect("daemon exits");
+    assert_eq!(status.code(), Some(0), "graceful drain exits 0");
+    assert!(!sock.exists(), "socket removed after drain");
+    // The computed plan was journaled and flushed on the way down.
+    let (stdout, _, code) = run_cli(&["store", "verify", store.to_str().unwrap()], None);
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("1 live plan(s)"), "{stdout}");
+    let _ = std::fs::remove_dir_all(&store);
+}
+
+#[test]
+fn second_sigterm_aborts_the_drain_with_exit_12() {
+    // One worker, a long drain deadline, and a queue of slow runs: the
+    // first SIGTERM leaves the daemon draining for a long time, so the
+    // second one deterministically lands mid-drain.
+    let (mut daemon, sock) = spawn_serve(&["--workers", "1", "--drain-deadline-ms", "60000"]);
+    let slow = "doall (i, 0, 1023) { doall (j, 0, 1023) { A[i,j] = A[i,j] + B[i,j]; } }";
+    let mut clients = Vec::new();
+    for _ in 0..4 {
+        let mut cmd = Command::new(env!("CARGO_BIN_EXE_alp-cli"));
+        cmd.args([
+            "serve",
+            "--socket",
+            sock.to_str().unwrap(),
+            "--connect",
+            "--op",
+            "run",
+            "-",
+        ])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::null())
+        .stderr(Stdio::null());
+        let mut child = cmd.spawn().expect("client spawns");
+        child
+            .stdin
+            .as_mut()
+            .unwrap()
+            .write_all(slow.as_bytes())
+            .unwrap();
+        drop(child.stdin.take());
+        clients.push(child);
+    }
+    // Let the runs get admitted, then signal twice.
+    std::thread::sleep(std::time::Duration::from_millis(300));
+    send_signal(&daemon, "-TERM");
+    std::thread::sleep(std::time::Duration::from_millis(200));
+    send_signal(&daemon, "-TERM");
+    let status = daemon.wait().expect("daemon exits");
+    assert_eq!(
+        status.code(),
+        Some(12),
+        "second signal escalates to exit 12"
+    );
+    for mut c in clients {
+        let _ = c.kill();
+        let _ = c.wait();
+    }
+}
+
+#[test]
+fn plan_via_server_delegates_to_the_daemon() {
+    let (mut daemon, sock) = spawn_serve(&["--workers", "2"]);
+    let nest = "doall (i, 0, 63) { A[i] = A[i] + B[i]; }";
+    let (stdout, stderr, code) = run_cli(
+        &[
+            "plan",
+            "--via-server",
+            sock.to_str().unwrap(),
+            "-p",
+            "8",
+            "-",
+        ],
+        Some(nest),
+    );
+    assert_eq!(code, Some(0), "stderr: {stderr}");
+    assert!(
+        stdout.contains("\"alp-plan\""),
+        "plan JSON on stdout: {stdout}"
+    );
+
+    // Same nest again: the daemon answers from cache, and --emit
+    // reports which tier served it.
+    let emit = std::env::temp_dir().join(format!("alp-cli-via-{}.json", std::process::id()));
+    let (_, stderr, code) = run_cli(
+        &[
+            "plan",
+            "--via-server",
+            sock.to_str().unwrap(),
+            "-p",
+            "8",
+            "--emit",
+            emit.to_str().unwrap(),
+            "-",
+        ],
+        Some(nest),
+    );
+    assert_eq!(code, Some(0), "stderr: {stderr}");
+    assert!(stderr.contains("cache hit"), "{stderr}");
+    let saved = std::fs::read_to_string(&emit).expect("emitted plan");
+    assert!(saved.contains("\"alp-plan\""));
+    let _ = std::fs::remove_file(&emit);
+
+    // Local-only flags are refused up front, not silently dropped.
+    let (_, stderr, code) = run_cli(
+        &[
+            "plan",
+            "--via-server",
+            sock.to_str().unwrap(),
+            "--skewed",
+            "-",
+        ],
+        Some(nest),
+    );
+    assert_eq!(code, Some(2), "local-only flag refused: {stderr}");
+
+    let (_, _, code) = serve_client(&sock, &["--op", "shutdown"], None);
+    assert_eq!(code, Some(0));
+    daemon.wait().expect("daemon exits");
+}
+
+#[test]
+fn serve_stats_reports_per_shard_occupancy() {
+    let (mut daemon, sock) = spawn_serve(&["--shards", "4", "--cache-capacity", "64"]);
+    let nest = "doall (i, 0, 63) { A[i] = A[i] + B[i]; }";
+    let (_, _, code) = serve_client(&sock, &["--op", "plan", "-"], Some(nest));
+    assert_eq!(code, Some(0));
+    let (stdout, stderr, code) = serve_client(&sock, &["--op", "stats"], None);
+    assert_eq!(code, Some(0), "stderr: {stderr}");
+    assert!(stdout.contains("shard   0:"), "{stdout}");
+    assert!(stdout.contains("hit rate"), "{stdout}");
+    let (_, _, code) = serve_client(&sock, &["--op", "shutdown"], None);
+    assert_eq!(code, Some(0));
+    daemon.wait().expect("daemon exits");
+}

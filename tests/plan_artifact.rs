@@ -212,6 +212,11 @@ fn malformed_corpus_is_rejected_with_stable_codes() {
     let mut checked = 0;
     for entry in std::fs::read_dir(&dir).expect("corpus dir exists") {
         let path = entry.expect("corpus entry").path();
+        // Subdirectories hold non-artifact corpora (e.g. store/ for the
+        // journal corruption suite in tests/store_recovery.rs).
+        if path.is_dir() {
+            continue;
+        }
         let name = path.file_name().unwrap().to_string_lossy().into_owned();
         let expected = name.split("__").next().expect("code prefix");
         let text = std::fs::read_to_string(&path).expect("corpus file reads");
